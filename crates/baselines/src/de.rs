@@ -1,0 +1,55 @@
+//! DE: the degree-based heuristic.
+//!
+//! `P_uv = 1 / indegree(v)` for every edge — no learning at all. Widely
+//! used as the "weighted cascade" setting in influence maximization; the
+//! paper includes it as the no-information floor.
+
+use inf2vec_diffusion::EdgeProbs;
+use inf2vec_eval::score::CascadeModel;
+use inf2vec_graph::{DiGraph, NodeId};
+
+/// The DE baseline, bound to a graph.
+#[derive(Debug, Clone)]
+pub struct Degree<'g> {
+    graph: &'g DiGraph,
+}
+
+impl<'g> Degree<'g> {
+    /// "Trains" DE (reads degrees off the graph).
+    pub fn new(graph: &'g DiGraph) -> Self {
+        Self { graph }
+    }
+}
+
+impl CascadeModel for Degree<'_> {
+    fn edge_prob(&self, u: NodeId, v: NodeId) -> f64 {
+        if self.graph.has_edge(u, v) {
+            1.0 / self.graph.in_degree(v).max(1) as f64
+        } else {
+            0.0
+        }
+    }
+
+    fn edge_probs(&self, graph: &DiGraph) -> EdgeProbs {
+        EdgeProbs::weighted_cascade(graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inf2vec_graph::GraphBuilder;
+
+    #[test]
+    fn probability_is_inverse_indegree() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(NodeId(0), NodeId(2));
+        b.add_edge(NodeId(1), NodeId(2));
+        b.add_edge(NodeId(2), NodeId(0));
+        let g = b.build();
+        let de = Degree::new(&g);
+        assert!((de.edge_prob(NodeId(0), NodeId(2)) - 0.5).abs() < 1e-12);
+        assert!((de.edge_prob(NodeId(2), NodeId(0)) - 1.0).abs() < 1e-12);
+        assert_eq!(de.edge_prob(NodeId(0), NodeId(1)), 0.0);
+    }
+}

@@ -1,0 +1,327 @@
+//! Emb-IC: the embedded cascade model (Bourigault et al., WSDM'16).
+//!
+//! Each user gets one latent position `z_u ∈ R^K`; the diffusion
+//! probability between two users is a logistic function of their negative
+//! squared Euclidean distance, `p_uv = σ(c - ‖z_u − z_v‖²)` with a learned
+//! offset `c`. Training maximizes the IC cascade likelihood: for each
+//! activated user the noisy-or over *all earlier activated users* (the
+//! model creates a link `(u1, u2)` whenever `u1` acts before `u2` — it does
+//! not consult the social graph, a limitation the Inf2vec paper calls out),
+//! and for sampled non-activated users the probability that every attempt
+//! failed.
+//!
+//! The per-iteration cost is quadratic in episode length (every activation
+//! attends to all earlier activations), which is what makes Emb-IC the slow
+//! baseline in Figure 9.
+
+use inf2vec_diffusion::{EdgeProbs, Episode};
+use inf2vec_eval::score::CascadeModel;
+use inf2vec_graph::{DiGraph, NodeId};
+use inf2vec_util::rng::{split_seed, Xoshiro256pp};
+
+/// Emb-IC hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct EmbIcConfig {
+    /// Latent dimension (the paper sweeps K in Figure 9).
+    pub k: usize,
+    /// Gradient-ascent iterations over the training episodes.
+    pub iterations: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// Negative (never-activated) users sampled per episode.
+    pub negatives_per_episode: usize,
+    /// Cap on how many earlier activations an activation attends to (the
+    /// most recent ones). `usize::MAX` = exact model.
+    pub max_parents: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for EmbIcConfig {
+    fn default() -> Self {
+        Self {
+            k: 50,
+            iterations: 15,
+            lr: 0.05,
+            negatives_per_episode: 10,
+            max_parents: 64,
+            seed: 0,
+        }
+    }
+}
+
+/// The trained Emb-IC model.
+#[derive(Debug, Clone)]
+pub struct EmbIc {
+    /// Latent positions, row-major `n × k`.
+    positions: Vec<f32>,
+    k: usize,
+    /// The learned logistic offset `c`.
+    offset: f32,
+}
+
+impl EmbIc {
+    /// Trains on the given episodes over an `n_nodes` universe.
+    pub fn train(n_nodes: usize, episodes: &[&Episode], config: &EmbIcConfig) -> Self {
+        assert!(config.k > 0 && config.iterations > 0 && config.lr > 0.0);
+        let mut rng = Xoshiro256pp::new(split_seed(config.seed, 0xE3B));
+        let k = config.k;
+        let mut positions: Vec<f32> = (0..n_nodes * k)
+            .map(|_| (rng.next_f32() * 2.0 - 1.0) * 0.1)
+            .collect();
+        let mut offset = 0.0f32;
+
+        let mut grad_v = vec![0.0f32; k];
+        for _ in 0..config.iterations {
+            for e in episodes {
+                let users: Vec<u32> = e.users().map(|u| u.0).collect();
+                if users.len() < 2 {
+                    continue;
+                }
+                let active: inf2vec_util::FxHashSet<u32> = users.iter().copied().collect();
+                // Positive part: each activation explained by earlier ones.
+                for (i, &v) in users.iter().enumerate().skip(1) {
+                    let lo = i.saturating_sub(config.max_parents);
+                    Self::ascend_activation(
+                        &mut positions,
+                        &mut offset,
+                        k,
+                        v,
+                        &users[lo..i],
+                        true,
+                        config.lr,
+                        &mut grad_v,
+                    );
+                }
+                // Negative part: sampled users who never activated must
+                // survive every attempt.
+                let parents_lo = users.len().saturating_sub(config.max_parents);
+                for _ in 0..config.negatives_per_episode {
+                    let w = rng.below(n_nodes as u64) as u32;
+                    if active.contains(&w) {
+                        continue;
+                    }
+                    Self::ascend_activation(
+                        &mut positions,
+                        &mut offset,
+                        k,
+                        w,
+                        &users[parents_lo..],
+                        false,
+                        config.lr,
+                        &mut grad_v,
+                    );
+                }
+            }
+        }
+
+        Self {
+            positions,
+            k,
+            offset,
+        }
+    }
+
+    /// Gradient-ascent step on `log P(v activated)` (when `activated`) or
+    /// `log P(v not activated)` for parents `us`.
+    #[allow(clippy::too_many_arguments)]
+    fn ascend_activation(
+        positions: &mut [f32],
+        offset: &mut f32,
+        k: usize,
+        v: u32,
+        us: &[u32],
+        activated: bool,
+        lr: f32,
+        grad_v: &mut [f32],
+    ) {
+        if us.is_empty() {
+            return;
+        }
+        // First pass: probabilities and the noisy-or total.
+        let mut fail = 1.0f64;
+        let mut ps = Vec::with_capacity(us.len());
+        for &u in us {
+            let d2 = sq_dist(positions, k, u, v);
+            let p = sigmoid(*offset - d2);
+            ps.push(p);
+            fail *= 1.0 - p as f64;
+        }
+        let p_v = (1.0 - fail).max(1e-9);
+
+        grad_v.fill(0.0);
+        let mut offset_grad = 0.0f32;
+        for (&u, &p) in us.iter().zip(&ps) {
+            // dL/dp: activated -> (1-P_v)/((1-p) P_v); else -> -1/(1-p).
+            let dl_dp = if activated {
+                ((1.0 - p_v) / ((1.0 - p as f64).max(1e-9) * p_v)) as f32
+            } else {
+                -1.0 / (1.0 - p).max(1e-6)
+            };
+            // dp/d(offset - d2) = p(1-p); d(d2)/dz_u = 2(z_u - z_v).
+            let g = dl_dp * p * (1.0 - p);
+            offset_grad += g;
+            let (zu_base, zv_base) = (u as usize * k, v as usize * k);
+            for j in 0..k {
+                let diff = positions[zu_base + j] - positions[zv_base + j];
+                // ∂L/∂z_u = -2 g diff ; ∂L/∂z_v accumulates +2 g diff.
+                positions[zu_base + j] -= lr * 2.0 * g * diff;
+                grad_v[j] += 2.0 * g * diff;
+            }
+        }
+        let zv_base = v as usize * k;
+        for j in 0..k {
+            positions[zv_base + j] += lr * grad_v[j];
+        }
+        *offset += lr * offset_grad;
+    }
+
+    /// The learned diffusion probability between any two users.
+    pub fn prob(&self, u: NodeId, v: NodeId) -> f64 {
+        let d2 = sq_dist(&self.positions, self.k, u.0, v.0);
+        sigmoid(self.offset - d2) as f64
+    }
+
+    /// The latent position of `u` (for the Figure 6 visualization).
+    pub fn position(&self, u: NodeId) -> &[f32] {
+        &self.positions[u.index() * self.k..(u.index() + 1) * self.k]
+    }
+
+    /// Latent dimension.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+impl CascadeModel for EmbIc {
+    fn edge_prob(&self, u: NodeId, v: NodeId) -> f64 {
+        self.prob(u, v)
+    }
+
+    fn edge_probs(&self, graph: &DiGraph) -> EdgeProbs {
+        EdgeProbs::from_fn(graph, |u, v| self.prob(u, v) as f32)
+    }
+}
+
+#[inline]
+fn sq_dist(positions: &[f32], k: usize, u: u32, v: u32) -> f32 {
+    let ub = u as usize * k;
+    let vb = v as usize * k;
+    let mut acc = 0.0f32;
+    for j in 0..k {
+        let d = positions[ub + j] - positions[vb + j];
+        acc += d * d;
+    }
+    acc
+}
+
+#[inline]
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inf2vec_diffusion::ItemId;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    fn episode(id: u32, users: &[u32]) -> Episode {
+        Episode::new(
+            ItemId(id),
+            users
+                .iter()
+                .enumerate()
+                .map(|(t, &u)| (n(u), t as u64))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn co_cascading_users_end_up_close() {
+        // Users 0-3 always cascade together; users 4-7 also together; the
+        // two blocks never mix. 16 spare users serve as negatives.
+        let mut episodes = Vec::new();
+        for i in 0..40u32 {
+            if i % 2 == 0 {
+                episodes.push(episode(i, &[0, 1, 2, 3]));
+            } else {
+                episodes.push(episode(i, &[4, 5, 6, 7]));
+            }
+        }
+        let refs: Vec<&Episode> = episodes.iter().collect();
+        let model = EmbIc::train(
+            24,
+            &refs,
+            &EmbIcConfig {
+                k: 8,
+                iterations: 30,
+                lr: 0.05,
+                negatives_per_episode: 8,
+                max_parents: 64,
+                seed: 1,
+            },
+        );
+        let within = model.prob(n(0), n(1)) + model.prob(n(4), n(5));
+        let across = model.prob(n(0), n(5)) + model.prob(n(4), n(1));
+        assert!(
+            within > across + 0.1,
+            "within {within:.4} vs across {across:.4}"
+        );
+    }
+
+    #[test]
+    fn probabilities_are_probabilities() {
+        let episodes = [episode(0, &[0, 1, 2])];
+        let refs: Vec<&Episode> = episodes.iter().collect();
+        let model = EmbIc::train(
+            8,
+            &refs,
+            &EmbIcConfig {
+                k: 4,
+                iterations: 3,
+                ..EmbIcConfig::default()
+            },
+        );
+        for u in 0..8u32 {
+            for v in 0..8u32 {
+                let p = model.prob(n(u), n(v));
+                assert!((0.0..=1.0).contains(&p), "p({u},{v}) = {p}");
+                assert!(p.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let episodes = [episode(0, &[0, 1, 2]), episode(1, &[2, 3])];
+        let refs: Vec<&Episode> = episodes.iter().collect();
+        let cfg = EmbIcConfig {
+            k: 4,
+            iterations: 2,
+            ..EmbIcConfig::default()
+        };
+        let a = EmbIc::train(6, &refs, &cfg);
+        let b = EmbIc::train(6, &refs, &cfg);
+        assert_eq!(a.positions, b.positions);
+    }
+
+    #[test]
+    fn symmetric_probability() {
+        // Distance is symmetric, so Emb-IC's probability is too (one of its
+        // structural limitations vs Inf2vec's directed source/target split).
+        let episodes = [episode(0, &[0, 1, 2, 3])];
+        let refs: Vec<&Episode> = episodes.iter().collect();
+        let model = EmbIc::train(6, &refs, &EmbIcConfig {
+            k: 4,
+            iterations: 5,
+            ..EmbIcConfig::default()
+        });
+        let a = model.prob(n(0), n(3));
+        let b = model.prob(n(3), n(0));
+        assert!((a - b).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! Baseline influence-learning methods (§V-A3).
+//!
+//! The paper compares Inf2vec against six baselines spanning both model
+//! families:
+//!
+//! | Method | Family | Module |
+//! |---|---|---|
+//! | DE — degree-based `P_uv = 1/indegree(v)` | IC | [`de`] |
+//! | ST — static MLE `P_uv = A_u2v / A_u` (Goyal et al., WSDM'10) | IC | [`st`] |
+//! | EM — expectation-maximization for IC (Saito et al., KES'08) | IC | [`em`] |
+//! | Emb-IC — embedded cascade model (Bourigault et al., WSDM'16) | IC | [`emb_ic`] |
+//! | MF — user–user matrix factorization with BPR (Rendle et al., UAI'09) | representation | [`mf`] |
+//! | Node2vec — biased-walk network embedding (Grover & Leskovec, KDD'16) | representation | [`node2vec`] |
+//!
+//! All implement the [`inf2vec_eval::score`] traits so the evaluation tasks
+//! treat every method uniformly.
+
+pub mod de;
+pub mod em;
+pub mod emb_ic;
+pub mod mf;
+pub mod node2vec;
+pub mod st;
+
+pub use de::Degree;
+pub use em::{IcEm, IcEmConfig};
+pub use emb_ic::{EmbIc, EmbIcConfig};
+pub use mf::{MfBpr, MfConfig};
+pub use node2vec::{Node2vec, Node2vecConfig};
+pub use st::Static;

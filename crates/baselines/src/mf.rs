@@ -1,0 +1,238 @@
+//! MF: user–user matrix factorization with Bayesian Personalized Ranking
+//! (Rendle et al., UAI'09), as configured in §V-A3.
+//!
+//! The matrix entry for `(u, v)` is the number of actions both users
+//! performed; BPR learns `p_u, q_v` such that observed co-action pairs
+//! outrank unobserved ones. The method sees only *global user interest
+//! similarity* — no network structure, no propagation order — which is
+//! exactly why the paper includes it: its solid results isolate the value
+//! of the global-context half of Inf2vec.
+
+use inf2vec_diffusion::Episode;
+use inf2vec_embed::hogwild::dot;
+use inf2vec_eval::score::RepresentationModel;
+use inf2vec_graph::NodeId;
+use inf2vec_util::hash::fx_hashmap;
+use inf2vec_util::rng::{split_seed, Xoshiro256pp};
+use inf2vec_util::FxHashSet;
+
+/// MF-BPR hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct MfConfig {
+    /// Latent dimension.
+    pub k: usize,
+    /// SGD steps, expressed as passes over the positive pair list.
+    pub epochs: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// L2 regularization strength.
+    pub reg: f32,
+    /// RNG seed.
+    pub seed: u64,
+    /// Cap on per-episode co-action pair enumeration (guards O(|D|²) on
+    /// outlier episodes).
+    pub max_episode_len: usize,
+}
+
+impl Default for MfConfig {
+    fn default() -> Self {
+        Self {
+            k: 50,
+            epochs: 10,
+            lr: 0.05,
+            reg: 0.01,
+            seed: 0,
+            max_episode_len: 400,
+        }
+    }
+}
+
+/// The trained MF model.
+#[derive(Debug, Clone)]
+pub struct MfBpr {
+    p: Vec<f32>,
+    q: Vec<f32>,
+    k: usize,
+}
+
+impl MfBpr {
+    /// Trains on co-action counts from the training episodes.
+    pub fn train(n_nodes: usize, episodes: &[&Episode], config: &MfConfig) -> Self {
+        assert!(config.k > 0 && config.epochs > 0);
+        // Build the positive pair list (u, v) with multiplicity = co-action
+        // count, plus a membership set for negative rejection.
+        let mut count = fx_hashmap::<(u32, u32), u32>();
+        for e in episodes {
+            let users: Vec<u32> = e.users().map(|u| u.0).collect();
+            let users = &users[..users.len().min(config.max_episode_len)];
+            for (i, &a) in users.iter().enumerate() {
+                for &b in &users[i + 1..] {
+                    // The co-action relation is symmetric; store both
+                    // directions so either side can be the "query" user.
+                    *count.entry((a, b)).or_insert(0) += 1;
+                    *count.entry((b, a)).or_insert(0) += 1;
+                }
+            }
+        }
+        let positives: Vec<(u32, u32)> = count.keys().copied().collect();
+        let observed: FxHashSet<(u32, u32)> = count.keys().copied().collect();
+
+        let mut rng = Xoshiro256pp::new(split_seed(config.seed, 0x3F));
+        let k = config.k;
+        let scale = 1.0 / k as f32;
+        let mut p: Vec<f32> = (0..n_nodes * k)
+            .map(|_| (rng.next_f32() * 2.0 - 1.0) * scale)
+            .collect();
+        let mut q: Vec<f32> = (0..n_nodes * k)
+            .map(|_| (rng.next_f32() * 2.0 - 1.0) * scale)
+            .collect();
+
+        if !positives.is_empty() {
+            let steps = positives.len() * config.epochs;
+            for _ in 0..steps {
+                let &(u, v) = &positives[rng.index(positives.len())];
+                // Rejection-sample an unobserved w for u.
+                let mut w = rng.below(n_nodes as u64) as u32;
+                let mut guard = 0;
+                while (w == u || observed.contains(&(u, w))) && guard < 16 {
+                    w = rng.below(n_nodes as u64) as u32;
+                    guard += 1;
+                }
+                if w == u || observed.contains(&(u, w)) {
+                    continue;
+                }
+                bpr_step(&mut p, &mut q, k, u, v, w, config.lr, config.reg);
+            }
+        }
+
+        Self { p, q, k }
+    }
+
+    /// The learned affinity score between two users.
+    pub fn score(&self, u: NodeId, v: NodeId) -> f64 {
+        dot(
+            &self.p[u.index() * self.k..(u.index() + 1) * self.k],
+            &self.q[v.index() * self.k..(v.index() + 1) * self.k],
+        ) as f64
+    }
+
+    /// The concatenated `[p_u ; q_u]` representation (for Figure 6).
+    pub fn concat(&self, u: NodeId) -> Vec<f32> {
+        let mut out = Vec::with_capacity(2 * self.k);
+        out.extend_from_slice(&self.p[u.index() * self.k..(u.index() + 1) * self.k]);
+        out.extend_from_slice(&self.q[u.index() * self.k..(u.index() + 1) * self.k]);
+        out
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn bpr_step(p: &mut [f32], q: &mut [f32], k: usize, u: u32, v: u32, w: u32, lr: f32, reg: f32) {
+    let (ub, vb, wb) = (u as usize * k, v as usize * k, w as usize * k);
+    let mut x_uvw = 0.0f32;
+    for j in 0..k {
+        x_uvw += p[ub + j] * (q[vb + j] - q[wb + j]);
+    }
+    // dL/dx for L = ln σ(x): σ(-x).
+    let e = 1.0 / (1.0 + x_uvw.exp());
+    for j in 0..k {
+        let pu = p[ub + j];
+        let qv = q[vb + j];
+        let qw = q[wb + j];
+        p[ub + j] += lr * (e * (qv - qw) - reg * pu);
+        q[vb + j] += lr * (e * pu - reg * qv);
+        q[wb + j] += lr * (-e * pu - reg * qw);
+    }
+}
+
+impl RepresentationModel for MfBpr {
+    fn pair_score(&self, u: NodeId, v: NodeId) -> f64 {
+        self.score(u, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inf2vec_diffusion::ItemId;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    fn episode(id: u32, users: &[u32]) -> Episode {
+        Episode::new(
+            ItemId(id),
+            users
+                .iter()
+                .enumerate()
+                .map(|(t, &u)| (n(u), t as u64))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn co_actors_outrank_strangers() {
+        // Groups {0..4} and {5..9} act together; 10..19 never act.
+        let mut episodes = Vec::new();
+        for i in 0..30u32 {
+            if i % 2 == 0 {
+                episodes.push(episode(i, &[0, 1, 2, 3, 4]));
+            } else {
+                episodes.push(episode(i, &[5, 6, 7, 8, 9]));
+            }
+        }
+        let refs: Vec<&Episode> = episodes.iter().collect();
+        let mf = MfBpr::train(
+            20,
+            &refs,
+            &MfConfig {
+                k: 8,
+                epochs: 40,
+                ..MfConfig::default()
+            },
+        );
+        let within = mf.score(n(0), n(1));
+        let across = mf.score(n(0), n(6));
+        let stranger = mf.score(n(0), n(15));
+        assert!(within > across, "within {within} vs across {across}");
+        assert!(within > stranger, "within {within} vs stranger {stranger}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let episodes = [episode(0, &[0, 1, 2]), episode(1, &[1, 2, 3])];
+        let refs: Vec<&Episode> = episodes.iter().collect();
+        let cfg = MfConfig {
+            k: 4,
+            epochs: 3,
+            ..MfConfig::default()
+        };
+        let a = MfBpr::train(6, &refs, &cfg);
+        let b = MfBpr::train(6, &refs, &cfg);
+        assert_eq!(a.p, b.p);
+        assert_eq!(a.q, b.q);
+    }
+
+    #[test]
+    fn no_positives_is_a_noop() {
+        let episodes: Vec<Episode> = vec![episode(0, &[1])];
+        let refs: Vec<&Episode> = episodes.iter().collect();
+        let mf = MfBpr::train(4, &refs, &MfConfig::default());
+        assert!(mf.score(n(0), n(1)).is_finite());
+    }
+
+    #[test]
+    fn concat_has_double_dimension() {
+        let episodes = [episode(0, &[0, 1])];
+        let refs: Vec<&Episode> = episodes.iter().collect();
+        let mf = MfBpr::train(
+            3,
+            &refs,
+            &MfConfig {
+                k: 6,
+                ..MfConfig::default()
+            },
+        );
+        assert_eq!(mf.concat(n(1)).len(), 12);
+    }
+}

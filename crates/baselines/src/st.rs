@@ -1,0 +1,139 @@
+//! ST: the static maximum-likelihood model of Goyal et al. (WSDM'10).
+//!
+//! `P_uv = A_u2v / A_u`, where `A_u2v` counts the actions `u` performed
+//! before its friend `v` (the influence pairs of Definition 1) and `A_u`
+//! counts all of `u`'s actions. Simple, fast, and the strongest of the
+//! paper's counting baselines — but it can say nothing about edges without
+//! observed co-activity, which is exactly the sparsity Inf2vec attacks.
+
+use inf2vec_diffusion::pairs::episode_pairs;
+use inf2vec_diffusion::{EdgeProbs, Episode};
+use inf2vec_eval::score::CascadeModel;
+use inf2vec_graph::{DiGraph, NodeId};
+use inf2vec_util::hash::fx_hashmap;
+use inf2vec_util::FxHashMap;
+
+/// The trained ST model.
+#[derive(Debug, Clone)]
+pub struct Static {
+    /// `(u, v) -> A_u2v`.
+    pair_counts: FxHashMap<(u32, u32), u32>,
+    /// `u -> A_u` (total actions performed by u).
+    action_counts: FxHashMap<u32, u32>,
+}
+
+impl Static {
+    /// Counts pair and action frequencies over the training episodes.
+    pub fn train<'a, I: IntoIterator<Item = &'a Episode>>(graph: &DiGraph, episodes: I) -> Self {
+        let mut pair_counts = fx_hashmap();
+        let mut action_counts = fx_hashmap();
+        for e in episodes {
+            for u in e.users() {
+                *action_counts.entry(u.0).or_insert(0) += 1;
+            }
+            for (u, v) in episode_pairs(graph, e) {
+                *pair_counts.entry((u.0, v.0)).or_insert(0) += 1;
+            }
+        }
+        Self {
+            pair_counts,
+            action_counts,
+        }
+    }
+
+    /// Builds ST directly from pair observations (the Table VI citation
+    /// setting, where `A_u` is the number of times `u` influenced anyone).
+    pub fn from_pairs(pairs: &[(NodeId, NodeId)]) -> Self {
+        let mut pair_counts = fx_hashmap();
+        let mut action_counts = fx_hashmap();
+        for &(u, v) in pairs {
+            *pair_counts.entry((u.0, v.0)).or_insert(0) += 1;
+            *action_counts.entry(u.0).or_insert(0) += 1;
+        }
+        Self {
+            pair_counts,
+            action_counts,
+        }
+    }
+
+    /// Number of edges with a nonzero learned probability.
+    pub fn observed_edges(&self) -> usize {
+        self.pair_counts.len()
+    }
+}
+
+impl CascadeModel for Static {
+    fn edge_prob(&self, u: NodeId, v: NodeId) -> f64 {
+        let Some(&a_uv) = self.pair_counts.get(&(u.0, v.0)) else {
+            return 0.0;
+        };
+        let a_u = self.action_counts.get(&u.0).copied().unwrap_or(0);
+        if a_u == 0 {
+            0.0
+        } else {
+            (a_uv as f64 / a_u as f64).min(1.0)
+        }
+    }
+
+    fn edge_probs(&self, graph: &DiGraph) -> EdgeProbs {
+        EdgeProbs::from_fn(graph, |u, v| self.edge_prob(u, v) as f32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inf2vec_diffusion::ItemId;
+    use inf2vec_graph::GraphBuilder;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn mle_counting() {
+        // Graph 0 -> 1. Episodes: twice both adopt (0 first), once only 0.
+        let mut b = GraphBuilder::with_nodes(2);
+        b.add_edge(n(0), n(1));
+        let g = b.build();
+        let episodes = vec![
+            Episode::new(ItemId(0), vec![(n(0), 0), (n(1), 1)]),
+            Episode::new(ItemId(1), vec![(n(0), 0), (n(1), 1)]),
+            Episode::new(ItemId(2), vec![(n(0), 0)]),
+        ];
+        let st = Static::train(&g, &episodes);
+        // A_01 = 2, A_0 = 3.
+        assert!((st.edge_prob(n(0), n(1)) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(st.edge_prob(n(1), n(0)), 0.0);
+        assert_eq!(st.observed_edges(), 1);
+    }
+
+    #[test]
+    fn unseen_edges_are_zero() {
+        let mut b = GraphBuilder::with_nodes(3);
+        b.add_edge(n(0), n(1));
+        b.add_edge(n(1), n(2));
+        let g = b.build();
+        let episodes = vec![Episode::new(ItemId(0), vec![(n(0), 0), (n(1), 1)])];
+        let st = Static::train(&g, &episodes);
+        assert_eq!(st.edge_prob(n(1), n(2)), 0.0, "no observation, no estimate");
+    }
+
+    #[test]
+    fn from_pairs_matches_citation_semantics() {
+        let pairs = vec![(n(0), n(1)), (n(0), n(1)), (n(0), n(2))];
+        let st = Static::from_pairs(&pairs);
+        assert!((st.edge_prob(n(0), n(1)) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((st.edge_prob(n(0), n(2)) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edge_probs_materialization_respects_graph() {
+        let mut b = GraphBuilder::with_nodes(2);
+        b.add_edge(n(0), n(1));
+        let g = b.build();
+        let st = Static::from_pairs(&[(n(0), n(1))]);
+        let probs = st.edge_probs(&g);
+        assert!((probs.get(&g, n(0), n(1)) - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,63 @@
+//! Figure 9 as a Criterion bench: one training iteration of Inf2vec vs
+//! Emb-IC across K ∈ {10, 25, 50, 100} on a tiny dataset.
+//!
+//! The `repro fig9` subcommand measures the same comparison on the
+//! full-size synthetic datasets with wall clocks; this bench provides the
+//! statistically rigorous small-scale version that runs under
+//! `cargo bench`.
+//!
+//! Caveat when reading the numbers: Emb-IC's per-iteration cost scales
+//! with the *network size* (its likelihood attends to every non-activated
+//! user per episode), while Inf2vec's scales with the context corpus.
+//! On this 300-node test dataset the two are close; on the full-size
+//! datasets (`repro fig9`) Emb-IC is 6-11x slower, as in the paper.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use inf2vec_baselines::emb_ic::{EmbIc, EmbIcConfig};
+use inf2vec_core::train::train_on_networks;
+use inf2vec_core::Inf2vecConfig;
+use inf2vec_diffusion::synth::{generate, SyntheticConfig};
+use inf2vec_diffusion::{Episode, PropagationNetwork};
+
+fn fig9(c: &mut Criterion) {
+    let s = generate(&SyntheticConfig::tiny(), 42);
+    let n_nodes = s.dataset.graph.node_count() as usize;
+    let nets: Vec<PropagationNetwork> = s
+        .dataset
+        .log
+        .episodes()
+        .iter()
+        .map(|e| PropagationNetwork::build(&s.dataset.graph, e))
+        .collect();
+    let episodes: Vec<&Episode> = s.dataset.log.episodes().iter().collect();
+
+    let mut group = c.benchmark_group("fig9_one_iteration");
+    group.sample_size(10);
+    for k in [10usize, 25, 50, 100] {
+        group.bench_with_input(BenchmarkId::new("inf2vec", k), &k, |b, &k| {
+            let cfg = Inf2vecConfig {
+                k,
+                epochs: 1,
+                ..Inf2vecConfig::default()
+            };
+            b.iter(|| black_box(train_on_networks(n_nodes, nets.clone(), &cfg)))
+        });
+        group.bench_with_input(BenchmarkId::new("emb_ic", k), &k, |b, &k| {
+            let cfg = EmbIcConfig {
+                k,
+                iterations: 1,
+                // Faithful Emb-IC: the cascade likelihood attends to every
+                // non-activated user (matching `repro fig9`).
+                negatives_per_episode: n_nodes,
+                ..EmbIcConfig::default()
+            };
+            b.iter(|| black_box(EmbIc::train(n_nodes, &episodes, &cfg)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(fig9_group, fig9);
+criterion_main!(fig9_group);

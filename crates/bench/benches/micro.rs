@@ -1,0 +1,169 @@
+//! Criterion micro-benchmarks for the hot kernels.
+//!
+//! Complements the `repro fig9` wall-clock comparison with statistically
+//! sound per-operation timings: context generation (Algorithm 1), the SGNS
+//! update (Eq. 6), walks, propagation-network extraction, pair extraction,
+//! Monte-Carlo spread, and one EM iteration.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use inf2vec_baselines::em::{IcEm, IcEmConfig};
+use inf2vec_core::context::generate_context;
+use inf2vec_core::corpus::InfluenceContextSource;
+use inf2vec_core::Inf2vecConfig;
+use inf2vec_diffusion::pairs::episode_pairs;
+use inf2vec_diffusion::synth::{generate, SyntheticConfig, SyntheticDataset};
+use inf2vec_diffusion::{ic, Episode, PropagationNetwork};
+use inf2vec_embed::sgns::{FlatPairs, SgnsConfig, SgnsTrainer};
+use inf2vec_embed::{EmbeddingStore, NegativeTable};
+use inf2vec_graph::walk::{restart_walk, Node2vecWalker};
+use inf2vec_graph::NodeId;
+use inf2vec_util::rng::Xoshiro256pp;
+
+fn setup() -> SyntheticDataset {
+    generate(&SyntheticConfig::tiny(), 42)
+}
+
+fn biggest_episode(s: &SyntheticDataset) -> &Episode {
+    s.dataset
+        .log
+        .episodes()
+        .iter()
+        .max_by_key(|e| e.len())
+        .expect("episodes exist")
+}
+
+fn bench_pair_extraction(c: &mut Criterion) {
+    let s = setup();
+    let e = biggest_episode(&s);
+    c.bench_function("pairs/episode_pairs", |b| {
+        b.iter(|| black_box(episode_pairs(&s.dataset.graph, black_box(e))))
+    });
+}
+
+fn bench_propnet_build(c: &mut Criterion) {
+    let s = setup();
+    let e = biggest_episode(&s);
+    c.bench_function("propnet/build", |b| {
+        b.iter(|| black_box(PropagationNetwork::build(&s.dataset.graph, black_box(e))))
+    });
+}
+
+fn bench_context_generation(c: &mut Criterion) {
+    let s = setup();
+    let net = PropagationNetwork::build(&s.dataset.graph, biggest_episode(&s));
+    let mut rng = Xoshiro256pp::new(7);
+    c.bench_function("context/algorithm1_L50_alpha0.1", |b| {
+        b.iter(|| black_box(generate_context(&net, 0, 5, 45, 0.5, &mut rng)))
+    });
+}
+
+fn bench_walks(c: &mut Criterion) {
+    let s = setup();
+    let mut rng = Xoshiro256pp::new(3);
+    let mut buf = Vec::with_capacity(64);
+    c.bench_function("walk/restart_len50", |b| {
+        b.iter(|| {
+            buf.clear();
+            restart_walk(&s.dataset.graph, 0, 50, 0.5, &mut rng, &mut buf);
+            black_box(buf.len())
+        })
+    });
+    let walker = Node2vecWalker::new(1.0, 1.0, 40);
+    c.bench_function("walk/node2vec_len40", |b| {
+        b.iter(|| {
+            buf.clear();
+            walker.walk(&s.dataset.graph, NodeId(0), &mut rng, &mut buf);
+            black_box(buf.len())
+        })
+    });
+}
+
+fn bench_sgns_step(c: &mut Criterion) {
+    let s = setup();
+    let n = s.dataset.graph.node_count() as usize;
+    for k in [10usize, 50] {
+        let store = EmbeddingStore::new(n, k, 1);
+        let negs = NegativeTable::uniform(n as u32);
+        // 1000 pairs, 1 epoch, 5 negatives: per-iteration cost of Eq. 6.
+        let pairs: Vec<(u32, u32)> = (0..1000u32)
+            .map(|i| (i % n as u32, (i * 7 + 1) % n as u32))
+            .collect();
+        let source = FlatPairs::new(pairs);
+        let trainer = SgnsTrainer::new(SgnsConfig {
+            epochs: 1,
+            ..SgnsConfig::default()
+        });
+        c.bench_function(&format!("sgns/1000_pairs_k{k}"), |b| {
+            b.iter(|| black_box(trainer.train(&store, &source, &negs)))
+        });
+    }
+}
+
+fn bench_corpus_generation(c: &mut Criterion) {
+    let s = setup();
+    let nets: Vec<PropagationNetwork> = s
+        .dataset
+        .log
+        .episodes()
+        .iter()
+        .map(|e| PropagationNetwork::build(&s.dataset.graph, e))
+        .collect();
+    let cfg = Inf2vecConfig::default();
+    c.bench_function("context/full_corpus", |b| {
+        b.iter_batched(
+            || nets.clone(),
+            |nets| black_box(InfluenceContextSource::new(nets, &cfg)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_monte_carlo(c: &mut Criterion) {
+    let s = setup();
+    let probs = ic::EdgeProbs::weighted_cascade(&s.dataset.graph);
+    let seeds = [NodeId(0), NodeId(1)];
+    let mut rng = Xoshiro256pp::new(5);
+    c.bench_function("ic/monte_carlo_100_runs", |b| {
+        b.iter(|| {
+            black_box(ic::monte_carlo(
+                &s.dataset.graph,
+                &probs,
+                &seeds,
+                100,
+                &mut rng,
+            ))
+        })
+    });
+}
+
+fn bench_em_iteration(c: &mut Criterion) {
+    let s = setup();
+    let episodes: Vec<&Episode> = s.dataset.log.episodes().iter().collect();
+    c.bench_function("em/one_iteration", |b| {
+        b.iter(|| {
+            black_box(IcEm::train(
+                &s.dataset.graph,
+                &episodes,
+                &IcEmConfig {
+                    iterations: 1,
+                    init_prob: 0.1,
+                },
+            ))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_pair_extraction,
+    bench_propnet_build,
+    bench_context_generation,
+    bench_walks,
+    bench_sgns_step,
+    bench_corpus_generation,
+    bench_monte_carlo,
+    bench_em_iteration,
+);
+criterion_main!(benches);

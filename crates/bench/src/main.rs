@@ -1,0 +1,169 @@
+//! `repro` — regenerates every table and figure of the Inf2vec paper.
+//!
+//! ```text
+//! repro [OPTIONS] <COMMAND>...
+//!
+//! Commands:
+//!   table1 table2 table3 table4 table5 table6
+//!   fig1 fig2 fig3 fig6 fig7 fig8 fig9
+//!   ablate-alpha ablate-bias ablate-restart ablate-regen
+//!   all            every table and figure in order
+//!   ablate         every ablation
+//!
+//! Options:
+//!   --quick        small datasets, 1 run, short training (smoke test)
+//!   --runs N       runs per stochastic method (default 3; paper uses 10)
+//!   --seed S       master seed (default 42)
+//!   --mc-runs N    Monte-Carlo simulations per diffusion instance
+//!                  (default 1000; paper uses 5000)
+//!   --threads N    Hogwild threads (default 1 = deterministic)
+//!   --out DIR      artifact directory (default ./results)
+//! ```
+//!
+//! Absolute numbers differ from the paper (synthetic data, different
+//! hardware); the method ordering, ratios, and trends are the reproduction
+//! target. EXPERIMENTS.md records a paper-vs-measured comparison.
+
+mod ablate;
+mod common;
+mod figures;
+mod oracle;
+mod tables;
+
+use common::Opts;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = Opts::default();
+    let mut commands: Vec<String> = Vec::new();
+
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        let take_value = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i)
+                .unwrap_or_else(|| die(&format!("{arg} needs a value")))
+                .clone()
+        };
+        match arg {
+            "--quick" => {
+                opts.quick = true;
+                opts.runs = 1;
+                opts.mc_runs = 200;
+            }
+            "--runs" => {
+                opts.runs = take_value(&mut i)
+                    .parse()
+                    .unwrap_or_else(|_| die("--runs expects an integer"));
+            }
+            "--seed" => {
+                opts.seed = take_value(&mut i)
+                    .parse()
+                    .unwrap_or_else(|_| die("--seed expects an integer"));
+            }
+            "--mc-runs" => {
+                opts.mc_runs = take_value(&mut i)
+                    .parse()
+                    .unwrap_or_else(|_| die("--mc-runs expects an integer"));
+            }
+            "--threads" => {
+                opts.threads = take_value(&mut i)
+                    .parse()
+                    .unwrap_or_else(|_| die("--threads expects an integer"));
+            }
+            "--out" => {
+                opts.out = take_value(&mut i).into();
+            }
+            "--epochs" => {
+                opts.epochs_override = Some(
+                    take_value(&mut i)
+                        .parse()
+                        .unwrap_or_else(|_| die("--epochs expects an integer")),
+                );
+            }
+            "--lr" => {
+                opts.lr_override = Some(
+                    take_value(&mut i)
+                        .parse()
+                        .unwrap_or_else(|_| die("--lr expects a float")),
+                );
+            }
+            "--help" | "-h" => {
+                print_help();
+                return;
+            }
+            cmd if !cmd.starts_with('-') => commands.push(cmd.to_string()),
+            other => die(&format!("unknown option {other}")),
+        }
+        i += 1;
+    }
+
+    if commands.is_empty() {
+        print_help();
+        die("no command given");
+    }
+    if opts.runs == 0 || opts.mc_runs == 0 || opts.threads == 0 {
+        die("--runs, --mc-runs, and --threads must be positive");
+    }
+
+    let started = std::time::Instant::now();
+    for cmd in &commands {
+        run_command(cmd, &opts);
+    }
+    eprintln!("[repro] done in {:.1}s", started.elapsed().as_secs_f64());
+}
+
+fn run_command(cmd: &str, opts: &Opts) {
+    match cmd {
+        "table1" => tables::table1(opts),
+        "table2" => tables::table2(opts),
+        "table3" => tables::table3(opts),
+        "table4" => tables::table4(opts),
+        "table5" => tables::table5(opts),
+        "table6" => tables::table6(opts),
+        "fig1" => figures::fig12(opts, false),
+        "fig2" => figures::fig12(opts, true),
+        "fig3" => figures::fig3(opts),
+        "fig6" => figures::fig6(opts),
+        "fig7" => figures::fig78(opts, false),
+        "fig8" => figures::fig78(opts, true),
+        "fig9" => figures::fig9(opts),
+        "oracle" => oracle::oracle(opts),
+        "ablate-alpha" => ablate::ablate_alpha(opts),
+        "ablate-bias" => ablate::ablate_bias(opts),
+        "ablate-restart" => ablate::ablate_restart(opts),
+        "ablate-regen" => ablate::ablate_regen(opts),
+        "ablate" => {
+            ablate::ablate_alpha(opts);
+            ablate::ablate_bias(opts);
+            ablate::ablate_restart(opts);
+            ablate::ablate_regen(opts);
+        }
+        "all" => {
+            for c in [
+                "table1", "fig1", "fig2", "fig3", "table2", "table3", "table4", "table5",
+                "fig6", "fig7", "fig8", "fig9", "table6",
+            ] {
+                run_command(c, opts);
+            }
+        }
+        other => die(&format!("unknown command {other} (try --help)")),
+    }
+}
+
+fn print_help() {
+    println!(
+        "repro — regenerate the Inf2vec paper's tables and figures\n\n\
+         usage: repro [--quick] [--runs N] [--seed S] [--mc-runs N] [--threads N] [--epochs N] [--lr F] [--out DIR] <command>...\n\n\
+         commands: table1 table2 table3 table4 table5 table6\n\
+                   fig1 fig2 fig3 fig6 fig7 fig8 fig9\n\
+                   ablate-alpha ablate-bias ablate-restart ablate-regen ablate\n\
+                   oracle all"
+    );
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}

@@ -1,0 +1,166 @@
+//! Algorithm 1: generating the influence context.
+//!
+//! Given a propagation network `G_i` and a user `u ∈ V_i`, the influence
+//! context `C_u^i` has two parts:
+//!
+//! - **Local influence context** (`L·α` nodes): a random walk with restart
+//!   (restart ratio 0.5) over the propagation DAG starting at `u`. The walk
+//!   follows influence-pair edges, so it samples users plausibly influenced
+//!   by `u` — including high-order (multi-hop) targets, which is how the
+//!   paper combats pair sparsity.
+//! - **Global user-similarity context** (`L·(1−α)` nodes): uniform samples
+//!   from `V_i`, the users who performed the same action — the interest-
+//!   similarity signal no prior influence-learning work used.
+
+use inf2vec_diffusion::PropagationNetwork;
+use inf2vec_graph::walk::restart_walk;
+use inf2vec_util::rng::Xoshiro256pp;
+
+/// Generates `C_u^i` for the *local-index* node `u` of `net`.
+///
+/// Returns local indices (map through [`PropagationNetwork::global`] for
+/// node ids). The result holds at most `local_len + global_len` entries; it
+/// is shorter when `u` has no outgoing influence edges (walk exhausted) or
+/// the episode has no other member to sample.
+pub fn generate_context(
+    net: &PropagationNetwork,
+    u: u32,
+    local_len: usize,
+    global_len: usize,
+    restart: f64,
+    rng: &mut Xoshiro256pp,
+) -> Vec<u32> {
+    debug_assert!((u as usize) < net.len());
+    let mut context = Vec::with_capacity(local_len + global_len);
+
+    // Line 2: local influence neighbors by random walk with restart.
+    restart_walk(net, u, local_len, restart, rng, &mut context);
+
+    // Line 3: global user-similarity samples from V_i (excluding u — a user
+    // is trivially "similar" to itself and would only add a constant pull).
+    let n = net.len() as u64;
+    if n > 1 {
+        for _ in 0..global_len {
+            let mut w = rng.below(n - 1) as u32;
+            if w >= u {
+                w += 1;
+            }
+            context.push(w);
+        }
+    }
+    context
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inf2vec_diffusion::{Episode, ItemId};
+    use inf2vec_graph::{GraphBuilder, NodeId};
+    use proptest::prelude::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    /// Chain episode: 0 -> 1 -> 2 -> 3 in both graph and time.
+    fn chain_net(len: u32) -> PropagationNetwork {
+        let mut b = GraphBuilder::with_nodes(len);
+        for i in 0..len - 1 {
+            b.add_edge(n(i), n(i + 1));
+        }
+        let g = b.build();
+        let e = Episode::new(
+            ItemId(0),
+            (0..len).map(|i| (n(i), i as u64)).collect(),
+        );
+        PropagationNetwork::build(&g, &e)
+    }
+
+    #[test]
+    fn context_size_is_l_when_walkable() {
+        let net = chain_net(10);
+        let mut rng = Xoshiro256pp::new(1);
+        let ctx = generate_context(&net, 0, 5, 45, 0.5, &mut rng);
+        assert_eq!(ctx.len(), 50);
+    }
+
+    #[test]
+    fn sink_node_gets_only_global_context() {
+        let net = chain_net(10);
+        let mut rng = Xoshiro256pp::new(2);
+        // Node 9 is the chain's sink: the restart walk emits nothing.
+        let ctx = generate_context(&net, 9, 5, 20, 0.5, &mut rng);
+        assert_eq!(ctx.len(), 20);
+    }
+
+    #[test]
+    fn local_part_is_downstream_only() {
+        let net = chain_net(8);
+        let mut rng = Xoshiro256pp::new(3);
+        // α = 1: all-local context from node 3 must be strictly downstream
+        // (the propagation DAG's edges point forward in time).
+        let ctx = generate_context(&net, 3, 40, 0, 0.5, &mut rng);
+        assert!(!ctx.is_empty());
+        assert!(ctx.iter().all(|&v| v > 3), "walk left the DAG: {ctx:?}");
+    }
+
+    #[test]
+    fn global_part_excludes_center() {
+        let net = chain_net(5);
+        let mut rng = Xoshiro256pp::new(4);
+        let ctx = generate_context(&net, 2, 0, 200, 0.5, &mut rng);
+        assert_eq!(ctx.len(), 200);
+        assert!(ctx.iter().all(|&v| v != 2));
+        // All other members should appear eventually.
+        let distinct: std::collections::BTreeSet<u32> = ctx.iter().copied().collect();
+        assert_eq!(distinct.len(), 4);
+    }
+
+    #[test]
+    fn singleton_episode_has_empty_context() {
+        let g = GraphBuilder::with_nodes(1).build();
+        let e = Episode::new(ItemId(0), vec![(n(0), 0)]);
+        let net = PropagationNetwork::build(&g, &e);
+        let mut rng = Xoshiro256pp::new(5);
+        let ctx = generate_context(&net, 0, 5, 45, 0.5, &mut rng);
+        assert!(ctx.is_empty());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let net = chain_net(10);
+        let a = generate_context(&net, 0, 10, 10, 0.5, &mut Xoshiro256pp::new(7));
+        let b = generate_context(&net, 0, 10, 10, 0.5, &mut Xoshiro256pp::new(7));
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Context members are always valid episode members, the context
+        /// never exceeds the requested length, and with a fully-connected
+        /// chain it hits it exactly.
+        #[test]
+        fn proptest_context_invariants(
+            seed in any::<u64>(),
+            u in 0u32..8,
+            local in 0usize..20,
+            global in 0usize..20,
+        ) {
+            let net = chain_net(8);
+            let mut rng = Xoshiro256pp::new(seed);
+            let ctx = generate_context(&net, u, local, global, 0.5, &mut rng);
+            prop_assert!(ctx.len() <= local + global);
+            for &v in &ctx {
+                prop_assert!((v as usize) < net.len());
+            }
+            // The global part always delivers (n > 1 here); only the walk
+            // can fall short, and only for the sink.
+            if u < 7 {
+                prop_assert_eq!(ctx.len(), local + global);
+            } else {
+                prop_assert_eq!(ctx.len(), global);
+            }
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! The `(u, C_u^i)` tuple corpus as a skip-gram pair source.
+//!
+//! Algorithm 2 lines 3–8 generate the influence-context tuples `P` once and
+//! then iterate SGD over them until convergence. [`InfluenceContextSource`]
+//! materializes exactly that, and additionally supports the regenerate-per-
+//! epoch extension flagged in [`crate::Inf2vecConfig::regenerate_contexts`].
+
+use inf2vec_diffusion::PropagationNetwork;
+use inf2vec_embed::sgns::PairSource;
+use inf2vec_util::rng::{split_seed, Xoshiro256pp};
+
+use crate::config::Inf2vecConfig;
+use crate::context::generate_context;
+
+/// The influence-context corpus over a set of propagation networks.
+#[derive(Debug)]
+pub struct InfluenceContextSource {
+    nets: Vec<PropagationNetwork>,
+    local_len: usize,
+    global_len: usize,
+    restart: f64,
+    seed: u64,
+    regenerate: bool,
+    /// Pre-generated tuples `(global user, global context)` when not in
+    /// regenerate mode.
+    cached: Vec<(u32, Vec<u32>)>,
+    cached_pairs: u64,
+}
+
+impl InfluenceContextSource {
+    /// Builds the corpus from propagation networks (Algorithm 2 lines 3–8).
+    ///
+    /// Empty networks contribute nothing. In the default mode the contexts
+    /// are generated here, once, with a dedicated RNG stream.
+    pub fn new(nets: Vec<PropagationNetwork>, config: &Inf2vecConfig) -> Self {
+        config.validate();
+        let mut source = Self {
+            nets,
+            local_len: config.local_len(),
+            global_len: config.global_len(),
+            restart: config.restart,
+            seed: config.seed,
+            regenerate: config.regenerate_contexts,
+            cached: Vec::new(),
+            cached_pairs: 0,
+        };
+        if !source.regenerate {
+            let mut rng = Xoshiro256pp::new(split_seed(config.seed, 0xC0D7E47));
+            let mut cached = Vec::new();
+            let mut total = 0u64;
+            for net in &source.nets {
+                source.generate_net_tuples(net, &mut rng, &mut |u, ctx| {
+                    total += ctx.len() as u64;
+                    cached.push((u, ctx));
+                });
+            }
+            source.cached = cached;
+            source.cached_pairs = total;
+        } else {
+            // Estimate for the lr schedule: every member yields ≈ L pairs.
+            source.cached_pairs = source
+                .nets
+                .iter()
+                .map(|n| n.len() as u64)
+                .sum::<u64>()
+                * (source.local_len + source.global_len) as u64;
+        }
+        source
+    }
+
+    /// Generates all tuples of one network, emitting `(global_u, global
+    /// context)`.
+    fn generate_net_tuples(
+        &self,
+        net: &PropagationNetwork,
+        rng: &mut Xoshiro256pp,
+        emit: &mut dyn FnMut(u32, Vec<u32>),
+    ) {
+        if net.len() < 2 {
+            return;
+        }
+        for u in 0..net.len() as u32 {
+            let ctx = generate_context(net, u, self.local_len, self.global_len, self.restart, rng);
+            if ctx.is_empty() {
+                continue;
+            }
+            let global_ctx: Vec<u32> = ctx.iter().map(|&v| net.global(v).0).collect();
+            emit(net.global(u).0, global_ctx);
+        }
+    }
+
+    /// Number of `(u, C)` tuples in the cached corpus (0 in regenerate
+    /// mode).
+    pub fn tuple_count(&self) -> usize {
+        self.cached.len()
+    }
+
+    /// Per-node counts of appearing as a context member, for the negative-
+    /// sampling distribution. In regenerate mode this derives counts from
+    /// episode membership (the expectation of the sampling process).
+    pub fn context_target_counts(&self, n_nodes: usize) -> Vec<u64> {
+        let mut counts = vec![0u64; n_nodes];
+        if self.regenerate {
+            for net in &self.nets {
+                for &u in net.nodes() {
+                    counts[u.index()] += 1;
+                }
+            }
+        } else {
+            for (_, ctx) in &self.cached {
+                for &v in ctx {
+                    counts[v as usize] += 1;
+                }
+            }
+        }
+        counts
+    }
+
+    /// The underlying propagation networks.
+    pub fn nets(&self) -> &[PropagationNetwork] {
+        &self.nets
+    }
+}
+
+impl PairSource for InfluenceContextSource {
+    fn for_each_pair(
+        &self,
+        epoch: usize,
+        shard: usize,
+        n_shards: usize,
+        rng: &mut Xoshiro256pp,
+        f: &mut dyn FnMut(u32, u32),
+    ) {
+        if self.regenerate {
+            // Fresh contexts each epoch: walk this shard's networks with an
+            // epoch-specific stream (independent of the trainer's rng so the
+            // corpus is identical regardless of thread count).
+            let mut gen_rng =
+                Xoshiro256pp::new(split_seed(self.seed, 0x9E0 ^ ((epoch as u64) << 8 | shard as u64)));
+            for i in (shard..self.nets.len()).step_by(n_shards) {
+                self.generate_net_tuples(&self.nets[i], &mut gen_rng, &mut |u, ctx| {
+                    for v in ctx {
+                        f(u, v);
+                    }
+                });
+            }
+        } else {
+            let mut idx: Vec<u32> = (shard..self.cached.len())
+                .step_by(n_shards)
+                .map(|i| i as u32)
+                .collect();
+            rng.shuffle(&mut idx);
+            for i in idx {
+                let (u, ctx) = &self.cached[i as usize];
+                for &v in ctx {
+                    f(*u, v);
+                }
+            }
+        }
+    }
+
+    fn pairs_per_epoch(&self) -> u64 {
+        self.cached_pairs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inf2vec_diffusion::synth::{generate, SyntheticConfig};
+    use inf2vec_diffusion::PropagationNetwork;
+
+    fn nets() -> (Vec<PropagationNetwork>, u32) {
+        let s = generate(&SyntheticConfig::tiny(), 3);
+        let n = s.dataset.graph.node_count();
+        let nets = s
+            .dataset
+            .log
+            .episodes()
+            .iter()
+            .take(20)
+            .map(|e| PropagationNetwork::build(&s.dataset.graph, e))
+            .collect();
+        (nets, n)
+    }
+
+    #[test]
+    fn cached_corpus_has_tuples_and_pairs() {
+        let (nets, n) = nets();
+        let cfg = Inf2vecConfig {
+            l: 20,
+            ..Inf2vecConfig::default()
+        };
+        let src = InfluenceContextSource::new(nets, &cfg);
+        assert!(src.tuple_count() > 0);
+        assert!(src.pairs_per_epoch() > 0);
+
+        let mut seen_pairs = 0u64;
+        let mut rng = Xoshiro256pp::new(1);
+        src.for_each_pair(0, 0, 1, &mut rng, &mut |u, v| {
+            assert!(u < n && v < n);
+            seen_pairs += 1;
+        });
+        assert_eq!(seen_pairs, src.pairs_per_epoch());
+    }
+
+    #[test]
+    fn sharding_partitions_pairs() {
+        let (nets, _) = nets();
+        let cfg = Inf2vecConfig {
+            l: 10,
+            ..Inf2vecConfig::default()
+        };
+        let src = InfluenceContextSource::new(nets, &cfg);
+        let count_shard = |shard, n_shards| {
+            let mut c = 0u64;
+            let mut rng = Xoshiro256pp::new(2);
+            src.for_each_pair(0, shard, n_shards, &mut rng, &mut |_, _| c += 1);
+            c
+        };
+        let total = count_shard(0, 1);
+        assert_eq!(total, count_shard(0, 2) + count_shard(1, 2));
+    }
+
+    #[test]
+    fn target_counts_match_context_occurrences() {
+        let (nets, n) = nets();
+        let cfg = Inf2vecConfig {
+            l: 10,
+            ..Inf2vecConfig::default()
+        };
+        let src = InfluenceContextSource::new(nets, &cfg);
+        let counts = src.context_target_counts(n as usize);
+        assert_eq!(counts.iter().sum::<u64>(), src.pairs_per_epoch());
+    }
+
+    #[test]
+    fn regenerate_mode_differs_across_epochs_but_not_runs() {
+        let (nets, _) = nets();
+        let cfg = Inf2vecConfig {
+            l: 10,
+            regenerate_contexts: true,
+            ..Inf2vecConfig::default()
+        };
+        let src = InfluenceContextSource::new(nets, &cfg);
+        let collect = |epoch| {
+            let mut pairs = Vec::new();
+            let mut rng = Xoshiro256pp::new(3);
+            src.for_each_pair(epoch, 0, 1, &mut rng, &mut |u, v| pairs.push((u, v)));
+            pairs
+        };
+        assert_eq!(collect(0), collect(0), "same epoch must replay identically");
+        assert_ne!(collect(0), collect(1), "epochs should differ");
+    }
+
+    #[test]
+    fn alpha_one_contexts_follow_dag() {
+        // Inf2vec-L: every emitted pair must be a (possibly high-order)
+        // influence-pair descendant, which in particular means u != v.
+        let (nets, _) = nets();
+        let cfg = Inf2vecConfig {
+            l: 10,
+            ..Inf2vecConfig::default()
+        }
+        .inf2vec_l();
+        let src = InfluenceContextSource::new(nets, &cfg);
+        let mut rng = Xoshiro256pp::new(4);
+        src.for_each_pair(0, 0, 1, &mut rng, &mut |u, v| {
+            assert_ne!(u, v, "walk produced a self-pair");
+        });
+    }
+}

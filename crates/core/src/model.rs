@@ -1,0 +1,273 @@
+//! The trained Inf2vec model.
+
+use std::io::{BufRead, Write};
+
+use inf2vec_embed::EmbeddingStore;
+use inf2vec_eval::score::RepresentationModel;
+use inf2vec_eval::Aggregator;
+use inf2vec_graph::NodeId;
+use inf2vec_util::TopK;
+
+/// A trained social-influence embedding (Definition 2's outputs).
+#[derive(Debug, Clone)]
+pub struct Inf2vecModel {
+    /// The learned parameters: `S`, `T`, `b`, `b̃`.
+    pub store: EmbeddingStore,
+}
+
+impl Inf2vecModel {
+    /// Wraps a trained store.
+    pub fn new(store: EmbeddingStore) -> Self {
+        Self { store }
+    }
+
+    /// The pair score `x(u, v) = S_u · T_v + b_u + b̃_v`.
+    #[inline]
+    pub fn score(&self, u: NodeId, v: NodeId) -> f32 {
+        self.store.score(u.0, v.0)
+    }
+
+    /// Eq. 7: the likelihood that `v` is influenced by the active set
+    /// `s_v` (in activation order), merged by `agg`.
+    pub fn likelihood(&self, v: NodeId, s_v: &[NodeId], agg: Aggregator) -> f64 {
+        let xs: Vec<f64> = s_v.iter().map(|&u| self.score(u, v) as f64).collect();
+        agg.apply(&xs)
+    }
+
+    /// The `k` users most likely to be influenced by `u` (excluding `u`),
+    /// by pair score — the Table VI "predicted followers" query.
+    pub fn top_influenced(&self, u: NodeId, k: usize) -> Vec<(NodeId, f32)> {
+        let mut top = TopK::new(k);
+        for v in 0..self.store.len() as u32 {
+            if v != u.0 {
+                top.push(self.store.score(u.0, v) as f64, v);
+            }
+        }
+        top.into_sorted()
+            .into_iter()
+            .map(|(s, v)| (NodeId(v), s as f32))
+            .collect()
+    }
+
+    /// The `k` most influential users by influence-ability bias `b_u`
+    /// (ties broken by source-vector norm) — a cheap seed-selection
+    /// heuristic; prefer [`top_spreaders`](Self::top_spreaders) when the
+    /// graph is available.
+    pub fn top_influencers(&self, k: usize) -> Vec<(NodeId, f32)> {
+        let mut top = TopK::new(k);
+        for u in 0..self.store.len() as u32 {
+            let norm: f32 = self.store.s(u).iter().map(|x| x * x).sum::<f32>().sqrt();
+            top.push(self.store.b(u) as f64 + 1e-6 * norm as f64, u);
+        }
+        top.into_sorted()
+            .into_iter()
+            .map(|(s, u)| (NodeId(u), s as f32))
+            .collect()
+    }
+
+    /// Expected one-hop spread of `u`: `Σ_{v ∈ out(u)} σ(x(u, v))` — the
+    /// model's estimate of how many direct followers `u` would activate.
+    pub fn expected_spread(&self, graph: &inf2vec_graph::DiGraph, u: NodeId) -> f64 {
+        graph
+            .out_neighbors(u)
+            .iter()
+            .map(|&v| {
+                let x = self.store.score(u.0, v);
+                1.0 / (1.0 + (-x as f64).exp())
+            })
+            .sum()
+    }
+
+    /// The `k` best seed users by [`expected_spread`](Self::expected_spread)
+    /// — the viral-marketing seed-selection query the paper's introduction
+    /// motivates.
+    pub fn top_spreaders(
+        &self,
+        graph: &inf2vec_graph::DiGraph,
+        k: usize,
+    ) -> Vec<(NodeId, f64)> {
+        let mut top = TopK::new(k);
+        for u in graph.nodes() {
+            top.push(self.expected_spread(graph, u), u);
+        }
+        top.into_sorted()
+            .into_iter()
+            .map(|(s, u)| (u, s))
+            .collect()
+    }
+
+    /// Converts the learned scores into per-edge IC probabilities
+    /// `P_uv = σ(x(u, v))` over the graph's edges, ready for cascade
+    /// simulation or influence maximization
+    /// ([`inf2vec_diffusion::im::celf_greedy`]).
+    ///
+    /// SGNS scores are only *rank*-calibrated; if you know the network's
+    /// global per-exposure activation rate (influence pairs ÷ exposures in
+    /// the training log), prefer
+    /// [`edge_probs_calibrated`](Self::edge_probs_calibrated).
+    pub fn edge_probs(&self, graph: &inf2vec_graph::DiGraph) -> inf2vec_diffusion::EdgeProbs {
+        inf2vec_diffusion::EdgeProbs::from_fn(graph, |u, v| {
+            let x = self.store.score(u.0, v.0);
+            (1.0 / (1.0 + (-x as f64).exp())) as f32
+        })
+    }
+
+    /// Like [`edge_probs`](Self::edge_probs), but rescaled so the mean edge
+    /// probability equals `mean_prob` (clamping at 1). Ranking is
+    /// preserved; the absolute scale becomes meaningful for cascade
+    /// simulation.
+    pub fn edge_probs_calibrated(
+        &self,
+        graph: &inf2vec_graph::DiGraph,
+        mean_prob: f64,
+    ) -> inf2vec_diffusion::EdgeProbs {
+        assert!((0.0..=1.0).contains(&mean_prob), "mean_prob out of range");
+        let raw = self.edge_probs(graph);
+        let m = graph.edge_count();
+        if m == 0 {
+            return raw;
+        }
+        let mean_raw: f64 =
+            raw.as_slice().iter().map(|&p| p as f64).sum::<f64>() / m as f64;
+        let scale = if mean_raw > 0.0 {
+            mean_prob / mean_raw
+        } else {
+            0.0
+        };
+        inf2vec_diffusion::EdgeProbs::from_vec(
+            graph,
+            raw.as_slice()
+                .iter()
+                .map(|&p| ((p as f64 * scale).min(1.0)) as f32)
+                .collect(),
+        )
+    }
+
+    /// Serializes the model (text format, see [`EmbeddingStore::save`]).
+    pub fn save<W: Write>(&self, w: W) -> std::io::Result<()> {
+        self.store.save(w)
+    }
+
+    /// Loads a model saved by [`save`](Self::save).
+    pub fn load<R: BufRead>(r: R) -> std::io::Result<Self> {
+        Ok(Self {
+            store: EmbeddingStore::load(r)?,
+        })
+    }
+}
+
+impl RepresentationModel for Inf2vecModel {
+    fn pair_score(&self, u: NodeId, v: NodeId) -> f64 {
+        self.score(u, v) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model_with_scores() -> Inf2vecModel {
+        let store = EmbeddingStore::new(4, 2, 1);
+        // Make node 0 strongly predictive of node 2.
+        unsafe {
+            store.source.row_mut(0).copy_from_slice(&[1.0, 0.0]);
+            store.target.row_mut(2).copy_from_slice(&[5.0, 0.0]);
+            store.bias_src.row_mut(3)[0] = 2.0;
+        }
+        Inf2vecModel::new(store)
+    }
+
+    #[test]
+    fn likelihood_aggregates_pair_scores() {
+        let m = model_with_scores();
+        let v = NodeId(2);
+        let ave = m.likelihood(v, &[NodeId(0), NodeId(1)], Aggregator::Ave);
+        let max = m.likelihood(v, &[NodeId(0), NodeId(1)], Aggregator::Max);
+        assert!(max >= ave);
+        assert!((max - m.score(NodeId(0), v) as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn top_influenced_excludes_self_and_ranks() {
+        let m = model_with_scores();
+        let top = m.top_influenced(NodeId(0), 3);
+        assert_eq!(top.len(), 3);
+        assert!(top.iter().all(|&(v, _)| v != NodeId(0)));
+        assert_eq!(top[0].0, NodeId(2), "node 2 should rank first");
+    }
+
+    #[test]
+    fn expected_spread_and_top_spreaders() {
+        use inf2vec_graph::GraphBuilder;
+        let m = model_with_scores();
+        let mut b = GraphBuilder::with_nodes(4);
+        b.add_edge(NodeId(0), NodeId(2));
+        b.add_edge(NodeId(1), NodeId(2));
+        let g = b.build();
+        // Node 0 scores node 2 highly (x = 5), node 1 does not.
+        let s0 = m.expected_spread(&g, NodeId(0));
+        let s1 = m.expected_spread(&g, NodeId(1));
+        assert!(s0 > s1, "{s0} vs {s1}");
+        let top = m.top_spreaders(&g, 2);
+        assert_eq!(top[0].0, NodeId(0));
+        // Sinks have zero expected spread.
+        assert_eq!(m.expected_spread(&g, NodeId(3)), 0.0);
+    }
+
+    #[test]
+    fn top_influencers_prefers_bias() {
+        let m = model_with_scores();
+        let top = m.top_influencers(2);
+        assert_eq!(top[0].0, NodeId(3));
+    }
+
+    #[test]
+    fn edge_probs_are_probabilities_and_monotone_in_score() {
+        use inf2vec_graph::GraphBuilder;
+        let m = model_with_scores();
+        let mut b = GraphBuilder::with_nodes(4);
+        b.add_edge(NodeId(0), NodeId(2)); // x = 5 -> p ≈ 0.993
+        b.add_edge(NodeId(1), NodeId(2)); // x ≈ 0 -> p ≈ 0.5
+        let g = b.build();
+        let probs = m.edge_probs(&g);
+        let p_strong = probs.get(&g, NodeId(0), NodeId(2));
+        let p_weak = probs.get(&g, NodeId(1), NodeId(2));
+        assert!(p_strong > 0.9 && p_strong <= 1.0);
+        assert!(p_weak > 0.0 && p_weak < 1.0);
+        assert!(p_strong > p_weak);
+    }
+
+    #[test]
+    fn calibrated_probs_hit_target_mean_and_preserve_ranking() {
+        use inf2vec_graph::GraphBuilder;
+        let m = model_with_scores();
+        let mut b = GraphBuilder::with_nodes(4);
+        b.add_edge(NodeId(0), NodeId(2));
+        b.add_edge(NodeId(1), NodeId(2));
+        b.add_edge(NodeId(3), NodeId(1));
+        let g = b.build();
+        let target = 0.05;
+        let probs = m.edge_probs_calibrated(&g, target);
+        let mean: f64 = probs.as_slice().iter().map(|&p| p as f64).sum::<f64>()
+            / g.edge_count() as f64;
+        assert!((mean - target).abs() < 1e-6, "mean {mean}");
+        // Ranking preserved vs the raw conversion.
+        let raw = m.edge_probs(&g);
+        let cal = probs.as_slice();
+        let r = raw.as_slice();
+        for i in 0..cal.len() {
+            for j in 0..cal.len() {
+                assert_eq!(r[i] < r[j], cal[i] < cal[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let m = model_with_scores();
+        let mut buf = Vec::new();
+        m.save(&mut buf).unwrap();
+        let l = Inf2vecModel::load(buf.as_slice()).unwrap();
+        assert_eq!(l.score(NodeId(0), NodeId(2)), m.score(NodeId(0), NodeId(2)));
+    }
+}

@@ -1,0 +1,384 @@
+//! Algorithm 2: the Inf2vec training pipeline.
+
+use inf2vec_diffusion::{Dataset, PropagationNetwork};
+use inf2vec_embed::sgns::{FlatPairs, SgnsConfig, SgnsTrainer, TrainReport};
+use inf2vec_embed::{EmbeddingStore, NegativeTable};
+use inf2vec_util::rng::split_seed;
+
+use crate::config::Inf2vecConfig;
+use crate::corpus::InfluenceContextSource;
+use crate::model::Inf2vecModel;
+
+/// Trains Inf2vec on the training episodes of `dataset` (Algorithm 2).
+///
+/// `train_idx` selects the training episodes (from [`Dataset::split`]);
+/// pass `0..n` to train on everything.
+pub fn train(dataset: &Dataset, train_idx: &[usize], config: &Inf2vecConfig) -> Inf2vecModel {
+    config.validate();
+    // Lines 3-4: extract the propagation network of every episode.
+    let nets: Vec<PropagationNetwork> = train_idx
+        .iter()
+        .map(|&i| PropagationNetwork::build(&dataset.graph, &dataset.log.episodes()[i]))
+        .collect();
+    train_on_networks(dataset.graph.node_count() as usize, nets, config).0
+}
+
+/// Trains from pre-built propagation networks; returns the model and the
+/// SGNS report (exposed for the efficiency benches).
+pub fn train_on_networks(
+    n_nodes: usize,
+    nets: Vec<PropagationNetwork>,
+    config: &Inf2vecConfig,
+) -> (Inf2vecModel, TrainReport) {
+    config.validate();
+    // Lines 5-8: generate the influence contexts.
+    let source = InfluenceContextSource::new(nets, config);
+    // Negative sampling over the context-target distribution (unigram^0.75).
+    let negatives = NegativeTable::from_counts(&source.context_target_counts(n_nodes));
+    run_sgns(n_nodes, &source, &negatives, config)
+}
+
+/// Trains directly on first-order influence pairs, skipping Algorithm 1.
+///
+/// This is the setting of the Table VI citation case study ("we only
+/// exploit first-order social influence pairs") and of the paper's
+/// efficiency footnote (same input as Emb-IC).
+pub fn train_on_pairs(
+    n_nodes: usize,
+    pairs: &[(u32, u32)],
+    config: &Inf2vecConfig,
+) -> Inf2vecModel {
+    config.validate();
+    let source = FlatPairs::new(pairs.to_vec());
+    // Uniform negatives (the paper: "we randomly generate several negative
+    // instances"). A unigram^0.75 table — word2vec's default, used by the
+    // full pipeline — is counterproductive here: first-order pair lists
+    // concentrate on few frequent targets, and frequency-weighted negatives
+    // would cancel exactly the popularity signal the conformity bias should
+    // capture.
+    let negatives = NegativeTable::uniform(n_nodes as u32);
+    run_sgns(n_nodes, &source, &negatives, config).0
+}
+
+/// Continues training an existing model on additional episodes (online
+/// updates as fresh diffusion data arrives — beyond the paper, which
+/// trains in one batch).
+///
+/// The model's parameters are updated in place from the new episodes'
+/// influence contexts; dimension `K` comes from the model, everything else
+/// from `config`.
+///
+/// # Panics
+///
+/// Panics if the model was trained over a different node universe or
+/// `config.k` disagrees with the model's dimension.
+pub fn train_incremental(
+    model: &mut Inf2vecModel,
+    dataset: &Dataset,
+    episode_idx: &[usize],
+    config: &Inf2vecConfig,
+) -> TrainReport {
+    config.validate();
+    assert_eq!(
+        model.store.len(),
+        dataset.graph.node_count() as usize,
+        "model/node-universe mismatch"
+    );
+    assert_eq!(config.k, model.store.k(), "config K disagrees with the model");
+    let nets: Vec<PropagationNetwork> = episode_idx
+        .iter()
+        .map(|&i| PropagationNetwork::build(&dataset.graph, &dataset.log.episodes()[i]))
+        .collect();
+    let source = InfluenceContextSource::new(nets, config);
+    let negatives =
+        NegativeTable::from_counts(&source.context_target_counts(model.store.len()));
+    let trainer = SgnsTrainer::new(SgnsConfig {
+        negatives: config.negatives,
+        lr: config.lr,
+        lr_min: config.lr,
+        epochs: config.epochs,
+        threads: config.threads,
+        seed: split_seed(config.seed, 0x263),
+    });
+    trainer.train(&model.store, &source, &negatives)
+}
+
+/// Selects the component weight α on the tuning split, mirroring the
+/// paper's §V-A2 procedure ("based on the empirical study on tuning set,
+/// we set the default component weight α = 0.1").
+///
+/// Trains one model per candidate α and returns the candidate with the
+/// best tuning-set activation-prediction MAP (ties: first candidate).
+///
+/// # Panics
+///
+/// Panics if `candidates` is empty.
+pub fn select_alpha(
+    dataset: &Dataset,
+    train_idx: &[usize],
+    tune_idx: &[usize],
+    candidates: &[f64],
+    config: &Inf2vecConfig,
+) -> (f64, f64) {
+    assert!(!candidates.is_empty(), "need at least one candidate alpha");
+    let task = inf2vec_eval::activation::ActivationTask::build(
+        &dataset.graph,
+        tune_idx.iter().map(|&i| &dataset.log.episodes()[i]),
+    );
+    let mut best = (candidates[0], f64::NEG_INFINITY);
+    for &alpha in candidates {
+        let mut cfg = config.clone();
+        cfg.alpha = alpha;
+        cfg.validate();
+        let model = train(dataset, train_idx, &cfg);
+        let metrics = task.evaluate(&inf2vec_eval::ScoringModel::Representation(
+            &model,
+            inf2vec_eval::Aggregator::Ave,
+        ));
+        if metrics.map > best.1 {
+            best = (alpha, metrics.map);
+        }
+    }
+    best
+}
+
+fn run_sgns(
+    n_nodes: usize,
+    source: &dyn inf2vec_embed::sgns::PairSource,
+    negatives: &NegativeTable,
+    config: &Inf2vecConfig,
+) -> (Inf2vecModel, TrainReport) {
+    // Line 1: initialize S, T ~ U[-1/K, 1/K], biases 0.
+    let mut store = EmbeddingStore::new(n_nodes, config.k, split_seed(config.seed, 0x171));
+    store.use_bias = config.use_bias;
+    // Lines 9-17: SGD with negative sampling until convergence.
+    let trainer = SgnsTrainer::new(SgnsConfig {
+        negatives: config.negatives,
+        lr: config.lr,
+        lr_min: config.lr,
+        epochs: config.epochs,
+        threads: config.threads,
+        seed: split_seed(config.seed, 0x262),
+    });
+    let report = trainer.train(&store, source, negatives);
+    (Inf2vecModel::new(store), report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inf2vec_diffusion::pairs::pair_frequencies;
+    use inf2vec_diffusion::synth::{generate, SyntheticConfig};
+    use inf2vec_graph::NodeId;
+
+    fn tiny_setup() -> (Dataset, Vec<usize>) {
+        let s = generate(&SyntheticConfig::tiny(), 11);
+        let n = s.dataset.log.len();
+        (s.dataset, (0..n).collect())
+    }
+
+    /// Training should make observed influence pairs score higher than
+    /// random pairs — the core claim of the representation model.
+    #[test]
+    fn observed_pairs_outrank_random_pairs() {
+        let (dataset, idx) = tiny_setup();
+        let config = Inf2vecConfig {
+            k: 16,
+            l: 20,
+            epochs: 8,
+            lr: 0.02,
+            seed: 1,
+            ..Inf2vecConfig::default()
+        };
+        let model = train(&dataset, &idx, &config);
+
+        let freq = pair_frequencies(&dataset.graph, dataset.log.episodes());
+        let mut observed = 0.0f64;
+        let mut n_obs = 0usize;
+        for (&(u, v), &c) in freq.iter() {
+            if c >= 1 {
+                observed += model.score(NodeId(u), NodeId(v)) as f64;
+                n_obs += 1;
+            }
+        }
+        let observed = observed / n_obs as f64;
+
+        let mut rng = inf2vec_util::Xoshiro256pp::new(99);
+        let n = dataset.graph.node_count() as u64;
+        let mut random = 0.0f64;
+        let trials = 2000;
+        for _ in 0..trials {
+            let u = rng.below(n) as u32;
+            let v = rng.below(n) as u32;
+            random += model.score(NodeId(u), NodeId(v)) as f64;
+        }
+        let random = random / trials as f64;
+        assert!(
+            observed > random + 0.1,
+            "observed pairs {observed:.4} vs random {random:.4}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (dataset, idx) = tiny_setup();
+        let config = Inf2vecConfig {
+            k: 8,
+            l: 10,
+            epochs: 2,
+            seed: 5,
+            ..Inf2vecConfig::default()
+        };
+        let m1 = train(&dataset, &idx[..20], &config);
+        let m2 = train(&dataset, &idx[..20], &config);
+        assert_eq!(m1.store.source.to_vec(), m2.store.source.to_vec());
+        let m3 = train(
+            &dataset,
+            &idx[..20],
+            &Inf2vecConfig {
+                seed: 6,
+                ..config.clone()
+            },
+        );
+        assert_ne!(m1.store.source.to_vec(), m3.store.source.to_vec());
+    }
+
+    #[test]
+    fn pairs_only_training_learns_direction() {
+        // Pairs all point 0 -> 1..4 inside a 40-node vocabulary (the extra
+        // nodes exist so negative sampling has true negatives to draw);
+        // score(0, x) should beat score(x, 0) after training.
+        let mut pairs = Vec::new();
+        for v in 1..5u32 {
+            for _ in 0..100 {
+                pairs.push((0u32, v));
+            }
+        }
+        let config = Inf2vecConfig {
+            k: 8,
+            epochs: 10,
+            lr: 0.05,
+            seed: 2,
+            ..Inf2vecConfig::default()
+        };
+        let model = train_on_pairs(40, &pairs, &config);
+        // True targets must outrank non-targets for the same source (the
+        // absolute score level is arbitrary under negative sampling).
+        let target: f32 = (1..5).map(|v| model.score(NodeId(0), NodeId(v))).sum::<f32>() / 4.0;
+        let other: f32 =
+            (5..40).map(|v| model.score(NodeId(0), NodeId(v))).sum::<f32>() / 35.0;
+        assert!(
+            target > other + 0.5,
+            "targets {target} vs non-targets {other}"
+        );
+    }
+
+    #[test]
+    fn inf2vec_l_variant_trains() {
+        let (dataset, idx) = tiny_setup();
+        let config = Inf2vecConfig {
+            k: 8,
+            l: 10,
+            epochs: 2,
+            seed: 3,
+            ..Inf2vecConfig::default()
+        }
+        .inf2vec_l();
+        let model = train(&dataset, &idx[..20], &config);
+        assert_eq!(model.store.k(), 8);
+    }
+
+    #[test]
+    fn incremental_training_moves_parameters_and_helps() {
+        let (dataset, idx) = tiny_setup();
+        let config = Inf2vecConfig {
+            k: 16,
+            l: 15,
+            epochs: 4,
+            lr: 0.02,
+            seed: 8,
+            ..Inf2vecConfig::default()
+        };
+        // Train on the first half, continue on the second half.
+        let half = idx.len() / 2;
+        let mut model = train(&dataset, &idx[..half], &config);
+        let before = model.store.source.to_vec();
+        let report = train_incremental(&mut model, &dataset, &idx[half..], &config);
+        assert!(report.pairs_processed > 0);
+        assert_ne!(model.store.source.to_vec(), before, "no parameter movement");
+
+        // The updated model knows pairs that only occur in the second half.
+        let freq_new = pair_frequencies(
+            &dataset.graph,
+            idx[half..].iter().map(|&i| &dataset.log.episodes()[i]),
+        );
+        let mut rng = inf2vec_util::Xoshiro256pp::new(3);
+        let n = dataset.graph.node_count() as u64;
+        let mean_new: f64 = freq_new
+            .keys()
+            .map(|&(u, v)| model.score(NodeId(u), NodeId(v)) as f64)
+            .sum::<f64>()
+            / freq_new.len().max(1) as f64;
+        let mean_rand: f64 = (0..2000)
+            .map(|_| {
+                model.score(
+                    NodeId(rng.below(n) as u32),
+                    NodeId(rng.below(n) as u32),
+                ) as f64
+            })
+            .sum::<f64>()
+            / 2000.0;
+        assert!(
+            mean_new > mean_rand,
+            "new-episode pairs {mean_new:.4} not above random {mean_rand:.4}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "config K disagrees")]
+    fn incremental_rejects_dimension_mismatch() {
+        let (dataset, idx) = tiny_setup();
+        let config = Inf2vecConfig {
+            k: 8,
+            l: 5,
+            epochs: 1,
+            ..Inf2vecConfig::default()
+        };
+        let mut model = train(&dataset, &idx[..5], &config);
+        let bad = Inf2vecConfig {
+            k: 16,
+            ..config.clone()
+        };
+        let _ = train_incremental(&mut model, &dataset, &idx[5..6], &bad);
+    }
+
+    #[test]
+    fn alpha_selection_runs_and_returns_candidate() {
+        let (dataset, idx) = tiny_setup();
+        let split_at = (idx.len() * 8) / 10;
+        let (train_idx, tune_idx) = idx.split_at(split_at);
+        let config = Inf2vecConfig {
+            k: 8,
+            l: 10,
+            epochs: 2,
+            seed: 12,
+            ..Inf2vecConfig::default()
+        };
+        let candidates = [0.1, 1.0];
+        let (alpha, map) = select_alpha(&dataset, train_idx, tune_idx, &candidates, &config);
+        assert!(candidates.contains(&alpha));
+        assert!((0.0..=1.0).contains(&map));
+    }
+
+    #[test]
+    fn empty_training_set_yields_initialized_model() {
+        let (dataset, _) = tiny_setup();
+        let config = Inf2vecConfig {
+            k: 8,
+            epochs: 1,
+            ..Inf2vecConfig::default()
+        };
+        let model = train(&dataset, &[], &config);
+        assert_eq!(model.store.len(), dataset.graph.node_count() as usize);
+    }
+}

@@ -1,0 +1,201 @@
+//! Actions, diffusion episodes, and the action log.
+
+use inf2vec_graph::NodeId;
+use inf2vec_util::hash::fx_hashmap;
+
+/// An item (story, photo, paper, …) identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ItemId(pub u32);
+
+impl ItemId {
+    /// The raw index as `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for ItemId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "i{}", self.0)
+    }
+}
+
+/// One record of the action log: user `user` adopted item `item` at `time`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Action {
+    /// Acting user.
+    pub user: NodeId,
+    /// Adopted item.
+    pub item: ItemId,
+    /// Adoption timestamp. Only the order matters; ties are broken by the
+    /// record order within an episode.
+    pub time: u64,
+}
+
+/// A diffusion episode `D_i`: the chronological adoptions of one item.
+///
+/// Invariants (enforced by [`Episode::new`]): activations are sorted by
+/// time (stable) and each user appears at most once.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Episode {
+    /// The item this episode diffuses.
+    pub item: ItemId,
+    activations: Vec<(NodeId, u64)>,
+}
+
+impl Episode {
+    /// Builds an episode, sorting by time and keeping each user's *first*
+    /// adoption (later duplicates are dropped — re-votes carry no extra
+    /// influence signal under the paper's model).
+    pub fn new(item: ItemId, mut activations: Vec<(NodeId, u64)>) -> Self {
+        activations.sort_by_key(|&(_, t)| t);
+        let mut seen = inf2vec_util::hash::fx_hashset_with_capacity(activations.len());
+        activations.retain(|&(u, _)| seen.insert(u));
+        Self { item, activations }
+    }
+
+    /// The activations in chronological order.
+    #[inline]
+    pub fn activations(&self) -> &[(NodeId, u64)] {
+        &self.activations
+    }
+
+    /// Number of adopting users.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.activations.len()
+    }
+
+    /// True when nobody adopted the item.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.activations.is_empty()
+    }
+
+    /// Iterator over adopting users in chronological order.
+    pub fn users(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.activations.iter().map(|&(u, _)| u)
+    }
+
+    /// The adoption time of `u`, if `u` adopted.
+    pub fn time_of(&self, u: NodeId) -> Option<u64> {
+        self.activations
+            .iter()
+            .find(|&&(x, _)| x == u)
+            .map(|&(_, t)| t)
+    }
+}
+
+/// The full action log: one episode per item.
+#[derive(Debug, Clone, Default)]
+pub struct ActionLog {
+    episodes: Vec<Episode>,
+}
+
+impl ActionLog {
+    /// Groups raw actions into per-item episodes. Items with no actions are
+    /// absent; episodes appear in ascending item order.
+    pub fn from_actions(actions: &[Action]) -> Self {
+        let mut by_item = fx_hashmap::<ItemId, Vec<(NodeId, u64)>>();
+        for a in actions {
+            by_item.entry(a.item).or_default().push((a.user, a.time));
+        }
+        let mut items: Vec<ItemId> = by_item.keys().copied().collect();
+        items.sort_unstable();
+        let episodes = items
+            .into_iter()
+            .map(|item| Episode::new(item, by_item.remove(&item).expect("key present")))
+            .collect();
+        Self { episodes }
+    }
+
+    /// Wraps pre-built episodes.
+    pub fn from_episodes(episodes: Vec<Episode>) -> Self {
+        Self { episodes }
+    }
+
+    /// All episodes.
+    #[inline]
+    pub fn episodes(&self) -> &[Episode] {
+        &self.episodes
+    }
+
+    /// Number of episodes (= items with at least one action).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.episodes.len()
+    }
+
+    /// True when there are no episodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.episodes.is_empty()
+    }
+
+    /// Total number of actions across episodes.
+    pub fn action_count(&self) -> usize {
+        self.episodes.iter().map(Episode::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn episode_sorts_and_dedups() {
+        let e = Episode::new(
+            ItemId(0),
+            vec![(n(3), 30), (n(1), 10), (n(3), 5), (n(2), 20)],
+        );
+        // User 3's first adoption is at t=5, so it leads.
+        let users: Vec<u32> = e.users().map(|u| u.0).collect();
+        assert_eq!(users, vec![3, 1, 2]);
+        assert_eq!(e.time_of(n(3)), Some(5));
+        assert_eq!(e.time_of(n(9)), None);
+    }
+
+    #[test]
+    fn log_groups_by_item() {
+        let actions = vec![
+            Action { user: n(0), item: ItemId(1), time: 5 },
+            Action { user: n(1), item: ItemId(0), time: 1 },
+            Action { user: n(2), item: ItemId(1), time: 2 },
+        ];
+        let log = ActionLog::from_actions(&actions);
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.episodes()[0].item, ItemId(0));
+        assert_eq!(log.episodes()[1].item, ItemId(1));
+        assert_eq!(log.action_count(), 3);
+        let users: Vec<u32> = log.episodes()[1].users().map(|u| u.0).collect();
+        assert_eq!(users, vec![2, 0]);
+    }
+
+    #[test]
+    fn empty_log() {
+        let log = ActionLog::from_actions(&[]);
+        assert!(log.is_empty());
+        assert_eq!(log.action_count(), 0);
+    }
+
+    proptest! {
+        /// Episode invariants: chronological order, unique users, and
+        /// the user set equals the distinct users of the input.
+        #[test]
+        fn proptest_episode_invariants(raw in prop::collection::vec((0u32..30, 0u64..100), 0..80)) {
+            let e = Episode::new(ItemId(0), raw.iter().map(|&(u, t)| (n(u), t)).collect());
+            let acts = e.activations();
+            prop_assert!(acts.windows(2).all(|w| w[0].1 <= w[1].1));
+            let users: std::collections::BTreeSet<u32> = e.users().map(|u| u.0).collect();
+            prop_assert_eq!(users.len(), acts.len());
+            let expect: std::collections::BTreeSet<u32> = raw.iter().map(|&(u, _)| u).collect();
+            prop_assert_eq!(users, expect);
+        }
+    }
+}

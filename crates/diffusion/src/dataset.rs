@@ -1,0 +1,244 @@
+//! The graph + action-log bundle and its train/tune/test split.
+
+use std::io::{BufRead, Write};
+
+use inf2vec_graph::{DiGraph, NodeId};
+use inf2vec_util::rng::Xoshiro256pp;
+
+use crate::action::{ActionLog, Episode, ItemId};
+
+/// A social network together with its action log.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// The social graph; edge `(u, v)` means u can influence v.
+    pub graph: DiGraph,
+    /// The action log, one episode per item.
+    pub log: ActionLog,
+    /// Human-readable dataset name ("digg-like", …) for reports.
+    pub name: String,
+}
+
+/// Episode indices for an 80/10/10-style split.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatasetSplit {
+    /// Training episode indices.
+    pub train: Vec<usize>,
+    /// Tuning (validation) episode indices.
+    pub tune: Vec<usize>,
+    /// Test episode indices.
+    pub test: Vec<usize>,
+}
+
+impl Dataset {
+    /// Creates a dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any episode references a user outside the graph.
+    pub fn new(graph: DiGraph, log: ActionLog, name: impl Into<String>) -> Self {
+        for e in log.episodes() {
+            for u in e.users() {
+                assert!(
+                    u.0 < graph.node_count(),
+                    "episode {} references user {u} outside the graph",
+                    e.item
+                );
+            }
+        }
+        Self {
+            graph,
+            log,
+            name: name.into(),
+        }
+    }
+
+    /// Randomly splits episodes into train/tune/test by the given fractions
+    /// (the paper uses 80%/10%/10%). The remainder after `train + tune`
+    /// becomes test.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < train`, `0 <= tune`, `train + tune < 1`.
+    pub fn split(&self, train: f64, tune: f64, seed: u64) -> DatasetSplit {
+        assert!(train > 0.0 && tune >= 0.0 && train + tune < 1.0, "bad split fractions");
+        let n = self.log.len();
+        let mut idx: Vec<usize> = (0..n).collect();
+        let mut rng = Xoshiro256pp::new(seed);
+        rng.shuffle(&mut idx);
+        let n_train = ((n as f64) * train).round() as usize;
+        let n_tune = ((n as f64) * tune).round() as usize;
+        let n_train = n_train.min(n);
+        let n_tune = n_tune.min(n - n_train);
+        DatasetSplit {
+            train: idx[..n_train].to_vec(),
+            tune: idx[n_train..n_train + n_tune].to_vec(),
+            test: idx[n_train + n_tune..].to_vec(),
+        }
+    }
+
+    /// The episodes selected by `indices`.
+    pub fn episodes_at<'a>(&'a self, indices: &'a [usize]) -> impl Iterator<Item = &'a Episode> {
+        indices.iter().map(move |&i| &self.log.episodes()[i])
+    }
+
+    /// Writes the action log as `user<TAB>item<TAB>time` lines.
+    pub fn write_log<W: Write>(&self, mut w: W) -> std::io::Result<()> {
+        writeln!(w, "# actions: {}", self.log.action_count())?;
+        for e in self.log.episodes() {
+            for &(u, t) in e.activations() {
+                writeln!(w, "{}\t{}\t{}", u.0, e.item.0, t)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Errors raised while parsing an action-log stream.
+#[derive(Debug)]
+pub enum LogIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line that is not `user item time`.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// Offending content.
+        content: String,
+    },
+}
+
+impl std::fmt::Display for LogIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LogIoError::Io(e) => write!(f, "I/O error: {e}"),
+            LogIoError::Malformed { line, content } => {
+                write!(f, "malformed action log at line {line}: {content:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LogIoError {}
+
+impl From<std::io::Error> for LogIoError {
+    fn from(e: std::io::Error) -> Self {
+        LogIoError::Io(e)
+    }
+}
+
+/// Parses an action log written by [`Dataset::write_log`].
+pub fn read_log<R: BufRead>(r: R) -> Result<ActionLog, LogIoError> {
+    let mut actions = Vec::new();
+    for (idx, line) in r.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let fields = (parts.next(), parts.next(), parts.next(), parts.next());
+        let (u, i, t) = match fields {
+            (Some(u), Some(i), Some(t), None) => (u, i, t),
+            _ => {
+                return Err(LogIoError::Malformed {
+                    line: idx + 1,
+                    content: trimmed.to_string(),
+                })
+            }
+        };
+        let mal = || LogIoError::Malformed {
+            line: idx + 1,
+            content: trimmed.to_string(),
+        };
+        actions.push(crate::action::Action {
+            user: NodeId(u.parse().map_err(|_| mal())?),
+            item: ItemId(i.parse().map_err(|_| mal())?),
+            time: t.parse().map_err(|_| mal())?,
+        });
+    }
+    Ok(ActionLog::from_actions(&actions))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::Action;
+    use inf2vec_graph::GraphBuilder;
+
+    fn tiny() -> Dataset {
+        let mut b = GraphBuilder::with_nodes(4);
+        b.add_edge(NodeId(0), NodeId(1));
+        let actions: Vec<Action> = (0..20)
+            .map(|i| Action {
+                user: NodeId(i % 4),
+                item: ItemId(i / 2),
+                time: i as u64,
+            })
+            .collect();
+        Dataset::new(b.build(), ActionLog::from_actions(&actions), "tiny")
+    }
+
+    #[test]
+    fn split_partitions_episodes() {
+        let d = tiny();
+        let s = d.split(0.8, 0.1, 7);
+        let total = s.train.len() + s.tune.len() + s.test.len();
+        assert_eq!(total, d.log.len());
+        let mut all: Vec<usize> = s
+            .train
+            .iter()
+            .chain(&s.tune)
+            .chain(&s.test)
+            .copied()
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..d.log.len()).collect::<Vec<_>>());
+        assert!(!s.test.is_empty());
+    }
+
+    #[test]
+    fn split_deterministic_per_seed() {
+        let d = tiny();
+        assert_eq!(d.split(0.8, 0.1, 1), d.split(0.8, 0.1, 1));
+        assert_ne!(d.split(0.8, 0.1, 1), d.split(0.8, 0.1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "bad split fractions")]
+    fn split_rejects_bad_fractions() {
+        let d = tiny();
+        let _ = d.split(0.9, 0.2, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the graph")]
+    fn dataset_rejects_foreign_users() {
+        let g = GraphBuilder::with_nodes(2).build();
+        let log = ActionLog::from_actions(&[Action {
+            user: NodeId(5),
+            item: ItemId(0),
+            time: 0,
+        }]);
+        let _ = Dataset::new(g, log, "bad");
+    }
+
+    #[test]
+    fn log_io_round_trip() {
+        let d = tiny();
+        let mut buf = Vec::new();
+        d.write_log(&mut buf).unwrap();
+        let log2 = read_log(buf.as_slice()).unwrap();
+        assert_eq!(log2.len(), d.log.len());
+        assert_eq!(log2.action_count(), d.log.action_count());
+        for (a, b) in d.log.episodes().iter().zip(log2.episodes()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn log_io_rejects_garbage() {
+        for bad in ["1 2", "1 2 3 4", "a 2 3", "1 b 3", "1 2 c"] {
+            assert!(read_log(bad.as_bytes()).is_err(), "accepted {bad:?}");
+        }
+    }
+}

@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! Diffusion substrate: action logs, episodes, influence propagation.
+//!
+//! The paper's input is a social graph plus an *action log* `A = {D_i}`:
+//! each item `i` has a diffusion episode `D_i = {(u, t_u^i)}`, the users who
+//! adopted it in chronological order. This crate implements everything the
+//! paper derives from that input:
+//!
+//! - [`action`]: actions, episodes, and the action log.
+//! - [`dataset`]: a graph + episodes bundle with train/tune/test splitting
+//!   and text I/O.
+//! - [`pairs`]: social influence pair extraction (Definition 1).
+//! - [`propnet`]: per-episode influence propagation networks (Definition 3)
+//!   — the DAGs Inf2vec random-walks over.
+//! - [`stats`]: the data observations of §III-A (Table I, Figures 1–3).
+//! - [`ic`] / [`lt`]: Independent Cascade and Linear Threshold simulators,
+//!   used both to *generate* synthetic cascades and to score IC-based
+//!   baselines by Monte-Carlo simulation.
+//! - [`im`]: greedy/CELF influence maximization over learned edge
+//!   probabilities — the viral-marketing application the paper's
+//!   introduction motivates.
+//! - [`synth`]: synthetic Digg-like / Flickr-like dataset generation (see
+//!   DESIGN.md §2 for the substitution argument).
+//! - [`citation`]: the synthetic citation network for the Table VI case
+//!   study.
+
+pub mod action;
+pub mod citation;
+pub mod dataset;
+pub mod ic;
+pub mod im;
+pub mod lt;
+pub mod pairs;
+pub mod propnet;
+pub mod stats;
+pub mod synth;
+
+pub use action::{Action, ActionLog, Episode, ItemId};
+pub use dataset::{Dataset, DatasetSplit};
+pub use ic::EdgeProbs;
+pub use propnet::PropagationNetwork;

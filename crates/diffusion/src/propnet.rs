@@ -1,0 +1,236 @@
+//! Per-episode influence propagation networks (Definition 3).
+//!
+//! For episode `D_i`, the propagation network `G_i = (V_i, E_i)` keeps the
+//! adopting users and exactly the social edges that form influence pairs
+//! (`(u, v) ∈ E` with `t_u < t_v`). The time constraint makes `G_i` a DAG,
+//! and the activation order is a topological order. Inf2vec's local
+//! influence context is a restart walk over this structure (§IV-A).
+
+use inf2vec_graph::walk::WalkGraph;
+use inf2vec_graph::{DiGraph, NodeId};
+use inf2vec_util::hash::fx_hashmap_with_capacity;
+use inf2vec_util::FxHashMap;
+
+use crate::action::{Episode, ItemId};
+
+/// A propagation network with dense local node ids in activation order.
+#[derive(Debug, Clone)]
+pub struct PropagationNetwork {
+    /// The item whose diffusion this network records.
+    pub item: ItemId,
+    /// `local -> global` ids; index order = activation (topological) order.
+    nodes: Vec<NodeId>,
+    /// Local out-adjacency: `adj[u] = children of u`, each in activation
+    /// order (a child always has a larger local id than its parent).
+    adj: Vec<Vec<u32>>,
+    /// Local in-adjacency: `parents[v]` = local ids of v's influencers.
+    parents: Vec<Vec<u32>>,
+    /// Total number of influence-pair edges.
+    edge_count: usize,
+}
+
+impl PropagationNetwork {
+    /// Builds the propagation network of `episode` over `graph`.
+    ///
+    /// Runs in `O(|D| + Σ_v min(d_in(v), |D|))` like pair extraction.
+    pub fn build(graph: &DiGraph, episode: &Episode) -> Self {
+        let acts = episode.activations();
+        let mut local: FxHashMap<u32, u32> = fx_hashmap_with_capacity(acts.len());
+        let mut nodes = Vec::with_capacity(acts.len());
+        for (i, &(u, _)) in acts.iter().enumerate() {
+            local.insert(u.0, i as u32);
+            nodes.push(u);
+        }
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); acts.len()];
+        let mut parents: Vec<Vec<u32>> = vec![Vec::new(); acts.len()];
+        let mut edge_count = 0usize;
+        for (vi, &(v, tv)) in acts.iter().enumerate() {
+            for &u in graph.in_neighbors(v) {
+                if let Some(&ui) = local.get(&u) {
+                    // Strict time order; Episode sorts stably by time, so an
+                    // earlier index with equal time does NOT qualify.
+                    let tu = acts[ui as usize].1;
+                    if tu < tv {
+                        adj[ui as usize].push(vi as u32);
+                        parents[vi].push(ui);
+                        edge_count += 1;
+                    }
+                }
+            }
+        }
+        Self {
+            item: episode.item,
+            nodes,
+            adj,
+            parents,
+            edge_count,
+        }
+    }
+
+    /// Number of nodes (= episode adopters).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the episode had no adopters.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of influence-pair edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Global id of local node `i`.
+    #[inline]
+    pub fn global(&self, i: u32) -> NodeId {
+        self.nodes[i as usize]
+    }
+
+    /// All global node ids in activation (topological) order.
+    #[inline]
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Children (influenced users) of local node `i`.
+    #[inline]
+    pub fn children(&self, i: u32) -> &[u32] {
+        &self.adj[i as usize]
+    }
+
+    /// Parents (influencers) of local node `i`.
+    #[inline]
+    pub fn parents(&self, i: u32) -> &[u32] {
+        &self.parents[i as usize]
+    }
+
+    /// Iterator over edges as local `(parent, child)` pairs.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.adj
+            .iter()
+            .enumerate()
+            .flat_map(|(u, vs)| vs.iter().map(move |&v| (u as u32, v)))
+    }
+}
+
+impl WalkGraph for PropagationNetwork {
+    #[inline]
+    fn neighbors(&self, u: u32) -> &[u32] {
+        &self.adj[u as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pairs::episode_pairs;
+    use inf2vec_graph::GraphBuilder;
+    use proptest::prelude::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    fn figure5() -> (DiGraph, Episode) {
+        let mut b = GraphBuilder::with_nodes(6);
+        for (u, v) in [(4, 5), (2, 3), (4, 1), (3, 1), (5, 2)] {
+            b.add_edge(n(u), n(v));
+        }
+        let e = Episode::new(
+            ItemId(0),
+            vec![(n(4), 0), (n(2), 1), (n(3), 2), (n(5), 3), (n(1), 4)],
+        );
+        (b.build(), e)
+    }
+
+    #[test]
+    fn matches_pair_extraction() {
+        let (g, e) = figure5();
+        let net = PropagationNetwork::build(&g, &e);
+        assert_eq!(net.len(), 5);
+        assert_eq!(net.edge_count(), 4);
+        let mut got: Vec<(u32, u32)> = net
+            .edges()
+            .map(|(u, v)| (net.global(u).0, net.global(v).0))
+            .collect();
+        got.sort_unstable();
+        let mut expect: Vec<(u32, u32)> =
+            episode_pairs(&g, &e).into_iter().map(|(a, b)| (a.0, b.0)).collect();
+        expect.sort_unstable();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn activation_order_is_topological() {
+        let (g, e) = figure5();
+        let net = PropagationNetwork::build(&g, &e);
+        for (u, v) in net.edges() {
+            assert!(u < v, "edge {u}->{v} violates topological order");
+        }
+    }
+
+    #[test]
+    fn parents_mirror_children() {
+        let (g, e) = figure5();
+        let net = PropagationNetwork::build(&g, &e);
+        for (u, v) in net.edges() {
+            assert!(net.parents(v).contains(&u));
+        }
+        let parent_sum: usize = (0..net.len() as u32).map(|v| net.parents(v).len()).sum();
+        assert_eq!(parent_sum, net.edge_count());
+    }
+
+    #[test]
+    fn empty_episode_ok() {
+        let g = GraphBuilder::with_nodes(3).build();
+        let net = PropagationNetwork::build(&g, &Episode::new(ItemId(0), vec![]));
+        assert!(net.is_empty());
+        assert_eq!(net.edge_count(), 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Propagation networks are sub-DAGs of the social graph whose edges
+        /// are exactly the influence pairs, and the local order is
+        /// topological (acyclicity by construction).
+        #[test]
+        fn proptest_definition3(
+            raw_edges in prop::collection::vec((0u32..15, 0u32..15), 0..80),
+            raw_acts in prop::collection::vec((0u32..15, 0u64..30), 0..30),
+        ) {
+            let mut b = GraphBuilder::with_nodes(15);
+            for &(u, v) in &raw_edges {
+                b.add_edge(n(u), n(v));
+            }
+            let g = b.build();
+            let e = Episode::new(ItemId(0), raw_acts.iter().map(|&(u, t)| (n(u), t)).collect());
+            let net = PropagationNetwork::build(&g, &e);
+
+            // V_i ⊂ V and E_i ⊂ E.
+            for &u in net.nodes() {
+                prop_assert!(u.0 < g.node_count());
+            }
+            for (lu, lv) in net.edges() {
+                prop_assert!(lu < lv, "topological order violated");
+                prop_assert!(g.has_edge(net.global(lu), net.global(lv)));
+            }
+
+            // Edge set equals the influence pairs.
+            let mut got: Vec<(u32, u32)> = net
+                .edges()
+                .map(|(u, v)| (net.global(u).0, net.global(v).0))
+                .collect();
+            got.sort_unstable();
+            let mut expect: Vec<(u32, u32)> =
+                episode_pairs(&g, &e).into_iter().map(|(a, b)| (a.0, b.0)).collect();
+            expect.sort_unstable();
+            prop_assert_eq!(got, expect);
+        }
+    }
+}

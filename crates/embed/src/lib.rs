@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! Embedding substrate: parameter stores and skip-gram training.
+//!
+//! Inf2vec, node2vec, and MF all learn per-node latent vectors with
+//! stochastic gradient descent; this crate provides their shared machinery:
+//!
+//! - [`hogwild`]: lock-free shared parameter matrices (`HogwildMatrix`) for
+//!   word2vec-style parallel SGD.
+//! - [`store`]: the `EmbeddingStore` — per-node source/target vectors plus
+//!   the influence-ability and conformity biases of the paper's Definition 2.
+//! - [`negative`]: the unigram^0.75 negative-sampling table of word2vec.
+//! - [`sgns`]: the skip-gram-with-negative-sampling trainer implementing the
+//!   gradient updates of the paper's Eq. 6 over any [`sgns::PairSource`].
+
+pub mod hogwild;
+pub mod negative;
+pub mod sgns;
+pub mod store;
+
+pub use hogwild::HogwildMatrix;
+pub use negative::NegativeTable;
+pub use sgns::{FlatPairs, PairSource, SgnsConfig, SgnsTrainer, TrainReport};
+pub use store::EmbeddingStore;

@@ -1,0 +1,527 @@
+//! Skip-gram with negative sampling (Eq. 4–6 of the paper).
+//!
+//! The trainer maximizes
+//! `log σ(z_v) + Σ_{w∈N} log σ(-z_w)` with `z_x = S_u·T_x + b_u + b̃_x`
+//! for every training pair `(u, v)` delivered by a [`PairSource`], applying
+//! the exact gradient updates of the paper's Eq. 6 with SGD (Eq. 5).
+//!
+//! Training is single-threaded by default (bit-reproducible per seed) and
+//! can fan out Hogwild-style over shards of the pair stream when
+//! `threads > 1`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use inf2vec_util::rng::{split_seed, Xoshiro256pp};
+use rand::RngCore as _;
+use inf2vec_util::SigmoidTable;
+
+use crate::hogwild::dot;
+use crate::negative::NegativeTable;
+use crate::store::EmbeddingStore;
+
+/// A (re-playable) stream of `(center, context)` training pairs.
+///
+/// Implementations deliver pairs shard-by-shard so the trainer can run one
+/// thread per shard; with a single shard the full stream arrives in order.
+pub trait PairSource: Sync {
+    /// Invokes `f(u, v)` for every pair of shard `shard` (of `n_shards`) in
+    /// this epoch. `rng` may be used for per-epoch shuffling or sampling.
+    fn for_each_pair(
+        &self,
+        epoch: usize,
+        shard: usize,
+        n_shards: usize,
+        rng: &mut Xoshiro256pp,
+        f: &mut dyn FnMut(u32, u32),
+    );
+
+    /// Approximate pairs per epoch across all shards (drives the optional
+    /// learning-rate schedule).
+    fn pairs_per_epoch(&self) -> u64;
+}
+
+/// The simplest source: a materialized pair list, shuffled per epoch.
+#[derive(Debug, Clone)]
+pub struct FlatPairs {
+    pairs: Vec<(u32, u32)>,
+}
+
+impl FlatPairs {
+    /// Wraps a pair list.
+    pub fn new(pairs: Vec<(u32, u32)>) -> Self {
+        Self { pairs }
+    }
+
+    /// Number of pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True when there are no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+}
+
+impl PairSource for FlatPairs {
+    fn for_each_pair(
+        &self,
+        _epoch: usize,
+        shard: usize,
+        n_shards: usize,
+        rng: &mut Xoshiro256pp,
+        f: &mut dyn FnMut(u32, u32),
+    ) {
+        let mut idx: Vec<u32> = (shard..self.pairs.len())
+            .step_by(n_shards)
+            .map(|i| i as u32)
+            .collect();
+        rng.shuffle(&mut idx);
+        for i in idx {
+            let (u, v) = self.pairs[i as usize];
+            f(u, v);
+        }
+    }
+
+    fn pairs_per_epoch(&self) -> u64 {
+        self.pairs.len() as u64
+    }
+}
+
+/// SGNS hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct SgnsConfig {
+    /// Number of negative samples per positive pair (paper: 5–10).
+    pub negatives: usize,
+    /// Initial learning rate γ (paper default 0.005).
+    pub lr: f32,
+    /// Floor for the linearly-decayed learning rate. Setting it equal to
+    /// `lr` (the default) keeps the rate constant, matching the paper.
+    pub lr_min: f32,
+    /// Number of passes over the pair stream (the paper reports
+    /// convergence in 10–20 iterations).
+    pub epochs: usize,
+    /// Hogwild worker threads; 1 (default) is deterministic.
+    pub threads: usize,
+    /// RNG seed for shuffling and negative sampling.
+    pub seed: u64,
+}
+
+impl Default for SgnsConfig {
+    fn default() -> Self {
+        Self {
+            negatives: 5,
+            lr: 0.005,
+            lr_min: 0.005,
+            epochs: 15,
+            threads: 1,
+            seed: 0,
+        }
+    }
+}
+
+/// What a training run did.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainReport {
+    /// Total positive pairs processed across all epochs.
+    pub pairs_processed: u64,
+    /// Mean negative log-likelihood per pair over the final epoch.
+    pub final_epoch_loss: f64,
+    /// Epochs run.
+    pub epochs: usize,
+}
+
+/// The skip-gram trainer.
+#[derive(Debug, Clone)]
+pub struct SgnsTrainer {
+    /// Hyper-parameters.
+    pub config: SgnsConfig,
+    sigmoid: SigmoidTable,
+}
+
+impl SgnsTrainer {
+    /// Creates a trainer.
+    pub fn new(config: SgnsConfig) -> Self {
+        assert!(config.epochs > 0, "need at least one epoch");
+        assert!(config.threads >= 1, "need at least one thread");
+        assert!(config.lr > 0.0, "learning rate must be positive");
+        Self {
+            config,
+            sigmoid: SigmoidTable::default(),
+        }
+    }
+
+    /// Trains `store` on `source`'s pairs with negatives from `negatives`.
+    pub fn train(
+        &self,
+        store: &EmbeddingStore,
+        source: &dyn PairSource,
+        negatives: &NegativeTable,
+    ) -> TrainReport {
+        let cfg = &self.config;
+        let total_pairs = (source.pairs_per_epoch() * cfg.epochs as u64).max(1);
+        let progress = AtomicU64::new(0);
+        let mut pairs_processed = 0u64;
+        let mut final_loss = 0.0f64;
+
+        for epoch in 0..cfg.epochs {
+            let epoch_stats: Vec<(u64, f64)> = if cfg.threads == 1 {
+                let mut rng =
+                    Xoshiro256pp::new(split_seed(cfg.seed, 0x5E5 ^ epoch as u64));
+                vec![self.run_shard(store, source, negatives, epoch, 0, 1, &mut rng, &progress, total_pairs)]
+            } else {
+                let mut out = Vec::with_capacity(cfg.threads);
+                crossbeam::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..cfg.threads)
+                        .map(|shard| {
+                            let progress = &progress;
+                            scope.spawn(move |_| {
+                                let mut rng = Xoshiro256pp::new(split_seed(
+                                    cfg.seed,
+                                    (epoch as u64) << 16 | shard as u64,
+                                ));
+                                self.run_shard(
+                                    store, source, negatives, epoch, shard, cfg.threads,
+                                    &mut rng, progress, total_pairs,
+                                )
+                            })
+                        })
+                        .collect();
+                    for h in handles {
+                        out.push(h.join().expect("sgns worker panicked"));
+                    }
+                })
+                .expect("crossbeam scope");
+                out
+            };
+            let epoch_pairs: u64 = epoch_stats.iter().map(|&(p, _)| p).sum();
+            let epoch_loss: f64 = epoch_stats.iter().map(|&(_, l)| l).sum();
+            pairs_processed += epoch_pairs;
+            if epoch == cfg.epochs - 1 {
+                final_loss = if epoch_pairs > 0 {
+                    epoch_loss / epoch_pairs as f64
+                } else {
+                    0.0
+                };
+            }
+        }
+
+        TrainReport {
+            pairs_processed,
+            final_epoch_loss: final_loss,
+            epochs: cfg.epochs,
+        }
+    }
+
+    /// Processes one shard of one epoch; returns `(pairs, summed loss)`.
+    #[allow(clippy::too_many_arguments)]
+    fn run_shard(
+        &self,
+        store: &EmbeddingStore,
+        source: &dyn PairSource,
+        negatives: &NegativeTable,
+        epoch: usize,
+        shard: usize,
+        n_shards: usize,
+        rng: &mut Xoshiro256pp,
+        progress: &AtomicU64,
+        total_pairs: u64,
+    ) -> (u64, f64) {
+        let cfg = &self.config;
+        let k = store.k();
+        let mut grad = vec![0.0f32; k];
+        let mut pairs = 0u64;
+        let mut loss = 0.0f64;
+        let mut local_done = 0u64;
+        // Separate stream for negative sampling: `rng` stays with the
+        // source's shuffling, keeping both deterministic.
+        let mut rng_neg = Xoshiro256pp::new(rng.next_u64());
+
+        source.for_each_pair(epoch, shard, n_shards, rng, &mut |u, v| {
+            // Learning rate: linear decay to lr_min over the whole run
+            // (constant when lr_min == lr, the paper's setting).
+            let lr = if cfg.lr_min >= cfg.lr {
+                cfg.lr
+            } else {
+                let done = progress.load(Ordering::Relaxed) + local_done;
+                let frac = done as f64 / total_pairs as f64;
+                (cfg.lr * (1.0 - frac as f32)).max(cfg.lr_min)
+            };
+            loss += self.update_pair(store, u, v, negatives, lr, &mut rng_neg, &mut grad);
+            pairs += 1;
+            local_done += 1;
+            // Publish progress in batches to keep the atomic cold.
+            if local_done.is_multiple_of(1024) {
+                progress.fetch_add(1024, Ordering::Relaxed);
+                local_done = 0;
+            }
+        });
+        progress.fetch_add(local_done, Ordering::Relaxed);
+        (pairs, loss)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    /// One SGD step on pair `(u, v)` plus `cfg.negatives` sampled negatives;
+    /// returns the pair's negative log-likelihood (Eq. 4).
+    ///
+    /// Implements exactly Eq. 6:
+    /// `∂/∂S_u = (1-σ(z_v))·T_v + Σ_w (-σ(z_w))·T_w`, etc.
+    #[inline]
+    fn update_pair(
+        &self,
+        store: &EmbeddingStore,
+        u: u32,
+        v: u32,
+        negatives: &NegativeTable,
+        lr: f32,
+        rng: &mut Xoshiro256pp,
+        grad: &mut [f32],
+    ) -> f64 {
+        let use_bias = store.use_bias;
+        grad.fill(0.0);
+        let mut bias_grad = 0.0f32;
+        let mut loss = 0.0f64;
+
+        // SAFETY (all row_mut calls below): source/target/bias matrices are
+        // distinct allocations, and within each matrix we hold at most one
+        // row borrow at a time on this thread. Cross-thread races fall under
+        // the Hogwild contract documented in `hogwild`.
+        unsafe {
+            let su: &mut [f32] = store.source.row_mut(u as usize);
+            let b_u = if use_bias {
+                store.bias_src.row(u as usize)[0]
+            } else {
+                0.0
+            };
+
+            // Positive example v.
+            {
+                let tv: &mut [f32] = store.target.row_mut(v as usize);
+                let b_v = if use_bias {
+                    store.bias_tgt.row(v as usize)[0]
+                } else {
+                    0.0
+                };
+                let z = dot(su, tv) + b_u + b_v;
+                let sig = self.sigmoid.get(z);
+                let g = 1.0 - sig; // ∂logσ(z)/∂z
+                for (gi, ti) in grad.iter_mut().zip(tv.iter()) {
+                    *gi += g * ti;
+                }
+                for (ti, si) in tv.iter_mut().zip(su.iter()) {
+                    *ti += lr * g * si;
+                }
+                if use_bias {
+                    store.bias_tgt.row_mut(v as usize)[0] += lr * g;
+                }
+                bias_grad += g;
+                loss -= (sig.max(1e-7) as f64).ln();
+            }
+
+            // Negative examples.
+            for _ in 0..self.config.negatives {
+                let w = negatives.sample_excluding(u, v, rng);
+                let tw: &mut [f32] = store.target.row_mut(w as usize);
+                let b_w = if use_bias {
+                    store.bias_tgt.row(w as usize)[0]
+                } else {
+                    0.0
+                };
+                let z = dot(su, tw) + b_u + b_w;
+                let sig = self.sigmoid.get(z);
+                let g = -sig; // ∂logσ(-z)/∂z
+                for (gi, ti) in grad.iter_mut().zip(tw.iter()) {
+                    *gi += g * ti;
+                }
+                for (ti, si) in tw.iter_mut().zip(su.iter()) {
+                    *ti += lr * g * si;
+                }
+                if use_bias {
+                    store.bias_tgt.row_mut(w as usize)[0] += lr * g;
+                }
+                bias_grad += g;
+                loss -= ((1.0 - sig).max(1e-7) as f64).ln();
+            }
+
+            // Apply the accumulated center-word gradient.
+            for (si, gi) in su.iter_mut().zip(grad.iter()) {
+                *si += lr * gi;
+            }
+            if use_bias {
+                store.bias_src.row_mut(u as usize)[0] += lr * bias_grad;
+            }
+        }
+        loss
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two "communities" of nodes; pairs always link nodes in the same
+    /// community. After training, same-community scores should beat
+    /// cross-community scores.
+    fn community_pairs() -> Vec<(u32, u32)> {
+        let mut pairs = Vec::new();
+        for rep in 0..200u32 {
+            for a in 0..4u32 {
+                for b in 0..4u32 {
+                    if a != b {
+                        pairs.push((a, b)); // community {0..3}
+                        pairs.push((4 + a, 4 + b)); // community {4..7}
+                    }
+                }
+            }
+            let _ = rep;
+        }
+        pairs
+    }
+
+    #[test]
+    fn learns_community_structure() {
+        let store = EmbeddingStore::new(8, 16, 1);
+        let negs = NegativeTable::uniform(8);
+        let trainer = SgnsTrainer::new(SgnsConfig {
+            epochs: 5,
+            lr: 0.05,
+            lr_min: 0.05,
+            negatives: 4,
+            threads: 1,
+            seed: 2,
+        });
+        let source = FlatPairs::new(community_pairs());
+        let report = trainer.train(&store, &source, &negs);
+        assert_eq!(report.epochs, 5);
+        assert_eq!(
+            report.pairs_processed,
+            source.pairs_per_epoch() * 5
+        );
+
+        let mut same = 0.0f32;
+        let mut cross = 0.0f32;
+        let mut ns = 0;
+        let mut nc = 0;
+        for a in 0..8u32 {
+            for b in 0..8u32 {
+                if a == b {
+                    continue;
+                }
+                if (a < 4) == (b < 4) {
+                    same += store.score(a, b);
+                    ns += 1;
+                } else {
+                    cross += store.score(a, b);
+                    nc += 1;
+                }
+            }
+        }
+        let (same, cross) = (same / ns as f32, cross / nc as f32);
+        assert!(
+            same > cross + 0.5,
+            "same-community {same} not above cross {cross}"
+        );
+    }
+
+    #[test]
+    fn loss_decreases_with_training() {
+        let source = FlatPairs::new(community_pairs());
+        let negs = NegativeTable::uniform(8);
+        let loss_after = |epochs: usize| {
+            let store = EmbeddingStore::new(8, 16, 3);
+            let trainer = SgnsTrainer::new(SgnsConfig {
+                epochs,
+                lr: 0.05,
+                lr_min: 0.05,
+                negatives: 4,
+                threads: 1,
+                seed: 4,
+            });
+            trainer.train(&store, &source, &negs).final_epoch_loss
+        };
+        let early = loss_after(1);
+        let late = loss_after(6);
+        assert!(
+            late < early,
+            "loss did not decrease: epoch1 {early} vs epoch6 {late}"
+        );
+    }
+
+    #[test]
+    fn deterministic_single_thread() {
+        let run = || {
+            let store = EmbeddingStore::new(8, 8, 5);
+            let trainer = SgnsTrainer::new(SgnsConfig::default());
+            let source = FlatPairs::new(community_pairs());
+            let negs = NegativeTable::uniform(8);
+            trainer.train(&store, &source, &negs);
+            store.source.to_vec()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn multithreaded_training_works() {
+        let store = EmbeddingStore::new(8, 8, 6);
+        let trainer = SgnsTrainer::new(SgnsConfig {
+            threads: 2,
+            epochs: 2,
+            ..SgnsConfig::default()
+        });
+        let source = FlatPairs::new(community_pairs());
+        let negs = NegativeTable::uniform(8);
+        let report = trainer.train(&store, &source, &negs);
+        assert_eq!(report.pairs_processed, source.pairs_per_epoch() * 2);
+        assert!(report.final_epoch_loss.is_finite());
+    }
+
+    #[test]
+    fn lr_decay_path_executes() {
+        let store = EmbeddingStore::new(8, 8, 7);
+        let trainer = SgnsTrainer::new(SgnsConfig {
+            lr: 0.05,
+            lr_min: 0.001,
+            epochs: 3,
+            ..SgnsConfig::default()
+        });
+        let source = FlatPairs::new(community_pairs());
+        let negs = NegativeTable::uniform(8);
+        let report = trainer.train(&store, &source, &negs);
+        assert!(report.final_epoch_loss.is_finite());
+    }
+
+    #[test]
+    fn empty_source_is_a_noop() {
+        let store = EmbeddingStore::new(4, 4, 8);
+        let before = store.source.to_vec();
+        let trainer = SgnsTrainer::new(SgnsConfig::default());
+        let source = FlatPairs::new(vec![]);
+        let negs = NegativeTable::uniform(4);
+        let report = trainer.train(&store, &source, &negs);
+        assert_eq!(report.pairs_processed, 0);
+        assert_eq!(store.source.to_vec(), before);
+    }
+
+    #[test]
+    fn bias_disabled_keeps_biases_zero() {
+        let mut store = EmbeddingStore::new(8, 8, 9);
+        store.use_bias = false;
+        let trainer = SgnsTrainer::new(SgnsConfig::default());
+        let source = FlatPairs::new(community_pairs());
+        let negs = NegativeTable::uniform(8);
+        trainer.train(&store, &source, &negs);
+        assert!(store.bias_src.to_vec().iter().all(|&x| x == 0.0));
+        assert!(store.bias_tgt.to_vec().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn bias_enabled_moves_biases() {
+        let store = EmbeddingStore::new(8, 8, 10);
+        let trainer = SgnsTrainer::new(SgnsConfig::default());
+        // Node 0 is a frequent source: its b should drift.
+        let source = FlatPairs::new(vec![(0, 1); 500]);
+        let negs = NegativeTable::uniform(8);
+        trainer.train(&store, &source, &negs);
+        assert!(store.bias_src.to_vec()[0] != 0.0);
+    }
+}

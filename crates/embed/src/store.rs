@@ -1,0 +1,274 @@
+//! The embedding parameter store of Definition 2.
+//!
+//! Every user `u` owns four learned quantities: a source vector `S_u ∈ R^K`
+//! (capability to influence), a target vector `T_u ∈ R^K` (tendency to be
+//! influenced), an influence-ability bias `b_u`, and a conformity bias
+//! `b̃_u`. The propagation score is `x(u, v) = S_u · T_v + b_u + b̃_v`
+//! (Eq. 3's logit / Eq. 7's per-pair likelihood).
+
+use std::io::{BufRead, Write};
+
+use inf2vec_util::rng::Xoshiro256pp;
+
+use crate::hogwild::{dot, HogwildMatrix};
+
+/// Per-node source/target embeddings and biases.
+#[derive(Debug, Clone)]
+pub struct EmbeddingStore {
+    /// Source matrix `S` (n × k).
+    pub source: HogwildMatrix,
+    /// Target matrix `T` (n × k).
+    pub target: HogwildMatrix,
+    /// Influence-ability biases `b` (n × 1).
+    pub bias_src: HogwildMatrix,
+    /// Conformity biases `b̃` (n × 1).
+    pub bias_tgt: HogwildMatrix,
+    /// Whether biases participate in scores and receive gradients (the
+    /// paper's model has them; the ablation bench turns them off).
+    pub use_bias: bool,
+}
+
+impl EmbeddingStore {
+    /// Initializes per Algorithm 2 line 1: `S, T ~ U[-1/K, 1/K]`, biases 0.
+    pub fn new(n: usize, k: usize, seed: u64) -> Self {
+        assert!(k > 0, "dimension must be positive");
+        assert!(n > 0, "need at least one node");
+        let mut rng = Xoshiro256pp::new(seed);
+        let scale = 1.0 / k as f32;
+        Self {
+            source: HogwildMatrix::uniform(n, k, scale, &mut rng),
+            target: HogwildMatrix::uniform(n, k, scale, &mut rng),
+            bias_src: HogwildMatrix::zeros(n, 1),
+            bias_tgt: HogwildMatrix::zeros(n, 1),
+            use_bias: true,
+        }
+    }
+
+    /// Embedding dimension K.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k_internal()
+    }
+
+    #[inline]
+    fn k_internal(&self) -> usize {
+        self.source.cols()
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.source.rows()
+    }
+
+    /// Always false (constructor rejects empty stores).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Source vector `S_u`.
+    #[inline]
+    pub fn s(&self, u: u32) -> &[f32] {
+        self.source.row(u as usize)
+    }
+
+    /// Target vector `T_v`.
+    #[inline]
+    pub fn t(&self, v: u32) -> &[f32] {
+        self.target.row(v as usize)
+    }
+
+    /// Influence-ability bias `b_u` (0 when biases are disabled).
+    #[inline]
+    pub fn b(&self, u: u32) -> f32 {
+        if self.use_bias {
+            self.bias_src.row(u as usize)[0]
+        } else {
+            0.0
+        }
+    }
+
+    /// Conformity bias `b̃_v` (0 when biases are disabled).
+    #[inline]
+    pub fn b_tilde(&self, v: u32) -> f32 {
+        if self.use_bias {
+            self.bias_tgt.row(v as usize)[0]
+        } else {
+            0.0
+        }
+    }
+
+    /// The propagation score `x(u, v) = S_u · T_v + b_u + b̃_v`.
+    #[inline]
+    pub fn score(&self, u: u32, v: u32) -> f32 {
+        dot(self.s(u), self.t(v)) + self.b(u) + self.b_tilde(v)
+    }
+
+    /// Concatenated `[S_u ; T_u]` representation, as used for the t-SNE
+    /// visualization (§V-B3).
+    pub fn concat(&self, u: u32) -> Vec<f32> {
+        let mut out = Vec::with_capacity(2 * self.k());
+        out.extend_from_slice(self.s(u));
+        out.extend_from_slice(self.t(u));
+        out
+    }
+
+    /// Writes the store as text: a header line `n k use_bias`, then one
+    /// line per node: `S... T... b b̃`.
+    pub fn save<W: Write>(&self, mut w: W) -> std::io::Result<()> {
+        writeln!(w, "{} {} {}", self.len(), self.k(), u8::from(self.use_bias))?;
+        let mut line = String::new();
+        for u in 0..self.len() as u32 {
+            line.clear();
+            for x in self.s(u) {
+                line.push_str(&format!("{x} "));
+            }
+            for x in self.t(u) {
+                line.push_str(&format!("{x} "));
+            }
+            line.push_str(&format!(
+                "{} {}",
+                self.bias_src.row(u as usize)[0],
+                self.bias_tgt.row(u as usize)[0]
+            ));
+            writeln!(w, "{line}")?;
+        }
+        Ok(())
+    }
+
+    /// Reads a store written by [`save`](Self::save).
+    pub fn load<R: BufRead>(mut r: R) -> std::io::Result<Self> {
+        let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+        let mut header = String::new();
+        r.read_line(&mut header)?;
+        let mut parts = header.split_whitespace();
+        let n: usize = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad("missing n"))?;
+        let k: usize = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad("missing k"))?;
+        let use_bias: u8 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad("missing bias flag"))?;
+        if n == 0 || k == 0 {
+            return Err(bad("empty store"));
+        }
+
+        let mut store = Self::new(n, k, 0);
+        store.use_bias = use_bias != 0;
+        let mut line = String::new();
+        for u in 0..n {
+            line.clear();
+            if r.read_line(&mut line)? == 0 {
+                return Err(bad("truncated store"));
+            }
+            let mut vals = line.split_whitespace().map(|s| s.parse::<f32>());
+            // SAFETY: exclusive &mut self here; no concurrent access.
+            unsafe {
+                for slot in store.source.row_mut(u) {
+                    *slot = vals.next().ok_or_else(|| bad("short row"))?.map_err(|_| bad("bad float"))?;
+                }
+                for slot in store.target.row_mut(u) {
+                    *slot = vals.next().ok_or_else(|| bad("short row"))?.map_err(|_| bad("bad float"))?;
+                }
+                store.bias_src.row_mut(u)[0] =
+                    vals.next().ok_or_else(|| bad("short row"))?.map_err(|_| bad("bad float"))?;
+                store.bias_tgt.row_mut(u)[0] =
+                    vals.next().ok_or_else(|| bad("short row"))?.map_err(|_| bad("bad float"))?;
+            }
+            if vals.next().is_some() {
+                return Err(bad("overlong row"));
+            }
+        }
+        Ok(store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_matches_paper() {
+        let s = EmbeddingStore::new(10, 8, 1);
+        assert_eq!(s.k(), 8);
+        assert_eq!(s.len(), 10);
+        let bound = 1.0 / 8.0 + 1e-6;
+        for u in 0..10u32 {
+            assert!(s.s(u).iter().all(|x| x.abs() <= bound));
+            assert!(s.t(u).iter().all(|x| x.abs() <= bound));
+            assert_eq!(s.b(u), 0.0);
+            assert_eq!(s.b_tilde(u), 0.0);
+        }
+    }
+
+    #[test]
+    fn score_includes_biases() {
+        let mut s = EmbeddingStore::new(2, 2, 3);
+        unsafe {
+            s.source.row_mut(0).copy_from_slice(&[1.0, 2.0]);
+            s.target.row_mut(1).copy_from_slice(&[3.0, 4.0]);
+            s.bias_src.row_mut(0)[0] = 0.5;
+            s.bias_tgt.row_mut(1)[0] = 0.25;
+        }
+        assert!((s.score(0, 1) - (11.0 + 0.75)).abs() < 1e-6);
+        s.use_bias = false;
+        assert!((s.score(0, 1) - 11.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn concat_is_s_then_t() {
+        let s = EmbeddingStore::new(3, 2, 5);
+        let c = s.concat(1);
+        assert_eq!(&c[..2], s.s(1));
+        assert_eq!(&c[2..], s.t(1));
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let s = EmbeddingStore::new(4, 3, 7);
+        unsafe {
+            s.bias_src.row_mut(2)[0] = -1.5;
+        }
+        let mut buf = Vec::new();
+        s.save(&mut buf).unwrap();
+        let l = EmbeddingStore::load(buf.as_slice()).unwrap();
+        assert_eq!(l.len(), 4);
+        assert_eq!(l.k(), 3);
+        assert_eq!(l.use_bias, s.use_bias);
+        for u in 0..4u32 {
+            assert_eq!(l.s(u), s.s(u));
+            assert_eq!(l.t(u), s.t(u));
+        }
+        assert_eq!(l.bias_src.row(2)[0], -1.5);
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        for bad in ["", "2 0 1\n", "abc\n", "2 2 1\n1 2 3 4 5 6\n"] {
+            assert!(
+                EmbeddingStore::load(bad.as_bytes()).is_err(),
+                "accepted {bad:?}"
+            );
+        }
+        // Truncated body.
+        let partial = "2 2 1\n1 2 3 4 0 0\n";
+        assert!(EmbeddingStore::load(partial.as_bytes()).is_err());
+        // Overlong row.
+        let long = "1 1 1\n1 2 0 0 9\n";
+        assert!(EmbeddingStore::load(long.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn deterministic_init_per_seed() {
+        let a = EmbeddingStore::new(5, 4, 9);
+        let b = EmbeddingStore::new(5, 4, 9);
+        let c = EmbeddingStore::new(5, 4, 10);
+        assert_eq!(a.source.to_vec(), b.source.to_vec());
+        assert_ne!(a.source.to_vec(), c.source.to_vec());
+    }
+}

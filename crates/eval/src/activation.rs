@@ -1,0 +1,296 @@
+//! Activation prediction (§V-B1), following Goyal et al.'s replay protocol.
+//!
+//! For each test episode we replay adoptions in order and collect *candidate
+//! users* — users with at least one activated friend. A candidate is a
+//! **positive** when it is itself activated later in the episode (i.e. it is
+//! the target of an influence pair); users who adopt before any of their
+//! friends never become candidates (they were already active) and are
+//! excluded. Every candidate is scored from its activated in-neighbors
+//! `S_v`: representation models via Eq. 7, IC models via Eq. 8, and the
+//! resulting rankings feed AUC/MAP/P@N.
+
+use inf2vec_diffusion::Episode;
+use inf2vec_graph::{DiGraph, NodeId};
+use inf2vec_util::hash::fx_hashmap_with_capacity;
+use inf2vec_util::FxHashMap;
+
+use crate::metrics::{evaluate, EpisodeRanking, RankingMetrics};
+use crate::score::ScoringModel;
+
+/// One scored candidate: the user, its activated in-neighbors in activation
+/// order, and the ground-truth label.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// The candidate user.
+    pub user: NodeId,
+    /// Activated in-neighbors (influencer set `S_v`), activation order.
+    pub active_parents: Vec<NodeId>,
+    /// True when the user was activated after ≥1 friend (influence-pair
+    /// target).
+    pub label: bool,
+}
+
+/// The materialized activation-prediction task over a set of test episodes.
+#[derive(Debug, Clone, Default)]
+pub struct ActivationTask {
+    /// Candidates grouped per episode.
+    pub episodes: Vec<Vec<Candidate>>,
+}
+
+impl ActivationTask {
+    /// Builds the task from test episodes.
+    pub fn build<'a, I: IntoIterator<Item = &'a Episode>>(graph: &DiGraph, episodes: I) -> Self {
+        let mut out = Vec::new();
+        for e in episodes {
+            let acts = e.activations();
+            let times: FxHashMap<u32, u64> =
+                acts.iter().map(|&(u, t)| (u.0, t)).collect();
+
+            let mut candidates = Vec::new();
+            // Positives: adopters with at least one earlier-activated friend.
+            for &(v, tv) in acts {
+                let parents = active_in_neighbors(graph, &times, v, Some(tv));
+                if !parents.is_empty() {
+                    candidates.push(Candidate {
+                        user: v,
+                        active_parents: parents,
+                        label: true,
+                    });
+                }
+            }
+            // Negatives: non-adopters with at least one adopting friend.
+            let mut seen = fx_hashmap_with_capacity::<u32, ()>(acts.len() * 4);
+            for &(u, _) in acts {
+                for &v in graph.out_neighbors(u) {
+                    if times.contains_key(&v) || seen.contains_key(&v) {
+                        continue;
+                    }
+                    seen.insert(v, ());
+                    let parents = active_in_neighbors(graph, &times, NodeId(v), None);
+                    debug_assert!(!parents.is_empty());
+                    candidates.push(Candidate {
+                        user: NodeId(v),
+                        active_parents: parents,
+                        label: false,
+                    });
+                }
+            }
+            if !candidates.is_empty() {
+                out.push(candidates);
+            }
+        }
+        Self { episodes: out }
+    }
+
+    /// Total candidates across episodes.
+    pub fn candidate_count(&self) -> usize {
+        self.episodes.iter().map(Vec::len).sum()
+    }
+
+    /// Total positive candidates.
+    pub fn positive_count(&self) -> usize {
+        self.episodes
+            .iter()
+            .flatten()
+            .filter(|c| c.label)
+            .count()
+    }
+
+    /// Scores every candidate with `model` and computes the metric bundle.
+    pub fn evaluate(&self, model: &ScoringModel<'_>) -> RankingMetrics {
+        let rankings: Vec<EpisodeRanking> = self
+            .episodes
+            .iter()
+            .map(|candidates| {
+                let mut r = EpisodeRanking::default();
+                for c in candidates {
+                    r.push(model.score_given_active(c.user, &c.active_parents), c.label);
+                }
+                r
+            })
+            .collect();
+        evaluate(&rankings)
+    }
+}
+
+/// `v`'s in-neighbors that adopted (before `cutoff`, when given), in
+/// adoption order.
+fn active_in_neighbors(
+    graph: &DiGraph,
+    times: &FxHashMap<u32, u64>,
+    v: NodeId,
+    cutoff: Option<u64>,
+) -> Vec<NodeId> {
+    let mut parents: Vec<(u64, u32)> = graph
+        .in_neighbors(v)
+        .iter()
+        .filter_map(|&u| {
+            times.get(&u).and_then(|&tu| match cutoff {
+                Some(tv) if tu >= tv => None,
+                _ => Some((tu, u)),
+            })
+        })
+        .collect();
+    parents.sort_unstable();
+    parents.into_iter().map(|(_, u)| NodeId(u)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::Aggregator;
+    use crate::score::RepresentationModel;
+    use inf2vec_diffusion::ItemId;
+    use inf2vec_graph::GraphBuilder;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    /// Graph: 0 -> 1 -> 2, 0 -> 3. Episode: 0 then 1. So:
+    /// - positive candidate: 1 (parent 0)
+    /// - negative candidates: 2 (parent 1), 3 (parent 0)
+    /// - 0 itself: adopted with no prior active friend -> excluded.
+    fn fixture() -> (DiGraph, Episode) {
+        let mut b = GraphBuilder::with_nodes(4);
+        b.add_edge(n(0), n(1));
+        b.add_edge(n(1), n(2));
+        b.add_edge(n(0), n(3));
+        (
+            b.build(),
+            Episode::new(ItemId(0), vec![(n(0), 0), (n(1), 1)]),
+        )
+    }
+
+    #[test]
+    fn candidate_construction() {
+        let (g, e) = fixture();
+        let task = ActivationTask::build(&g, [&e].into_iter().cloned().collect::<Vec<_>>().iter());
+        assert_eq!(task.episodes.len(), 1);
+        let cands = &task.episodes[0];
+        assert_eq!(cands.len(), 3);
+        assert_eq!(task.positive_count(), 1);
+        let by_user: FxHashMap<u32, &Candidate> =
+            cands.iter().map(|c| (c.user.0, c)).collect();
+        assert!(by_user[&1].label);
+        assert_eq!(by_user[&1].active_parents, vec![n(0)]);
+        assert!(!by_user[&2].label);
+        assert_eq!(by_user[&2].active_parents, vec![n(1)]);
+        assert!(!by_user[&3].label);
+        assert!(!by_user.contains_key(&0), "spontaneous adopter excluded");
+    }
+
+    struct Oracle;
+    impl RepresentationModel for Oracle {
+        fn pair_score(&self, u: NodeId, v: NodeId) -> f64 {
+            // Give the true pair (0 -> 1) the top score.
+            if u == n(0) && v == n(1) {
+                10.0
+            } else {
+                0.0
+            }
+        }
+    }
+
+    struct AntiOracle;
+    impl RepresentationModel for AntiOracle {
+        fn pair_score(&self, u: NodeId, v: NodeId) -> f64 {
+            -Oracle.pair_score(u, v)
+        }
+    }
+
+    #[test]
+    fn oracle_scores_perfectly() {
+        let (g, e) = fixture();
+        let task = ActivationTask::build(&g, std::iter::once(&e));
+        let m = task.evaluate(&ScoringModel::Representation(&Oracle, Aggregator::Ave));
+        assert!((m.auc - 1.0).abs() < 1e-12);
+        assert!((m.map - 1.0).abs() < 1e-12);
+        let m = task.evaluate(&ScoringModel::Representation(&AntiOracle, Aggregator::Ave));
+        assert!(m.auc < 0.5);
+    }
+
+    #[test]
+    fn empty_episodes_yield_empty_task() {
+        let g = GraphBuilder::with_nodes(2).build();
+        let e = Episode::new(ItemId(0), vec![]);
+        let task = ActivationTask::build(&g, std::iter::once(&e));
+        assert_eq!(task.candidate_count(), 0);
+    }
+
+    mod proptests {
+        use super::*;
+        use inf2vec_graph::GraphBuilder;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            /// Task invariants on arbitrary graph/episode combinations:
+            /// every candidate has at least one active parent; positives
+            /// are exactly the influence-pair targets; spontaneous
+            /// adopters never appear; negatives never adopted.
+            #[test]
+            fn proptest_task_construction(
+                raw_edges in prop::collection::vec((0u32..15, 0u32..15), 0..80),
+                raw_acts in prop::collection::vec((0u32..15, 0u64..40), 0..25),
+            ) {
+                let mut b = GraphBuilder::with_nodes(15);
+                for &(u, v) in &raw_edges {
+                    b.add_edge(NodeId(u), NodeId(v));
+                }
+                let g = b.build();
+                let e = Episode::new(
+                    ItemId(0),
+                    raw_acts.iter().map(|&(u, t)| (NodeId(u), t)).collect(),
+                );
+                let adopters: FxHashMap<u32, u64> =
+                    e.activations().iter().map(|&(u, t)| (u.0, t)).collect();
+                let task = ActivationTask::build(&g, std::iter::once(&e));
+
+                let mut expected_positives = 0usize;
+                for &(v, tv) in e.activations() {
+                    let influenced = g
+                        .in_neighbors(v)
+                        .iter()
+                        .any(|&u| adopters.get(&u).is_some_and(|&tu| tu < tv));
+                    if influenced {
+                        expected_positives += 1;
+                    }
+                }
+                prop_assert_eq!(task.positive_count(), expected_positives);
+
+                for c in task.episodes.iter().flatten() {
+                    prop_assert!(!c.active_parents.is_empty());
+                    for &p in &c.active_parents {
+                        prop_assert!(adopters.contains_key(&p.0));
+                        prop_assert!(g.has_edge(p, c.user));
+                    }
+                    if c.label {
+                        // Positive: adopted, with a strictly earlier parent.
+                        let tv = adopters[&c.user.0];
+                        prop_assert!(c
+                            .active_parents
+                            .iter()
+                            .all(|&p| adopters[&p.0] < tv));
+                    } else {
+                        prop_assert!(!adopters.contains_key(&c.user.0));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ties_within_episode_handled() {
+        // Two users adopt at the same timestamp: neither influences the
+        // other, so with no other edges there are no positives.
+        let mut b = GraphBuilder::with_nodes(2);
+        b.add_edge(n(0), n(1));
+        b.add_edge(n(1), n(0));
+        let g = b.build();
+        let e = Episode::new(ItemId(0), vec![(n(0), 5), (n(1), 5)]);
+        let task = ActivationTask::build(&g, std::iter::once(&e));
+        assert_eq!(task.positive_count(), 0);
+    }
+}

@@ -1,0 +1,104 @@
+//! Aggregation functions of Eq. 7.
+//!
+//! A candidate user `v` may be influenced by several active users `S_v`;
+//! representation models merge the per-pair scores `x(u, v)` with one of
+//! four aggregators. Table V compares them; `Ave` is the paper's default.
+
+/// How per-pair scores are merged into one activation likelihood.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Aggregator {
+    /// Arithmetic mean of all pair scores (paper default).
+    Ave,
+    /// Sum of all pair scores.
+    Sum,
+    /// Maximum pair score.
+    Max,
+    /// The score of the most recently activated influencer.
+    Latest,
+}
+
+impl Aggregator {
+    /// All four variants, in the paper's Table V order.
+    pub const ALL: [Aggregator; 4] = [
+        Aggregator::Ave,
+        Aggregator::Sum,
+        Aggregator::Max,
+        Aggregator::Latest,
+    ];
+
+    /// Applies the aggregation to scores ordered by influencer activation
+    /// time (`Latest` takes the last element). Returns `f64::NEG_INFINITY`
+    /// for an empty slice (no possible influencer ranks below everything).
+    pub fn apply(self, xs: &[f64]) -> f64 {
+        if xs.is_empty() {
+            return f64::NEG_INFINITY;
+        }
+        match self {
+            Aggregator::Ave => xs.iter().sum::<f64>() / xs.len() as f64,
+            Aggregator::Sum => xs.iter().sum(),
+            Aggregator::Max => xs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            Aggregator::Latest => xs[xs.len() - 1],
+        }
+    }
+
+    /// The paper's name for this aggregator.
+    pub fn name(self) -> &'static str {
+        match self {
+            Aggregator::Ave => "Ave",
+            Aggregator::Sum => "Sum",
+            Aggregator::Max => "Max",
+            Aggregator::Latest => "Latest",
+        }
+    }
+}
+
+impl std::fmt::Display for Aggregator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn all_four_match_definitions() {
+        let xs = [1.0, 3.0, 2.0];
+        assert!((Aggregator::Ave.apply(&xs) - 2.0).abs() < 1e-12);
+        assert!((Aggregator::Sum.apply(&xs) - 6.0).abs() < 1e-12);
+        assert!((Aggregator::Max.apply(&xs) - 3.0).abs() < 1e-12);
+        assert!((Aggregator::Latest.apply(&xs) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input_is_bottom() {
+        for a in Aggregator::ALL {
+            assert_eq!(a.apply(&[]), f64::NEG_INFINITY);
+        }
+    }
+
+    #[test]
+    fn single_element_all_agree() {
+        for a in Aggregator::ALL {
+            assert_eq!(a.apply(&[4.2]), 4.2);
+        }
+    }
+
+    proptest! {
+        /// Ave and Latest are bounded by Max; Max is bounded by Sum only for
+        /// nonnegative inputs.
+        #[test]
+        fn proptest_order_relations(xs in prop::collection::vec(-10.0f64..10.0, 1..20)) {
+            let max = Aggregator::Max.apply(&xs);
+            prop_assert!(Aggregator::Ave.apply(&xs) <= max + 1e-12);
+            prop_assert!(Aggregator::Latest.apply(&xs) <= max + 1e-12);
+        }
+
+        #[test]
+        fn proptest_sum_dominates_max_for_nonneg(xs in prop::collection::vec(0.0f64..10.0, 1..20)) {
+            prop_assert!(Aggregator::Sum.apply(&xs) >= Aggregator::Max.apply(&xs) - 1e-12);
+        }
+    }
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! Evaluation harness for influence-learning models.
+//!
+//! Implements the paper's §V protocol:
+//!
+//! - [`score`]: the two model interfaces — representation models score pairs
+//!   (`x(u, v)`, Eq. 7) and IC-based models expose edge probabilities
+//!   (Eq. 8 / Monte-Carlo simulation).
+//! - [`aggregate`]: the aggregation functions Ave/Sum/Max/Latest of Eq. 7
+//!   (Table V compares them).
+//! - [`activation`]: the activation-prediction task of §V-B1 (following
+//!   Goyal et al.'s replay protocol).
+//! - [`diffusion_task`]: the diffusion-prediction task of §V-B2 (5% seeds,
+//!   Monte-Carlo scoring for IC models).
+//! - [`metrics`]: ranking AUC, MAP, and P@N.
+//! - [`runner`]: multi-run mean ± σ summaries and significance tests.
+//! - [`visual`]: the quantitative proxy for the Figure 6 visualization
+//!   claim (influence-pair partners should be close in embedding space).
+
+pub mod activation;
+pub mod aggregate;
+pub mod diffusion_task;
+pub mod metrics;
+pub mod runner;
+pub mod score;
+pub mod visual;
+
+pub use aggregate::Aggregator;
+pub use metrics::{EpisodeRanking, RankingMetrics};
+pub use score::{CascadeModel, RepresentationModel, ScoringModel};

@@ -1,0 +1,367 @@
+//! Ranking metrics: AUC, MAP, and P@N (§V-B1).
+//!
+//! Conventions, matching the paper's protocol as described:
+//!
+//! - **AUC** is computed by ranking (the Mann–Whitney statistic with average
+//!   ranks for ties) over candidates pooled across all test episodes.
+//! - **MAP** is the mean over episodes of per-episode average precision
+//!   (episodes without positives are skipped — AP is undefined there).
+//! - **P@N** is the precision of the top-N pooled predictions, N ∈
+//!   {10, 50, 100}.
+
+/// The scored candidates of one test episode.
+#[derive(Debug, Clone, Default)]
+pub struct EpisodeRanking {
+    /// Candidate scores.
+    pub scores: Vec<f64>,
+    /// Ground-truth labels (true = the candidate was influenced).
+    pub labels: Vec<bool>,
+}
+
+impl EpisodeRanking {
+    /// Adds one scored candidate.
+    pub fn push(&mut self, score: f64, label: bool) {
+        self.scores.push(score);
+        self.labels.push(label);
+    }
+
+    /// Number of candidates.
+    pub fn len(&self) -> usize {
+        self.scores.len()
+    }
+
+    /// True when the episode produced no candidates.
+    pub fn is_empty(&self) -> bool {
+        self.scores.is_empty()
+    }
+}
+
+/// The metric bundle the paper reports per method.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankingMetrics {
+    /// Pooled ranking AUC.
+    pub auc: f64,
+    /// Mean average precision over episodes.
+    pub map: f64,
+    /// Precision of the top-10 pooled predictions.
+    pub p10: f64,
+    /// Precision of the top-50 pooled predictions.
+    pub p50: f64,
+    /// Precision of the top-100 pooled predictions.
+    pub p100: f64,
+}
+
+impl RankingMetrics {
+    /// Metric names in the paper's column order.
+    pub const NAMES: [&'static str; 5] = ["AUC", "MAP", "P@10", "P@50", "P@100"];
+
+    /// Values in the paper's column order.
+    pub fn values(&self) -> [f64; 5] {
+        [self.auc, self.map, self.p10, self.p50, self.p100]
+    }
+}
+
+/// Computes the full metric bundle from per-episode rankings.
+pub fn evaluate(episodes: &[EpisodeRanking]) -> RankingMetrics {
+    let mut pooled_scores = Vec::new();
+    let mut pooled_labels = Vec::new();
+    for e in episodes {
+        pooled_scores.extend_from_slice(&e.scores);
+        pooled_labels.extend_from_slice(&e.labels);
+    }
+    let auc = ranking_auc(&pooled_scores, &pooled_labels);
+
+    let mut ap_sum = 0.0;
+    let mut ap_n = 0usize;
+    for e in episodes {
+        if let Some(ap) = average_precision(&e.scores, &e.labels) {
+            ap_sum += ap;
+            ap_n += 1;
+        }
+    }
+    let map = if ap_n > 0 { ap_sum / ap_n as f64 } else { 0.0 };
+
+    RankingMetrics {
+        auc,
+        map,
+        p10: precision_at_n(&pooled_scores, &pooled_labels, 10),
+        p50: precision_at_n(&pooled_scores, &pooled_labels, 50),
+        p100: precision_at_n(&pooled_scores, &pooled_labels, 100),
+    }
+}
+
+/// Ranking AUC (probability a random positive outranks a random negative),
+/// with average ranks for ties. Returns 0.5 when either class is empty.
+pub fn ranking_auc(scores: &[f64], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len());
+    let n_pos = labels.iter().filter(|&&l| l).count();
+    let n_neg = labels.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    // Sort indices ascending by score; assign average ranks to tied groups.
+    let mut idx: Vec<u32> = (0..scores.len() as u32).collect();
+    idx.sort_by(|&a, &b| {
+        scores[a as usize]
+            .partial_cmp(&scores[b as usize])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut rank_sum_pos = 0.0f64;
+    let mut i = 0usize;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len()
+            && scores[idx[j + 1] as usize] == scores[idx[i] as usize]
+        {
+            j += 1;
+        }
+        // Ranks are 1-based; the tied block [i, j] shares the average rank.
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &t in &idx[i..=j] {
+            if labels[t as usize] {
+                rank_sum_pos += avg_rank;
+            }
+        }
+        i = j + 1;
+    }
+    (rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0) / (n_pos * n_neg) as f64
+}
+
+/// Average precision of one ranking; `None` when there are no positives.
+/// Ties are broken by input order (deterministic given deterministic
+/// scoring).
+pub fn average_precision(scores: &[f64], labels: &[bool]) -> Option<f64> {
+    assert_eq!(scores.len(), labels.len());
+    let n_pos = labels.iter().filter(|&&l| l).count();
+    if n_pos == 0 {
+        return None;
+    }
+    let order = descending_order(scores);
+    let mut hits = 0usize;
+    let mut ap = 0.0f64;
+    for (rank0, &i) in order.iter().enumerate() {
+        if labels[i as usize] {
+            hits += 1;
+            ap += hits as f64 / (rank0 + 1) as f64;
+        }
+    }
+    Some(ap / n_pos as f64)
+}
+
+/// Precision among the `n` highest-scored candidates (0 when empty; when
+/// fewer than `n` candidates exist, the denominator is the candidate count).
+pub fn precision_at_n(scores: &[f64], labels: &[bool], n: usize) -> f64 {
+    assert_eq!(scores.len(), labels.len());
+    if scores.is_empty() || n == 0 {
+        return 0.0;
+    }
+    let order = descending_order(scores);
+    let top = order.len().min(n);
+    let hits = order[..top]
+        .iter()
+        .filter(|&&i| labels[i as usize])
+        .count();
+    hits as f64 / top as f64
+}
+
+/// Normalized discounted cumulative gain at cutoff `n` (binary relevance).
+/// Returns `None` when there are no positives (ideal DCG undefined).
+///
+/// Not reported in the paper's tables, but standard for ranking evaluation
+/// and useful when extending the benchmark.
+pub fn ndcg_at_n(scores: &[f64], labels: &[bool], n: usize) -> Option<f64> {
+    assert_eq!(scores.len(), labels.len());
+    let n_pos = labels.iter().filter(|&&l| l).count();
+    if n_pos == 0 || n == 0 {
+        return None;
+    }
+    let order = descending_order(scores);
+    let top = order.len().min(n);
+    let mut dcg = 0.0f64;
+    for (rank0, &i) in order[..top].iter().enumerate() {
+        if labels[i as usize] {
+            dcg += 1.0 / ((rank0 + 2) as f64).log2();
+        }
+    }
+    let ideal: f64 = (0..n_pos.min(top))
+        .map(|rank0| 1.0 / ((rank0 + 2) as f64).log2())
+        .sum();
+    Some(dcg / ideal)
+}
+
+/// Recall among the `n` highest-scored candidates: the fraction of all
+/// positives retrieved in the top `n`. Returns `None` without positives.
+pub fn recall_at_n(scores: &[f64], labels: &[bool], n: usize) -> Option<f64> {
+    assert_eq!(scores.len(), labels.len());
+    let n_pos = labels.iter().filter(|&&l| l).count();
+    if n_pos == 0 {
+        return None;
+    }
+    let order = descending_order(scores);
+    let top = order.len().min(n);
+    let hits = order[..top]
+        .iter()
+        .filter(|&&i| labels[i as usize])
+        .count();
+    Some(hits as f64 / n_pos as f64)
+}
+
+/// Indices sorted by descending score, ties by input order.
+fn descending_order(scores: &[f64]) -> Vec<u32> {
+    let mut idx: Vec<u32> = (0..scores.len() as u32).collect();
+    idx.sort_by(|&a, &b| {
+        scores[b as usize]
+            .partial_cmp(&scores[a as usize])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn auc_perfect_and_inverted() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [true, true, false, false];
+        assert!((ranking_auc(&scores, &labels) - 1.0).abs() < 1e-12);
+        let inv = [false, false, true, true];
+        assert!((ranking_auc(&scores, &inv) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_handles_ties() {
+        // All scores equal: AUC must be exactly 0.5.
+        let scores = [1.0; 6];
+        let labels = [true, false, true, false, false, true];
+        assert!((ranking_auc(&scores, &labels) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_known_value() {
+        // scores: pos {3, 1}, neg {2, 0}: pairs won = (3>2), (3>0), (1>0) =
+        // 3 of 4 -> 0.75.
+        let scores = [3.0, 1.0, 2.0, 0.0];
+        let labels = [true, true, false, false];
+        assert!((ranking_auc(&scores, &labels) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_degenerate_classes() {
+        assert_eq!(ranking_auc(&[1.0, 2.0], &[true, true]), 0.5);
+        assert_eq!(ranking_auc(&[], &[]), 0.5);
+    }
+
+    #[test]
+    fn ap_reference_values() {
+        // Ranking: P N P -> AP = (1/1 + 2/3)/2 = 5/6.
+        let scores = [3.0, 2.0, 1.0];
+        let labels = [true, false, true];
+        let ap = average_precision(&scores, &labels).unwrap();
+        assert!((ap - 5.0 / 6.0).abs() < 1e-12);
+        assert!(average_precision(&scores, &[false; 3]).is_none());
+    }
+
+    #[test]
+    fn p_at_n_counts_top() {
+        let scores = [5.0, 4.0, 3.0, 2.0, 1.0];
+        let labels = [true, false, true, true, true];
+        assert!((precision_at_n(&scores, &labels, 2) - 0.5).abs() < 1e-12);
+        assert!((precision_at_n(&scores, &labels, 4) - 0.75).abs() < 1e-12);
+        // n beyond the list: denominator shrinks to the list length.
+        assert!((precision_at_n(&scores, &labels, 100) - 0.8).abs() < 1e-12);
+        assert_eq!(precision_at_n(&[], &[], 10), 0.0);
+    }
+
+    #[test]
+    fn ndcg_reference_values() {
+        // Perfect ranking: nDCG = 1.
+        let scores = [3.0, 2.0, 1.0];
+        let labels = [true, true, false];
+        assert!((ndcg_at_n(&scores, &labels, 3).unwrap() - 1.0).abs() < 1e-12);
+        // Positive at rank 2 (0-based 1) only, one positive total:
+        // DCG = 1/log2(3), ideal = 1/log2(2) = 1.
+        let labels = [false, true, false];
+        let expect = 1.0 / 3f64.log2();
+        assert!((ndcg_at_n(&scores, &labels, 3).unwrap() - expect).abs() < 1e-12);
+        assert!(ndcg_at_n(&scores, &[false; 3], 3).is_none());
+        assert!(ndcg_at_n(&scores, &labels, 0).is_none());
+    }
+
+    #[test]
+    fn recall_reference_values() {
+        let scores = [5.0, 4.0, 3.0, 2.0];
+        let labels = [true, false, true, true];
+        assert!((recall_at_n(&scores, &labels, 1).unwrap() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((recall_at_n(&scores, &labels, 3).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((recall_at_n(&scores, &labels, 10).unwrap() - 1.0).abs() < 1e-12);
+        assert!(recall_at_n(&scores, &[false; 4], 2).is_none());
+    }
+
+    #[test]
+    fn evaluate_combines_episodes() {
+        let mut e1 = EpisodeRanking::default();
+        e1.push(0.9, true);
+        e1.push(0.1, false);
+        let mut e2 = EpisodeRanking::default();
+        e2.push(0.8, false);
+        e2.push(0.7, true);
+        let m = evaluate(&[e1, e2]);
+        // Pooled AUC: positives {0.9, 0.7}, negatives {0.1, 0.8}:
+        // wins = (0.9>0.1), (0.9>0.8), (0.7>0.1) = 3/4.
+        assert!((m.auc - 0.75).abs() < 1e-12);
+        // MAP: AP(e1) = 1, AP(e2) = 1/2 -> 0.75.
+        assert!((m.map - 0.75).abs() < 1e-12);
+        // P@10 over 4 pooled candidates: 2/4.
+        assert!((m.p10 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn episodes_without_positives_skipped_in_map() {
+        let mut e1 = EpisodeRanking::default();
+        e1.push(1.0, true);
+        let mut e2 = EpisodeRanking::default();
+        e2.push(1.0, false);
+        let m = evaluate(&[e1, e2]);
+        assert!((m.map - 1.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// AUC is in [0,1]; flipping all labels maps a to 1-a (without ties).
+        #[test]
+        fn proptest_auc_symmetry(pairs in prop::collection::vec((0.0f64..1.0, any::<bool>()), 2..60)) {
+            let scores: Vec<f64> = pairs.iter().map(|&(s, _)| s).collect();
+            let labels: Vec<bool> = pairs.iter().map(|&(_, l)| l).collect();
+            let a = ranking_auc(&scores, &labels);
+            prop_assert!((0.0..=1.0).contains(&a));
+            let inv: Vec<bool> = labels.iter().map(|&l| !l).collect();
+            let b = ranking_auc(&scores, &inv);
+            let n_pos = labels.iter().filter(|&&l| l).count();
+            if n_pos > 0 && n_pos < labels.len() {
+                // Continuous scores from proptest are distinct w.p. 1, but be
+                // tolerant anyway.
+                prop_assert!((a + b - 1.0).abs() < 1e-9);
+            }
+        }
+
+        /// Adding an irrelevant low-scored negative never decreases AP.
+        #[test]
+        fn proptest_ap_monotone(pairs in prop::collection::vec((0.1f64..1.0, any::<bool>()), 1..40)) {
+            let scores: Vec<f64> = pairs.iter().map(|&(s, _)| s).collect();
+            let labels: Vec<bool> = pairs.iter().map(|&(_, l)| l).collect();
+            if let Some(ap) = average_precision(&scores, &labels) {
+                let mut s2 = scores.clone();
+                let mut l2 = labels.clone();
+                s2.push(0.0);
+                l2.push(false);
+                let ap2 = average_precision(&s2, &l2).unwrap();
+                prop_assert!(ap2 >= ap - 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Multi-run experiment summaries.
+//!
+//! The paper reports representation-model results as the mean over 10 runs
+//! with the standard deviation, and claims significance at p < 0.05; this
+//! module aggregates per-run [`RankingMetrics`] accordingly.
+
+use inf2vec_util::stats::{welch_t_test, Summary};
+
+use crate::metrics::RankingMetrics;
+
+/// The runs of one method on one task.
+#[derive(Debug, Clone)]
+pub struct MethodRuns {
+    /// Method name as printed in the tables.
+    pub name: String,
+    /// One metrics bundle per run (deterministic methods have one run).
+    pub runs: Vec<RankingMetrics>,
+}
+
+impl MethodRuns {
+    /// Wraps runs under a display name.
+    pub fn new(name: impl Into<String>, runs: Vec<RankingMetrics>) -> Self {
+        assert!(!runs.is_empty(), "need at least one run");
+        Self {
+            name: name.into(),
+            runs,
+        }
+    }
+
+    /// Per-metric summaries, in [`RankingMetrics::NAMES`] order.
+    pub fn summaries(&self) -> [Summary; 5] {
+        let columns = self.columns();
+        [
+            Summary::of(&columns[0]),
+            Summary::of(&columns[1]),
+            Summary::of(&columns[2]),
+            Summary::of(&columns[3]),
+            Summary::of(&columns[4]),
+        ]
+    }
+
+    /// Mean metrics bundle.
+    pub fn mean(&self) -> RankingMetrics {
+        let s = self.summaries();
+        RankingMetrics {
+            auc: s[0].mean,
+            map: s[1].mean,
+            p10: s[2].mean,
+            p50: s[3].mean,
+            p100: s[4].mean,
+        }
+    }
+
+    /// Per-metric values across runs, column-major.
+    pub fn columns(&self) -> [Vec<f64>; 5] {
+        let mut cols: [Vec<f64>; 5] = Default::default();
+        for r in &self.runs {
+            for (c, v) in cols.iter_mut().zip(r.values()) {
+                c.push(v);
+            }
+        }
+        cols
+    }
+
+    /// Two-sided Welch p-values of this method against `other`, per metric.
+    /// `None` entries mean the test is undefined (fewer than 2 runs or zero
+    /// variance on both sides).
+    pub fn p_values_against(&self, other: &MethodRuns) -> [Option<f64>; 5] {
+        let a = self.columns();
+        let b = other.columns();
+        std::array::from_fn(|i| welch_t_test(&a[i], &b[i]).map(|t| t.p_two_sided))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(x: f64) -> RankingMetrics {
+        RankingMetrics {
+            auc: x,
+            map: x / 2.0,
+            p10: x / 3.0,
+            p50: x / 4.0,
+            p100: x / 5.0,
+        }
+    }
+
+    #[test]
+    fn mean_and_std() {
+        let runs = MethodRuns::new("x", vec![m(0.8), m(0.9)]);
+        let mean = runs.mean();
+        assert!((mean.auc - 0.85).abs() < 1e-12);
+        assert!((mean.map - 0.425).abs() < 1e-12);
+        let s = runs.summaries();
+        assert!(s[0].stdev > 0.0);
+    }
+
+    #[test]
+    fn p_values_detect_separation() {
+        let a = MethodRuns::new(
+            "good",
+            vec![m(0.90), m(0.91), m(0.89), m(0.905), m(0.895)],
+        );
+        let b = MethodRuns::new(
+            "bad",
+            vec![m(0.60), m(0.61), m(0.59), m(0.605), m(0.595)],
+        );
+        let ps = a.p_values_against(&b);
+        for p in ps.iter().flatten() {
+            assert!(*p < 0.05, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn single_run_has_no_p_value() {
+        let a = MethodRuns::new("a", vec![m(0.9)]);
+        let b = MethodRuns::new("b", vec![m(0.5)]);
+        assert!(a.p_values_against(&b).iter().all(Option::is_none));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one run")]
+    fn empty_runs_rejected() {
+        let _ = MethodRuns::new("x", vec![]);
+    }
+}

@@ -1,0 +1,110 @@
+//! Quantitative proxy for the Figure 6 visualization claim.
+//!
+//! Figure 6 argues that in a good influence embedding, the two nodes of a
+//! frequent influence pair land *close together* in the projected space.
+//! Eyeballing a scatter plot is not testable, so we quantify it: for each
+//! highlighted pair `(u, v)` we rank all other plotted nodes by distance
+//! from `u` and record the normalized rank of `v` (0 = nearest neighbor,
+//! 1 = farthest). A method whose mean pair rank is far below 0.5 places
+//! influence partners significantly closer than chance.
+
+use inf2vec_util::FxHashMap;
+
+/// Euclidean distance between two points of arbitrary equal dimension.
+fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Mean normalized distance-rank of pair partners (see module docs).
+///
+/// `points` maps node id to its (projected) coordinates; `pairs` are the
+/// highlighted influence pairs. Pairs whose endpoints are missing from
+/// `points` are skipped; returns `None` when nothing is measurable.
+pub fn mean_pair_rank(points: &FxHashMap<u32, Vec<f64>>, pairs: &[(u32, u32)]) -> Option<f64> {
+    let ids: Vec<u32> = points.keys().copied().collect();
+    if ids.len() < 3 {
+        return None;
+    }
+    let mut total = 0.0f64;
+    let mut count = 0usize;
+    for &(u, v) in pairs {
+        let (Some(pu), Some(pv)) = (points.get(&u), points.get(&v)) else {
+            continue;
+        };
+        if u == v {
+            continue;
+        }
+        let d_uv = dist2(pu, pv);
+        // Rank of v among all candidates by distance from u.
+        let mut closer = 0usize;
+        let mut candidates = 0usize;
+        for &w in &ids {
+            if w == u || w == v {
+                continue;
+            }
+            candidates += 1;
+            if dist2(pu, &points[&w]) < d_uv {
+                closer += 1;
+            }
+        }
+        if candidates == 0 {
+            continue;
+        }
+        total += closer as f64 / candidates as f64;
+        count += 1;
+    }
+    (count > 0).then(|| total / count as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inf2vec_util::hash::fx_hashmap;
+
+    fn points(coords: &[(u32, [f64; 2])]) -> FxHashMap<u32, Vec<f64>> {
+        let mut m = fx_hashmap();
+        for &(id, xy) in coords {
+            m.insert(id, xy.to_vec());
+        }
+        m
+    }
+
+    #[test]
+    fn adjacent_pairs_rank_zero() {
+        // 0 and 1 nearly coincide; 2 and 3 are far away.
+        let pts = points(&[
+            (0, [0.0, 0.0]),
+            (1, [0.01, 0.0]),
+            (2, [10.0, 0.0]),
+            (3, [0.0, 10.0]),
+        ]);
+        let r = mean_pair_rank(&pts, &[(0, 1)]).unwrap();
+        assert_eq!(r, 0.0);
+    }
+
+    #[test]
+    fn distant_pairs_rank_high() {
+        let pts = points(&[
+            (0, [0.0, 0.0]),
+            (1, [100.0, 0.0]),
+            (2, [1.0, 0.0]),
+            (3, [2.0, 0.0]),
+        ]);
+        let r = mean_pair_rank(&pts, &[(0, 1)]).unwrap();
+        assert_eq!(r, 1.0);
+    }
+
+    #[test]
+    fn missing_nodes_skipped() {
+        let pts = points(&[(0, [0.0, 0.0]), (1, [1.0, 0.0]), (2, [2.0, 0.0])]);
+        assert!(mean_pair_rank(&pts, &[(0, 9)]).is_none());
+        let r = mean_pair_rank(&pts, &[(0, 9), (0, 1)]);
+        assert!(r.is_some());
+    }
+
+    #[test]
+    fn too_few_points_undefined() {
+        let pts = points(&[(0, [0.0, 0.0]), (1, [1.0, 0.0])]);
+        assert!(mean_pair_rank(&pts, &[(0, 1)]).is_none());
+    }
+}

@@ -1,0 +1,294 @@
+//! Immutable CSR graph representation.
+
+use crate::node::NodeId;
+
+/// An immutable directed graph in compressed-sparse-row form.
+///
+/// Both directions are materialized: `out` adjacency answers "whom can u
+/// influence" and `in` adjacency answers "who can influence v" — the
+/// evaluation tasks need the latter constantly (candidate users are those
+/// with at least one activated in-neighbor). Neighbor slices are sorted, so
+/// edge membership is a binary search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiGraph {
+    n: u32,
+    out_offsets: Vec<u32>,
+    out_targets: Vec<u32>,
+    in_offsets: Vec<u32>,
+    in_sources: Vec<u32>,
+}
+
+impl DiGraph {
+    /// Builds from edges that are already sorted by `(source, target)` and
+    /// unique, with no self-loops. [`crate::GraphBuilder`] guarantees this.
+    pub(crate) fn from_sorted_unique_edges(n: u32, edges: &[(u32, u32)]) -> Self {
+        debug_assert!(edges.windows(2).all(|w| w[0] < w[1]), "edges sorted+unique");
+        let m = edges.len();
+        assert!(m <= u32::MAX as usize, "edge count exceeds u32");
+
+        let mut out_offsets = vec![0u32; n as usize + 1];
+        let mut in_offsets = vec![0u32; n as usize + 1];
+        for &(u, v) in edges {
+            debug_assert!(u < n && v < n);
+            out_offsets[u as usize + 1] += 1;
+            in_offsets[v as usize + 1] += 1;
+        }
+        for i in 0..n as usize {
+            out_offsets[i + 1] += out_offsets[i];
+            in_offsets[i + 1] += in_offsets[i];
+        }
+
+        let mut out_targets = vec![0u32; m];
+        let mut in_sources = vec![0u32; m];
+        let mut out_cursor = out_offsets.clone();
+        let mut in_cursor = in_offsets.clone();
+        for &(u, v) in edges {
+            out_targets[out_cursor[u as usize] as usize] = v;
+            out_cursor[u as usize] += 1;
+            in_sources[in_cursor[v as usize] as usize] = u;
+            in_cursor[v as usize] += 1;
+        }
+        // Input order is sorted by (u, v), so each out slice is sorted; in
+        // slices are filled in increasing source order and thus also sorted.
+
+        Self {
+            n,
+            out_offsets,
+            out_targets,
+            in_offsets,
+            in_sources,
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> u32 {
+        self.n
+    }
+
+    /// Number of directed edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.out_targets.len()
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.n).map(NodeId)
+    }
+
+    /// Sorted slice of `u`'s out-neighbors (users `u` may influence).
+    #[inline]
+    pub fn out_neighbors(&self, u: NodeId) -> &[u32] {
+        let i = u.index();
+        &self.out_targets[self.out_offsets[i] as usize..self.out_offsets[i + 1] as usize]
+    }
+
+    /// Sorted slice of `v`'s in-neighbors (users who may influence `v`).
+    #[inline]
+    pub fn in_neighbors(&self, v: NodeId) -> &[u32] {
+        let i = v.index();
+        &self.in_sources[self.in_offsets[i] as usize..self.in_offsets[i + 1] as usize]
+    }
+
+    /// Out-degree of `u`.
+    #[inline]
+    pub fn out_degree(&self, u: NodeId) -> usize {
+        self.out_neighbors(u).len()
+    }
+
+    /// In-degree of `v`. The paper's DE baseline sets `P_uv = 1/indegree(v)`.
+    #[inline]
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        self.in_neighbors(v).len()
+    }
+
+    /// Whether edge `u -> v` exists (binary search over the out slice).
+    #[inline]
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.out_neighbors(u).binary_search(&v.0).is_ok()
+    }
+
+    /// Position of edge `u -> v` in the flat out-edge array, if present.
+    ///
+    /// Per-edge attributes (e.g. IC probabilities) are stored in parallel
+    /// `Vec`s indexed by this value.
+    #[inline]
+    pub fn edge_index(&self, u: NodeId, v: NodeId) -> Option<usize> {
+        let base = self.out_offsets[u.index()] as usize;
+        self.out_neighbors(u)
+            .binary_search(&v.0)
+            .ok()
+            .map(|k| base + k)
+    }
+
+    /// Offset of `u`'s first out-edge in the flat edge array.
+    #[inline]
+    pub fn out_edge_range(&self, u: NodeId) -> std::ops::Range<usize> {
+        self.out_offsets[u.index()] as usize..self.out_offsets[u.index() + 1] as usize
+    }
+
+    /// Iterator over all edges as `(source, target)`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        (0..self.n).flat_map(move |u| {
+            self.out_neighbors(NodeId(u))
+                .iter()
+                .map(move |&v| (NodeId(u), NodeId(v)))
+        })
+    }
+
+    /// The graph with every edge reversed.
+    pub fn reversed(&self) -> DiGraph {
+        DiGraph {
+            n: self.n,
+            out_offsets: self.in_offsets.clone(),
+            out_targets: self.in_sources.clone(),
+            in_offsets: self.out_offsets.clone(),
+            in_sources: self.out_targets.clone(),
+        }
+    }
+
+    /// Maximum in-degree over all nodes (0 for an empty graph).
+    pub fn max_in_degree(&self) -> usize {
+        (0..self.n)
+            .map(|v| self.in_degree(NodeId(v)))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Mean out-degree.
+    pub fn mean_degree(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.edge_count() as f64 / self.n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use proptest::prelude::*;
+
+    fn diamond() -> DiGraph {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        let mut b = GraphBuilder::new();
+        for (u, v) in [(0, 1), (0, 2), (1, 3), (2, 3)] {
+            b.add_edge(NodeId(u), NodeId(v));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn adjacency_is_consistent() {
+        let g = diamond();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.out_neighbors(NodeId(0)), &[1, 2]);
+        assert_eq!(g.in_neighbors(NodeId(3)), &[1, 2]);
+        assert_eq!(g.out_degree(NodeId(3)), 0);
+        assert_eq!(g.in_degree(NodeId(0)), 0);
+    }
+
+    #[test]
+    fn edge_queries() {
+        let g = diamond();
+        assert!(g.has_edge(NodeId(0), NodeId(2)));
+        assert!(!g.has_edge(NodeId(2), NodeId(0)));
+        assert_eq!(g.edge_index(NodeId(0), NodeId(1)), Some(0));
+        assert_eq!(g.edge_index(NodeId(0), NodeId(2)), Some(1));
+        assert_eq!(g.edge_index(NodeId(1), NodeId(3)), Some(2));
+        assert_eq!(g.edge_index(NodeId(3), NodeId(0)), None);
+    }
+
+    #[test]
+    fn edges_iterator_covers_all() {
+        let g = diamond();
+        let edges: Vec<(u32, u32)> = g.edges().map(|(u, v)| (u.0, v.0)).collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn reversal_swaps_directions() {
+        let g = diamond().reversed();
+        assert!(g.has_edge(NodeId(1), NodeId(0)));
+        assert!(!g.has_edge(NodeId(0), NodeId(1)));
+        assert_eq!(g.in_degree(NodeId(0)), 2);
+    }
+
+    #[test]
+    fn degree_stats() {
+        let g = diamond();
+        assert_eq!(g.max_in_degree(), 2);
+        assert!((g.mean_degree() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let g = GraphBuilder::new().build();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.edges().count(), 0);
+        assert_eq!(g.max_in_degree(), 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// CSR invariants hold for arbitrary edge sets: degree sums equal the
+        /// edge count, neighbor slices are sorted, and membership agrees with
+        /// the input set.
+        #[test]
+        fn proptest_csr_invariants(raw in prop::collection::vec((0u32..40, 0u32..40), 0..300)) {
+            let mut b = GraphBuilder::new();
+            for &(u, v) in &raw {
+                b.add_edge(NodeId(u), NodeId(v));
+            }
+            let g = b.build();
+
+            let expect: std::collections::BTreeSet<(u32, u32)> =
+                raw.iter().copied().filter(|&(u, v)| u != v).collect();
+            prop_assert_eq!(g.edge_count(), expect.len());
+
+            let out_sum: usize = g.nodes().map(|u| g.out_degree(u)).sum();
+            let in_sum: usize = g.nodes().map(|v| g.in_degree(v)).sum();
+            prop_assert_eq!(out_sum, expect.len());
+            prop_assert_eq!(in_sum, expect.len());
+
+            for u in g.nodes() {
+                let ns = g.out_neighbors(u);
+                prop_assert!(ns.windows(2).all(|w| w[0] < w[1]), "sorted + unique");
+                let is = g.in_neighbors(u);
+                prop_assert!(is.windows(2).all(|w| w[0] < w[1]));
+            }
+
+            for &(u, v) in &expect {
+                prop_assert!(g.has_edge(NodeId(u), NodeId(v)));
+                prop_assert!(g.edge_index(NodeId(u), NodeId(v)).is_some());
+            }
+            // Round trip through the edges iterator.
+            let got: std::collections::BTreeSet<(u32, u32)> =
+                g.edges().map(|(u, v)| (u.0, v.0)).collect();
+            prop_assert_eq!(got, expect);
+        }
+
+        /// edge_index values are unique and dense in [0, m).
+        #[test]
+        fn proptest_edge_index_dense(raw in prop::collection::vec((0u32..30, 0u32..30), 0..200)) {
+            let mut b = GraphBuilder::new();
+            for &(u, v) in &raw {
+                b.add_edge(NodeId(u), NodeId(v));
+            }
+            let g = b.build();
+            let mut seen = vec![false; g.edge_count()];
+            for (u, v) in g.edges() {
+                let i = g.edge_index(u, v).unwrap();
+                prop_assert!(!seen[i]);
+                seen[i] = true;
+            }
+            prop_assert!(seen.into_iter().all(|b| b));
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Synthetic graph topologies.
+//!
+//! The paper's datasets are follower graphs with heavy-tailed degree
+//! distributions. [`preferential_attachment`] is the workhorse used by the
+//! synthetic dataset generator; [`erdos_renyi`] and [`power_law_config`]
+//! exist for controlled comparisons and tests.
+
+use inf2vec_util::rng::Xoshiro256pp;
+
+use crate::builder::GraphBuilder;
+use crate::csr::DiGraph;
+use crate::node::NodeId;
+
+/// Parameters for directed preferential attachment.
+#[derive(Debug, Clone)]
+pub struct PreferentialAttachment {
+    /// Total number of nodes.
+    pub nodes: u32,
+    /// Outgoing "follows" created by each arriving node.
+    pub edges_per_node: u32,
+    /// Probability a follow is reciprocated (social graphs have substantial
+    /// reciprocity; Digg ~0.3, Flickr ~0.6 per the measurement papers).
+    pub reciprocity: f64,
+    /// Probability an attachment ignores degree and picks uniformly
+    /// (keeps the tail power-law while avoiding a star graph).
+    pub uniform_mix: f64,
+}
+
+impl Default for PreferentialAttachment {
+    fn default() -> Self {
+        Self {
+            nodes: 1000,
+            edges_per_node: 10,
+            reciprocity: 0.3,
+            uniform_mix: 0.15,
+        }
+    }
+}
+
+/// Generates a directed preferential-attachment graph.
+///
+/// Arriving node `t` follows `edges_per_node` distinct earlier nodes chosen
+/// with probability proportional to their in-degree (i.e. popularity, "rich
+/// get richer"), yielding a power-law in-degree tail. Each follow edge
+/// `(target, t)` means the popular user can influence the newcomer; with
+/// probability `reciprocity` the reverse edge is added too.
+pub fn preferential_attachment(params: &PreferentialAttachment, rng: &mut Xoshiro256pp) -> DiGraph {
+    let n = params.nodes;
+    assert!(n >= 2, "need at least two nodes");
+    let m = params.edges_per_node.max(1);
+
+    let mut b = GraphBuilder::with_nodes(n);
+    b.reserve_edges(n as usize * m as usize);
+
+    // `targets` is the classic repeated-node trick: every time a node gains
+    // an (undirected-sense) attachment, it is pushed again, so uniform draws
+    // from `targets` are degree-proportional draws.
+    let mut targets: Vec<u32> = vec![0, 1];
+    b.add_edge(NodeId(0), NodeId(1));
+
+    let mut chosen: Vec<u32> = Vec::with_capacity(m as usize);
+    for t in 2..n {
+        chosen.clear();
+        let budget = m.min(t);
+        let mut guard = 0u32;
+        while (chosen.len() as u32) < budget && guard < 50 * m {
+            guard += 1;
+            let cand = if rng.chance(params.uniform_mix) {
+                rng.below(t as u64) as u32
+            } else {
+                *rng.choose(&targets)
+            };
+            if cand != t && !chosen.contains(&cand) {
+                chosen.push(cand);
+            }
+        }
+        for &c in &chosen {
+            // c is popular; popularity flows influence: c -> t.
+            b.add_edge(NodeId(c), NodeId(t));
+            targets.push(c);
+            targets.push(t);
+            if rng.chance(params.reciprocity) {
+                b.add_edge(NodeId(t), NodeId(c));
+            }
+        }
+    }
+    b.build()
+}
+
+/// Generates an Erdős–Rényi graph with exactly `m` distinct directed edges.
+pub fn erdos_renyi(n: u32, m: usize, rng: &mut Xoshiro256pp) -> DiGraph {
+    assert!(n >= 2, "need at least two nodes");
+    let max_edges = n as u64 * (n as u64 - 1);
+    assert!(
+        m as u64 <= max_edges,
+        "m = {m} exceeds the {max_edges} possible edges"
+    );
+    let mut b = GraphBuilder::with_nodes(n);
+    let mut seen = inf2vec_util::hash::fx_hashset_with_capacity::<(u32, u32)>(m);
+    while seen.len() < m {
+        let u = rng.below(n as u64) as u32;
+        let v = rng.below(n as u64) as u32;
+        if u != v && seen.insert((u, v)) {
+            b.add_edge(NodeId(u), NodeId(v));
+        }
+    }
+    b.build()
+}
+
+/// Generates a directed configuration-model graph whose expected in-degrees
+/// follow a power law with exponent `gamma` (≥ 2), by pairing stubs drawn
+/// from Zipfian weights. Multi-edges and self-loops are discarded.
+pub fn power_law_config(n: u32, mean_degree: f64, gamma: f64, rng: &mut Xoshiro256pp) -> DiGraph {
+    assert!(n >= 2, "need at least two nodes");
+    assert!(gamma > 1.0, "gamma must exceed 1");
+    let weights: Vec<f64> = (1..=n as u64)
+        .map(|r| (r as f64).powf(-1.0 / (gamma - 1.0)))
+        .collect();
+    let table = inf2vec_util::AliasTable::new(&weights);
+    let m = (n as f64 * mean_degree) as usize;
+    let mut b = GraphBuilder::with_nodes(n);
+    let mut seen = inf2vec_util::hash::fx_hashset_with_capacity::<(u32, u32)>(m);
+    let mut attempts = 0usize;
+    while seen.len() < m && attempts < 30 * m {
+        attempts += 1;
+        // Source uniform (everybody follows), target Zipf-weighted (few are
+        // followed a lot).
+        let u = rng.below(n as u64) as u32;
+        let v = table.sample(rng) as u32;
+        if u != v && seen.insert((v, u)) {
+            // Edge direction: popular v influences follower u.
+            b.add_edge(NodeId(v), NodeId(u));
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pa_graph_has_expected_shape() {
+        let mut rng = Xoshiro256pp::new(42);
+        let params = PreferentialAttachment {
+            nodes: 500,
+            edges_per_node: 5,
+            reciprocity: 0.2,
+            uniform_mix: 0.1,
+        };
+        let g = preferential_attachment(&params, &mut rng);
+        assert_eq!(g.node_count(), 500);
+        // Roughly nodes * m edges plus reciprocal ones.
+        assert!(g.edge_count() > 2000, "edges = {}", g.edge_count());
+        assert!(g.edge_count() < 3600, "edges = {}", g.edge_count());
+        // Heavy tail: the max out-degree should far exceed the mean.
+        let max_out = g.nodes().map(|u| g.out_degree(u)).max().unwrap();
+        assert!(
+            max_out as f64 > 5.0 * g.mean_degree(),
+            "max {max_out} mean {}",
+            g.mean_degree()
+        );
+    }
+
+    #[test]
+    fn pa_deterministic_per_seed() {
+        let params = PreferentialAttachment::default();
+        let g1 = preferential_attachment(&params, &mut Xoshiro256pp::new(7));
+        let g2 = preferential_attachment(&params, &mut Xoshiro256pp::new(7));
+        assert_eq!(g1, g2);
+        let g3 = preferential_attachment(&params, &mut Xoshiro256pp::new(8));
+        assert_ne!(g1, g3);
+    }
+
+    #[test]
+    fn erdos_renyi_exact_edge_count() {
+        let mut rng = Xoshiro256pp::new(3);
+        let g = erdos_renyi(50, 400, &mut rng);
+        assert_eq!(g.node_count(), 50);
+        assert_eq!(g.edge_count(), 400);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn erdos_renyi_rejects_impossible_m() {
+        let mut rng = Xoshiro256pp::new(3);
+        let _ = erdos_renyi(3, 100, &mut rng);
+    }
+
+    #[test]
+    fn power_law_has_heavy_tail() {
+        let mut rng = Xoshiro256pp::new(9);
+        let g = power_law_config(800, 8.0, 2.3, &mut rng);
+        assert_eq!(g.node_count(), 800);
+        assert!(g.edge_count() > 5000);
+        let max_out = g.nodes().map(|u| g.out_degree(u)).max().unwrap();
+        assert!(max_out > 50, "max out degree {max_out} not heavy-tailed");
+    }
+}

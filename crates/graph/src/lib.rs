@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! Directed social-network graphs.
+//!
+//! The workspace models a social network as a directed graph `G = (V, E)`
+//! where an edge `(u, v)` means user v watches user u's activity and so u can
+//! influence v (the paper's first assumption in §III).
+//!
+//! - [`NodeId`]: compact `u32` node identifier.
+//! - [`GraphBuilder`] / [`DiGraph`]: mutable construction into an immutable
+//!   CSR representation with both out- and in-adjacency, sorted neighbor
+//!   slices (O(log d) edge membership), and O(1) degrees.
+//! - [`gen`]: synthetic topology generators (preferential attachment,
+//!   Erdős–Rényi, configuration-model power law).
+//! - [`walk`]: random-walk primitives — uniform, restart, and node2vec's
+//!   second-order biased walk.
+//! - [`io`]: plain-text edge-list serialization.
+//! - [`subgraph`]: induced subgraph extraction with id remapping.
+
+pub mod builder;
+pub mod csr;
+pub mod gen;
+pub mod io;
+pub mod node;
+pub mod subgraph;
+pub mod walk;
+
+pub use builder::GraphBuilder;
+pub use csr::DiGraph;
+pub use io::GraphIoError;
+pub use node::NodeId;

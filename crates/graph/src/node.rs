@@ -1,0 +1,56 @@
+//! Compact node identifiers.
+
+/// A node (user) identifier: a dense index in `[0, n)`.
+///
+/// Stored as `u32` rather than `usize`: the paper's largest dataset has 162K
+/// users and halving index width keeps adjacency arrays and walk buffers in
+/// cache longer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The raw index as `usize`, for slice indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for NodeId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<NodeId> for u32 {
+    #[inline]
+    fn from(v: NodeId) -> Self {
+        v.0
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        let n = NodeId::from(42u32);
+        assert_eq!(u32::from(n), 42);
+        assert_eq!(n.index(), 42);
+        assert_eq!(n.to_string(), "u42");
+    }
+
+    #[test]
+    fn ordering_follows_raw_id() {
+        assert!(NodeId(1) < NodeId(2));
+        assert_eq!(NodeId(7), NodeId(7));
+    }
+}

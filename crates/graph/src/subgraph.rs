@@ -1,0 +1,132 @@
+//! Induced subgraph extraction.
+
+use inf2vec_util::hash::fx_hashmap_with_capacity;
+use inf2vec_util::FxHashMap;
+
+use crate::builder::GraphBuilder;
+use crate::csr::DiGraph;
+use crate::node::NodeId;
+
+/// An induced subgraph together with the mapping back to the parent graph.
+#[derive(Debug, Clone)]
+pub struct Subgraph {
+    /// The subgraph with dense local ids `0..keep.len()`.
+    pub graph: DiGraph,
+    /// `local -> global` id map (index = local id).
+    pub to_global: Vec<NodeId>,
+    /// `global -> local` id map.
+    pub to_local: FxHashMap<NodeId, u32>,
+}
+
+/// Extracts the subgraph induced by `keep` (kept in the given order;
+/// duplicates are an error).
+///
+/// # Panics
+///
+/// Panics if `keep` contains duplicates or ids outside the parent graph.
+pub fn induced_subgraph(parent: &DiGraph, keep: &[NodeId]) -> Subgraph {
+    let mut to_local: FxHashMap<NodeId, u32> = fx_hashmap_with_capacity(keep.len());
+    for (i, &g) in keep.iter().enumerate() {
+        assert!(g.0 < parent.node_count(), "node {g} outside parent graph");
+        let prev = to_local.insert(g, i as u32);
+        assert!(prev.is_none(), "duplicate node {g} in keep set");
+    }
+
+    let mut b = GraphBuilder::with_nodes(keep.len() as u32);
+    for (lu, &gu) in keep.iter().enumerate() {
+        for &gv in parent.out_neighbors(gu) {
+            if let Some(&lv) = to_local.get(&NodeId(gv)) {
+                b.add_edge(NodeId(lu as u32), NodeId(lv));
+            }
+        }
+    }
+    Subgraph {
+        graph: b.build(),
+        to_global: keep.to_vec(),
+        to_local,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn line(n: u32) -> DiGraph {
+        let mut b = GraphBuilder::new();
+        for i in 0..n - 1 {
+            b.add_edge(NodeId(i), NodeId(i + 1));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn keeps_only_internal_edges() {
+        let g = line(5); // 0->1->2->3->4
+        let sub = induced_subgraph(&g, &[NodeId(1), NodeId(2), NodeId(4)]);
+        assert_eq!(sub.graph.node_count(), 3);
+        // Only 1->2 survives; 2->3 and 3->4 cross the boundary.
+        assert_eq!(sub.graph.edge_count(), 1);
+        assert!(sub.graph.has_edge(NodeId(0), NodeId(1)));
+        assert_eq!(sub.to_global[0], NodeId(1));
+        assert_eq!(sub.to_local[&NodeId(4)], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn rejects_duplicates() {
+        let g = line(3);
+        let _ = induced_subgraph(&g, &[NodeId(0), NodeId(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn rejects_foreign_nodes() {
+        let g = line(3);
+        let _ = induced_subgraph(&g, &[NodeId(9)]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Every subgraph edge corresponds to a parent edge and vice versa
+        /// for kept endpoints.
+        #[test]
+        fn proptest_subgraph_edges(
+            raw in prop::collection::vec((0u32..20, 0u32..20), 0..120),
+            keep_mask in prop::collection::vec(any::<bool>(), 20),
+        ) {
+            let mut b = GraphBuilder::with_nodes(20);
+            for &(u, v) in &raw {
+                b.add_edge(NodeId(u), NodeId(v));
+            }
+            let parent = b.build();
+            let keep: Vec<NodeId> = (0..20u32)
+                .filter(|&i| keep_mask[i as usize])
+                .map(NodeId)
+                .collect();
+            if keep.is_empty() {
+                return Ok(());
+            }
+            let sub = induced_subgraph(&parent, &keep);
+
+            // Forward: every sub edge maps to a parent edge.
+            for (lu, lv) in sub.graph.edges() {
+                let gu = sub.to_global[lu.index()];
+                let gv = sub.to_global[lv.index()];
+                prop_assert!(parent.has_edge(gu, gv));
+            }
+            // Backward: every parent edge between kept nodes appears.
+            let mut expected = 0usize;
+            for (gu, gv) in parent.edges() {
+                if sub.to_local.contains_key(&gu) && sub.to_local.contains_key(&gv) {
+                    expected += 1;
+                    let lu = NodeId(sub.to_local[&gu]);
+                    let lv = NodeId(sub.to_local[&gv]);
+                    prop_assert!(sub.graph.has_edge(lu, lv));
+                }
+            }
+            prop_assert_eq!(sub.graph.edge_count(), expected);
+        }
+    }
+}

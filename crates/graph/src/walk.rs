@@ -1,0 +1,358 @@
+//! Random-walk primitives.
+//!
+//! Three walk flavors are used across the workspace:
+//!
+//! - [`uniform_walk`]: first-order uniform walk, the DeepWalk corpus
+//!   generator.
+//! - [`restart_walk`]: random walk with restart — Inf2vec's local influence
+//!   context generator runs this over per-episode propagation DAGs with
+//!   restart probability 0.5 (the paper follows node2vec's default).
+//! - [`Node2vecWalker`]: the second-order biased walk of node2vec with
+//!   return parameter `p` and in-out parameter `q`.
+//!
+//! All walkers operate on any adjacency oracle implementing [`WalkGraph`],
+//! so the same code serves the social graph (CSR) and propagation networks
+//! (local adjacency lists).
+
+use inf2vec_util::rng::Xoshiro256pp;
+
+use crate::csr::DiGraph;
+use crate::node::NodeId;
+
+/// Adjacency oracle for walkers.
+pub trait WalkGraph {
+    /// Out-neighbors of `u` as raw ids.
+    fn neighbors(&self, u: u32) -> &[u32];
+}
+
+impl WalkGraph for DiGraph {
+    #[inline]
+    fn neighbors(&self, u: u32) -> &[u32] {
+        self.out_neighbors(NodeId(u))
+    }
+}
+
+impl WalkGraph for Vec<Vec<u32>> {
+    #[inline]
+    fn neighbors(&self, u: u32) -> &[u32] {
+        &self[u as usize]
+    }
+}
+
+/// Appends a uniform random walk of exactly `len` *steps* starting at
+/// `start` to `out` (the start node itself is not recorded). The walk stops
+/// early at a sink node.
+pub fn uniform_walk<G: WalkGraph>(
+    graph: &G,
+    start: u32,
+    len: usize,
+    rng: &mut Xoshiro256pp,
+    out: &mut Vec<u32>,
+) {
+    let mut cur = start;
+    for _ in 0..len {
+        let ns = graph.neighbors(cur);
+        if ns.is_empty() {
+            break;
+        }
+        cur = ns[rng.index(ns.len())];
+        out.push(cur);
+    }
+}
+
+/// Appends a random walk **with restart** to `out`: before every step, with
+/// probability `restart` the walker jumps back to `start`. Exactly `len`
+/// visited nodes are emitted unless the walk gets stuck at a sink *while at
+/// the start node* (then it stops early: nothing is reachable).
+///
+/// Restarting keeps the sampled context concentrated around `start` — the
+/// paper uses this to approximate "users probably influenced by `start`"
+/// (§IV-A1), with `restart = 0.5`.
+pub fn restart_walk<G: WalkGraph>(
+    graph: &G,
+    start: u32,
+    len: usize,
+    restart: f64,
+    rng: &mut Xoshiro256pp,
+    out: &mut Vec<u32>,
+) {
+    let mut cur = start;
+    let mut emitted = 0usize;
+    while emitted < len {
+        if cur != start && rng.chance(restart) {
+            cur = start;
+        }
+        let mut ns = graph.neighbors(cur);
+        if ns.is_empty() {
+            if cur == start {
+                // Nothing reachable from the start at all.
+                break;
+            }
+            // Dead end mid-walk: restart deterministically.
+            cur = start;
+            ns = graph.neighbors(cur);
+            if ns.is_empty() {
+                break;
+            }
+        }
+        cur = ns[rng.index(ns.len())];
+        out.push(cur);
+        emitted += 1;
+    }
+}
+
+/// node2vec second-order walker with return parameter `p` and in-out
+/// parameter `q` (Grover & Leskovec 2016).
+///
+/// Transition weights from `cur` (having arrived from `prev`): `1/p` back to
+/// `prev`, `1` to common neighbors of `prev` and `cur`, `1/q` to the rest.
+/// Weights are evaluated on the fly per step (O(d log d) via binary search
+/// on the sorted neighbor slice) rather than precomputing per-edge alias
+/// tables, trading a small constant for O(E·d) memory savings.
+#[derive(Debug, Clone)]
+pub struct Node2vecWalker {
+    /// Return parameter; > 1 discourages immediately revisiting `prev`.
+    pub p: f64,
+    /// In-out parameter; > 1 keeps the walk local (BFS-like).
+    pub q: f64,
+    /// Walk length in steps.
+    pub len: usize,
+}
+
+impl Node2vecWalker {
+    /// Creates a walker; `p`, `q` must be positive.
+    pub fn new(p: f64, q: f64, len: usize) -> Self {
+        assert!(p > 0.0 && q > 0.0, "p and q must be positive");
+        Self { p, q, len }
+    }
+
+    /// Appends one biased walk from `start` to `out` (start excluded).
+    pub fn walk(&self, graph: &DiGraph, start: NodeId, rng: &mut Xoshiro256pp, out: &mut Vec<u32>) {
+        let first = graph.out_neighbors(start);
+        if first.is_empty() {
+            return;
+        }
+        let mut prev = start.0;
+        let mut cur = first[rng.index(first.len())];
+        out.push(cur);
+
+        let mut weights: Vec<f64> = Vec::new();
+        for _ in 1..self.len {
+            let ns = graph.out_neighbors(NodeId(cur));
+            if ns.is_empty() {
+                break;
+            }
+            weights.clear();
+            weights.reserve(ns.len());
+            let prev_ns = graph.out_neighbors(NodeId(prev));
+            let mut total = 0.0;
+            for &x in ns {
+                let w = if x == prev {
+                    1.0 / self.p
+                } else if prev_ns.binary_search(&x).is_ok() {
+                    1.0
+                } else {
+                    1.0 / self.q
+                };
+                total += w;
+                weights.push(total); // cumulative
+            }
+            let r = rng.next_f64() * total;
+            let k = weights.partition_point(|&c| c < r).min(ns.len() - 1);
+            prev = cur;
+            cur = ns[k];
+            out.push(cur);
+        }
+    }
+
+    /// Generates `walks_per_node` walks from every node, concatenated as
+    /// separate sentences (a corpus for skip-gram training).
+    pub fn corpus(
+        &self,
+        graph: &DiGraph,
+        walks_per_node: usize,
+        rng: &mut Xoshiro256pp,
+    ) -> Vec<Vec<u32>> {
+        let mut order: Vec<u32> = (0..graph.node_count()).collect();
+        let mut corpus = Vec::with_capacity(order.len() * walks_per_node);
+        for _ in 0..walks_per_node {
+            rng.shuffle(&mut order);
+            for &s in &order {
+                let mut sentence = Vec::with_capacity(self.len + 1);
+                sentence.push(s);
+                self.walk(graph, NodeId(s), rng, &mut sentence);
+                if sentence.len() > 1 {
+                    corpus.push(sentence);
+                }
+            }
+        }
+        corpus
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use proptest::prelude::*;
+
+    fn cycle(n: u32) -> DiGraph {
+        let mut b = GraphBuilder::new();
+        for i in 0..n {
+            b.add_edge(NodeId(i), NodeId((i + 1) % n));
+        }
+        b.build()
+    }
+
+    fn star_out() -> DiGraph {
+        // 0 -> {1, 2, 3}; leaves are sinks.
+        let mut b = GraphBuilder::new();
+        for v in 1..4 {
+            b.add_edge(NodeId(0), NodeId(v));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn uniform_walk_follows_edges() {
+        let g = cycle(5);
+        let mut rng = Xoshiro256pp::new(1);
+        let mut out = Vec::new();
+        uniform_walk(&g, 0, 7, &mut rng, &mut out);
+        assert_eq!(out, vec![1, 2, 3, 4, 0, 1, 2]);
+    }
+
+    #[test]
+    fn uniform_walk_stops_at_sink() {
+        let g = star_out();
+        let mut rng = Xoshiro256pp::new(2);
+        let mut out = Vec::new();
+        uniform_walk(&g, 0, 10, &mut rng, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!((1..4).contains(&out[0]));
+    }
+
+    #[test]
+    fn restart_walk_emits_requested_length_on_star() {
+        // On the out-star, a plain walk dies after 1 step, but restart
+        // resurrects it, so we always get `len` samples of the leaves.
+        let g = star_out();
+        let mut rng = Xoshiro256pp::new(3);
+        let mut out = Vec::new();
+        restart_walk(&g, 0, 20, 0.5, &mut rng, &mut out);
+        assert_eq!(out.len(), 20);
+        assert!(out.iter().all(|&v| (1..4).contains(&v)));
+    }
+
+    #[test]
+    fn restart_walk_isolated_start_emits_nothing() {
+        let g = GraphBuilder::with_nodes(3).build();
+        let mut rng = Xoshiro256pp::new(4);
+        let mut out = Vec::new();
+        restart_walk(&g, 0, 10, 0.5, &mut rng, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn restart_walk_stays_near_start_for_high_restart() {
+        // On a long path 0->1->...->19, restart=0.9 should rarely get past
+        // the first few hops.
+        let mut b = GraphBuilder::new();
+        for i in 0..19u32 {
+            b.add_edge(NodeId(i), NodeId(i + 1));
+        }
+        let g = b.build();
+        let mut rng = Xoshiro256pp::new(5);
+        let mut out = Vec::new();
+        restart_walk(&g, 0, 2000, 0.9, &mut rng, &mut out);
+        let far = out.iter().filter(|&&v| v > 5).count();
+        assert!(
+            (far as f64) < 0.02 * out.len() as f64,
+            "{far} of {} samples deep in the path",
+            out.len()
+        );
+    }
+
+    #[test]
+    fn node2vec_walk_valid_edges() {
+        let g = cycle(8);
+        let walker = Node2vecWalker::new(0.5, 2.0, 10);
+        let mut rng = Xoshiro256pp::new(6);
+        let mut out = vec![0u32];
+        walker.walk(&g, NodeId(0), &mut rng, &mut out);
+        for w in out.windows(2) {
+            assert!(g.has_edge(NodeId(w[0]), NodeId(w[1])));
+        }
+    }
+
+    #[test]
+    fn node2vec_low_p_returns_often() {
+        // Two nodes with edges both ways: with p tiny, the walk ping-pongs;
+        // statistically every second node is the start again.
+        let mut b = GraphBuilder::new();
+        b.add_edge_both(NodeId(0), NodeId(1));
+        b.add_edge_both(NodeId(0), NodeId(2));
+        b.add_edge_both(NodeId(1), NodeId(2));
+        let g = b.build();
+        let count_returns = |p: f64, q: f64, seed: u64| {
+            let walker = Node2vecWalker::new(p, q, 2000);
+            let mut rng = Xoshiro256pp::new(seed);
+            let mut out = Vec::new();
+            walker.walk(&g, NodeId(0), &mut rng, &mut out);
+            // Count immediate backtracks a->b->a.
+            out.windows(2)
+                .zip(std::iter::once(0u32).chain(out.iter().copied()))
+                .filter(|(w, before)| w[1] == *before)
+                .count() as f64
+                / out.len() as f64
+        };
+        let low_p = count_returns(0.05, 1.0, 7);
+        let high_p = count_returns(20.0, 1.0, 7);
+        assert!(
+            low_p > 2.0 * high_p,
+            "backtrack rate low_p={low_p} high_p={high_p}"
+        );
+    }
+
+    #[test]
+    fn corpus_covers_nodes() {
+        let g = cycle(10);
+        let walker = Node2vecWalker::new(1.0, 1.0, 5);
+        let mut rng = Xoshiro256pp::new(8);
+        let corpus = walker.corpus(&g, 2, &mut rng);
+        assert_eq!(corpus.len(), 20);
+        let starts: std::collections::BTreeSet<u32> =
+            corpus.iter().map(|s| s[0]).collect();
+        assert_eq!(starts.len(), 10);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Every consecutive pair in every walk flavor is a real edge.
+        #[test]
+        fn proptest_walks_follow_edges(seed in any::<u64>(), n in 3u32..20) {
+            let g = cycle(n);
+            let mut rng = Xoshiro256pp::new(seed);
+
+            let mut out = vec![0u32];
+            uniform_walk(&g, 0, 15, &mut rng, &mut out);
+            for w in out.windows(2) {
+                prop_assert!(g.has_edge(NodeId(w[0]), NodeId(w[1])));
+            }
+
+            let mut out = Vec::new();
+            restart_walk(&g, 0, 15, 0.5, &mut rng, &mut out);
+            // With restarts, consecutive emitted nodes need not be linked,
+            // but every emitted node must be reachable via an edge from
+            // either the previous node or the start.
+            let mut prev = 0u32;
+            for &v in &out {
+                prop_assert!(
+                    g.has_edge(NodeId(prev), NodeId(v)) || g.has_edge(NodeId(0), NodeId(v))
+                );
+                prev = v;
+            }
+        }
+    }
+}

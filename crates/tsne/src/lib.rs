@@ -1,0 +1,21 @@
+#![warn(missing_docs)]
+
+//! Exact t-SNE (van der Maaten & Hinton, JMLR 2008) with PCA
+//! initialization.
+//!
+//! The paper's Figure 6 projects learned influence embeddings to 2-D with
+//! t-SNE \[31\]; this crate implements the exact (O(n²)) algorithm, which is
+//! more than adequate for the 524 nodes the figure plots:
+//!
+//! - per-point precision calibration by binary search on the target
+//!   perplexity,
+//! - symmetrized input affinities with early exaggeration,
+//! - Student-t low-dimensional affinities with the standard
+//!   momentum + gains gradient descent,
+//! - deterministic PCA (power iteration) initialization.
+
+pub mod pca;
+pub mod tsne;
+
+pub use pca::pca_project;
+pub use tsne::{Tsne, TsneConfig};

@@ -1,0 +1,160 @@
+//! Principal component analysis by power iteration with deflation.
+//!
+//! Used to initialize t-SNE deterministically (random init makes figure
+//! regeneration non-reproducible) and as a standalone linear baseline
+//! projection.
+
+/// Projects `n × d` row-major data onto its top `components` principal
+/// directions. Returns an `n × components` row-major matrix.
+///
+/// # Panics
+///
+/// Panics when `data.len()` is not a multiple of `d`, or `components > d`.
+pub fn pca_project(data: &[f64], d: usize, components: usize) -> Vec<f64> {
+    assert!(d > 0 && data.len().is_multiple_of(d), "data shape mismatch");
+    assert!(components <= d, "cannot extract more components than dims");
+    let n = data.len() / d;
+    if n == 0 || components == 0 {
+        return Vec::new();
+    }
+
+    // Center the data.
+    let mut mean = vec![0.0f64; d];
+    for row in data.chunks_exact(d) {
+        for (m, x) in mean.iter_mut().zip(row) {
+            *m += x;
+        }
+    }
+    for m in &mut mean {
+        *m /= n as f64;
+    }
+    let mut centered: Vec<f64> = data.to_vec();
+    for row in centered.chunks_exact_mut(d) {
+        for (x, m) in row.iter_mut().zip(&mean) {
+            *x -= m;
+        }
+    }
+
+    // Power iteration with deflation on the (implicit) covariance matrix:
+    // v <- X^T (X v) / n, avoiding the d × d materialization.
+    let mut directions: Vec<Vec<f64>> = Vec::with_capacity(components);
+    let mut scores = vec![0.0f64; n];
+    for c in 0..components {
+        // Deterministic start vector, distinct per component.
+        let mut v: Vec<f64> = (0..d)
+            .map(|j| if j % (c + 2) == 0 { 1.0 } else { 0.5 })
+            .collect();
+        normalize(&mut v);
+        for _ in 0..100 {
+            // scores = X v
+            for (i, row) in centered.chunks_exact(d).enumerate() {
+                scores[i] = dot(row, &v);
+            }
+            // w = X^T scores
+            let mut w = vec![0.0f64; d];
+            for (i, row) in centered.chunks_exact(d).enumerate() {
+                let s = scores[i];
+                for (wj, xj) in w.iter_mut().zip(row) {
+                    *wj += s * xj;
+                }
+            }
+            // Deflate against earlier components.
+            for prev in &directions {
+                let proj = dot(&w, prev);
+                for (wj, pj) in w.iter_mut().zip(prev) {
+                    *wj -= proj * pj;
+                }
+            }
+            let norm = normalize(&mut w);
+            let delta: f64 = w.iter().zip(&v).map(|(a, b)| (a - b).abs()).sum();
+            v = w;
+            if norm == 0.0 || delta < 1e-10 {
+                break;
+            }
+        }
+        directions.push(v);
+    }
+
+    let mut out = vec![0.0f64; n * components];
+    for (i, row) in centered.chunks_exact(d).enumerate() {
+        for (c, dir) in directions.iter().enumerate() {
+            out[i * components + c] = dot(row, dir);
+        }
+    }
+    out
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+fn normalize(v: &mut [f64]) -> f64 {
+    let norm = dot(v, v).sqrt();
+    if norm > 0.0 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_dominant_direction() {
+        // Points spread along (1, 1, 0) with small noise in other dims.
+        let mut data = Vec::new();
+        for i in 0..50 {
+            let t = i as f64 - 25.0;
+            data.extend_from_slice(&[t, t + 0.01 * (i % 3) as f64, 0.001 * (i % 5) as f64]);
+        }
+        let proj = pca_project(&data, 3, 1);
+        assert_eq!(proj.len(), 50);
+        // The projection must be monotone in t (up to global sign).
+        let increasing = proj.windows(2).all(|w| w[1] >= w[0]);
+        let decreasing = proj.windows(2).all(|w| w[1] <= w[0]);
+        assert!(increasing || decreasing);
+        // And spread must reflect the data spread.
+        let range = proj.iter().cloned().fold(f64::MIN, f64::max)
+            - proj.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(range > 30.0, "range {range}");
+    }
+
+    #[test]
+    fn components_are_decorrelated() {
+        // 2-D structured data embedded in 4-D.
+        let mut data = Vec::new();
+        for i in 0..100 {
+            let a = (i as f64 * 0.37).sin() * 10.0;
+            let b = (i as f64 * 0.11).cos() * 3.0;
+            data.extend_from_slice(&[a + b, a - b, 0.5 * a, 0.1 * b]);
+        }
+        let proj = pca_project(&data, 4, 2);
+        let n = 100;
+        let (mut c1, mut c2): (Vec<f64>, Vec<f64>) = (Vec::new(), Vec::new());
+        for i in 0..n {
+            c1.push(proj[i * 2]);
+            c2.push(proj[i * 2 + 1]);
+        }
+        let corr = dot(&c1, &c2)
+            / (dot(&c1, &c1).sqrt() * dot(&c2, &c2).sqrt()).max(1e-12);
+        assert!(corr.abs() < 0.05, "components correlate: {corr}");
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(pca_project(&[], 3, 2).is_empty());
+        // Constant data: projections are all zero.
+        let data = vec![1.0; 12];
+        let proj = pca_project(&data, 3, 2);
+        assert!(proj.iter().all(|&x| x.abs() < 1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn rejects_ragged_data() {
+        let _ = pca_project(&[1.0, 2.0, 3.0], 2, 1);
+    }
+}

@@ -1,0 +1,215 @@
+//! Terminal plots for figure reproduction.
+//!
+//! The paper's figures (power-law frequency distributions, CDFs, sensitivity
+//! curves, t-SNE maps) are reproduced by the `repro` harness as plain-text
+//! plots plus machine-readable CSV series; this module renders the former.
+
+/// Renders an XY scatter/line plot on a character grid.
+///
+/// `series` is a list of `(label, points)`; each series gets its own glyph.
+/// Returns a multi-line string including axis ranges and a legend.
+pub fn xy_plot(
+    title: &str,
+    series: &[(&str, &[(f64, f64)])],
+    width: usize,
+    height: usize,
+    log_x: bool,
+    log_y: bool,
+) -> String {
+    const GLYPHS: [char; 8] = ['*', '+', 'o', 'x', '#', '@', '%', '&'];
+    let width = width.max(10);
+    let height = height.max(5);
+
+    let tx = |x: f64| if log_x { x.max(1e-12).log10() } else { x };
+    let ty = |y: f64| if log_y { y.max(1e-12).log10() } else { y };
+
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for (_, pts) in series {
+        for &(x, y) in *pts {
+            if x.is_finite() && y.is_finite() {
+                xs.push(tx(x));
+                ys.push(ty(y));
+            }
+        }
+    }
+    if xs.is_empty() {
+        return format!("{title}\n(no data)\n");
+    }
+    let (xmin, xmax) = min_max(&xs);
+    let (ymin, ymax) = min_max(&ys);
+    let xspan = (xmax - xmin).max(1e-12);
+    let yspan = (ymax - ymin).max(1e-12);
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, pts)) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for &(x, y) in *pts {
+            if !x.is_finite() || !y.is_finite() {
+                continue;
+            }
+            let cx = (((tx(x) - xmin) / xspan) * (width - 1) as f64).round() as usize;
+            let cy = (((ty(y) - ymin) / yspan) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - cy.min(height - 1);
+            grid[row][cx.min(width - 1)] = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let axis = |v: f64, log: bool| {
+        let v = if log { 10f64.powf(v) } else { v };
+        fmt_compact(v)
+    };
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{:>9} |", axis(ymax, log_y))
+        } else if i == height - 1 {
+            format!("{:>9} |", axis(ymin, log_y))
+        } else {
+            format!("{:>9} |", "")
+        };
+        out.push_str(&label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>10}{}\n", " ", "-".repeat(width)));
+    out.push_str(&format!(
+        "{:>10}{:<Wl$}{:>Wr$}\n",
+        " ",
+        axis(xmin, log_x),
+        axis(xmax, log_x),
+        Wl = width / 2,
+        Wr = width - width / 2,
+    ));
+    for (si, (label, _)) in series.iter().enumerate() {
+        out.push_str(&format!("  {} {}\n", GLYPHS[si % GLYPHS.len()], label));
+    }
+    out
+}
+
+/// Renders a horizontal bar chart of `(label, value)` pairs.
+pub fn bar_chart(title: &str, bars: &[(String, f64)], width: usize) -> String {
+    let width = width.max(10);
+    let max = bars
+        .iter()
+        .map(|&(_, v)| v)
+        .fold(f64::NEG_INFINITY, f64::max)
+        .max(1e-12);
+    let label_w = bars.iter().map(|(l, _)| l.chars().count()).max().unwrap_or(0);
+    let mut out = format!("{title}\n");
+    for (label, v) in bars {
+        let n = ((v / max) * width as f64).round().max(0.0) as usize;
+        out.push_str(&format!(
+            "{label:<label_w$} | {} {v:.4}\n",
+            "#".repeat(n.min(width)),
+        ));
+    }
+    out
+}
+
+/// Formats a float compactly: integers without decimals, small magnitudes
+/// with 3 significant digits, large/small magnitudes in scientific notation.
+fn fmt_compact(v: f64) -> String {
+    let a = v.abs();
+    if v == 0.0 {
+        "0".to_string()
+    } else if !(1e-3..1e6).contains(&a) {
+        format!("{v:.2e}")
+    } else if (v - v.round()).abs() < 1e-9 && a < 1e6 {
+        format!("{}", v.round() as i64)
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+fn min_max(xs: &[f64]) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &x in xs {
+        lo = lo.min(x);
+        hi = hi.max(x);
+    }
+    (lo, hi)
+}
+
+/// Serializes `(x, y)` series to CSV with a header: `x,label1,label2,...`.
+/// Series may have different x grids; missing cells are left empty.
+pub fn series_csv(series: &[(&str, &[(f64, f64)])]) -> String {
+    use std::collections::BTreeMap;
+    let mut by_x: BTreeMap<u64, Vec<Option<f64>>> = BTreeMap::new();
+    for (i, (_, pts)) in series.iter().enumerate() {
+        for &(x, y) in *pts {
+            let key = x.to_bits();
+            let row = by_x.entry(key).or_insert_with(|| vec![None; series.len()]);
+            row[i] = Some(y);
+        }
+    }
+    let mut out = String::from("x");
+    for (label, _) in series {
+        out.push(',');
+        out.push_str(label);
+    }
+    out.push('\n');
+    for (xbits, row) in by_x {
+        out.push_str(&format!("{}", f64::from_bits(xbits)));
+        for cell in row {
+            out.push(',');
+            if let Some(y) = cell {
+                out.push_str(&format!("{y}"));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plot_contains_points_and_legend() {
+        let pts: Vec<(f64, f64)> = (1..=10).map(|i| (i as f64, (i * i) as f64)).collect();
+        let s = xy_plot("test", &[("squares", &pts)], 40, 10, false, false);
+        assert!(s.contains("test"));
+        assert!(s.contains('*'));
+        assert!(s.contains("squares"));
+    }
+
+    #[test]
+    fn log_plot_handles_zero() {
+        let pts = [(0.0, 0.0), (10.0, 100.0)];
+        let s = xy_plot("log", &[("s", &pts)], 30, 8, true, true);
+        assert!(s.contains('*'));
+    }
+
+    #[test]
+    fn empty_series_no_panic() {
+        let s = xy_plot("empty", &[("none", &[])], 30, 8, false, false);
+        assert!(s.contains("no data"));
+    }
+
+    #[test]
+    fn bar_chart_scales() {
+        let bars = vec![("a".to_string(), 1.0), ("bb".to_string(), 2.0)];
+        let s = bar_chart("bars", &bars, 20);
+        let a_len = s.lines().nth(1).unwrap().matches('#').count();
+        let b_len = s.lines().nth(2).unwrap().matches('#').count();
+        assert_eq!(b_len, 20);
+        assert_eq!(a_len, 10);
+    }
+
+    #[test]
+    fn csv_round_trip_shape() {
+        let s1 = [(1.0, 2.0), (2.0, 3.0)];
+        let s2 = [(1.0, 5.0)];
+        let csv = series_csv(&[("a", &s1), ("b", &s2)]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "x,a,b");
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].starts_with("1,2,5"));
+        assert!(lines[2].starts_with("2,3,"));
+    }
+}

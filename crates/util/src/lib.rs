@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! Shared utilities for the inf2vec workspace.
+//!
+//! This crate hosts the small, dependency-light building blocks that the rest
+//! of the workspace relies on:
+//!
+//! - [`hash`]: an Fx-style fast hasher and `FxHashMap`/`FxHashSet` aliases for
+//!   integer-keyed tables on hot paths (the default SipHash is needlessly slow
+//!   for `u32` node ids and HashDoS is not a concern for offline experiments).
+//! - [`rng`]: deterministic, explicitly-seeded random number generation
+//!   (SplitMix64 for seed derivation, Xoshiro256++ as the workhorse stream).
+//!   Every randomized component in the workspace takes a `u64` seed so that
+//!   experiments are reproducible bit-for-bit in single-threaded mode.
+//! - [`alias`]: Walker's alias method for O(1) sampling from a fixed discrete
+//!   distribution (used by negative sampling and weighted walks).
+//! - [`sigmoid`]: a word2vec-style precomputed sigmoid lookup table used by
+//!   the skip-gram training kernels.
+//! - [`topk`]: a bounded min-heap collector for top-N ranking.
+//! - [`stats`]: summary statistics and Welch's t-test for multi-run
+//!   experiment reporting.
+//! - [`table`]: a fixed-width plain-text table renderer for experiment
+//!   output that mirrors the paper's tables.
+//! - [`ascii`]: terminal scatter/histogram plots for figure reproduction.
+
+pub mod alias;
+pub mod ascii;
+pub mod hash;
+pub mod rng;
+pub mod sigmoid;
+pub mod stats;
+pub mod table;
+pub mod topk;
+
+pub use alias::AliasTable;
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use rng::{split_seed, SplitMix64, Xoshiro256pp};
+pub use sigmoid::SigmoidTable;
+pub use stats::{welch_t_test, RunningStats, Summary};
+pub use table::TextTable;
+pub use topk::TopK;

@@ -1,0 +1,127 @@
+//! Precomputed sigmoid lookup table.
+//!
+//! Skip-gram training evaluates `σ(x) = 1 / (1 + e^{-x})` for every positive
+//! and negative sample; following the original word2vec implementation we
+//! precompute the function on a uniform grid over `[-MAX_X, MAX_X]` and clamp
+//! outside it, where the gradient is negligible anyway.
+
+/// Sigmoid of `x`, computed exactly.
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// A lookup table for the logistic sigmoid on `[-max_x, max_x]`.
+#[derive(Debug, Clone)]
+pub struct SigmoidTable {
+    table: Vec<f32>,
+    max_x: f32,
+    scale: f32,
+}
+
+impl SigmoidTable {
+    /// word2vec defaults: 6.0 clamp, 1000 bins.
+    pub const DEFAULT_MAX_X: f32 = 6.0;
+    /// Default number of bins.
+    pub const DEFAULT_BINS: usize = 1024;
+
+    /// Builds a table with `bins` samples over `[-max_x, max_x]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins < 2` or `max_x <= 0`.
+    pub fn new(max_x: f32, bins: usize) -> Self {
+        assert!(bins >= 2, "need at least two bins");
+        assert!(max_x > 0.0, "max_x must be positive");
+        let table: Vec<f32> = (0..bins)
+            .map(|i| {
+                let x = -max_x + 2.0 * max_x * (i as f32 + 0.5) / bins as f32;
+                sigmoid(x)
+            })
+            .collect();
+        Self {
+            table,
+            max_x,
+            scale: bins as f32 / (2.0 * max_x),
+        }
+    }
+
+    /// Looks up `σ(x)`, clamping to 0/1 outside `[-max_x, max_x]`.
+    ///
+    /// The maximum absolute error with the default parameters is below 3e-3,
+    /// which is well inside SGD noise.
+    #[inline]
+    pub fn get(&self, x: f32) -> f32 {
+        if x <= -self.max_x {
+            return 0.0;
+        }
+        if x >= self.max_x {
+            return 1.0;
+        }
+        let idx = ((x + self.max_x) * self.scale) as usize;
+        // Guard the upper boundary against float rounding.
+        self.table[idx.min(self.table.len() - 1)]
+    }
+}
+
+impl Default for SigmoidTable {
+    fn default() -> Self {
+        Self::new(Self::DEFAULT_MAX_X, Self::DEFAULT_BINS)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn exact_sigmoid_midpoint() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-7);
+        assert!(sigmoid(10.0) > 0.9999);
+        assert!(sigmoid(-10.0) < 0.0001);
+    }
+
+    #[test]
+    fn table_close_to_exact() {
+        let t = SigmoidTable::default();
+        let mut max_err: f32 = 0.0;
+        let mut x = -8.0f32;
+        while x <= 8.0 {
+            max_err = max_err.max((t.get(x) - sigmoid(x)).abs());
+            x += 0.003;
+        }
+        assert!(max_err < 3e-3, "max error {max_err} too large");
+    }
+
+    #[test]
+    fn clamps_outside_range() {
+        let t = SigmoidTable::default();
+        assert_eq!(t.get(100.0), 1.0);
+        assert_eq!(t.get(-100.0), 0.0);
+        assert_eq!(t.get(f32::INFINITY), 1.0);
+        assert_eq!(t.get(f32::NEG_INFINITY), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "two bins")]
+    fn rejects_tiny_table() {
+        let _ = SigmoidTable::new(6.0, 1);
+    }
+
+    proptest! {
+        /// The table output is always in [0, 1] and monotone on the grid.
+        #[test]
+        fn proptest_bounds(x in -50.0f32..50.0) {
+            let t = SigmoidTable::default();
+            let y = t.get(x);
+            prop_assert!((0.0..=1.0).contains(&y));
+        }
+
+        #[test]
+        fn proptest_monotone(a in -6.0f32..6.0, d in 0.1f32..3.0) {
+            let t = SigmoidTable::default();
+            prop_assert!(t.get(a + d) >= t.get(a) - 1e-6);
+        }
+    }
+}

@@ -1,0 +1,323 @@
+//! Summary statistics and significance testing for multi-run experiments.
+//!
+//! The paper reports each latent-representation result as the mean over 10
+//! runs with a standard deviation, and claims significance at p < 0.05. We
+//! reproduce both: [`RunningStats`]/[`Summary`] for mean ± σ, and
+//! [`welch_t_test`] for the two-sample unequal-variance t-test, with the
+//! Student-t CDF evaluated through the regularized incomplete beta function.
+
+/// Online mean/variance accumulator (Welford's algorithm).
+#[derive(Debug, Clone, Default)]
+pub struct RunningStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 with fewer than 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn stdev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Snapshot as an immutable [`Summary`].
+    pub fn summary(&self) -> Summary {
+        Summary {
+            n: self.n,
+            mean: self.mean(),
+            stdev: self.stdev(),
+        }
+    }
+}
+
+/// Immutable summary of a sample: count, mean, standard deviation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: u64,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub stdev: f64,
+}
+
+impl Summary {
+    /// Summarizes a slice of observations.
+    pub fn of(xs: &[f64]) -> Self {
+        let mut s = RunningStats::new();
+        for &x in xs {
+            s.push(x);
+        }
+        s.summary()
+    }
+}
+
+/// Result of a Welch two-sample t-test.
+#[derive(Debug, Clone, Copy)]
+pub struct WelchTest {
+    /// The t statistic (positive when sample a's mean exceeds sample b's).
+    pub t: f64,
+    /// Welch–Satterthwaite degrees of freedom.
+    pub df: f64,
+    /// Two-sided p-value.
+    pub p_two_sided: f64,
+}
+
+/// Welch's unequal-variance t-test between two samples.
+///
+/// Returns `None` when either sample has fewer than two observations or when
+/// both variances are zero (the statistic is undefined; with identical
+/// constant samples there is nothing to test).
+pub fn welch_t_test(a: &[f64], b: &[f64]) -> Option<WelchTest> {
+    let sa = Summary::of(a);
+    let sb = Summary::of(b);
+    if sa.n < 2 || sb.n < 2 {
+        return None;
+    }
+    let va = sa.stdev * sa.stdev / sa.n as f64;
+    let vb = sb.stdev * sb.stdev / sb.n as f64;
+    let se2 = va + vb;
+    if se2 == 0.0 {
+        return None;
+    }
+    let t = (sa.mean - sb.mean) / se2.sqrt();
+    let df = se2 * se2
+        / (va * va / (sa.n as f64 - 1.0) + vb * vb / (sb.n as f64 - 1.0));
+    let p = 2.0 * student_t_sf(t.abs(), df);
+    Some(WelchTest {
+        t,
+        df,
+        p_two_sided: p.clamp(0.0, 1.0),
+    })
+}
+
+/// Survival function of the Student-t distribution: `P(T > t)` for `t >= 0`.
+fn student_t_sf(t: f64, df: f64) -> f64 {
+    if !t.is_finite() {
+        return 0.0;
+    }
+    // P(T > t) = I_{df/(df+t^2)}(df/2, 1/2) / 2 for t >= 0.
+    let x = df / (df + t * t);
+    0.5 * regularized_incomplete_beta(0.5 * df, 0.5, x)
+}
+
+/// Regularized incomplete beta function `I_x(a, b)` via the continued
+/// fraction of Numerical Recipes (Lentz's method).
+fn regularized_incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    let ln_front =
+        ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    // Use the symmetry relation to keep the continued fraction convergent.
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        1.0 - ln_front.exp() * beta_cf(b, a, 1.0 - x) / b
+    }
+}
+
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 1e-14;
+    const TINY: f64 = 1e-300;
+
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let delta = d * c;
+        h *= delta;
+        if (delta - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Natural log of the gamma function (Lanczos approximation, g = 7, n = 9).
+fn ln_gamma(x: f64) -> f64 {
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return pi.ln() - (pi * x).sin().ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEFFS[0];
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn running_stats_basics() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.n, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Population σ is 2; sample stdev = sqrt(32/7).
+        assert!((s.stdev - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ln_gamma_reference_values() {
+        // Γ(1) = 1, Γ(2) = 1, Γ(5) = 24, Γ(0.5) = sqrt(pi).
+        assert!(ln_gamma(1.0).abs() < 1e-10);
+        assert!(ln_gamma(2.0).abs() < 1e-10);
+        assert!((ln_gamma(5.0) - 24.0f64.ln()).abs() < 1e-10);
+        assert!((ln_gamma(0.5) - 0.5 * std::f64::consts::PI.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn incomplete_beta_symmetry() {
+        // I_x(a,b) = 1 - I_{1-x}(b,a)
+        for &(a, b, x) in &[(2.0, 3.0, 0.4), (0.5, 0.5, 0.1), (5.0, 1.0, 0.9)] {
+            let lhs = regularized_incomplete_beta(a, b, x);
+            let rhs = 1.0 - regularized_incomplete_beta(b, a, 1.0 - x);
+            assert!((lhs - rhs).abs() < 1e-10, "a={a} b={b} x={x}");
+        }
+    }
+
+    #[test]
+    fn student_t_reference_values() {
+        // With df=10, P(T > 1.812) ≈ 0.05 (standard t-table value).
+        let p = student_t_sf(1.812, 10.0);
+        assert!((p - 0.05).abs() < 0.002, "got {p}");
+        // With df=1 (Cauchy), P(T > 1) = 0.25.
+        let p = student_t_sf(1.0, 1.0);
+        assert!((p - 0.25).abs() < 1e-6, "got {p}");
+    }
+
+    #[test]
+    fn welch_detects_clear_separation() {
+        let a = [10.0, 10.1, 9.9, 10.05, 9.95];
+        let b = [5.0, 5.2, 4.8, 5.1, 4.9];
+        let test = welch_t_test(&a, &b).expect("test defined");
+        assert!(test.t > 0.0);
+        assert!(test.p_two_sided < 0.001, "p = {}", test.p_two_sided);
+    }
+
+    #[test]
+    fn welch_overlapping_samples_not_significant() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [1.5, 2.5, 2.9, 4.1, 4.6];
+        let test = welch_t_test(&a, &b).expect("test defined");
+        assert!(test.p_two_sided > 0.5, "p = {}", test.p_two_sided);
+    }
+
+    #[test]
+    fn welch_degenerate_cases() {
+        assert!(welch_t_test(&[1.0], &[2.0, 3.0]).is_none());
+        assert!(welch_t_test(&[1.0, 1.0], &[1.0, 1.0]).is_none());
+    }
+
+    proptest! {
+        /// p-values are probabilities and symmetric in sample order.
+        #[test]
+        fn proptest_p_value_bounds(
+            a in prop::collection::vec(-10.0f64..10.0, 3..12),
+            b in prop::collection::vec(-10.0f64..10.0, 3..12),
+        ) {
+            if let Some(t1) = welch_t_test(&a, &b) {
+                prop_assert!((0.0..=1.0).contains(&t1.p_two_sided));
+                let t2 = welch_t_test(&b, &a).unwrap();
+                prop_assert!((t1.p_two_sided - t2.p_two_sided).abs() < 1e-9);
+                prop_assert!((t1.t + t2.t).abs() < 1e-9);
+            }
+        }
+
+        /// Incomplete beta is within [0,1] and monotone in x.
+        #[test]
+        fn proptest_beta_monotone(a in 0.2f64..20.0, b in 0.2f64..20.0, x in 0.0f64..1.0, d in 0.0f64..0.5) {
+            let lo = regularized_incomplete_beta(a, b, x);
+            let hi = regularized_incomplete_beta(a, b, (x + d).min(1.0));
+            prop_assert!((0.0..=1.0).contains(&lo));
+            prop_assert!(hi >= lo - 1e-9);
+        }
+    }
+}

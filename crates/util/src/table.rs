@@ -1,0 +1,153 @@
+//! Plain-text table rendering for experiment output.
+//!
+//! The `repro` harness prints each of the paper's tables in the same row/
+//! column layout; [`TextTable`] handles alignment and separators so the
+//! output is readable in a terminal and diffable across runs.
+
+use std::fmt::Write as _;
+
+/// A simple fixed-width text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row. Rows shorter than the header are padded with blanks;
+    /// longer rows extend the column count.
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table to a string (trailing newline included).
+    pub fn render(&self) -> String {
+        let ncols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain(std::iter::once(self.header.len()))
+            .max()
+            .unwrap_or(0);
+        if ncols == 0 {
+            return String::new();
+        }
+        let mut widths = vec![0usize; ncols];
+        let measure = |widths: &mut Vec<usize>, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        };
+        measure(&mut widths, &self.header);
+        for r in &self.rows {
+            measure(&mut widths, r);
+        }
+
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String], widths: &[usize]| {
+            for (i, w) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                let pad = w - cell.chars().count();
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                // Left-align the first column (labels), right-align the rest
+                // (numbers).
+                if i == 0 {
+                    let _ = write!(out, "{cell}{}", " ".repeat(pad));
+                } else {
+                    let _ = write!(out, "{}{cell}", " ".repeat(pad));
+                }
+            }
+            out.push('\n');
+        };
+
+        if !self.header.is_empty() {
+            write_row(&mut out, &self.header, &widths);
+            let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+            out.push_str(&"-".repeat(total));
+            out.push('\n');
+        }
+        for r in &self.rows {
+            write_row(&mut out, r, &widths);
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for TextTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Formats a float with 4 decimal places, the precision the paper reports.
+pub fn fmt4(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+/// Formats `mean (σ)` the way the paper annotates Inf2vec rows.
+pub fn fmt_mean_std(mean: f64, std: f64) -> String {
+    format!("{mean:.4} ({std:.4})")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(["Method", "AUC", "MAP"]);
+        t.row(["DE", "0.4144", "0.0170"]);
+        t.row(["Inf2vec", "0.8893", "0.2744"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("Method"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Right-aligned numeric columns: both rows end at the same width.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn ragged_rows_ok() {
+        let mut t = TextTable::new(["A"]);
+        t.row(["x", "y", "z"]);
+        t.row(["only"]);
+        let s = t.render();
+        assert!(s.contains('z'));
+        assert!(s.contains("only"));
+    }
+
+    #[test]
+    fn empty_table_renders_empty() {
+        let t = TextTable::default();
+        assert_eq!(t.render(), "");
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt4(0.12345), "0.1235");
+        assert_eq!(fmt_mean_std(0.5, 0.01), "0.5000 (0.0100)");
+    }
+}

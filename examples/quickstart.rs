@@ -1,0 +1,63 @@
+//! Quickstart: generate a small social dataset, learn an Inf2vec influence
+//! embedding, and predict who gets influenced.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use inf2vec::core::{train, Inf2vecConfig};
+use inf2vec::diffusion::synth::{generate, SyntheticConfig};
+use inf2vec::eval::activation::ActivationTask;
+use inf2vec::eval::{Aggregator, ScoringModel};
+use inf2vec::graph::NodeId;
+
+fn main() {
+    // 1. A dataset: a social graph plus an action log of diffusion
+    //    episodes. Here we synthesize one; `Dataset` can also be built from
+    //    your own edge list + action log (see `graph::io` / `dataset`).
+    let synth = generate(&SyntheticConfig::tiny(), 7);
+    let dataset = &synth.dataset;
+    println!(
+        "dataset: {} users, {} edges, {} episodes, {} actions",
+        dataset.graph.node_count(),
+        dataset.graph.edge_count(),
+        dataset.log.len(),
+        dataset.log.action_count()
+    );
+
+    // 2. Split episodes and train the influence embedding (Algorithm 2).
+    let split = dataset.split(0.8, 0.1, 1);
+    let config = Inf2vecConfig {
+        k: 32,
+        epochs: 10,
+        seed: 1,
+        ..Inf2vecConfig::default()
+    };
+    let model = train(dataset, &split.train, &config);
+    println!(
+        "trained: K = {}, |V| = {} (source + target vectors, biases)",
+        model.store.k(),
+        model.store.len()
+    );
+
+    // 3. Score influence: x(u, v) = S_u · T_v + b_u + b̃_v.
+    let (u, v) = (NodeId(0), NodeId(1));
+    println!("x({u}, {v}) = {:.4}", model.score(u, v));
+
+    // 4. Who would user 0 most likely influence?
+    println!("top influenced by {u}:");
+    for (node, score) in model.top_influenced(u, 5) {
+        println!("  {node}: {score:.4}");
+    }
+
+    // 5. Evaluate activation prediction on the held-out episodes.
+    let task = ActivationTask::build(
+        &dataset.graph,
+        split.test.iter().map(|&i| &dataset.log.episodes()[i]),
+    );
+    let metrics = task.evaluate(&ScoringModel::Representation(&model, Aggregator::Ave));
+    println!(
+        "activation prediction: AUC = {:.4}, MAP = {:.4}, P@10 = {:.4}",
+        metrics.auc, metrics.map, metrics.p10
+    );
+}

@@ -1,0 +1,121 @@
+//! Cross-crate learning-quality checks: the counting baselines behave
+//! sensibly relative to each other and to the ground truth, and the
+//! influence-maximization loop closes end to end.
+
+use inf2vec::baselines::st::Static;
+use inf2vec::core::{train, Inf2vecConfig};
+use inf2vec::diffusion::im::{celf_greedy, ImConfig};
+use inf2vec::diffusion::synth::{generate, SyntheticConfig};
+use inf2vec::diffusion::{ic, Episode};
+use inf2vec::eval::score::CascadeModel as _;
+use inf2vec::graph::NodeId;
+use inf2vec::util::rng::Xoshiro256pp;
+
+/// ST's learned probabilities must correlate with the generator's ground
+/// truth: edges it estimates as high-probability should truly be stronger
+/// on average than the edges it estimates as zero.
+#[test]
+fn st_estimates_correlate_with_ground_truth() {
+    let synth = generate(&SyntheticConfig::tiny(), 99);
+    let graph = &synth.dataset.graph;
+    let episodes: Vec<&Episode> = synth.dataset.log.episodes().iter().collect();
+    let st = Static::train(graph, episodes.iter().copied());
+
+    let mut truth_observed = 0.0f64;
+    let mut n_observed = 0usize;
+    let mut truth_unobserved = 0.0f64;
+    let mut n_unobserved = 0usize;
+    for (u, v) in graph.edges() {
+        let truth = synth.truth.get(graph, u, v) as f64;
+        if st.edge_prob(u, v) > 0.0 {
+            truth_observed += truth;
+            n_observed += 1;
+        } else {
+            truth_unobserved += truth;
+            n_unobserved += 1;
+        }
+    }
+    assert!(n_observed > 50, "too few observed edges: {n_observed}");
+    assert!(n_unobserved > 50);
+    let observed = truth_observed / n_observed as f64;
+    let unobserved = truth_unobserved / n_unobserved as f64;
+    assert!(
+        observed > 1.5 * unobserved,
+        "observed edges truth {observed:.4} vs unobserved {unobserved:.4}"
+    );
+}
+
+/// CELF on the ground truth must beat random seeding by a wide margin
+/// when judged by the ground truth itself.
+#[test]
+fn celf_on_truth_beats_random_seeds() {
+    let synth = generate(&SyntheticConfig::tiny(), 55);
+    let graph = &synth.dataset.graph;
+    let im = ImConfig {
+        k: 4,
+        simulations: 60,
+        seed: 1,
+    };
+    let chosen = celf_greedy(graph, &synth.truth, &im);
+
+    let spread = |seeds: &[NodeId]| {
+        let mut rng = Xoshiro256pp::new(7);
+        let mut total = 0usize;
+        for _ in 0..200 {
+            total += ic::simulate(graph, &synth.truth, seeds, &mut rng).len();
+        }
+        total as f64 / 200.0
+    };
+    let good = spread(&chosen.seed_nodes());
+
+    let mut rng = Xoshiro256pp::new(3);
+    let mut random_total = 0.0;
+    for _ in 0..5 {
+        let seeds: Vec<NodeId> = (0..4)
+            .map(|_| NodeId(rng.below(graph.node_count() as u64) as u32))
+            .collect();
+        random_total += spread(&seeds);
+    }
+    let random = random_total / 5.0;
+    assert!(
+        good > 2.0 * random,
+        "CELF spread {good:.1} vs random {random:.1}"
+    );
+}
+
+/// The learned model's calibrated probabilities support cascade
+/// simulation: simulated spreads are finite, nonzero, and respond to the
+/// calibration target.
+#[test]
+fn learned_probabilities_drive_simulation() {
+    let synth = generate(&SyntheticConfig::tiny(), 77);
+    let split = synth.dataset.split(0.8, 0.1, 1);
+    let model = train(
+        &synth.dataset,
+        &split.train,
+        &Inf2vecConfig {
+            k: 16,
+            l: 15,
+            epochs: 5,
+            seed: 2,
+            ..Inf2vecConfig::default()
+        },
+    );
+    let graph = &synth.dataset.graph;
+    let spread_at = |mean_p: f64| {
+        let probs = model.edge_probs_calibrated(graph, mean_p);
+        let mut rng = Xoshiro256pp::new(5);
+        let mut total = 0usize;
+        for _ in 0..100 {
+            total += ic::simulate(graph, &probs, &[NodeId(0), NodeId(1)], &mut rng).len();
+        }
+        total as f64 / 100.0
+    };
+    let low = spread_at(0.01);
+    let high = spread_at(0.10);
+    assert!(low.is_finite() && high.is_finite());
+    assert!(
+        high > low,
+        "spread should grow with calibration target: {low} vs {high}"
+    );
+}

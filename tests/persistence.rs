@@ -1,0 +1,88 @@
+//! Round-trip tests for every on-disk format, across crate boundaries.
+
+use inf2vec::core::{train, Inf2vecConfig, Inf2vecModel};
+use inf2vec::diffusion::dataset::read_log;
+use inf2vec::diffusion::synth::{generate, SyntheticConfig};
+use inf2vec::graph::io::{read_edge_list, write_edge_list};
+use inf2vec::graph::NodeId;
+
+#[test]
+fn dataset_round_trips_through_text() {
+    let synth = generate(&SyntheticConfig::tiny(), 3);
+    let d = &synth.dataset;
+
+    let mut graph_buf = Vec::new();
+    write_edge_list(&d.graph, &mut graph_buf).unwrap();
+    let graph2 = read_edge_list(graph_buf.as_slice()).unwrap();
+    assert_eq!(d.graph, graph2);
+
+    let mut log_buf = Vec::new();
+    d.write_log(&mut log_buf).unwrap();
+    let log2 = read_log(log_buf.as_slice()).unwrap();
+    assert_eq!(log2.len(), d.log.len());
+    assert_eq!(log2.action_count(), d.log.action_count());
+    for (a, b) in d.log.episodes().iter().zip(log2.episodes()) {
+        assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn trained_model_round_trips_and_scores_identically() {
+    let synth = generate(&SyntheticConfig::tiny(), 4);
+    let split = synth.dataset.split(0.8, 0.1, 5);
+    let model = train(
+        &synth.dataset,
+        &split.train,
+        &Inf2vecConfig {
+            k: 12,
+            l: 10,
+            epochs: 2,
+            seed: 6,
+            ..Inf2vecConfig::default()
+        },
+    );
+
+    let mut buf = Vec::new();
+    model.save(&mut buf).unwrap();
+    let loaded = Inf2vecModel::load(buf.as_slice()).unwrap();
+
+    assert_eq!(loaded.store.k(), model.store.k());
+    assert_eq!(loaded.store.len(), model.store.len());
+    for u in (0..synth.dataset.graph.node_count()).step_by(17) {
+        for v in (0..synth.dataset.graph.node_count()).step_by(23) {
+            assert_eq!(
+                model.score(NodeId(u), NodeId(v)),
+                loaded.score(NodeId(u), NodeId(v)),
+                "score mismatch at ({u}, {v})"
+            );
+        }
+    }
+}
+
+#[test]
+fn corrupted_model_files_are_rejected() {
+    let synth = generate(&SyntheticConfig::tiny(), 4);
+    let split = synth.dataset.split(0.8, 0.1, 5);
+    let model = train(
+        &synth.dataset,
+        &split.train,
+        &Inf2vecConfig {
+            k: 4,
+            l: 5,
+            epochs: 1,
+            seed: 6,
+            ..Inf2vecConfig::default()
+        },
+    );
+    let mut buf = Vec::new();
+    model.save(&mut buf).unwrap();
+
+    // Truncation.
+    let truncated = &buf[..buf.len() / 2];
+    assert!(Inf2vecModel::load(truncated).is_err());
+
+    // Header corruption.
+    let mut bad = buf.clone();
+    bad[0] = b'x';
+    assert!(Inf2vecModel::load(bad.as_slice()).is_err());
+}

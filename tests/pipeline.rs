@@ -1,0 +1,164 @@
+//! End-to-end integration tests: generate a dataset, train every method,
+//! evaluate both tasks, and check the paper's qualitative ordering claims
+//! on a small instance.
+
+use inf2vec::baselines::{
+    de::Degree,
+    em::{IcEm, IcEmConfig},
+    mf::{MfBpr, MfConfig},
+    node2vec::{Node2vec, Node2vecConfig},
+    st::Static,
+};
+use inf2vec::core::{train, Inf2vecConfig};
+use inf2vec::diffusion::synth::{generate, SyntheticConfig, SyntheticDataset};
+use inf2vec::diffusion::DatasetSplit;
+use inf2vec::eval::activation::ActivationTask;
+use inf2vec::eval::diffusion_task::DiffusionTask;
+use inf2vec::eval::{Aggregator, RankingMetrics, ScoringModel};
+
+fn setup() -> (SyntheticDataset, DatasetSplit) {
+    let synth = generate(&SyntheticConfig::tiny(), 2024);
+    let split = synth.dataset.split(0.8, 0.1, 9);
+    (synth, split)
+}
+
+fn activation_task(synth: &SyntheticDataset, split: &DatasetSplit) -> ActivationTask {
+    ActivationTask::build(
+        &synth.dataset.graph,
+        split.test.iter().map(|&i| &synth.dataset.log.episodes()[i]),
+    )
+}
+
+fn assert_valid(m: &RankingMetrics) {
+    for v in m.values() {
+        assert!((0.0..=1.0).contains(&v), "metric out of range: {m:?}");
+    }
+}
+
+#[test]
+fn every_method_produces_valid_metrics_on_both_tasks() {
+    let (synth, split) = setup();
+    let graph = &synth.dataset.graph;
+    let train_eps: Vec<_> = split
+        .train
+        .iter()
+        .map(|&i| &synth.dataset.log.episodes()[i])
+        .collect();
+
+    let act = activation_task(&synth, &split);
+    let diff = DiffusionTask::build(
+        split.test.iter().map(|&i| &synth.dataset.log.episodes()[i]),
+        DiffusionTask::SEED_FRACTION,
+        100,
+    );
+    assert!(act.candidate_count() > 50, "task too small to be meaningful");
+    assert!(act.positive_count() > 5);
+
+    let de = Degree::new(graph);
+    let st = Static::train(graph, train_eps.iter().copied());
+    let em = IcEm::train(graph, &train_eps, &IcEmConfig { iterations: 5, init_prob: 0.1 }).bind(graph);
+    let mf = MfBpr::train(
+        graph.node_count() as usize,
+        &train_eps,
+        &MfConfig { k: 16, epochs: 5, ..MfConfig::default() },
+    );
+    let n2v = Node2vec::train(
+        graph,
+        &Node2vecConfig { k: 16, walks_per_node: 3, walk_length: 20, epochs: 2, ..Node2vecConfig::default() },
+    );
+    let inf = train(
+        &synth.dataset,
+        &split.train,
+        &Inf2vecConfig { k: 16, l: 20, epochs: 6, seed: 4, ..Inf2vecConfig::default() },
+    );
+
+    let models: Vec<(&str, ScoringModel<'_>)> = vec![
+        ("DE", ScoringModel::Cascade(&de)),
+        ("ST", ScoringModel::Cascade(&st)),
+        ("EM", ScoringModel::Cascade(&em)),
+        ("MF", ScoringModel::Representation(&mf, Aggregator::Ave)),
+        ("Node2vec", ScoringModel::Representation(&n2v, Aggregator::Ave)),
+        ("Inf2vec", ScoringModel::Representation(&inf, Aggregator::Ave)),
+    ];
+    for (name, model) in &models {
+        let m = act.evaluate(model);
+        assert_valid(&m);
+        assert!(m.auc > 0.0, "{name} activation AUC degenerate");
+        let m = diff.evaluate(graph, model, 1);
+        assert_valid(&m);
+    }
+}
+
+/// The headline qualitative claim: Inf2vec beats the no-learning floor (DE)
+/// and the structure-only baseline (node2vec) on activation prediction.
+#[test]
+fn inf2vec_beats_de_and_node2vec() {
+    let (synth, split) = setup();
+    let graph = &synth.dataset.graph;
+    let act = activation_task(&synth, &split);
+
+    let inf = train(
+        &synth.dataset,
+        &split.train,
+        &Inf2vecConfig { k: 32, l: 30, epochs: 10, seed: 11, ..Inf2vecConfig::default() },
+    );
+    let m_inf = act.evaluate(&ScoringModel::Representation(&inf, Aggregator::Ave));
+
+    let de = Degree::new(graph);
+    let m_de = act.evaluate(&ScoringModel::Cascade(&de));
+
+    let n2v = Node2vec::train(
+        graph,
+        &Node2vecConfig { k: 32, seed: 11, ..Node2vecConfig::default() },
+    );
+    let m_n2v = act.evaluate(&ScoringModel::Representation(&n2v, Aggregator::Ave));
+
+    assert!(
+        m_inf.auc > m_de.auc + 0.02,
+        "Inf2vec {:.4} not above DE {:.4}",
+        m_inf.auc,
+        m_de.auc
+    );
+    assert!(
+        m_inf.auc > m_n2v.auc + 0.02,
+        "Inf2vec {:.4} not above Node2vec {:.4}",
+        m_inf.auc,
+        m_n2v.auc
+    );
+}
+
+/// Table IV's claim: the full context mixture beats local-only (α = 1).
+#[test]
+fn inf2vec_beats_inf2vec_l() {
+    let (synth, split) = setup();
+    let act = activation_task(&synth, &split);
+    let base = Inf2vecConfig { k: 32, l: 30, epochs: 10, seed: 13, ..Inf2vecConfig::default() };
+
+    let full = train(&synth.dataset, &split.train, &base);
+    let local = train(&synth.dataset, &split.train, &base.clone().inf2vec_l());
+
+    let m_full = act.evaluate(&ScoringModel::Representation(&full, Aggregator::Ave));
+    let m_local = act.evaluate(&ScoringModel::Representation(&local, Aggregator::Ave));
+    assert!(
+        m_full.auc > m_local.auc,
+        "full {:.4} not above local-only {:.4}",
+        m_full.auc,
+        m_local.auc
+    );
+}
+
+/// The whole pipeline is deterministic for a fixed seed (single-threaded).
+#[test]
+fn pipeline_is_deterministic() {
+    let run = || {
+        let (synth, split) = setup();
+        let act = activation_task(&synth, &split);
+        let model = train(
+            &synth.dataset,
+            &split.train,
+            &Inf2vecConfig { k: 8, l: 10, epochs: 3, seed: 21, ..Inf2vecConfig::default() },
+        );
+        act.evaluate(&ScoringModel::Representation(&model, Aggregator::Ave))
+    };
+    assert_eq!(run(), run());
+}
