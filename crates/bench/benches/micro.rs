@@ -3,7 +3,8 @@
 //! Complements the `repro fig9` wall-clock comparison with statistically
 //! sound per-operation timings: context generation (Algorithm 1), the SGNS
 //! update (Eq. 6), walks, propagation-network extraction, pair extraction,
-//! Monte-Carlo spread, and one EM iteration.
+//! Monte-Carlo spread, one EM iteration, and the atomic checkpoint write
+//! (the fault-tolerance layer's per-epoch overhead).
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
@@ -15,6 +16,7 @@ use inf2vec_core::Inf2vecConfig;
 use inf2vec_diffusion::pairs::episode_pairs;
 use inf2vec_diffusion::synth::{generate, SyntheticConfig, SyntheticDataset};
 use inf2vec_diffusion::{ic, Episode, PropagationNetwork};
+use inf2vec_embed::checkpoint::write_checkpoint;
 use inf2vec_embed::sgns::{FlatPairs, SgnsConfig, SgnsTrainer};
 use inf2vec_embed::{EmbeddingStore, NegativeTable};
 use inf2vec_graph::walk::{restart_walk, Node2vecWalker};
@@ -120,6 +122,25 @@ fn bench_corpus_generation(c: &mut Criterion) {
     });
 }
 
+fn bench_checkpoint_write(c: &mut Criterion) {
+    // Per-epoch cost of the fault-tolerance layer: snapshot-to-disk of the
+    // full parameter store via temp file + fsync + rename. K = 50 matches
+    // the paper's default dimension; n matches the synthetic graph.
+    let s = setup();
+    let n = s.dataset.graph.node_count() as usize;
+    let store = EmbeddingStore::new(n, 50, 1);
+    let dir = std::env::temp_dir().join(format!("inf2vec-bench-ckpt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create bench scratch dir");
+    let path = dir.join("bench.ckpt");
+    c.bench_function(&format!("checkpoint/atomic_write_n{n}_k50"), |b| {
+        b.iter(|| {
+            write_checkpoint(black_box(&path), 1, 1000, 1.0, Some(0.5), black_box(&store))
+                .expect("checkpoint write")
+        })
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 fn bench_monte_carlo(c: &mut Criterion) {
     let s = setup();
     let probs = ic::EdgeProbs::weighted_cascade(&s.dataset.graph);
@@ -163,6 +184,7 @@ criterion_group!(
     bench_walks,
     bench_sgns_step,
     bench_corpus_generation,
+    bench_checkpoint_write,
     bench_monte_carlo,
     bench_em_iteration,
 );

@@ -1,5 +1,7 @@
 //! Inf2vec hyper-parameters.
 
+use inf2vec_util::error::ConfigError;
+
 /// All knobs of Algorithm 1 + Algorithm 2, preloaded with the paper's §V-A2
 /// defaults.
 #[derive(Debug, Clone)]
@@ -78,25 +80,39 @@ impl Inf2vecConfig {
         self.l - self.local_len()
     }
 
-    /// Validates parameter ranges.
-    ///
-    /// # Panics
-    ///
-    /// Panics on out-of-range values; called by the trainers.
-    pub fn validate(&self) {
-        assert!(self.k > 0, "K must be positive");
-        assert!(self.l > 0, "L must be positive");
-        assert!(
-            (0.0..=1.0).contains(&self.alpha),
-            "alpha must be in [0, 1]"
-        );
-        assert!(
-            (0.0..=1.0).contains(&self.restart),
-            "restart must be in [0, 1]"
-        );
-        assert!(self.lr > 0.0, "learning rate must be positive");
-        assert!(self.epochs > 0, "need at least one epoch");
-        assert!(self.threads >= 1, "need at least one thread");
+    /// Validates parameter ranges; the trainers call this before touching
+    /// any data.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.k == 0 {
+            return Err(ConfigError::new("k", "K must be positive"));
+        }
+        if self.l == 0 {
+            return Err(ConfigError::new("l", "L must be positive"));
+        }
+        if !(0.0..=1.0).contains(&self.alpha) {
+            return Err(ConfigError::new("alpha", "alpha must be in [0, 1]"));
+        }
+        if !(0.0..=1.0).contains(&self.restart) {
+            return Err(ConfigError::new("restart", "restart must be in [0, 1]"));
+        }
+        if !(self.lr > 0.0 && self.lr.is_finite()) {
+            return Err(ConfigError::new("lr", "learning rate must be positive"));
+        }
+        if self.epochs == 0 {
+            return Err(ConfigError::new("epochs", "need at least one epoch"));
+        }
+        if self.threads == 0 {
+            return Err(ConfigError::new("threads", "need at least one thread"));
+        }
+        Ok(())
+    }
+
+    /// [`validate`](Self::validate), panicking on the first violation
+    /// (legacy wrapper for the panicking train entry points).
+    pub fn validate_or_panic(&self) {
+        if let Err(e) = self.validate() {
+            panic!("{e}");
+        }
     }
 }
 
@@ -113,7 +129,7 @@ mod tests {
         assert!((c.restart - 0.5).abs() < 1e-12);
         assert!((c.lr - 0.005).abs() < 1e-9);
         assert!(c.use_bias);
-        c.validate();
+        c.validate().unwrap();
     }
 
     #[test]
@@ -144,6 +160,21 @@ mod tests {
             alpha: 1.5,
             ..Inf2vecConfig::default()
         }
-        .validate();
+        .validate_or_panic();
+    }
+
+    #[test]
+    fn validate_reports_the_offending_field() {
+        let cases: [(&str, Inf2vecConfig); 5] = [
+            ("k", Inf2vecConfig { k: 0, ..Inf2vecConfig::default() }),
+            ("l", Inf2vecConfig { l: 0, ..Inf2vecConfig::default() }),
+            ("restart", Inf2vecConfig { restart: -0.1, ..Inf2vecConfig::default() }),
+            ("lr", Inf2vecConfig { lr: f32::NAN, ..Inf2vecConfig::default() }),
+            ("epochs", Inf2vecConfig { epochs: 0, ..Inf2vecConfig::default() }),
+        ];
+        for (field, cfg) in cases {
+            let err = cfg.validate().unwrap_err();
+            assert_eq!(err.field, field);
+        }
     }
 }

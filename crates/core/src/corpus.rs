@@ -32,8 +32,13 @@ impl InfluenceContextSource {
     ///
     /// Empty networks contribute nothing. In the default mode the contexts
     /// are generated here, once, with a dedicated RNG stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid `config`; the `Result`-returning train entry
+    /// points validate before constructing a source, so they never hit it.
     pub fn new(nets: Vec<PropagationNetwork>, config: &Inf2vecConfig) -> Self {
-        config.validate();
+        config.validate_or_panic();
         let mut source = Self {
             nets,
             local_len: config.local_len(),

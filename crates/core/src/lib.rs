@@ -34,4 +34,8 @@ pub mod train;
 pub use config::Inf2vecConfig;
 pub use corpus::InfluenceContextSource;
 pub use model::Inf2vecModel;
-pub use train::{select_alpha, train, train_incremental, train_on_pairs};
+pub use train::{
+    resume_from_checkpoint, select_alpha, train, train_incremental, train_on_pairs,
+    train_resumable, try_select_alpha, try_train, try_train_incremental, try_train_on_pairs,
+    CheckpointConfig, FaultTolerance,
+};

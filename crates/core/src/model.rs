@@ -154,6 +154,20 @@ impl Inf2vecModel {
             store: EmbeddingStore::load(r)?,
         })
     }
+
+    /// Atomically writes the model to `path` (temp file + fsync + rename):
+    /// a crash mid-write leaves any previous file intact, and a store with
+    /// non-finite parameters is refused before any bytes hit the disk.
+    pub fn save_to_path(&self, path: &std::path::Path) -> Result<(), inf2vec_util::Inf2vecError> {
+        self.store.save_to_path(path)
+    }
+
+    /// Loads a model from `path`, rejecting malformed or non-finite data.
+    pub fn load_from_path(path: &std::path::Path) -> Result<Self, inf2vec_util::Inf2vecError> {
+        Ok(Self {
+            store: EmbeddingStore::load_from_path(path)?,
+        })
+    }
 }
 
 impl RepresentationModel for Inf2vecModel {
@@ -269,5 +283,28 @@ mod tests {
         m.save(&mut buf).unwrap();
         let l = Inf2vecModel::load(buf.as_slice()).unwrap();
         assert_eq!(l.score(NodeId(0), NodeId(2)), m.score(NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    fn path_round_trip_refuses_poisoned_store() {
+        let dir = std::env::temp_dir().join(format!("inf2vec-model-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.txt");
+        let m = model_with_scores();
+        m.save_to_path(&path).unwrap();
+        let l = Inf2vecModel::load_from_path(&path).unwrap();
+        assert_eq!(l.score(NodeId(0), NodeId(2)), m.score(NodeId(0), NodeId(2)));
+        // A poisoned store must not overwrite the good file on disk.
+        let bad = model_with_scores();
+        unsafe {
+            bad.store.source.row_mut(1)[0] = f32::NAN;
+        }
+        assert!(bad.save_to_path(&path).is_err());
+        let survivor = Inf2vecModel::load_from_path(&path).unwrap();
+        assert_eq!(
+            survivor.score(NodeId(0), NodeId(2)),
+            m.score(NodeId(0), NodeId(2))
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

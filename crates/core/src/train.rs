@@ -1,36 +1,101 @@
 //! Algorithm 2: the Inf2vec training pipeline.
+//!
+//! Every entry point exists in two flavours: a `try_*` function returning
+//! [`Inf2vecError`] (the API new code should call) and the historical
+//! panicking wrapper kept for benches and examples. On top of those,
+//! [`train_resumable`] adds periodic atomic checkpoints, automatic resume
+//! after a crash, and loss-divergence rollback — see [`FaultTolerance`].
+
+use std::path::PathBuf;
 
 use inf2vec_diffusion::{Dataset, PropagationNetwork};
-use inf2vec_embed::sgns::{FlatPairs, SgnsConfig, SgnsTrainer, TrainReport};
+use inf2vec_embed::checkpoint::{write_checkpoint, Checkpoint};
+use inf2vec_embed::sgns::{
+    DivergenceGuard, FlatPairs, PairSource, SgnsConfig, SgnsTrainer, TrainOptions, TrainReport,
+};
 use inf2vec_embed::{EmbeddingStore, NegativeTable};
+use inf2vec_util::error::{ConfigError, Inf2vecError, TrainError};
 use inf2vec_util::rng::split_seed;
 
 use crate::config::Inf2vecConfig;
 use crate::corpus::InfluenceContextSource;
 use crate::model::Inf2vecModel;
 
+/// Periodic-snapshot policy for [`train_resumable`].
+#[derive(Debug, Clone)]
+pub struct CheckpointConfig {
+    /// Where the checkpoint lives. Written atomically; an existing file at
+    /// this path is treated as a prior run's state and resumed from.
+    pub path: PathBuf,
+    /// Checkpoint after every `every_epochs` completed epochs (and always
+    /// after the final one). 1 = every epoch.
+    pub every_epochs: usize,
+}
+
+impl CheckpointConfig {
+    /// Checkpoints to `path` after every epoch.
+    pub fn every_epoch(path: impl Into<PathBuf>) -> Self {
+        Self {
+            path: path.into(),
+            every_epochs: 1,
+        }
+    }
+}
+
+/// Fault-tolerance options for [`train_resumable`]: both knobs default to
+/// off, reproducing plain training.
+#[derive(Debug, Clone, Default)]
+pub struct FaultTolerance {
+    /// Periodic atomic snapshots + resume-on-restart.
+    pub checkpoint: Option<CheckpointConfig>,
+    /// Per-epoch loss anomaly detection with rollback and lr backoff.
+    pub guard: Option<DivergenceGuard>,
+}
+
 /// Trains Inf2vec on the training episodes of `dataset` (Algorithm 2).
 ///
 /// `train_idx` selects the training episodes (from [`Dataset::split`]);
 /// pass `0..n` to train on everything.
+///
+/// Panicking wrapper over [`try_train`].
 pub fn train(dataset: &Dataset, train_idx: &[usize], config: &Inf2vecConfig) -> Inf2vecModel {
-    config.validate();
+    try_train(dataset, train_idx, config).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible variant of [`train`].
+pub fn try_train(
+    dataset: &Dataset,
+    train_idx: &[usize],
+    config: &Inf2vecConfig,
+) -> Result<Inf2vecModel, Inf2vecError> {
+    config.validate()?;
     // Lines 3-4: extract the propagation network of every episode.
     let nets: Vec<PropagationNetwork> = train_idx
         .iter()
         .map(|&i| PropagationNetwork::build(&dataset.graph, &dataset.log.episodes()[i]))
         .collect();
-    train_on_networks(dataset.graph.node_count() as usize, nets, config).0
+    Ok(try_train_on_networks(dataset.graph.node_count() as usize, nets, config)?.0)
 }
 
 /// Trains from pre-built propagation networks; returns the model and the
 /// SGNS report (exposed for the efficiency benches).
+///
+/// Panicking wrapper over [`try_train_on_networks`].
 pub fn train_on_networks(
     n_nodes: usize,
     nets: Vec<PropagationNetwork>,
     config: &Inf2vecConfig,
 ) -> (Inf2vecModel, TrainReport) {
-    config.validate();
+    try_train_on_networks(n_nodes, nets, config).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible variant of [`train_on_networks`].
+pub fn try_train_on_networks(
+    n_nodes: usize,
+    nets: Vec<PropagationNetwork>,
+    config: &Inf2vecConfig,
+) -> Result<(Inf2vecModel, TrainReport), Inf2vecError> {
+    config.validate()?;
     // Lines 5-8: generate the influence contexts.
     let source = InfluenceContextSource::new(nets, config);
     // Negative sampling over the context-target distribution (unigram^0.75).
@@ -43,12 +108,23 @@ pub fn train_on_networks(
 /// This is the setting of the Table VI citation case study ("we only
 /// exploit first-order social influence pairs") and of the paper's
 /// efficiency footnote (same input as Emb-IC).
+///
+/// Panicking wrapper over [`try_train_on_pairs`].
 pub fn train_on_pairs(
     n_nodes: usize,
     pairs: &[(u32, u32)],
     config: &Inf2vecConfig,
 ) -> Inf2vecModel {
-    config.validate();
+    try_train_on_pairs(n_nodes, pairs, config).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible variant of [`train_on_pairs`].
+pub fn try_train_on_pairs(
+    n_nodes: usize,
+    pairs: &[(u32, u32)],
+    config: &Inf2vecConfig,
+) -> Result<Inf2vecModel, Inf2vecError> {
+    config.validate()?;
     let source = FlatPairs::new(pairs.to_vec());
     // Uniform negatives (the paper: "we randomly generate several negative
     // instances"). A unigram^0.75 table — word2vec's default, used by the
@@ -57,7 +133,7 @@ pub fn train_on_pairs(
     // would cancel exactly the popularity signal the conformity bias should
     // capture.
     let negatives = NegativeTable::uniform(n_nodes as u32);
-    run_sgns(n_nodes, &source, &negatives, config).0
+    Ok(run_sgns(n_nodes, &source, &negatives, config)?.0)
 }
 
 /// Continues training an existing model on additional episodes (online
@@ -70,21 +146,42 @@ pub fn train_on_pairs(
 ///
 /// # Panics
 ///
-/// Panics if the model was trained over a different node universe or
-/// `config.k` disagrees with the model's dimension.
+/// Panicking wrapper over [`try_train_incremental`]: panics if the model
+/// was trained over a different node universe or `config.k` disagrees with
+/// the model's dimension.
 pub fn train_incremental(
     model: &mut Inf2vecModel,
     dataset: &Dataset,
     episode_idx: &[usize],
     config: &Inf2vecConfig,
 ) -> TrainReport {
-    config.validate();
-    assert_eq!(
-        model.store.len(),
-        dataset.graph.node_count() as usize,
-        "model/node-universe mismatch"
-    );
-    assert_eq!(config.k, model.store.k(), "config K disagrees with the model");
+    try_train_incremental(model, dataset, episode_idx, config).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible variant of [`train_incremental`].
+pub fn try_train_incremental(
+    model: &mut Inf2vecModel,
+    dataset: &Dataset,
+    episode_idx: &[usize],
+    config: &Inf2vecConfig,
+) -> Result<TrainReport, Inf2vecError> {
+    config.validate()?;
+    if model.store.len() != dataset.graph.node_count() as usize {
+        return Err(TrainError::ShapeMismatch {
+            what: "model/node-universe mismatch",
+            expected: dataset.graph.node_count() as usize,
+            found: model.store.len(),
+        }
+        .into());
+    }
+    if config.k != model.store.k() {
+        return Err(TrainError::ShapeMismatch {
+            what: "config K disagrees with the model",
+            expected: model.store.k(),
+            found: config.k,
+        }
+        .into());
+    }
     let nets: Vec<PropagationNetwork> = episode_idx
         .iter()
         .map(|&i| PropagationNetwork::build(&dataset.graph, &dataset.log.episodes()[i]))
@@ -92,15 +189,15 @@ pub fn train_incremental(
     let source = InfluenceContextSource::new(nets, config);
     let negatives =
         NegativeTable::from_counts(&source.context_target_counts(model.store.len()));
-    let trainer = SgnsTrainer::new(SgnsConfig {
+    let trainer = SgnsTrainer::try_new(SgnsConfig {
         negatives: config.negatives,
         lr: config.lr,
         lr_min: config.lr,
         epochs: config.epochs,
         threads: config.threads,
         seed: split_seed(config.seed, 0x263),
-    });
-    trainer.train(&model.store, &source, &negatives)
+    })?;
+    trainer.try_train(&model.store, &source, &negatives)
 }
 
 /// Selects the component weight α on the tuning split, mirroring the
@@ -112,7 +209,8 @@ pub fn train_incremental(
 ///
 /// # Panics
 ///
-/// Panics if `candidates` is empty.
+/// Panicking wrapper over [`try_select_alpha`]: panics if `candidates` is
+/// empty or any config is invalid.
 pub fn select_alpha(
     dataset: &Dataset,
     train_idx: &[usize],
@@ -120,7 +218,21 @@ pub fn select_alpha(
     candidates: &[f64],
     config: &Inf2vecConfig,
 ) -> (f64, f64) {
-    assert!(!candidates.is_empty(), "need at least one candidate alpha");
+    try_select_alpha(dataset, train_idx, tune_idx, candidates, config)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible variant of [`select_alpha`].
+pub fn try_select_alpha(
+    dataset: &Dataset,
+    train_idx: &[usize],
+    tune_idx: &[usize],
+    candidates: &[f64],
+    config: &Inf2vecConfig,
+) -> Result<(f64, f64), Inf2vecError> {
+    if candidates.is_empty() {
+        return Err(ConfigError::new("candidates", "need at least one candidate alpha").into());
+    }
     let task = inf2vec_eval::activation::ActivationTask::build(
         &dataset.graph,
         tune_idx.iter().map(|&i| &dataset.log.episodes()[i]),
@@ -129,8 +241,8 @@ pub fn select_alpha(
     for &alpha in candidates {
         let mut cfg = config.clone();
         cfg.alpha = alpha;
-        cfg.validate();
-        let model = train(dataset, train_idx, &cfg);
+        cfg.validate()?;
+        let model = try_train(dataset, train_idx, &cfg)?;
         let metrics = task.evaluate(&inf2vec_eval::ScoringModel::Representation(
             &model,
             inf2vec_eval::Aggregator::Ave,
@@ -139,29 +251,190 @@ pub fn select_alpha(
             best = (alpha, metrics.map);
         }
     }
-    best
+    Ok(best)
 }
 
-fn run_sgns(
+/// Trains with checkpoint/resume and divergence protection (Algorithm 2
+/// plus the fault-tolerance layer).
+///
+/// When `ft.checkpoint` is set and a checkpoint file already exists at its
+/// path, training resumes from it instead of starting over — in
+/// single-thread mode the resumed run is bit-identical to an uninterrupted
+/// one, because per-epoch RNG streams depend only on `(seed, epoch)`.
+/// Fresh snapshots are written atomically after every
+/// `every_epochs` completed epochs.
+pub fn train_resumable(
+    dataset: &Dataset,
+    train_idx: &[usize],
+    config: &Inf2vecConfig,
+    ft: &FaultTolerance,
+) -> Result<(Inf2vecModel, TrainReport), Inf2vecError> {
+    config.validate()?;
+    let nets: Vec<PropagationNetwork> = train_idx
+        .iter()
+        .map(|&i| PropagationNetwork::build(&dataset.graph, &dataset.log.episodes()[i]))
+        .collect();
+    let n_nodes = dataset.graph.node_count() as usize;
+    let source = InfluenceContextSource::new(nets, config);
+    let negatives = NegativeTable::from_counts(&source.context_target_counts(n_nodes));
+    train_resumable_on_source(n_nodes, &source, &negatives, config, ft)
+}
+
+/// Resumes training from an existing checkpoint, erroring if there is
+/// nothing to resume from (use [`train_resumable`] when a cold start is an
+/// acceptable fallback).
+pub fn resume_from_checkpoint(
+    dataset: &Dataset,
+    train_idx: &[usize],
+    config: &Inf2vecConfig,
+    ft: &FaultTolerance,
+) -> Result<(Inf2vecModel, TrainReport), Inf2vecError> {
+    let ck = ft.checkpoint.as_ref().ok_or_else(|| {
+        Inf2vecError::Config(ConfigError::new(
+            "checkpoint",
+            "resume requires a checkpoint config",
+        ))
+    })?;
+    if !ck.path.exists() {
+        return Err(Inf2vecError::Io(std::io::Error::new(
+            std::io::ErrorKind::NotFound,
+            format!("no checkpoint at {}", ck.path.display()),
+        )));
+    }
+    train_resumable(dataset, train_idx, config, ft)
+}
+
+/// [`train_resumable`] over an explicit pair source — the seam the
+/// fault-injection tests use to wrap sources with panic triggers, and the
+/// path custom corpora can call directly.
+pub fn train_resumable_on_source(
     n_nodes: usize,
-    source: &dyn inf2vec_embed::sgns::PairSource,
+    source: &dyn PairSource,
     negatives: &NegativeTable,
     config: &Inf2vecConfig,
-) -> (Inf2vecModel, TrainReport) {
-    // Line 1: initialize S, T ~ U[-1/K, 1/K], biases 0.
-    let mut store = EmbeddingStore::new(n_nodes, config.k, split_seed(config.seed, 0x171));
-    store.use_bias = config.use_bias;
-    // Lines 9-17: SGD with negative sampling until convergence.
-    let trainer = SgnsTrainer::new(SgnsConfig {
+    ft: &FaultTolerance,
+) -> Result<(Inf2vecModel, TrainReport), Inf2vecError> {
+    config.validate()?;
+
+    // Resume state: either a prior checkpoint or a fresh initialization
+    // (Algorithm 2 line 1: S, T ~ U[-1/K, 1/K], biases 0).
+    let resumed = match &ft.checkpoint {
+        Some(ck) if ck.path.exists() => Some(Checkpoint::load_from_path(&ck.path)?),
+        _ => None,
+    };
+    let (store, start_epoch, pairs_done, lr_scale, last_good) = match resumed {
+        Some(ck) => {
+            if ck.store.len() != n_nodes {
+                return Err(TrainError::ShapeMismatch {
+                    what: "checkpoint node count disagrees with the dataset",
+                    expected: n_nodes,
+                    found: ck.store.len(),
+                }
+                .into());
+            }
+            if ck.store.k() != config.k {
+                return Err(TrainError::ShapeMismatch {
+                    what: "checkpoint dimension disagrees with config K",
+                    expected: config.k,
+                    found: ck.store.k(),
+                }
+                .into());
+            }
+            if ck.epochs_done > config.epochs {
+                return Err(TrainError::ShapeMismatch {
+                    what: "checkpoint is ahead of the configured epochs",
+                    expected: config.epochs,
+                    found: ck.epochs_done,
+                }
+                .into());
+            }
+            (
+                ck.store,
+                ck.epochs_done,
+                ck.pairs_processed,
+                ck.lr_scale,
+                ck.last_good_loss,
+            )
+        }
+        None => {
+            let mut store =
+                EmbeddingStore::new(n_nodes, config.k, split_seed(config.seed, 0x171));
+            store.use_bias = config.use_bias;
+            (store, 0, 0, 1.0, None)
+        }
+    };
+
+    let trainer = SgnsTrainer::try_new(SgnsConfig {
         negatives: config.negatives,
         lr: config.lr,
         lr_min: config.lr,
         epochs: config.epochs,
         threads: config.threads,
         seed: split_seed(config.seed, 0x262),
-    });
-    let report = trainer.train(&store, source, negatives);
-    (Inf2vecModel::new(store), report)
+    })?;
+
+    let epochs = config.epochs;
+    let mut hook;
+    let on_epoch: Option<inf2vec_embed::sgns::EpochHook<'_>> = match &ft.checkpoint {
+        Some(ck) => {
+            let every = ck.every_epochs.max(1);
+            let path = ck.path.clone();
+            let store_ref = &store;
+            hook = move |st: &inf2vec_embed::EpochState| -> std::io::Result<()> {
+                let done = st.epoch + 1;
+                if done.is_multiple_of(every) || done == epochs {
+                    write_checkpoint(
+                        &path,
+                        done,
+                        st.pairs_processed,
+                        st.lr_scale,
+                        Some(st.mean_loss),
+                        store_ref,
+                    )?;
+                }
+                Ok(())
+            };
+            Some(&mut hook)
+        }
+        None => None,
+    };
+
+    let report = trainer.try_train_with(
+        &store,
+        source,
+        negatives,
+        TrainOptions {
+            start_epoch,
+            pairs_already_processed: pairs_done,
+            lr_scale,
+            last_good_loss: last_good,
+            guard: ft.guard.clone(),
+            on_epoch,
+        },
+    )?;
+    Ok((Inf2vecModel::new(store), report))
+}
+
+fn run_sgns(
+    n_nodes: usize,
+    source: &dyn PairSource,
+    negatives: &NegativeTable,
+    config: &Inf2vecConfig,
+) -> Result<(Inf2vecModel, TrainReport), Inf2vecError> {
+    // Line 1: initialize S, T ~ U[-1/K, 1/K], biases 0.
+    let mut store = EmbeddingStore::new(n_nodes, config.k, split_seed(config.seed, 0x171));
+    store.use_bias = config.use_bias;
+    // Lines 9-17: SGD with negative sampling until convergence.
+    let trainer = SgnsTrainer::try_new(SgnsConfig {
+        negatives: config.negatives,
+        lr: config.lr,
+        lr_min: config.lr,
+        epochs: config.epochs,
+        threads: config.threads,
+        seed: split_seed(config.seed, 0x262),
+    })?;
+    let report = trainer.try_train(&store, source, negatives)?;
+    Ok((Inf2vecModel::new(store), report))
 }
 
 #[cfg(test)]

@@ -3,6 +3,7 @@
 use std::io::{BufRead, Write};
 
 use inf2vec_graph::{DiGraph, NodeId};
+use inf2vec_util::error::{ConfigError, DataError};
 use inf2vec_util::rng::Xoshiro256pp;
 
 use crate::action::{ActionLog, Episode, ItemId};
@@ -34,22 +35,36 @@ impl Dataset {
     ///
     /// # Panics
     ///
-    /// Panics if any episode references a user outside the graph.
+    /// Panics if any episode references a user outside the graph; use
+    /// [`try_new`](Self::try_new) when the inputs are untrusted.
     pub fn new(graph: DiGraph, log: ActionLog, name: impl Into<String>) -> Self {
+        Self::try_new(graph, log, name).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Creates a dataset, reporting a [`DataError`] if any episode
+    /// references a user outside the graph.
+    pub fn try_new(
+        graph: DiGraph,
+        log: ActionLog,
+        name: impl Into<String>,
+    ) -> Result<Self, DataError> {
         for e in log.episodes() {
             for u in e.users() {
-                assert!(
-                    u.0 < graph.node_count(),
-                    "episode {} references user {u} outside the graph",
-                    e.item
-                );
+                if u.0 >= graph.node_count() {
+                    return Err(DataError::Invalid {
+                        message: format!(
+                            "episode {} references user {u} outside the graph",
+                            e.item
+                        ),
+                    });
+                }
             }
         }
-        Self {
+        Ok(Self {
             graph,
             log,
             name: name.into(),
-        }
+        })
     }
 
     /// Randomly splits episodes into train/tune/test by the given fractions
@@ -58,9 +73,30 @@ impl Dataset {
     ///
     /// # Panics
     ///
-    /// Panics unless `0 < train`, `0 <= tune`, `train + tune < 1`.
+    /// Panics unless `0 < train`, `0 <= tune`, `train + tune < 1`; use
+    /// [`try_split`](Self::try_split) when the fractions are untrusted.
     pub fn split(&self, train: f64, tune: f64, seed: u64) -> DatasetSplit {
-        assert!(train > 0.0 && tune >= 0.0 && train + tune < 1.0, "bad split fractions");
+        self.try_split(train, tune, seed)
+            .unwrap_or_else(|e| panic!("bad split fractions: {e}"))
+    }
+
+    /// Fallible variant of [`split`](Self::split): rejects fractions outside
+    /// `0 < train`, `0 <= tune`, `train + tune < 1` (NaN included).
+    pub fn try_split(
+        &self,
+        train: f64,
+        tune: f64,
+        seed: u64,
+    ) -> Result<DatasetSplit, ConfigError> {
+        if !(train > 0.0 && train.is_finite()) {
+            return Err(ConfigError::new("train", "train fraction must be in (0, 1)"));
+        }
+        if !(tune >= 0.0 && tune.is_finite()) {
+            return Err(ConfigError::new("tune", "tune fraction must be in [0, 1)"));
+        }
+        if train + tune >= 1.0 {
+            return Err(ConfigError::new("tune", "train + tune must leave room for test"));
+        }
         let n = self.log.len();
         let mut idx: Vec<usize> = (0..n).collect();
         let mut rng = Xoshiro256pp::new(seed);
@@ -69,11 +105,11 @@ impl Dataset {
         let n_tune = ((n as f64) * tune).round() as usize;
         let n_train = n_train.min(n);
         let n_tune = n_tune.min(n - n_train);
-        DatasetSplit {
+        Ok(DatasetSplit {
             train: idx[..n_train].to_vec(),
             tune: idx[n_train..n_train + n_tune].to_vec(),
             test: idx[n_train + n_tune..].to_vec(),
-        }
+        })
     }
 
     /// The episodes selected by `indices`.
@@ -233,6 +269,38 @@ mod tests {
         for (a, b) in d.log.episodes().iter().zip(log2.episodes()) {
             assert_eq!(a, b);
         }
+    }
+
+    #[test]
+    fn try_new_reports_foreign_users() {
+        let g = GraphBuilder::with_nodes(2).build();
+        let log = ActionLog::from_actions(&[Action {
+            user: NodeId(5),
+            item: ItemId(0),
+            time: 0,
+        }]);
+        let err = Dataset::try_new(g, log, "bad").unwrap_err();
+        assert!(err.to_string().contains("outside the graph"), "{err}");
+    }
+
+    #[test]
+    fn try_split_rejects_nan_and_degenerate_fractions() {
+        let d = tiny();
+        for (train, tune) in [
+            (0.0, 0.1),
+            (-0.5, 0.1),
+            (f64::NAN, 0.1),
+            (0.5, f64::NAN),
+            (0.5, -0.1),
+            (0.9, 0.2),
+            (1.0, 0.0),
+        ] {
+            assert!(
+                d.try_split(train, tune, 1).is_err(),
+                "accepted train={train} tune={tune}"
+            );
+        }
+        assert!(d.try_split(0.8, 0.1, 1).is_ok());
     }
 
     #[test]

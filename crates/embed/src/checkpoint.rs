@@ -1,0 +1,258 @@
+//! Atomic on-disk training checkpoints.
+//!
+//! A checkpoint is everything needed to continue training bit-identically
+//! (in single-thread mode) after a crash: the full parameter store plus the
+//! scalar loop state — epochs completed, cumulative pair count (for the lr
+//! schedule), the divergence guard's learning-rate scale, and the last
+//! healthy loss (the guard's baseline). Per-epoch RNG streams are derived
+//! purely from `(seed, epoch, shard)`, so no generator state is persisted.
+//!
+//! Format: one header line
+//! `inf2vec-checkpoint v1 <epochs_done> <pairs> <lr_scale> <last_good_loss>`
+//! (with `-` for an absent loss), followed by the store's own text format.
+//! Writes go through [`atomic_write`], so a crash mid-checkpoint leaves the
+//! previous checkpoint intact.
+
+use std::io::{BufRead, Write};
+use std::path::Path;
+
+use inf2vec_util::error::{DataError, Inf2vecError};
+use inf2vec_util::fsio::atomic_write;
+
+use crate::store::EmbeddingStore;
+
+/// Magic + version tag of the checkpoint header.
+const MAGIC: &str = "inf2vec-checkpoint";
+const VERSION: &str = "v1";
+
+/// A resumable training state: parameters plus loop counters.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// Epochs fully completed (resume starts at this epoch index).
+    pub epochs_done: usize,
+    /// Cumulative pairs processed across all completed epochs.
+    pub pairs_processed: u64,
+    /// The divergence guard's learning-rate multiplier at checkpoint time.
+    pub lr_scale: f32,
+    /// The last healthy epoch's mean loss, if any epoch has completed.
+    pub last_good_loss: Option<f64>,
+    /// The full parameter store.
+    pub store: EmbeddingStore,
+}
+
+/// Serializes checkpoint state around a *borrowed* store — the zero-copy
+/// path used both by [`Checkpoint::save`] and the training hook.
+fn write_to<W: Write>(
+    mut w: W,
+    epochs_done: usize,
+    pairs_processed: u64,
+    lr_scale: f32,
+    last_good_loss: Option<f64>,
+    store: &EmbeddingStore,
+) -> std::io::Result<()> {
+    if !(lr_scale.is_finite() && last_good_loss.is_none_or(f64::is_finite)) {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "refusing to save checkpoint with non-finite state",
+        ));
+    }
+    let loss = match last_good_loss {
+        Some(l) => l.to_string(),
+        None => "-".to_string(),
+    };
+    writeln!(
+        w,
+        "{MAGIC} {VERSION} {epochs_done} {pairs_processed} {lr_scale} {loss}"
+    )?;
+    store.save(&mut w)
+}
+
+/// Atomically writes a checkpoint to `path` without cloning the store.
+///
+/// This is the periodic-snapshot seam the training loop calls between
+/// epochs; see [`Checkpoint`] for the format and guarantees.
+pub fn write_checkpoint(
+    path: &Path,
+    epochs_done: usize,
+    pairs_processed: u64,
+    lr_scale: f32,
+    last_good_loss: Option<f64>,
+    store: &EmbeddingStore,
+) -> std::io::Result<()> {
+    atomic_write(path, |f| {
+        let mut w = std::io::BufWriter::new(f);
+        write_to(
+            &mut w,
+            epochs_done,
+            pairs_processed,
+            lr_scale,
+            last_good_loss,
+            store,
+        )?;
+        w.flush()
+    })
+}
+
+impl Checkpoint {
+    /// Serializes the checkpoint as text.
+    pub fn save<W: Write>(&self, w: W) -> std::io::Result<()> {
+        write_to(
+            w,
+            self.epochs_done,
+            self.pairs_processed,
+            self.lr_scale,
+            self.last_good_loss,
+            &self.store,
+        )
+    }
+
+    /// Reads a checkpoint written by [`save`](Self::save).
+    pub fn load<R: BufRead>(mut r: R) -> Result<Self, Inf2vecError> {
+        let invalid = |message: String| Inf2vecError::Data(DataError::Invalid { message });
+        let mut header = String::new();
+        r.read_line(&mut header)?;
+        let mut parts = header.split_whitespace();
+        if parts.next() != Some(MAGIC) {
+            return Err(invalid("not a checkpoint file (bad magic)".into()));
+        }
+        match parts.next() {
+            Some(VERSION) => {}
+            Some(v) => return Err(invalid(format!("unsupported checkpoint version {v:?}"))),
+            None => return Err(invalid("missing checkpoint version".into())),
+        }
+        let epochs_done: usize = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| invalid("bad epoch count".into()))?;
+        let pairs_processed: u64 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| invalid("bad pair count".into()))?;
+        let lr_scale: f32 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .filter(|x: &f32| x.is_finite() && *x > 0.0)
+            .ok_or_else(|| invalid("bad lr scale".into()))?;
+        let last_good_loss = match parts.next() {
+            Some("-") => None,
+            Some(s) => Some(
+                s.parse::<f64>()
+                    .ok()
+                    .filter(|x| x.is_finite())
+                    .ok_or_else(|| invalid("bad loss".into()))?,
+            ),
+            None => return Err(invalid("truncated checkpoint header".into())),
+        };
+        if parts.next().is_some() {
+            return Err(invalid("overlong checkpoint header".into()));
+        }
+        let store = EmbeddingStore::load(r).map_err(|e| invalid(format!("store payload: {e}")))?;
+        Ok(Self {
+            epochs_done,
+            pairs_processed,
+            lr_scale,
+            last_good_loss,
+            store,
+        })
+    }
+
+    /// Atomically writes the checkpoint to `path`: a crash mid-write leaves
+    /// any previous checkpoint file intact.
+    pub fn save_to_path(&self, path: &Path) -> Result<(), Inf2vecError> {
+        write_checkpoint(
+            path,
+            self.epochs_done,
+            self.pairs_processed,
+            self.lr_scale,
+            self.last_good_loss,
+            &self.store,
+        )?;
+        Ok(())
+    }
+
+    /// Reads a checkpoint from `path`.
+    pub fn load_from_path(path: &Path) -> Result<Self, Inf2vecError> {
+        let file = std::fs::File::open(path)?;
+        Self::load(std::io::BufReader::new(file))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            epochs_done: 7,
+            pairs_processed: 12345,
+            lr_scale: 0.25,
+            last_good_loss: Some(1.5),
+            store: EmbeddingStore::new(3, 2, 9),
+        }
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let ck = sample();
+        let mut buf = Vec::new();
+        ck.save(&mut buf).unwrap();
+        let back = Checkpoint::load(buf.as_slice()).unwrap();
+        assert_eq!(back.epochs_done, 7);
+        assert_eq!(back.pairs_processed, 12345);
+        assert_eq!(back.lr_scale, 0.25);
+        assert_eq!(back.last_good_loss, Some(1.5));
+        assert_eq!(back.store.source.to_vec(), ck.store.source.to_vec());
+        assert_eq!(back.store.target.to_vec(), ck.store.target.to_vec());
+        assert_eq!(back.store.bias_src.to_vec(), ck.store.bias_src.to_vec());
+    }
+
+    #[test]
+    fn round_trip_without_loss() {
+        let mut ck = sample();
+        ck.last_good_loss = None;
+        let mut buf = Vec::new();
+        ck.save(&mut buf).unwrap();
+        assert_eq!(Checkpoint::load(buf.as_slice()).unwrap().last_good_loss, None);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for bad in [
+            "",
+            "not-a-checkpoint v1 0 0 1 -\n",
+            "inf2vec-checkpoint v9 0 0 1 -\n",
+            "inf2vec-checkpoint v1\n",
+            "inf2vec-checkpoint v1 x 0 1 -\n",
+            "inf2vec-checkpoint v1 0 0 NaN -\n",
+            "inf2vec-checkpoint v1 0 0 1 inf\n",
+            "inf2vec-checkpoint v1 0 0 1 - extra\n",
+            "inf2vec-checkpoint v1 0 0 1 -\ngarbage store\n",
+        ] {
+            assert!(Checkpoint::load(bad.as_bytes()).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn save_refuses_non_finite_state() {
+        let mut ck = sample();
+        ck.last_good_loss = Some(f64::NAN);
+        assert!(ck.save(Vec::new()).is_err());
+    }
+
+    #[test]
+    fn path_round_trip_atomic() {
+        let dir = std::env::temp_dir().join(format!("inf2vec-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("train.ckpt");
+        let ck = sample();
+        ck.save_to_path(&path).unwrap();
+        let back = Checkpoint::load_from_path(&path).unwrap();
+        assert_eq!(back.epochs_done, ck.epochs_done);
+        // Overwrite works and replaces content.
+        let mut ck2 = sample();
+        ck2.epochs_done = 8;
+        ck2.save_to_path(&path).unwrap();
+        assert_eq!(Checkpoint::load_from_path(&path).unwrap().epochs_done, 8);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

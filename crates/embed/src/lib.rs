@@ -11,14 +11,26 @@
 //!   the influence-ability and conformity biases of the paper's Definition 2.
 //! - [`negative`]: the unigram^0.75 negative-sampling table of word2vec.
 //! - [`sgns`]: the skip-gram-with-negative-sampling trainer implementing the
-//!   gradient updates of the paper's Eq. 6 over any [`sgns::PairSource`].
+//!   gradient updates of the paper's Eq. 6 over any [`sgns::PairSource`],
+//!   with checkpoint/resume, divergence rollback, and panic-contained
+//!   Hogwild workers.
+//! - [`checkpoint`]: atomic on-disk training checkpoints (parameters plus
+//!   epoch/lr/loss state) for crash recovery.
+//! - [`faultinject`]: pair-source fault injectors (seeded panic-on-nth-pair)
+//!   for robustness tests.
 
+pub mod checkpoint;
+pub mod faultinject;
 pub mod hogwild;
 pub mod negative;
 pub mod sgns;
 pub mod store;
 
+pub use checkpoint::Checkpoint;
 pub use hogwild::HogwildMatrix;
 pub use negative::NegativeTable;
-pub use sgns::{FlatPairs, PairSource, SgnsConfig, SgnsTrainer, TrainReport};
+pub use sgns::{
+    DivergenceGuard, EpochState, FlatPairs, PairSource, RecoveryEvent, SgnsConfig, SgnsTrainer,
+    TrainOptions, TrainReport,
+};
 pub use store::EmbeddingStore;

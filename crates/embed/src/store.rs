@@ -7,10 +7,26 @@
 //! (Eq. 3's logit / Eq. 7's per-pair likelihood).
 
 use std::io::{BufRead, Write};
+use std::path::Path;
 
+use inf2vec_util::error::{DataError, Inf2vecError};
+use inf2vec_util::fsio::atomic_write;
 use inf2vec_util::rng::Xoshiro256pp;
 
 use crate::hogwild::{dot, HogwildMatrix};
+
+/// A plain-data copy of every learned parameter, taken between epochs.
+///
+/// The divergence guard snapshots the store after each healthy epoch and
+/// [restores](EmbeddingStore::restore) it when the loss blows up, so a bad
+/// learning-rate excursion never becomes the model's final state.
+#[derive(Debug, Clone)]
+pub struct StoreSnapshot {
+    source: Vec<f32>,
+    target: Vec<f32>,
+    bias_src: Vec<f32>,
+    bias_tgt: Vec<f32>,
+}
 
 /// Per-node source/target embeddings and biases.
 #[derive(Debug, Clone)]
@@ -113,9 +129,55 @@ impl EmbeddingStore {
         out
     }
 
+    /// Copies every parameter out into a [`StoreSnapshot`].
+    pub fn snapshot(&self) -> StoreSnapshot {
+        StoreSnapshot {
+            source: self.source.to_vec(),
+            target: self.target.to_vec(),
+            bias_src: self.bias_src.to_vec(),
+            bias_tgt: self.bias_tgt.to_vec(),
+        }
+    }
+
+    /// Overwrites every parameter from `snap` through a shared reference.
+    ///
+    /// Intended for inter-epoch rollback: the caller must guarantee no
+    /// training thread is concurrently touching the store (the trainer
+    /// only restores after all workers of an epoch have joined).
+    pub fn restore(&self, snap: &StoreSnapshot) {
+        let k = self.k();
+        // SAFETY: one row borrow at a time per matrix; exclusivity across
+        // threads is the caller contract documented above.
+        unsafe {
+            for u in 0..self.len() {
+                self.source.row_mut(u).copy_from_slice(&snap.source[u * k..(u + 1) * k]);
+                self.target.row_mut(u).copy_from_slice(&snap.target[u * k..(u + 1) * k]);
+                self.bias_src.row_mut(u)[0] = snap.bias_src[u];
+                self.bias_tgt.row_mut(u)[0] = snap.bias_tgt[u];
+            }
+        }
+    }
+
+    /// True when any parameter is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        [&self.source, &self.target, &self.bias_src, &self.bias_tgt]
+            .iter()
+            .any(|m| m.to_vec().iter().any(|x| !x.is_finite()))
+    }
+
     /// Writes the store as text: a header line `n k use_bias`, then one
     /// line per node: `S... T... b b̃`.
+    ///
+    /// Refuses to serialize non-finite parameters: a NaN that reached a
+    /// model file would silently poison every downstream score, so it is
+    /// surfaced here as `InvalidData` instead.
     pub fn save<W: Write>(&self, mut w: W) -> std::io::Result<()> {
+        if self.has_non_finite() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "refusing to save embedding store with non-finite parameters",
+            ));
+        }
         writeln!(w, "{} {} {}", self.len(), self.k(), u8::from(self.use_bias))?;
         let mut line = String::new();
         for u in 0..self.len() as u32 {
@@ -134,6 +196,28 @@ impl EmbeddingStore {
             writeln!(w, "{line}")?;
         }
         Ok(())
+    }
+
+    /// Atomically writes the store to `path` (temp sibling + fsync +
+    /// rename): a crash mid-save leaves any previous file intact.
+    pub fn save_to_path(&self, path: &Path) -> Result<(), Inf2vecError> {
+        atomic_write(path, |f| {
+            let mut w = std::io::BufWriter::new(f);
+            self.save(&mut w)?;
+            w.flush()
+        })?;
+        Ok(())
+    }
+
+    /// Reads a store from `path`, rejecting malformed or non-finite data.
+    pub fn load_from_path(path: &Path) -> Result<Self, Inf2vecError> {
+        let file = std::fs::File::open(path)?;
+        let store = Self::load(std::io::BufReader::new(file)).map_err(|e| {
+            Inf2vecError::Data(DataError::Invalid {
+                message: format!("{}: {e}", path.display()),
+            })
+        })?;
+        Ok(store)
     }
 
     /// Reads a store written by [`save`](Self::save).
@@ -167,18 +251,28 @@ impl EmbeddingStore {
                 return Err(bad("truncated store"));
             }
             let mut vals = line.split_whitespace().map(|s| s.parse::<f32>());
+            // `f32::parse` happily accepts "NaN" and "inf"; a corrupted or
+            // hand-edited file must not smuggle those into the parameters.
+            let mut next_finite = || -> std::io::Result<f32> {
+                let x = vals
+                    .next()
+                    .ok_or_else(|| bad("short row"))?
+                    .map_err(|_| bad("bad float"))?;
+                if !x.is_finite() {
+                    return Err(bad("non-finite value"));
+                }
+                Ok(x)
+            };
             // SAFETY: exclusive &mut self here; no concurrent access.
             unsafe {
                 for slot in store.source.row_mut(u) {
-                    *slot = vals.next().ok_or_else(|| bad("short row"))?.map_err(|_| bad("bad float"))?;
+                    *slot = next_finite()?;
                 }
                 for slot in store.target.row_mut(u) {
-                    *slot = vals.next().ok_or_else(|| bad("short row"))?.map_err(|_| bad("bad float"))?;
+                    *slot = next_finite()?;
                 }
-                store.bias_src.row_mut(u)[0] =
-                    vals.next().ok_or_else(|| bad("short row"))?.map_err(|_| bad("bad float"))?;
-                store.bias_tgt.row_mut(u)[0] =
-                    vals.next().ok_or_else(|| bad("short row"))?.map_err(|_| bad("bad float"))?;
+                store.bias_src.row_mut(u)[0] = next_finite()?;
+                store.bias_tgt.row_mut(u)[0] = next_finite()?;
             }
             if vals.next().is_some() {
                 return Err(bad("overlong row"));
@@ -261,6 +355,65 @@ mod tests {
         // Overlong row.
         let long = "1 1 1\n1 2 0 0 9\n";
         assert!(EmbeddingStore::load(long.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn load_rejects_non_finite() {
+        for bad in [
+            "1 2 1\nNaN 2 3 4 0 0\n",
+            "1 2 1\n1 inf 3 4 0 0\n",
+            "1 2 1\n1 2 3 4 -inf 0\n",
+            "1 2 1\n1 2 3 4 0 NaN\n",
+        ] {
+            assert!(
+                EmbeddingStore::load(bad.as_bytes()).is_err(),
+                "accepted non-finite {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn save_refuses_non_finite() {
+        let s = EmbeddingStore::new(2, 2, 1);
+        unsafe {
+            s.source.row_mut(0)[1] = f32::NAN;
+        }
+        let mut buf = Vec::new();
+        let err = s.save(&mut buf).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(buf.is_empty() || std::str::from_utf8(&buf).is_ok());
+    }
+
+    #[test]
+    fn snapshot_restore_round_trip() {
+        let s = EmbeddingStore::new(3, 2, 11);
+        let snap = s.snapshot();
+        unsafe {
+            s.source.row_mut(1)[0] = 99.0;
+            s.bias_tgt.row_mut(2)[0] = -7.0;
+        }
+        assert_ne!(s.source.to_vec(), snap.source);
+        s.restore(&snap);
+        assert_eq!(s.source.to_vec(), snap.source);
+        assert_eq!(s.bias_tgt.to_vec(), snap.bias_tgt);
+        assert!(!s.has_non_finite());
+        unsafe {
+            s.target.row_mut(0)[0] = f32::INFINITY;
+        }
+        assert!(s.has_non_finite());
+    }
+
+    #[test]
+    fn path_save_load_round_trip() {
+        let dir = std::env::temp_dir().join(format!("inf2vec-store-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.txt");
+        let s = EmbeddingStore::new(4, 3, 13);
+        s.save_to_path(&path).unwrap();
+        let l = EmbeddingStore::load_from_path(&path).unwrap();
+        assert_eq!(l.source.to_vec(), s.source.to_vec());
+        assert_eq!(l.target.to_vec(), s.target.to_vec());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

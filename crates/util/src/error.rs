@@ -1,0 +1,275 @@
+//! The workspace-wide typed error hierarchy.
+//!
+//! Long-running influence-embedding pipelines need failure semantics, not
+//! process aborts: a NaN gradient, a panicking Hogwild worker, or a
+//! truncated model file must surface as a value the caller can match on,
+//! checkpoint around, and recover from. Every fallible entry point in the
+//! workspace returns (a variant of) [`Inf2vecError`]; the legacy panicking
+//! wrappers (`train`, `validate_or_panic`, …) are thin shims over the
+//! `try_*` APIs kept for bench/example compatibility.
+//!
+//! What intentionally still panics: internal invariants that cannot be
+//! reached from bad *input* — index arithmetic inside CSR graphs, the
+//! Hogwild row-borrow contract, alias-table construction over validated
+//! weights. Those are bugs, not operational failures, and are documented
+//! case by case (DESIGN.md §6).
+
+use std::fmt;
+
+/// An invalid hyper-parameter or option value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// The offending field, e.g. `"alpha"`.
+    pub field: &'static str,
+    /// Human-readable constraint violation.
+    pub message: String,
+}
+
+impl ConfigError {
+    /// Creates a config error for `field`.
+    pub fn new(field: &'static str, message: impl Into<String>) -> Self {
+        Self {
+            field,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid config `{}`: {}", self.field, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// A failure during (or right around) SGD training.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrainError {
+    /// The loss went non-finite or blew up and the divergence guard ran out
+    /// of recovery budget (or was disabled).
+    Diverged {
+        /// 0-based epoch whose loss diverged.
+        epoch: usize,
+        /// The diverged mean loss (may be NaN/Inf).
+        loss: f64,
+        /// Recovery attempts performed before giving up.
+        recoveries: usize,
+    },
+    /// A Hogwild worker thread panicked. The surviving workers completed
+    /// their shards, so the store holds a usable partial epoch; callers
+    /// with checkpointing enabled can roll back and resume.
+    WorkerPanic {
+        /// 0-based epoch during which the worker died.
+        epoch: usize,
+        /// The panicking worker's shard index (it owned pairs
+        /// `shard, shard + n_shards, shard + 2·n_shards, …` of the epoch).
+        shard: usize,
+        /// Total shards (= worker threads) in the epoch.
+        n_shards: usize,
+        /// The panic payload, stringified.
+        message: String,
+    },
+    /// A parameter matrix contains NaN/Inf where finite values are
+    /// required (e.g. when snapshotting a model to disk).
+    NonFinite {
+        /// What was being produced or consumed.
+        what: &'static str,
+    },
+    /// Model/config/checkpoint dimensions disagree.
+    ShapeMismatch {
+        /// What disagreed, e.g. `"config K disagrees with the model"`.
+        what: &'static str,
+        /// The expected extent.
+        expected: usize,
+        /// The extent found.
+        found: usize,
+    },
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::Diverged {
+                epoch,
+                loss,
+                recoveries,
+            } => write!(
+                f,
+                "training diverged at epoch {epoch} (loss {loss}) after {recoveries} recovery attempts"
+            ),
+            TrainError::WorkerPanic {
+                epoch,
+                shard,
+                n_shards,
+                message,
+            } => write!(
+                f,
+                "hogwild worker panicked at epoch {epoch}, shard {shard}/{n_shards}: {message}"
+            ),
+            TrainError::NonFinite { what } => {
+                write!(f, "non-finite values in {what}")
+            }
+            TrainError::ShapeMismatch {
+                what,
+                expected,
+                found,
+            } => write!(f, "{what} (expected {expected}, found {found})"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+/// Malformed or unusable input data (model files, edge lists, action logs,
+/// checkpoints).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// A line that does not parse under the expected format.
+    Malformed {
+        /// 1-based line number (0 when unknown).
+        line: usize,
+        /// A description or the offending content.
+        content: String,
+    },
+    /// The stream ended before the declared payload.
+    Truncated {
+        /// What was being read.
+        what: &'static str,
+    },
+    /// A numeric field is NaN/Inf where finite values are required.
+    NonFinite {
+        /// What was being read.
+        what: &'static str,
+        /// 1-based line number (0 when unknown).
+        line: usize,
+    },
+    /// Anything else wrong with the payload (bad header, foreign user ids,
+    /// impossible counts).
+    Invalid {
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::Malformed { line, content } => {
+                write!(f, "malformed data at line {line}: {content:?}")
+            }
+            DataError::Truncated { what } => write!(f, "truncated {what}"),
+            DataError::NonFinite { what, line } => {
+                write!(f, "non-finite value in {what} at line {line}")
+            }
+            DataError::Invalid { message } => write!(f, "invalid data: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+/// The workspace-wide error type: every fallible public API returns this
+/// or one of its payload types.
+#[derive(Debug)]
+pub enum Inf2vecError {
+    /// Invalid hyper-parameters.
+    Config(ConfigError),
+    /// Training failure (divergence, worker panic, shape mismatch).
+    Train(TrainError),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Malformed input data.
+    Data(DataError),
+}
+
+impl fmt::Display for Inf2vecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Inf2vecError::Config(e) => write!(f, "{e}"),
+            Inf2vecError::Train(e) => write!(f, "{e}"),
+            Inf2vecError::Io(e) => write!(f, "I/O error: {e}"),
+            Inf2vecError::Data(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for Inf2vecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Inf2vecError::Config(e) => Some(e),
+            Inf2vecError::Train(e) => Some(e),
+            Inf2vecError::Io(e) => Some(e),
+            Inf2vecError::Data(e) => Some(e),
+        }
+    }
+}
+
+impl From<ConfigError> for Inf2vecError {
+    fn from(e: ConfigError) -> Self {
+        Inf2vecError::Config(e)
+    }
+}
+
+impl From<TrainError> for Inf2vecError {
+    fn from(e: TrainError) -> Self {
+        Inf2vecError::Train(e)
+    }
+}
+
+impl From<std::io::Error> for Inf2vecError {
+    fn from(e: std::io::Error) -> Self {
+        Inf2vecError::Io(e)
+    }
+}
+
+impl From<DataError> for Inf2vecError {
+    fn from(e: DataError) -> Self {
+        Inf2vecError::Data(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let c = ConfigError::new("alpha", "alpha must be in [0, 1]");
+        assert!(c.to_string().contains("alpha"));
+
+        let t = TrainError::WorkerPanic {
+            epoch: 3,
+            shard: 1,
+            n_shards: 4,
+            message: "boom".into(),
+        };
+        let msg = t.to_string();
+        assert!(msg.contains("epoch 3") && msg.contains("shard 1/4") && msg.contains("boom"));
+
+        let d = DataError::NonFinite {
+            what: "embedding store",
+            line: 7,
+        };
+        assert!(d.to_string().contains("line 7"));
+    }
+
+    #[test]
+    fn conversions_wrap() {
+        let e: Inf2vecError = ConfigError::new("k", "K must be positive").into();
+        assert!(matches!(e, Inf2vecError::Config(_)));
+        let e: Inf2vecError = TrainError::NonFinite { what: "model" }.into();
+        assert!(matches!(e, Inf2vecError::Train(_)));
+        let e: Inf2vecError = std::io::Error::other("disk on fire").into();
+        assert!(matches!(e, Inf2vecError::Io(_)));
+        let e: Inf2vecError = DataError::Truncated { what: "store" }.into();
+        assert!(matches!(e, Inf2vecError::Data(_)));
+    }
+
+    #[test]
+    fn source_chain_reaches_payload() {
+        use std::error::Error as _;
+        let e: Inf2vecError = ConfigError::new("lr", "learning rate must be positive").into();
+        assert!(e.source().unwrap().to_string().contains("lr"));
+    }
+}

@@ -1,0 +1,160 @@
+//! Fault-injection `Write` adapters for robustness tests.
+//!
+//! These wrappers let tests simulate the disk failures the persistence
+//! layer must survive — truncation (power loss mid-write), bit corruption
+//! (bad sectors, partial flushes), and hard I/O errors (full disk, yanked
+//! mount) — without touching a real device. They live in the library (not
+//! `#[cfg(test)]`) so integration tests and downstream crates can reuse
+//! them, but nothing on a production code path constructs one.
+
+use std::io::{self, Write};
+
+/// Writes through to the inner writer until `limit` bytes have passed,
+/// then silently discards the rest — the on-disk image of a crash that
+/// happened mid-write without an atomic rename protecting it.
+#[derive(Debug)]
+pub struct TruncatingWriter<W> {
+    inner: W,
+    remaining: usize,
+}
+
+impl<W: Write> TruncatingWriter<W> {
+    /// Passes through at most `limit` bytes to `inner`.
+    pub fn new(inner: W, limit: usize) -> Self {
+        Self {
+            inner,
+            remaining: limit,
+        }
+    }
+
+    /// Unwraps the inner writer.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for TruncatingWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let pass = buf.len().min(self.remaining);
+        if pass > 0 {
+            let written = self.inner.write(&buf[..pass])?;
+            self.remaining -= written;
+            // Report the whole buffer as written so the producer keeps
+            // going, exactly like a kernel that buffered but never flushed.
+            if written == pass {
+                return Ok(buf.len());
+            }
+            return Ok(written);
+        }
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Writes through until `fail_after` bytes have passed, then returns a
+/// hard `io::Error` on every subsequent write — a disk that filled up.
+#[derive(Debug)]
+pub struct FailingWriter<W> {
+    inner: W,
+    remaining: usize,
+}
+
+impl<W: Write> FailingWriter<W> {
+    /// Accepts `fail_after` bytes, then errors forever.
+    pub fn new(inner: W, fail_after: usize) -> Self {
+        Self {
+            inner,
+            remaining: fail_after,
+        }
+    }
+}
+
+impl<W: Write> Write for FailingWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.remaining == 0 {
+            return Err(io::Error::other("injected write failure"));
+        }
+        let pass = buf.len().min(self.remaining);
+        let written = self.inner.write(&buf[..pass])?;
+        self.remaining -= written;
+        Ok(written)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Deterministically flips one bit roughly every `period` bytes — silent
+/// corruption a loader must detect rather than deserialize into garbage
+/// parameters.
+#[derive(Debug)]
+pub struct CorruptingWriter<W> {
+    inner: W,
+    period: usize,
+    written: usize,
+}
+
+impl<W: Write> CorruptingWriter<W> {
+    /// Flips the low bit of every `period`-th byte (period ≥ 1).
+    pub fn new(inner: W, period: usize) -> Self {
+        Self {
+            inner,
+            period: period.max(1),
+            written: 0,
+        }
+    }
+
+    /// Unwraps the inner writer.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for CorruptingWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let mut owned = buf.to_vec();
+        for (i, byte) in owned.iter_mut().enumerate() {
+            if (self.written + i + 1).is_multiple_of(self.period) {
+                *byte ^= 1;
+            }
+        }
+        let written = self.inner.write(&owned)?;
+        self.written += written;
+        Ok(written)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truncating_cuts_at_limit() {
+        let mut w = TruncatingWriter::new(Vec::new(), 5);
+        w.write_all(b"hello world").unwrap();
+        w.write_all(b"more").unwrap();
+        assert_eq!(w.into_inner(), b"hello");
+    }
+
+    #[test]
+    fn failing_errors_after_budget() {
+        let mut w = FailingWriter::new(Vec::new(), 3);
+        assert!(w.write_all(b"abc").is_ok());
+        assert!(w.write_all(b"d").is_err());
+    }
+
+    #[test]
+    fn corrupting_flips_bits_deterministically() {
+        let mut w = CorruptingWriter::new(Vec::new(), 4);
+        w.write_all(&[0u8; 8]).unwrap();
+        assert_eq!(w.inner, vec![0, 0, 0, 1, 0, 0, 0, 1]);
+    }
+}

@@ -1,0 +1,114 @@
+//! Crash-safe file persistence.
+//!
+//! Checkpoints and trained models are only useful if a crash mid-write
+//! cannot destroy them. [`atomic_write`] provides the classic recipe: the
+//! payload goes to a temporary sibling file, is flushed and fsynced, and is
+//! then atomically renamed over the destination. A reader therefore sees
+//! either the complete old file or the complete new file — never a torn
+//! mixture — and a crash at any point leaves at worst a stray `*.tmp.*`
+//! sibling.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Distinguishes temp files when several writers target the same directory
+/// concurrently (process-wide counter; the pid handles cross-process races).
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Atomically replaces `path` with the bytes produced by `write_fn`.
+///
+/// `write_fn` receives a buffered-enough `File` for the temporary sibling;
+/// when it returns `Ok(())` the file is fsynced and renamed into place, and
+/// a best-effort fsync of the parent directory makes the rename itself
+/// durable. On any error the temporary file is removed and `path` is left
+/// untouched.
+pub fn atomic_write(
+    path: &Path,
+    write_fn: impl FnOnce(&mut File) -> io::Result<()>,
+) -> io::Result<()> {
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
+    let tmp_name = format!(
+        ".{}.tmp.{}.{}",
+        file_name.to_string_lossy(),
+        std::process::id(),
+        TMP_COUNTER.fetch_add(1, Ordering::Relaxed),
+    );
+    let tmp_path = match dir {
+        Some(d) => d.join(&tmp_name),
+        None => Path::new(&tmp_name).to_path_buf(),
+    };
+
+    let result = (|| {
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&tmp_path)?;
+        write_fn(&mut file)?;
+        file.flush()?;
+        file.sync_all()?;
+        drop(file);
+        fs::rename(&tmp_path, path)?;
+        // Persist the rename itself. Directory fsync is not supported on
+        // every platform/filesystem, so failure here is non-fatal.
+        if let Some(d) = dir {
+            if let Ok(dirf) = File::open(d) {
+                let _ = dirf.sync_all();
+            }
+        }
+        Ok(())
+    })();
+
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp_path);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("inf2vec-fsio-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn writes_and_replaces() {
+        let dir = tmp_dir("replace");
+        let path = dir.join("out.txt");
+        atomic_write(&path, |f| f.write_all(b"first")).unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"first");
+        atomic_write(&path, |f| f.write_all(b"second")).unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"second");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_write_leaves_original_intact_and_no_temp() {
+        let dir = tmp_dir("fail");
+        let path = dir.join("out.txt");
+        atomic_write(&path, |f| f.write_all(b"good")).unwrap();
+        let err = atomic_write(&path, |f| {
+            f.write_all(b"partial garbage")?;
+            Err(io::Error::other("injected failure"))
+        });
+        assert!(err.is_err());
+        assert_eq!(fs::read(&path).unwrap(), b"good");
+        let leftovers: Vec<_> = fs::read_dir(&dir).unwrap().collect();
+        assert_eq!(leftovers.len(), 1, "temp file should have been cleaned up");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rejects_pathless_target() {
+        assert!(atomic_write(Path::new(""), |f| f.write_all(b"x")).is_err());
+    }
+}

@@ -22,9 +22,18 @@
 //! - [`table`]: a fixed-width plain-text table renderer for experiment
 //!   output that mirrors the paper's tables.
 //! - [`ascii`]: terminal scatter/histogram plots for figure reproduction.
+//! - [`error`]: the workspace-wide typed error hierarchy ([`Inf2vecError`]
+//!   and friends) that fallible APIs return instead of panicking.
+//! - [`fsio`]: crash-safe file persistence (atomic write-temp + fsync +
+//!   rename) used by model/store/checkpoint writers.
+//! - [`faultinject`]: fault-injection writers (truncation, corruption,
+//!   forced I/O errors) for robustness tests; not used on production paths.
 
 pub mod alias;
 pub mod ascii;
+pub mod error;
+pub mod faultinject;
+pub mod fsio;
 pub mod hash;
 pub mod rng;
 pub mod sigmoid;
@@ -33,6 +42,8 @@ pub mod table;
 pub mod topk;
 
 pub use alias::AliasTable;
+pub use error::{ConfigError, DataError, Inf2vecError, TrainError};
+pub use fsio::atomic_write;
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use rng::{split_seed, SplitMix64, Xoshiro256pp};
 pub use sigmoid::SigmoidTable;

@@ -1,0 +1,137 @@
+//! Degenerate-input behavior: empty episodes, singleton graphs, isolated
+//! nodes, and training over corpora that generate no pairs at all. None of
+//! these may panic; each has a defined, boring outcome.
+
+use inf2vec::core::context::generate_context;
+use inf2vec::core::{train, try_train, Inf2vecConfig, InfluenceContextSource};
+use inf2vec::diffusion::{ActionLog, Dataset, Episode, ItemId, PropagationNetwork};
+use inf2vec::embed::PairSource;
+use inf2vec::graph::{GraphBuilder, NodeId};
+use inf2vec::util::rng::Xoshiro256pp;
+
+fn small_config() -> Inf2vecConfig {
+    Inf2vecConfig {
+        k: 4,
+        l: 5,
+        epochs: 2,
+        ..Inf2vecConfig::default()
+    }
+}
+
+#[test]
+fn empty_episode_builds_an_empty_network() {
+    let g = GraphBuilder::with_nodes(3).build();
+    let e = Episode::new(ItemId(0), Vec::new());
+    let net = PropagationNetwork::build(&g, &e);
+    assert!(net.is_empty());
+    assert_eq!(net.len(), 0);
+    assert_eq!(net.edge_count(), 0);
+    assert!(net.nodes().is_empty());
+}
+
+#[test]
+fn singleton_episode_has_no_influence_edges() {
+    let mut b = GraphBuilder::with_nodes(2);
+    b.add_edge(NodeId(0), NodeId(1));
+    let g = b.build();
+    let e = Episode::new(ItemId(0), vec![(NodeId(0), 5)]);
+    let net = PropagationNetwork::build(&g, &e);
+    assert_eq!(net.len(), 1);
+    assert_eq!(net.edge_count(), 0);
+    // A single adopter has nobody to influence and nobody to sample: the
+    // context is empty in both components.
+    let mut rng = Xoshiro256pp::new(1);
+    let ctx = generate_context(&net, 0, 3, 3, 0.5, &mut rng);
+    assert!(ctx.is_empty(), "got {ctx:?}");
+}
+
+#[test]
+fn isolated_adopters_yield_global_context_only() {
+    // Three adopters, zero social edges between them: no influence pairs,
+    // so the local walk finds nothing — but Algorithm 1's global component
+    // still samples co-adopters.
+    let g = GraphBuilder::with_nodes(5).build();
+    let e = Episode::new(ItemId(0), vec![(NodeId(0), 1), (NodeId(2), 2), (NodeId(4), 3)]);
+    let net = PropagationNetwork::build(&g, &e);
+    assert_eq!(net.len(), 3);
+    assert_eq!(net.edge_count(), 0);
+    let mut rng = Xoshiro256pp::new(2);
+    let ctx = generate_context(&net, 0, 4, 4, 0.5, &mut rng);
+    assert!(ctx.len() <= 4, "no local component possible, got {ctx:?}");
+    assert!(
+        ctx.iter().all(|&v| v != 0 && v < 3),
+        "global samples must be other episode members, got {ctx:?}"
+    );
+}
+
+#[test]
+fn zero_length_context_requests_are_fine() {
+    let mut b = GraphBuilder::with_nodes(3);
+    b.add_edge(NodeId(0), NodeId(1));
+    let g = b.build();
+    let e = Episode::new(ItemId(0), vec![(NodeId(0), 1), (NodeId(1), 2)]);
+    let net = PropagationNetwork::build(&g, &e);
+    let mut rng = Xoshiro256pp::new(3);
+    assert!(generate_context(&net, 0, 0, 0, 0.5, &mut rng).is_empty());
+}
+
+#[test]
+fn corpus_over_empty_and_singleton_networks_is_empty() {
+    let g = GraphBuilder::with_nodes(4).build();
+    let nets = vec![
+        PropagationNetwork::build(&g, &Episode::new(ItemId(0), Vec::new())),
+        PropagationNetwork::build(&g, &Episode::new(ItemId(1), vec![(NodeId(1), 1)])),
+    ];
+    let src = InfluenceContextSource::new(nets, &small_config());
+    assert_eq!(src.tuple_count(), 0);
+    assert_eq!(src.pairs_per_epoch(), 0);
+    let counts = src.context_target_counts(4);
+    assert!(counts.iter().all(|&c| c == 0));
+}
+
+#[test]
+fn training_on_a_pairless_dataset_still_returns_a_model() {
+    // Every episode is a singleton: the corpus generates zero pairs. The
+    // model must come back (untrained but finite), not hang or panic.
+    let mut b = GraphBuilder::with_nodes(4);
+    b.add_edge(NodeId(0), NodeId(1));
+    let g = b.build();
+    let log = ActionLog::from_episodes(vec![
+        Episode::new(ItemId(0), vec![(NodeId(0), 1)]),
+        Episode::new(ItemId(1), vec![(NodeId(2), 1)]),
+    ]);
+    let d = Dataset::new(g, log, "degenerate");
+    let idx: Vec<usize> = (0..d.log.len()).collect();
+    let model = try_train(&d, &idx, &small_config()).unwrap();
+    assert_eq!(model.store.len(), 4);
+    assert!(!model.store.has_non_finite());
+}
+
+#[test]
+fn training_on_an_empty_episode_selection_works() {
+    let mut b = GraphBuilder::with_nodes(3);
+    b.add_edge(NodeId(0), NodeId(1));
+    let g = b.build();
+    let log = ActionLog::from_episodes(vec![Episode::new(
+        ItemId(0),
+        vec![(NodeId(0), 1), (NodeId(1), 2)],
+    )]);
+    let d = Dataset::new(g, log, "tiny");
+    let model = train(&d, &[], &small_config());
+    assert_eq!(model.store.len(), 3);
+    assert!(!model.store.has_non_finite());
+}
+
+#[test]
+fn simultaneous_adoptions_carry_no_influence_edge() {
+    // Influence requires strictly earlier activation (Definition 1): two
+    // users adopting at the same timestamp influence neither direction.
+    let mut b = GraphBuilder::with_nodes(2);
+    b.add_edge(NodeId(0), NodeId(1));
+    b.add_edge(NodeId(1), NodeId(0));
+    let g = b.build();
+    let e = Episode::new(ItemId(0), vec![(NodeId(0), 7), (NodeId(1), 7)]);
+    let net = PropagationNetwork::build(&g, &e);
+    assert_eq!(net.len(), 2);
+    assert_eq!(net.edge_count(), 0);
+}

@@ -1,0 +1,320 @@
+//! End-to-end fault-tolerance tests: crash-mid-epoch with resume,
+//! Hogwild panic containment, divergence rollback, and checkpoint
+//! integrity under failure — the acceptance suite for the robustness
+//! layer.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+
+use inf2vec::core::train::{
+    train_resumable_on_source, CheckpointConfig, FaultTolerance,
+};
+use inf2vec::core::Inf2vecConfig;
+use inf2vec::embed::checkpoint::write_checkpoint;
+use inf2vec::embed::faultinject::PanicAfter;
+use inf2vec::embed::{
+    Checkpoint, DivergenceGuard, EmbeddingStore, EpochState, FlatPairs, NegativeTable, PairSource,
+    SgnsConfig, SgnsTrainer, TrainOptions,
+};
+use inf2vec::util::{Inf2vecError, TrainError};
+
+const N_NODES: usize = 30;
+
+/// A deterministic ring-ish pair corpus: every node influences its next
+/// three neighbours.
+fn ring_pairs() -> Vec<(u32, u32)> {
+    let n = N_NODES as u32;
+    let mut pairs = Vec::new();
+    for u in 0..n {
+        for j in 1..=3 {
+            pairs.push((u, (u + j) % n));
+        }
+    }
+    pairs
+}
+
+fn config(epochs: usize) -> Inf2vecConfig {
+    Inf2vecConfig {
+        k: 8,
+        epochs,
+        seed: 42,
+        ..Inf2vecConfig::default()
+    }
+}
+
+/// Fresh scratch directory per test (parallel test threads share a tmpdir).
+fn scratch(test: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("inf2vec-ft-{}-{test}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn assert_stores_identical(a: &EmbeddingStore, b: &EmbeddingStore) {
+    assert_eq!(a.source.to_vec(), b.source.to_vec(), "source matrices differ");
+    assert_eq!(a.target.to_vec(), b.target.to_vec(), "target matrices differ");
+    assert_eq!(a.bias_src.to_vec(), b.bias_src.to_vec(), "source biases differ");
+    assert_eq!(a.bias_tgt.to_vec(), b.bias_tgt.to_vec(), "target biases differ");
+}
+
+/// The headline guarantee: kill training mid-epoch, restart from the
+/// on-disk checkpoint, and end up with exactly the model an uninterrupted
+/// run produces (single-thread mode).
+#[test]
+fn crash_mid_epoch_then_resume_is_bit_identical() {
+    let dir = scratch("resume");
+    let cfg = config(6);
+    let negatives = NegativeTable::uniform(N_NODES as u32);
+    let per_epoch = ring_pairs().len() as u64;
+
+    // Reference: uninterrupted run with checkpointing on.
+    let ft_a = FaultTolerance {
+        checkpoint: Some(CheckpointConfig::every_epoch(dir.join("a.ckpt"))),
+        guard: None,
+    };
+    let source_a = FlatPairs::new(ring_pairs());
+    let (model_a, report_a) =
+        train_resumable_on_source(N_NODES, &source_a, &negatives, &cfg, &ft_a).unwrap();
+    assert_eq!(report_a.epoch_losses.len(), 6);
+
+    // Crashed run: the source panics partway through epoch 2, simulating a
+    // process kill between checkpoints.
+    let ft_b = FaultTolerance {
+        checkpoint: Some(CheckpointConfig::every_epoch(dir.join("b.ckpt"))),
+        guard: None,
+    };
+    let crashing = PanicAfter::new(FlatPairs::new(ring_pairs()), 2 * per_epoch + 7, "killed");
+    let crash = catch_unwind(AssertUnwindSafe(|| {
+        train_resumable_on_source(N_NODES, &crashing, &negatives, &cfg, &ft_b)
+    }));
+    assert!(crash.is_err(), "the injected panic must abort the run");
+
+    // The checkpoint captured the last *completed* epoch, atomically.
+    let ck = Checkpoint::load_from_path(&dir.join("b.ckpt")).unwrap();
+    assert_eq!(ck.epochs_done, 2);
+    assert!(!ck.store.has_non_finite());
+
+    // Restart (fresh process analog: new source, same config + paths) —
+    // resume is automatic because the checkpoint file exists.
+    let source_b = FlatPairs::new(ring_pairs());
+    let (model_b, report_b) =
+        train_resumable_on_source(N_NODES, &source_b, &negatives, &cfg, &ft_b).unwrap();
+    assert_eq!(report_b.epoch_losses.len(), 4, "resume covers epochs 2..6");
+    assert_stores_identical(&model_a.store, &model_b.store);
+
+    // And the resumed tail reports the same per-epoch losses.
+    assert_eq!(report_a.epoch_losses[2..], report_b.epoch_losses[..]);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// In Hogwild mode a worker panic must surface as a typed error carrying
+/// the shard coordinates — not tear down the process — and the checkpoint
+/// written before the crash must stay usable.
+#[test]
+fn hogwild_worker_panic_degrades_to_typed_error_and_resumes() {
+    let dir = scratch("hogwild");
+    let mut cfg = config(4);
+    cfg.threads = 2;
+    let negatives = NegativeTable::uniform(N_NODES as u32);
+    let per_epoch = ring_pairs().len() as u64;
+    let ft = FaultTolerance {
+        checkpoint: Some(CheckpointConfig::every_epoch(dir.join("h.ckpt"))),
+        guard: None,
+    };
+
+    let crashing = PanicAfter::new(FlatPairs::new(ring_pairs()), per_epoch + 3, "worker meltdown");
+    let err = train_resumable_on_source(N_NODES, &crashing, &negatives, &cfg, &ft).unwrap_err();
+    match err {
+        Inf2vecError::Train(TrainError::WorkerPanic {
+            epoch,
+            shard,
+            n_shards,
+            message,
+        }) => {
+            assert_eq!(epoch, 1, "epoch 0 completed before the injected panic");
+            assert_eq!(n_shards, 2);
+            assert!(shard < 2);
+            assert!(message.contains("worker meltdown"), "{message}");
+        }
+        other => panic!("expected WorkerPanic, got {other}"),
+    }
+
+    // Epoch 0's checkpoint survived the worker crash and resumes cleanly.
+    let ck = Checkpoint::load_from_path(&dir.join("h.ckpt")).unwrap();
+    assert_eq!(ck.epochs_done, 1);
+    let source = FlatPairs::new(ring_pairs());
+    let (model, report) =
+        train_resumable_on_source(N_NODES, &source, &negatives, &cfg, &ft).unwrap();
+    assert_eq!(report.epoch_losses.len(), 3, "resume covers epochs 1..4");
+    assert!(!model.store.has_non_finite());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Divergence mid-run: the guard rolls back to the last healthy snapshot,
+/// backs off the learning rate, records the recovery, and finishes with
+/// finite parameters — while every checkpoint written along the way holds
+/// only healthy state.
+#[test]
+fn divergence_guard_recovers_and_checkpoints_stay_healthy() {
+    let dir = scratch("diverge");
+    let ckpt = dir.join("d.ckpt");
+    let store = EmbeddingStore::new(N_NODES, 8, 9);
+    let source = FlatPairs::new(ring_pairs());
+    let negatives = NegativeTable::uniform(N_NODES as u32);
+    let trainer = SgnsTrainer::try_new(SgnsConfig {
+        negatives: 5,
+        lr: 0.05,
+        lr_min: 0.05,
+        epochs: 5,
+        threads: 1,
+        seed: 77,
+    })
+    .unwrap();
+
+    // The hook checkpoints every healthy epoch, then simulates parameter
+    // corruption (e.g. a bad memory page) right after epoch 1's snapshot.
+    let mut poisoned = false;
+    let mut hook = |st: &EpochState| -> std::io::Result<()> {
+        write_checkpoint(
+            &ckpt,
+            st.epoch + 1,
+            st.pairs_processed,
+            st.lr_scale,
+            Some(st.mean_loss),
+            &store,
+        )?;
+        if st.epoch == 1 && !poisoned {
+            poisoned = true;
+            // SAFETY: single-thread training; no concurrent writers.
+            unsafe {
+                for row in 0..N_NODES {
+                    for x in store.source.row_mut(row) {
+                        *x *= 1e4;
+                    }
+                }
+            }
+        }
+        Ok(())
+    };
+    let report = trainer
+        .try_train_with(
+            &store,
+            &source,
+            &negatives,
+            TrainOptions {
+                guard: Some(DivergenceGuard::default()),
+                on_epoch: Some(&mut hook),
+                ..TrainOptions::default()
+            },
+        )
+        .unwrap();
+
+    assert!(!report.recoveries.is_empty(), "the poisoned epoch must trigger a rollback");
+    for r in &report.recoveries {
+        assert!(r.lr_scale < 1.0, "recovery must back off the learning rate");
+    }
+    assert_eq!(report.epoch_losses.len(), 5);
+    assert!(report.epoch_losses.iter().all(|l| l.is_finite()));
+    assert!(!store.has_non_finite(), "rollback must restore healthy parameters");
+
+    // Nothing unhealthy ever reached the disk.
+    let ck = Checkpoint::load_from_path(&ckpt).unwrap();
+    assert_eq!(ck.epochs_done, 5);
+    assert!(!ck.store.has_non_finite());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// When the recovery budget runs out the public pipeline reports
+/// `Diverged` — and the checkpoint on disk still holds the last healthy
+/// epoch, so no NaN ever reaches a saved model file.
+#[test]
+fn exhausted_recovery_budget_errors_but_keeps_last_good_checkpoint() {
+    let dir = scratch("budget");
+    let cfg = config(4);
+    let negatives = NegativeTable::uniform(N_NODES as u32);
+    let source = FlatPairs::new(ring_pairs());
+    // blowup = 0 declares every epoch after the first diverged: the guard
+    // must burn its whole budget and give up.
+    let ft = FaultTolerance {
+        checkpoint: Some(CheckpointConfig::every_epoch(dir.join("g.ckpt"))),
+        guard: Some(DivergenceGuard {
+            blowup: 0.0,
+            backoff: 0.5,
+            max_recoveries: 2,
+        }),
+    };
+    let err = train_resumable_on_source(N_NODES, &source, &negatives, &cfg, &ft).unwrap_err();
+    match err {
+        Inf2vecError::Train(TrainError::Diverged { recoveries, .. }) => {
+            assert_eq!(recoveries, 2)
+        }
+        other => panic!("expected Diverged, got {other}"),
+    }
+    let ck = Checkpoint::load_from_path(&dir.join("g.ckpt")).unwrap();
+    assert_eq!(ck.epochs_done, 1, "only the healthy first epoch was persisted");
+    assert!(!ck.store.has_non_finite());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Resuming against the wrong geometry or a corrupted checkpoint file is
+/// an error, never a panic and never silent corruption.
+#[test]
+fn resume_rejects_mismatched_or_corrupt_checkpoints() {
+    let dir = scratch("reject");
+    let negatives = NegativeTable::uniform(N_NODES as u32);
+    let source = FlatPairs::new(ring_pairs());
+    let ft = FaultTolerance {
+        checkpoint: Some(CheckpointConfig::every_epoch(dir.join("r.ckpt"))),
+        guard: None,
+    };
+    train_resumable_on_source(N_NODES, &source, &negatives, &config(2), &ft).unwrap();
+
+    // Same checkpoint, different embedding dimension.
+    let mut cfg_k = config(2);
+    cfg_k.k = 4;
+    assert!(matches!(
+        train_resumable_on_source(N_NODES, &source, &negatives, &cfg_k, &ft),
+        Err(Inf2vecError::Train(TrainError::ShapeMismatch { .. }))
+    ));
+
+    // Same checkpoint, different node universe.
+    let more_nodes = N_NODES + 5;
+    let negatives_more = NegativeTable::uniform(more_nodes as u32);
+    assert!(matches!(
+        train_resumable_on_source(more_nodes, &source, &negatives_more, &config(2), &ft),
+        Err(Inf2vecError::Train(TrainError::ShapeMismatch { .. }))
+    ));
+
+    // Checkpoint claiming more epochs than the config allows.
+    let mut cfg_short = config(2);
+    cfg_short.epochs = 1;
+    assert!(train_resumable_on_source(N_NODES, &source, &negatives, &cfg_short, &ft).is_err());
+
+    // A trashed checkpoint file is a clean error.
+    std::fs::write(dir.join("r.ckpt"), b"definitely not a checkpoint\n").unwrap();
+    assert!(train_resumable_on_source(N_NODES, &source, &negatives, &config(2), &ft).is_err());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The fault injector itself: fires exactly once, then the same wrapped
+/// source works normally — which is what makes "resume with the same
+/// objects" scenarios possible in tests.
+#[test]
+fn panic_injector_is_single_shot() {
+    let inner = FlatPairs::new(ring_pairs());
+    let total = inner.pairs_per_epoch();
+    let src = PanicAfter::new(inner, 5, "boom");
+    let mut rng = inf2vec::util::rng::Xoshiro256pp::new(1);
+    let mut seen = 0u64;
+    let r = catch_unwind(AssertUnwindSafe(|| {
+        let mut rng = inf2vec::util::rng::Xoshiro256pp::new(1);
+        src.for_each_pair(0, 0, 1, &mut rng, &mut |_, _| {});
+    }));
+    assert!(r.is_err());
+    src.for_each_pair(0, 0, 1, &mut rng, &mut |_, _| seen += 1);
+    assert_eq!(seen, total, "after firing, the injector is transparent");
+}

@@ -1,0 +1,423 @@
+#![warn(missing_docs)]
+
+//! Minimal vendored property-testing harness.
+//!
+//! The offline build environment cannot fetch the real `proptest` crate, so
+//! this crate reimplements the narrow API surface the workspace's tests
+//! use:
+//!
+//! - the [`proptest!`] macro (with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header),
+//! - strategies: integer/float ranges, `any::<T>()`, tuples of strategies,
+//!   and `prop::collection::vec(strategy, size)`,
+//! - [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`].
+//!
+//! Semantics are plain randomized testing: each test gets a deterministic
+//! RNG seeded from its own name, generates `cases` input tuples, and runs
+//! the body on each. There is no shrinking; on failure the harness prints
+//! the offending generated inputs before propagating the panic, which is
+//! enough to paste into a regression test.
+
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Deterministic generator backing the harness (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator seeded from a test's name, so every test has a
+    /// reproducible, independent stream.
+    pub fn deterministic(name: &str) -> Self {
+        // FNV-1a over the name, folded into SplitMix64 state.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Self { state: h }
+    }
+
+    /// Next 64-bit output (SplitMix64 step).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Multiply-shift; the slight modulo bias is irrelevant for testing.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Test-runner knobs. Only `cases` is honored.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated input tuples per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` inputs per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real proptest's default.
+        Self { cases: 256 }
+    }
+}
+
+/// A value generator. Unlike the real proptest there is no shrinking: a
+/// strategy is just a sampling function.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + (self.end - self.start) * rng.unit_f64()
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn sample(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + (self.end - self.start) * rng.unit_f64() as f32
+    }
+}
+
+/// Types with a canonical "anything goes" strategy (see [`any`]).
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value of the type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite arbitrary floats over a wide range; NaN/Inf edge cases are
+        // exercised by dedicated deterministic tests instead.
+        (rng.unit_f64() - 0.5) * 2e12
+    }
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The "any value of T" strategy, e.g. `any::<u64>()`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!((A, B), (A, B, C), (A, B, C, D));
+
+/// Collection-size specification: a fixed length or a half-open range.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // exclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        Self {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+/// Strategy namespace mirroring `proptest::prelude::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{SizeRange, Strategy, TestRng};
+
+        /// Strategy producing `Vec`s of `element` with a length drawn from
+        /// `size`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        /// See [`vec`].
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let (lo, hi) = (self.size.lo, self.size.hi);
+                let len = lo + rng.below((hi - lo) as u64) as usize;
+                (0..len).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Failure payload of a test-case body. Bodies under this shim normally
+/// fail by panicking (the `prop_assert!` family wraps `assert!`), but the
+/// type exists so bodies can `return Ok(())` early and use `?`, matching
+/// the real proptest's `Result`-valued bodies.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl<E: std::fmt::Display> From<E> for TestCaseError {
+    fn from(e: E) -> Self {
+        Self(e.to_string())
+    }
+}
+
+/// What a proptest body evaluates to.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runs one proptest case, printing the generated inputs on panic so
+/// failures are reproducible without shrinking. Used by [`proptest!`]; not
+/// part of the public API proper.
+pub fn run_case(test_name: &str, case: u32, inputs: &str, body: impl FnOnce() -> TestCaseResult) {
+    match catch_unwind(AssertUnwindSafe(body)) {
+        Ok(Ok(())) => {}
+        Ok(Err(TestCaseError(msg))) => {
+            panic!("proptest {test_name}: failed at case {case} ({msg}) with inputs {inputs}");
+        }
+        Err(payload) => {
+            eprintln!("proptest {test_name}: failed at case {case} with inputs {inputs}");
+            resume_unwind(payload);
+        }
+    }
+}
+
+/// Defines randomized tests. Supported grammar (a compatible subset of the
+/// real proptest macro):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(48))]
+///     #[test]
+///     fn my_test(x in 0u32..10, v in prop::collection::vec(any::<u64>(), 0..5)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let mut __rng = $crate::TestRng::deterministic(stringify!($name));
+                for __case in 0..__config.cases {
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)+
+                    // Render inputs before the body runs: the body may
+                    // consume the bindings.
+                    let __inputs = format!(
+                        concat!($("\n  ", stringify!($arg), " = {:?}",)+),
+                        $(&$arg),+
+                    );
+                    $crate::run_case(
+                        stringify!($name),
+                        __case,
+                        &__inputs,
+                        // Bodies may `return Ok(())` early like in the real
+                        // proptest; a body that falls off the end is Ok too,
+                        // hence the possibly-unreachable trailing value.
+                        #[allow(unreachable_code)]
+                        move || -> $crate::TestCaseResult {
+                            $body
+                            Ok(())
+                        },
+                    );
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// The glob-import surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{any, Arbitrary, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_sample_in_bounds() {
+        let mut rng = crate::TestRng::deterministic("ranges");
+        for _ in 0..1000 {
+            let x = Strategy::sample(&(3u32..17), &mut rng);
+            assert!((3..17).contains(&x));
+            let y = Strategy::sample(&(-5i64..5), &mut rng);
+            assert!((-5..5).contains(&y));
+            let f = Strategy::sample(&(-2.0f64..3.0), &mut rng);
+            assert!((-2.0..3.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_sizes() {
+        let mut rng = crate::TestRng::deterministic("vecs");
+        let s = prop::collection::vec((0u32..4, 0u64..9), 0..13);
+        for _ in 0..200 {
+            let v = Strategy::sample(&s, &mut rng);
+            assert!(v.len() < 13);
+            assert!(v.iter().all(|&(a, b)| a < 4 && b < 9));
+        }
+        let fixed = prop::collection::vec(any::<bool>(), 20);
+        assert_eq!(Strategy::sample(&fixed, &mut rng).len(), 20);
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = crate::TestRng::deterministic("same");
+        let mut b = crate::TestRng::deterministic("same");
+        let mut c = crate::TestRng::deterministic("other");
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro itself works end to end.
+        #[test]
+        fn macro_end_to_end(x in 1u64..100, flips in prop::collection::vec(any::<bool>(), 0..8)) {
+            prop_assert!(x >= 1 && x < 100);
+            prop_assert!(flips.len() < 8);
+            prop_assert_eq!(x, x);
+            prop_assert_ne!(x, x + 1);
+        }
+    }
+}

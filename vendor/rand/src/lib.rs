@@ -1,0 +1,152 @@
+#![warn(missing_docs)]
+
+//! Minimal vendored stand-in for the `rand` crate's core traits.
+//!
+//! The workspace implements its own pinned generators (SplitMix64 and
+//! xoshiro256++ in `inf2vec-util`); all it ever used from `rand` were the
+//! [`RngCore`] / [`SeedableRng`] traits so those generators interoperate
+//! with generic code. The build environment has no network access to
+//! crates.io, so this crate vendors exactly that trait surface with the
+//! same signatures. No generators, distributions, or OS entropy are
+//! provided — every seed in this workspace is explicit by design.
+
+use std::fmt;
+
+/// Error type reported by fallible RNG methods.
+///
+/// The workspace's generators are infallible; this exists only so
+/// [`RngCore::try_fill_bytes`] keeps the upstream signature.
+#[derive(Debug)]
+pub struct Error {
+    msg: &'static str,
+}
+
+impl Error {
+    /// Creates an error with a static message.
+    pub fn new(msg: &'static str) -> Self {
+        Self { msg }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rng error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core of a random number generator: raw integer output and byte
+/// filling. Mirrors `rand 0.8`'s trait of the same name.
+pub trait RngCore {
+    /// Returns the next 32 bits of output.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next 64 bits of output.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+
+    /// Fallible version of [`fill_bytes`](Self::fill_bytes).
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+/// A generator that can be constructed from a fixed-size seed. Mirrors
+/// `rand 0.8`'s trait of the same name.
+pub trait SeedableRng: Sized {
+    /// The seed byte array type.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Constructs the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Constructs the generator from a `u64`, spreading it over the seed
+    /// bytes little-endian (implementations usually override this with
+    /// something better; ours do).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for (chunk, byte) in seed
+            .as_mut()
+            .iter_mut()
+            .zip(state.to_le_bytes().iter().cycle())
+        {
+            *chunk = *byte;
+        }
+        Self::from_seed(seed)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.0 += 1;
+            self.0
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for b in dest {
+                *b = self.next_u64() as u8;
+            }
+        }
+    }
+
+    impl SeedableRng for Counter {
+        type Seed = [u8; 8];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            Counter(u64::from_le_bytes(seed))
+        }
+    }
+
+    #[test]
+    fn default_try_fill_delegates() {
+        let mut c = Counter(0);
+        let mut buf = [0u8; 4];
+        c.try_fill_bytes(&mut buf).unwrap();
+        assert_eq!(buf, [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn seed_from_u64_round_trips_small_seeds() {
+        let c = Counter::seed_from_u64(7);
+        // to_le_bytes of 7 cycled over 8 bytes is just 7's own bytes.
+        assert_eq!(c.0, 7);
+    }
+
+    #[test]
+    fn mut_ref_forwards() {
+        let mut c = Counter(0);
+        let r = &mut c;
+        fn takes_rng<R: RngCore>(mut r: R) -> u64 {
+            r.next_u64()
+        }
+        assert_eq!(takes_rng(r), 1);
+    }
+}
