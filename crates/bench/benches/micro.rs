@@ -8,6 +8,7 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
+use std::sync::Arc;
 
 use inf2vec_baselines::em::{IcEm, IcEmConfig};
 use inf2vec_core::context::generate_context;
@@ -17,10 +18,11 @@ use inf2vec_diffusion::pairs::episode_pairs;
 use inf2vec_diffusion::synth::{generate, SyntheticConfig, SyntheticDataset};
 use inf2vec_diffusion::{ic, Episode, PropagationNetwork};
 use inf2vec_embed::checkpoint::write_checkpoint;
-use inf2vec_embed::sgns::{FlatPairs, SgnsConfig, SgnsTrainer};
+use inf2vec_embed::sgns::{FlatPairs, SgnsConfig, SgnsTrainer, TrainOptions};
 use inf2vec_embed::{EmbeddingStore, NegativeTable};
 use inf2vec_graph::walk::{restart_walk, Node2vecWalker};
 use inf2vec_graph::NodeId;
+use inf2vec_obs::{NoopRecorder, Telemetry};
 use inf2vec_util::rng::Xoshiro256pp;
 
 fn setup() -> SyntheticDataset {
@@ -141,6 +143,63 @@ fn bench_checkpoint_write(c: &mut Criterion) {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+fn bench_obs_overhead(c: &mut Criterion) {
+    // Primitive cost of the instrumentation points: a disabled handle is
+    // one branch per call, a registry-backed one an atomic add. Both must
+    // be far below the cost of an SGNS pair update.
+    let disabled = Telemetry::disabled();
+    c.bench_function("obs/disabled_handle_x1000", |b| {
+        b.iter(|| {
+            for i in 0..1000u64 {
+                disabled.count("inf2vec_train_pairs_total", black_box(i));
+                disabled.observe("inf2vec_train_epoch_seconds", black_box(i as f64));
+            }
+        })
+    });
+    let live = Telemetry::with_registry();
+    c.bench_function("obs/registry_handle_x1000", |b| {
+        b.iter(|| {
+            for i in 0..1000u64 {
+                live.count("inf2vec_train_pairs_total", black_box(i));
+                live.observe("inf2vec_train_epoch_seconds", black_box(i as f64));
+            }
+        })
+    });
+
+    // End-to-end ≤2% budget: the same single-epoch SGNS run with the
+    // telemetry branch disabled vs. routed through a no-op recorder.
+    let s = setup();
+    let n = s.dataset.graph.node_count() as usize;
+    let pairs: Vec<(u32, u32)> = (0..1000u32)
+        .map(|i| (i % n as u32, (i * 7 + 1) % n as u32))
+        .collect();
+    let source = FlatPairs::new(pairs);
+    let negs = NegativeTable::uniform(n as u32);
+    let trainer = SgnsTrainer::new(SgnsConfig {
+        epochs: 1,
+        ..SgnsConfig::default()
+    });
+    for (label, telemetry) in [
+        ("disabled", Telemetry::disabled()),
+        ("noop", Telemetry::new(Arc::new(NoopRecorder))),
+    ] {
+        let store = EmbeddingStore::new(n, 50, 1);
+        c.bench_function(&format!("sgns/1000_pairs_telemetry_{label}"), |b| {
+            b.iter(|| {
+                let opts = TrainOptions {
+                    telemetry: telemetry.clone(),
+                    ..TrainOptions::default()
+                };
+                black_box(
+                    trainer
+                        .try_train_with(&store, &source, &negs, opts)
+                        .expect("bench training"),
+                )
+            })
+        });
+    }
+}
+
 fn bench_monte_carlo(c: &mut Criterion) {
     let s = setup();
     let probs = ic::EdgeProbs::weighted_cascade(&s.dataset.graph);
@@ -185,6 +244,7 @@ criterion_group!(
     bench_sgns_step,
     bench_corpus_generation,
     bench_checkpoint_write,
+    bench_obs_overhead,
     bench_monte_carlo,
     bench_em_iteration,
 );

@@ -6,13 +6,13 @@ use inf2vec_util::ascii::{series_csv, xy_plot};
 use inf2vec_util::rng::split_seed;
 use inf2vec_util::TextTable;
 
-use crate::common::{datasets, inf2vec_config, write_artifact, Opts};
+use crate::common::{datasets, inf2vec_config, out, outln, write_artifact, Opts};
 use crate::figures::activation_map;
 
 /// α sweep 0.0–1.0 (generalizes Table IV: α = 0 is global-only, α = 1 is
 /// Inf2vec-L, the paper's tuned default is 0.1).
 pub fn ablate_alpha(opts: &Opts) {
-    println!("== Ablation: component weight alpha (activation MAP) ==");
+    outln!(opts,"== Ablation: component weight alpha (activation MAP) ==");
     let alphas = [0.0, 0.1, 0.25, 0.5, 0.75, 1.0];
     let mut named: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
     for bundle in datasets(opts) {
@@ -21,21 +21,21 @@ pub fn ablate_alpha(opts: &Opts) {
             let mut cfg = inf2vec_config(opts, split_seed(opts.seed, 0xAB1A));
             cfg.alpha = alpha;
             let map = activation_map(&bundle, &cfg);
-            println!("  {} alpha = {alpha:.2}: MAP = {map:.4}", bundle.name());
+            outln!(opts,"  {} alpha = {alpha:.2}: MAP = {map:.4}", bundle.name());
             series.push((alpha, map));
         }
         named.push((bundle.name().to_string(), series));
     }
     let refs: Vec<(&str, &[(f64, f64)])> =
         named.iter().map(|(n, s)| (n.as_str(), s.as_slice())).collect();
-    print!("{}", xy_plot("MAP vs alpha", &refs, 60, 12, false, false));
-    println!("(expected: small alpha > alpha = 1 (Table IV) and > alpha = 0 — both context halves contribute)\n");
+    out!(opts, "{}", xy_plot("MAP vs alpha", &refs, 60, 12, false, false));
+    outln!(opts,"(expected: small alpha > alpha = 1 (Table IV) and > alpha = 0 — both context halves contribute)\n");
     write_artifact(opts, "ablate_alpha.csv", &series_csv(&refs));
 }
 
 /// Bias terms on/off.
 pub fn ablate_bias(opts: &Opts) {
-    println!("== Ablation: influence-ability / conformity bias terms ==");
+    outln!(opts,"== Ablation: influence-ability / conformity bias terms ==");
     let mut t = TextTable::new(["Dataset", "MAP with biases", "MAP without biases"]);
     let mut csv = String::from("dataset,with_bias,without_bias\n");
     for bundle in datasets(opts) {
@@ -52,14 +52,14 @@ pub fn ablate_bias(opts: &Opts) {
         ]);
         csv.push_str(&format!("{},{m_with},{m_without}\n", bundle.name()));
     }
-    print!("{t}");
-    println!("(the paper motivates b_u/b̃_u with the global popularity skew of Figures 1-2)\n");
+    out!(opts, "{t}");
+    outln!(opts,"(the paper motivates b_u/b̃_u with the global popularity skew of Figures 1-2)\n");
     write_artifact(opts, "ablate_bias.csv", &csv);
 }
 
 /// Restart-ratio sweep (the paper fixes 0.5 following node2vec).
 pub fn ablate_restart(opts: &Opts) {
-    println!("== Ablation: restart ratio of the local influence walk ==");
+    outln!(opts,"== Ablation: restart ratio of the local influence walk ==");
     let ratios = [0.1, 0.3, 0.5, 0.7, 0.9];
     let mut named: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
     for bundle in datasets(opts) {
@@ -70,20 +70,20 @@ pub fn ablate_restart(opts: &Opts) {
             // Emphasize the walk so the knob is visible.
             cfg.alpha = 0.5;
             let map = activation_map(&bundle, &cfg);
-            println!("  {} restart = {r:.1}: MAP = {map:.4}", bundle.name());
+            outln!(opts,"  {} restart = {r:.1}: MAP = {map:.4}", bundle.name());
             series.push((r, map));
         }
         named.push((bundle.name().to_string(), series));
     }
     let refs: Vec<(&str, &[(f64, f64)])> =
         named.iter().map(|(n, s)| (n.as_str(), s.as_slice())).collect();
-    print!("{}", xy_plot("MAP vs restart ratio (alpha = 0.5)", &refs, 60, 12, false, false));
+    out!(opts, "{}", xy_plot("MAP vs restart ratio (alpha = 0.5)", &refs, 60, 12, false, false));
     write_artifact(opts, "ablate_restart.csv", &series_csv(&refs));
 }
 
 /// Regenerate-contexts-per-epoch extension vs the paper's generate-once.
 pub fn ablate_regen(opts: &Opts) {
-    println!("== Ablation: regenerate influence contexts each epoch (extension) ==");
+    outln!(opts,"== Ablation: regenerate influence contexts each epoch (extension) ==");
     let mut t = TextTable::new(["Dataset", "MAP generate-once (paper)", "MAP regenerate-per-epoch"]);
     let mut csv = String::from("dataset,generate_once,regenerate\n");
     for bundle in datasets(opts) {
@@ -100,7 +100,7 @@ pub fn ablate_regen(opts: &Opts) {
         ]);
         csv.push_str(&format!("{},{m_once},{m_regen}\n", bundle.name()));
     }
-    print!("{t}");
-    println!("(fresh contexts act as data augmentation; the paper's future-work section invites alternative context generation)\n");
+    out!(opts, "{t}");
+    outln!(opts,"(fresh contexts act as data augmentation; the paper's future-work section invites alternative context generation)\n");
     write_artifact(opts, "ablate_regen.csv", &csv);
 }

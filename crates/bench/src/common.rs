@@ -15,7 +15,8 @@ use inf2vec_diffusion::synth::{generate, SyntheticConfig, SyntheticDataset};
 use inf2vec_diffusion::{DatasetSplit, Episode};
 use inf2vec_eval::activation::ActivationTask;
 use inf2vec_eval::diffusion_task::DiffusionTask;
-use inf2vec_eval::runner::MethodRuns;
+use inf2vec_eval::runner::{observe_evaluation, MethodRuns};
+use inf2vec_obs::{Event, Telemetry};
 use inf2vec_eval::{Aggregator, RankingMetrics, ScoringModel};
 use inf2vec_util::rng::split_seed;
 
@@ -39,6 +40,13 @@ pub struct Opts {
     pub epochs_override: Option<usize>,
     /// Override the Inf2vec learning rate (None = paper's 0.005).
     pub lr_override: Option<f32>,
+    /// Suppress table/progress output (warnings still print). Telemetry
+    /// events are unaffected, so `--quiet --telemetry-jsonl` gives a
+    /// machine-readable run with a silent terminal.
+    pub quiet: bool,
+    /// Metrics/event destination, threaded into every trained model and
+    /// mirrored by the harness's own output helpers.
+    pub telemetry: Telemetry,
 }
 
 impl Default for Opts {
@@ -52,6 +60,8 @@ impl Default for Opts {
             threads: 1,
             epochs_override: None,
             lr_override: None,
+            quiet: false,
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -62,7 +72,66 @@ impl Opts {
         self.epochs_override
             .unwrap_or(if self.quick { 5 } else { 10 })
     }
+
+    /// Product output (tables, plots): stdout unless `--quiet`, mirrored
+    /// as a `"report"` event when a sink is configured.
+    pub fn say(&self, text: &str) {
+        if !self.quiet {
+            println!("{text}");
+        }
+        self.report("stdout", text);
+    }
+
+    /// Like [`say`](Self::say) but without the trailing newline, for
+    /// blocks (tables, plots) that already end in one.
+    pub fn say_raw(&self, text: &str) {
+        if !self.quiet {
+            print!("{text}");
+        }
+        self.report("stdout", text.trim_end_matches('\n'));
+    }
+
+    /// Progress output: stderr unless `--quiet`, mirrored as a `"report"`
+    /// event.
+    pub fn note(&self, text: &str) {
+        if !self.quiet {
+            eprintln!("{text}");
+        }
+        self.report("stderr", text);
+    }
+
+    /// Warning: stderr even under `--quiet`, mirrored as a `"warn"` event.
+    pub fn warn(&self, text: &str) {
+        eprintln!("{text}");
+        if self.telemetry.enabled() {
+            self.telemetry.emit(Event::new("warn").str("text", text));
+        }
+    }
+
+    fn report(&self, channel: &str, text: &str) {
+        if self.telemetry.enabled() {
+            self.telemetry.emit(
+                Event::new("report")
+                    .str("channel", channel)
+                    .str("text", text),
+            );
+        }
+    }
 }
+
+/// `println!` through [`Opts::say`]: honors `--quiet` and mirrors the line
+/// into the telemetry sink. `outln!(opts)` prints a blank line.
+macro_rules! outln {
+    ($opts:expr) => { $opts.say("") };
+    ($opts:expr, $($arg:tt)*) => { $opts.say(&format!($($arg)*)) };
+}
+
+/// `print!` through [`Opts::say_raw`], for newline-terminated blocks.
+macro_rules! out {
+    ($opts:expr, $($arg:tt)*) => { $opts.say_raw(&format!($($arg)*)) };
+}
+
+pub(crate) use {out, outln};
 
 /// A dataset prepared for experiments.
 pub struct Bundle {
@@ -263,6 +332,7 @@ pub fn inf2vec_config(opts: &Opts, run_seed: u64) -> Inf2vecConfig {
         epochs: opts.epochs(),
         threads: opts.threads,
         seed: run_seed,
+        telemetry: opts.telemetry.clone(),
         // The paper tunes α on the tuning split and lands on 0.1 for its
         // datasets; the same procedure on our synthetic tuning split picks
         // 0.25 (see `repro ablate-alpha`).
@@ -316,13 +386,19 @@ pub fn evaluate_method(
     for run in 0..runs {
         let run_seed = split_seed(opts.seed, 0x1000 + run as u64);
         let metrics = with_model(bundle, method, opts, run_seed, aggregator, |model| {
-            match (&activation, &diffusion) {
-                (Some(task), _) => task.evaluate(model),
-                (_, Some(task)) => {
-                    task.evaluate(&bundle.synth.dataset.graph, model, run_seed)
+            let task_name = match task {
+                Task::Activation => "activation",
+                Task::Diffusion => "diffusion",
+            };
+            observe_evaluation(&opts.telemetry, task_name, || {
+                match (&activation, &diffusion) {
+                    (Some(task), _) => task.evaluate(model),
+                    (_, Some(task)) => {
+                        task.evaluate(&bundle.synth.dataset.graph, model, run_seed)
+                    }
+                    _ => unreachable!("one task is always built"),
                 }
-                _ => unreachable!("one task is always built"),
-            }
+            })
         });
         results.push(metrics);
     }
@@ -333,13 +409,13 @@ pub fn evaluate_method(
 /// demand; prints the destination.
 pub fn write_artifact(opts: &Opts, name: &str, content: &str) {
     if let Err(e) = std::fs::create_dir_all(&opts.out) {
-        eprintln!("warning: cannot create {}: {e}", opts.out.display());
+        opts.warn(&format!("warning: cannot create {}: {e}", opts.out.display()));
         return;
     }
     let path = opts.out.join(name);
     match std::fs::write(&path, content) {
-        Ok(()) => println!("[artifact] {}", path.display()),
-        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+        Ok(()) => outln!(opts, "[artifact] {}", path.display()),
+        Err(e) => opts.warn(&format!("warning: cannot write {}: {e}", path.display())),
     }
 }
 

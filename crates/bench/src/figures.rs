@@ -19,12 +19,14 @@ use inf2vec_util::ascii::{series_csv, xy_plot};
 use inf2vec_util::rng::split_seed;
 use inf2vec_util::{FxHashMap, TextTable};
 
-use crate::common::{datasets, emb_ic_config, inf2vec_config, write_artifact, Bundle, Opts};
+use crate::common::{
+    datasets, emb_ic_config, inf2vec_config, out, outln, write_artifact, Bundle, Opts,
+};
 
 /// Figures 1 and 2: source/target user frequency distributions (log-log).
 pub fn fig12(opts: &Opts, target: bool) {
     let (fig, role) = if target { ("fig2", "target") } else { ("fig1", "source") };
-    println!("== Figure {}: distribution of users being {role} users ==", if target { 2 } else { 1 });
+    outln!(opts,"== Figure {}: distribution of users being {role} users ==", if target { 2 } else { 1 });
     let mut csv_all = String::new();
     for bundle in datasets(opts) {
         let dist = pair_distributions(
@@ -44,9 +46,9 @@ pub fn fig12(opts: &Opts, target: bool) {
             true,
             true,
         );
-        print!("{plot}");
+        out!(opts, "{plot}");
         let alpha = power_law_alpha(hist, 5);
-        println!(
+        outln!(opts,
             "total pairs: {}; power-law alpha (xmin=5): {}\n",
             dist.total_pairs,
             alpha.map_or("n/a".into(), |a| format!("{a:.2}")),
@@ -54,20 +56,20 @@ pub fn fig12(opts: &Opts, target: bool) {
         csv_all.push_str(&format!("# {}\n", bundle.name()));
         csv_all.push_str(&series_csv(&[(role, &series)]));
     }
-    println!("(paper: both datasets show clear power laws — a few users are extremely influential/conformist)\n");
+    outln!(opts,"(paper: both datasets show clear power laws — a few users are extremely influential/conformist)\n");
     write_artifact(opts, &format!("{fig}.csv"), &csv_all);
 }
 
 /// Figure 3: CDF of the number of already-active friends at adoption time.
 pub fn fig3(opts: &Opts) {
-    println!("== Figure 3: CDF of taking an action after x friends did ==");
+    outln!(opts,"== Figure 3: CDF of taking an action after x friends did ==");
     let mut named: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
     for bundle in datasets(opts) {
         let cdf = active_friend_cdf(
             &bundle.synth.dataset.graph,
             bundle.synth.dataset.log.episodes(),
         );
-        println!(
+        outln!(opts,
             "{}: CDF(0) = {:.3} (paper: Digg 0.7, Flickr 0.5), CDF(3) = {:.3}",
             bundle.name(),
             cdf.cdf(0),
@@ -85,14 +87,14 @@ pub fn fig3(opts: &Opts) {
         .map(|(n, s)| (n.as_str(), s.as_slice()))
         .collect();
     let plot = xy_plot("CDF of active friends at adoption", &series_refs, 60, 14, false, false);
-    print!("{plot}");
-    println!("(interpretation: most adoptions are interest-driven, but a large minority follow ≥1 active friend — both factors matter)\n");
+    out!(opts, "{plot}");
+    outln!(opts,"(interpretation: most adoptions are interest-driven, but a large minority follow ≥1 active friend — both factors matter)\n");
     write_artifact(opts, "fig3.csv", &series_csv(&series_refs));
 }
 
 /// Figure 6: t-SNE visualization of the learned representations.
 pub fn fig6(opts: &Opts) {
-    println!("== Figure 6: t-SNE of learned representations (digg-like) ==");
+    outln!(opts,"== Figure 6: t-SNE of learned representations (digg-like) ==");
     let bundle = &datasets(opts)[0];
     let graph = &bundle.synth.dataset.graph;
     let episodes = bundle.synth.dataset.log.episodes();
@@ -119,7 +121,7 @@ pub fn fig6(opts: &Opts) {
         kept_pairs.push((u, v));
     }
     let top_pairs: Vec<(u32, u32)> = kept_pairs.iter().take(50).copied().collect();
-    println!(
+    outln!(opts,
         "plotting {} nodes from the {} most frequent pairs; quantifying the top-{} pairs",
         nodes.len(),
         kept_pairs.len(),
@@ -189,8 +191,8 @@ pub fn fig6(opts: &Opts) {
             .map_or("n/a".to_string(), |r| format!("{r:.4}"));
         t.row([name.to_string(), rank]);
     }
-    print!("{t}");
-    println!("(paper, qualitatively: only Inf2vec places the two nodes of frequent influence pairs adjacently; a rank ≪ 0.5 quantifies \"adjacent\")\n");
+    out!(opts, "{t}");
+    outln!(opts,"(paper, qualitatively: only Inf2vec places the two nodes of frequent influence pairs adjacently; a rank ≪ 0.5 quantifies \"adjacent\")\n");
     write_artifact(opts, "fig6.csv", &csv);
 }
 
@@ -202,7 +204,7 @@ pub fn fig78(opts: &Opts, sweep_l: bool) {
     } else {
         ("fig7", "number of dimensions K", vec![10usize, 25, 50, 100])
     };
-    println!("== Figure {}: effect of {label} on MAP ==", if sweep_l { 8 } else { 7 });
+    outln!(opts,"== Figure {}: effect of {label} on MAP ==", if sweep_l { 8 } else { 7 });
     let mut named: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
     for bundle in datasets(opts) {
         let task = ActivationTask::build(
@@ -219,7 +221,7 @@ pub fn fig78(opts: &Opts, sweep_l: bool) {
             }
             let model = inf2vec_train(&bundle.synth.dataset, &bundle.split.train, &cfg);
             let m = task.evaluate(&ScoringModel::Representation(&model, Aggregator::Ave));
-            println!("  {} {label} = {x}: MAP = {:.4}", bundle.name(), m.map);
+            outln!(opts,"  {} {label} = {x}: MAP = {:.4}", bundle.name(), m.map);
             series.push((x as f64, m.map));
         }
         named.push((bundle.name().to_string(), series));
@@ -229,18 +231,18 @@ pub fn fig78(opts: &Opts, sweep_l: bool) {
         .map(|(n, s)| (n.as_str(), s.as_slice()))
         .collect();
     let plot = xy_plot(&format!("MAP vs {label}"), &series_refs, 60, 12, false, false);
-    print!("{plot}");
-    println!("(paper: MAP rises with {label} and flattens/dips at the top end)\n");
+    out!(opts, "{plot}");
+    outln!(opts,"(paper: MAP rises with {label} and flattens/dips at the top end)\n");
     write_artifact(opts, &format!("{fig}.csv"), &series_csv(&series_refs));
 }
 
 /// Figure 9: per-iteration running time of Inf2vec vs Emb-IC over K.
 pub fn fig9(opts: &Opts) {
-    println!("== Figure 9: running time of one training iteration vs K ==");
+    outln!(opts,"== Figure 9: running time of one training iteration vs K ==");
     let ks = [10usize, 25, 50, 100];
     let mut named: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
     for bundle in datasets(opts) {
-        println!("-- dataset: {} --", bundle.name());
+        outln!(opts,"-- dataset: {} --", bundle.name());
         let mut inf_series = Vec::new();
         let mut emb_series = Vec::new();
         let n_nodes = bundle.synth.dataset.graph.node_count() as usize;
@@ -287,7 +289,7 @@ pub fn fig9(opts: &Opts) {
             };
             let emb_iter = (time_iters(2) - time_iters(1)).max(1e-4);
 
-            println!(
+            outln!(opts,
                 "  K = {k:3}: Inf2vec {inf_iter:.3}s  Emb-IC {emb_iter:.3}s  (ratio {:.1}x)",
                 emb_iter / inf_iter
             );
@@ -302,8 +304,8 @@ pub fn fig9(opts: &Opts) {
         .map(|(n, s)| (n.as_str(), s.as_slice()))
         .collect();
     let plot = xy_plot("seconds per iteration vs K", &series_refs, 60, 14, false, false);
-    print!("{plot}");
-    println!("(paper: Inf2vec is ~6x/12x faster per iteration than Emb-IC on Digg/Flickr at K = 50, both growing linearly in K)\n");
+    out!(opts, "{plot}");
+    outln!(opts,"(paper: Inf2vec is ~6x/12x faster per iteration than Emb-IC on Digg/Flickr at K = 50, both growing linearly in K)\n");
     write_artifact(opts, "fig9.csv", &series_csv(&series_refs));
 }
 

@@ -18,6 +18,9 @@
 //!                  (default 1000; paper uses 5000)
 //!   --threads N    Hogwild threads (default 1 = deterministic)
 //!   --out DIR      artifact directory (default ./results)
+//!   --quiet        suppress tables/progress (warnings still print)
+//!   --telemetry-jsonl FILE
+//!                  write training + harness events as JSON lines
 //! ```
 //!
 //! Absolute numbers differ from the paper (synthetic data, different
@@ -30,12 +33,16 @@ mod figures;
 mod oracle;
 mod tables;
 
+use std::sync::Arc;
+
 use common::Opts;
+use inf2vec_obs::{JsonlSink, Telemetry};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut opts = Opts::default();
     let mut commands: Vec<String> = Vec::new();
+    let mut telemetry_jsonl: Option<std::path::PathBuf> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -75,6 +82,12 @@ fn main() {
             "--out" => {
                 opts.out = take_value(&mut i).into();
             }
+            "--quiet" => {
+                opts.quiet = true;
+            }
+            "--telemetry-jsonl" => {
+                telemetry_jsonl = Some(take_value(&mut i).into());
+            }
             "--epochs" => {
                 opts.epochs_override = Some(
                     take_value(&mut i)
@@ -106,12 +119,20 @@ fn main() {
     if opts.runs == 0 || opts.mc_runs == 0 || opts.threads == 0 {
         die("--runs, --mc-runs, and --threads must be positive");
     }
+    if let Some(path) = &telemetry_jsonl {
+        let sink = JsonlSink::create(path)
+            .unwrap_or_else(|e| die(&format!("cannot open {}: {e}", path.display())));
+        opts.telemetry = Telemetry::new(Arc::new(sink));
+    }
 
     let started = std::time::Instant::now();
     for cmd in &commands {
         run_command(cmd, &opts);
     }
-    eprintln!("[repro] done in {:.1}s", started.elapsed().as_secs_f64());
+    opts.note(&format!("[repro] done in {:.1}s", started.elapsed().as_secs_f64()));
+    if let Err(e) = opts.telemetry.flush() {
+        eprintln!("warning: telemetry flush failed: {e}");
+    }
 }
 
 fn run_command(cmd: &str, opts: &Opts) {
@@ -155,7 +176,7 @@ fn run_command(cmd: &str, opts: &Opts) {
 fn print_help() {
     println!(
         "repro — regenerate the Inf2vec paper's tables and figures\n\n\
-         usage: repro [--quick] [--runs N] [--seed S] [--mc-runs N] [--threads N] [--epochs N] [--lr F] [--out DIR] <command>...\n\n\
+         usage: repro [--quick] [--runs N] [--seed S] [--mc-runs N] [--threads N] [--epochs N] [--lr F] [--out DIR] [--quiet] [--telemetry-jsonl FILE] <command>...\n\n\
          commands: table1 table2 table3 table4 table5 table6\n\
                    fig1 fig2 fig3 fig6 fig7 fig8 fig9\n\
                    ablate-alpha ablate-bias ablate-restart ablate-regen ablate\n\

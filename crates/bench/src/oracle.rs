@@ -14,7 +14,7 @@ use inf2vec_eval::ScoringModel;
 use inf2vec_graph::{DiGraph, NodeId};
 use inf2vec_util::TextTable;
 
-use crate::common::{datasets, metrics_cells, Opts};
+use crate::common::{datasets, metrics_cells, out, outln, Opts};
 
 struct Oracle<'a> {
     graph: &'a DiGraph,
@@ -33,7 +33,7 @@ impl CascadeModel for Oracle<'_> {
 
 /// Runs both tasks with the generator's ground-truth probabilities.
 pub fn oracle(opts: &Opts) {
-    println!("== Oracle skyline: ground-truth IC probabilities ==");
+    outln!(opts,"== Oracle skyline: ground-truth IC probabilities ==");
     let mut t = TextTable::new(["Dataset/Task", "AUC", "MAP", "P@10", "P@50", "P@100"]);
     for bundle in datasets(opts) {
         let model = Oracle {
@@ -61,6 +61,6 @@ pub fn oracle(opts: &Opts) {
         cells.extend(metrics_cells(&m));
         t.row(cells);
     }
-    print!("{t}");
-    println!("(the oracle bounds what any IC-family learner could achieve; interest-driven adoptions are invisible to it by design)\n");
+    out!(opts, "{t}");
+    outln!(opts,"(the oracle bounds what any IC-family learner could achieve; interest-driven adoptions are invisible to it by design)\n");
 }

@@ -14,13 +14,13 @@ use inf2vec_util::table::fmt4;
 use inf2vec_util::{FxHashMap, FxHashSet, TextTable, TopK};
 
 use crate::common::{
-    datasets, evaluate_method, inf2vec_config, metrics_cells, write_artifact, Method, Opts,
-    Task,
+    datasets, evaluate_method, inf2vec_config, metrics_cells, out, outln, write_artifact,
+    Method, Opts, Task,
 };
 
 /// Table I: dataset statistics.
 pub fn table1(opts: &Opts) {
-    println!("== Table I: dataset statistics ==");
+    outln!(opts,"== Table I: dataset statistics ==");
     let mut t = TextTable::new(["Dataset", "#User", "#Edge", "#Item", "#Action"]);
     let mut csv = String::from("dataset,users,edges,items,actions\n");
     for bundle in datasets(opts) {
@@ -41,17 +41,17 @@ pub fn table1(opts: &Opts) {
             s.actions
         ));
     }
-    print!("{t}");
-    println!("(paper: Digg 68,634 / 823,656 / 3,553 / 2,485,976; Flickr 162,663 / 10,226,532 / 14,002 / 2,376,230 — ours are scaled-down synthetics, see DESIGN.md §2)\n");
+    out!(opts, "{t}");
+    outln!(opts,"(paper: Digg 68,634 / 823,656 / 3,553 / 2,485,976; Flickr 162,663 / 10,226,532 / 14,002 / 2,376,230 — ours are scaled-down synthetics, see DESIGN.md §2)\n");
     write_artifact(opts, "table1.csv", &csv);
 }
 
 /// Shared renderer for Tables II and III.
 fn comparison_table(opts: &Opts, task: Task, label: &str, artifact: &str) {
-    println!("== {label} ==");
+    outln!(opts,"== {label} ==");
     let mut csv = String::from("dataset,method,auc,map,p10,p50,p100,auc_std,map_std\n");
     for bundle in datasets(opts) {
-        println!("-- dataset: {} --", bundle.name());
+        outln!(opts,"-- dataset: {} --", bundle.name());
         let mut t = TextTable::new(["Method", "AUC", "MAP", "P@10", "P@50", "P@100"]);
         let mut all_runs: Vec<MethodRuns> = Vec::new();
         for method in Method::TABLE2 {
@@ -86,7 +86,7 @@ fn comparison_table(opts: &Opts, task: Task, label: &str, artifact: &str) {
             ));
             all_runs.push(runs);
         }
-        print!("{t}");
+        out!(opts, "{t}");
 
         // Significance: Inf2vec vs the best baseline by mean AUC.
         let inf = all_runs
@@ -100,18 +100,18 @@ fn comparison_table(opts: &Opts, task: Task, label: &str, artifact: &str) {
         {
             let ps = inf.p_values_against(best_baseline);
             if let Some(p) = ps[0] {
-                println!(
+                outln!(opts,
                     "Welch t-test, Inf2vec vs best baseline ({}) on AUC: p = {:.4}",
                     best_baseline.name, p
                 );
             } else {
-                println!(
+                outln!(opts,
                     "Welch t-test vs {} undefined (deterministic baseline or single run)",
                     best_baseline.name
                 );
             }
         }
-        println!();
+        outln!(opts);
     }
     write_artifact(opts, artifact, &csv);
 }
@@ -138,13 +138,13 @@ pub fn table3(opts: &Opts) {
 
 /// Table IV: Inf2vec-L (α = 1) on both tasks.
 pub fn table4(opts: &Opts) {
-    println!("== Table IV: Inf2vec-L (alpha = 1.0, local context only) ==");
+    outln!(opts,"== Table IV: Inf2vec-L (alpha = 1.0, local context only) ==");
     let mut csv = String::from("task,dataset,auc,map,p10,p50,p100\n");
     for (task, label) in [
         (Task::Activation, "Activation Prediction"),
         (Task::Diffusion, "Diffusion Prediction"),
     ] {
-        println!("-- {label} --");
+        outln!(opts,"-- {label} --");
         let mut t = TextTable::new(["Dataset", "AUC", "MAP", "P@10", "P@50", "P@100"]);
         for bundle in datasets(opts) {
             let runs = evaluate_method(&bundle, Method::Inf2vecL, task, opts, Aggregator::Ave);
@@ -158,19 +158,19 @@ pub fn table4(opts: &Opts) {
                 metrics_cells(&mean).join(",")
             ));
         }
-        print!("{t}");
-        println!();
+        out!(opts, "{t}");
+        outln!(opts);
     }
-    println!("(compare against the Inf2vec rows of Tables II/III: Inf2vec-L should be consistently worse — the global user-similarity context matters)\n");
+    outln!(opts,"(compare against the Inf2vec rows of Tables II/III: Inf2vec-L should be consistently worse — the global user-similarity context matters)\n");
     write_artifact(opts, "table4.csv", &csv);
 }
 
 /// Table V: the four aggregation functions on activation prediction.
 pub fn table5(opts: &Opts) {
-    println!("== Table V: effect of the aggregation function (activation prediction) ==");
+    outln!(opts,"== Table V: effect of the aggregation function (activation prediction) ==");
     let mut csv = String::from("dataset,aggregator,auc,map,p10,p50,p100\n");
     for bundle in datasets(opts) {
-        println!("-- dataset: {} --", bundle.name());
+        outln!(opts,"-- dataset: {} --", bundle.name());
         let task = ActivationTask::build(
             &bundle.synth.dataset.graph,
             bundle.test_episodes(),
@@ -205,15 +205,15 @@ pub fn table5(opts: &Opts) {
                 metrics_cells(&mean).join(",")
             ));
         }
-        print!("{t}");
-        println!("(paper: Ave best overall on both datasets)\n");
+        out!(opts, "{t}");
+        outln!(opts,"(paper: Ave best overall on both datasets)\n");
     }
     write_artifact(opts, "table5.csv", &csv);
 }
 
 /// Table VI: the citation-network case study.
 pub fn table6(opts: &Opts) {
-    println!("== Table VI: top-10 follower prediction on a citation network ==");
+    outln!(opts,"== Table VI: top-10 follower prediction on a citation network ==");
     let config = if opts.quick {
         CitationConfig::tiny()
     } else {
@@ -221,7 +221,7 @@ pub fn table6(opts: &Opts) {
     };
     let data = citation::generate(&config, split_seed(opts.seed, 0xC17E));
     let (train, test) = data.split(0.8, split_seed(opts.seed, 0xC17F));
-    println!(
+    outln!(opts,
         "authors: {}, relationships: {} (train {}, test {})",
         data.n_authors,
         data.relationships.len(),
@@ -335,16 +335,16 @@ pub fn table6(opts: &Opts) {
             format!("{}/10", conv.iter().filter(|&&(_, h)| h).count()),
         ]);
     }
-    print!("{t}");
+    out!(opts, "{t}");
     let emb_prec = emb_hits as f64 / predictions.max(1) as f64;
     let conv_prec = conv_hits as f64 / predictions.max(1) as f64;
-    println!(
+    outln!(opts,
         "\naverage P@10 over {} test authors: embedding {} vs conventional {}",
         authors.len(),
         fmt4(emb_prec),
         fmt4(conv_prec)
     );
-    println!("(paper: 0.1863 vs 0.0616 — embedding ≈ 3x better)\n");
+    outln!(opts,"(paper: 0.1863 vs 0.0616 — embedding ≈ 3x better)\n");
     write_artifact(
         opts,
         "table6.csv",

@@ -1,5 +1,6 @@
 //! Inf2vec hyper-parameters.
 
+use inf2vec_obs::Telemetry;
 use inf2vec_util::error::ConfigError;
 
 /// All knobs of Algorithm 1 + Algorithm 2, preloaded with the paper's §V-A2
@@ -36,6 +37,10 @@ pub struct Inf2vecConfig {
     /// Whether to learn the bias terms `b_u`, `b̃_u` (on in the paper;
     /// the `ablate-bias` bench turns it off).
     pub use_bias: bool,
+    /// Metrics/event destination threaded through every training phase
+    /// (corpus build, SGNS epochs, checkpointing). Disabled by default:
+    /// then each instrumentation point costs one branch.
+    pub telemetry: Telemetry,
 }
 
 impl Default for Inf2vecConfig {
@@ -52,6 +57,7 @@ impl Default for Inf2vecConfig {
             seed: 0,
             regenerate_contexts: false,
             use_bias: true,
+            telemetry: Telemetry::disabled(),
         }
     }
 }

@@ -13,8 +13,29 @@
 //!   similarity signal no prior influence-learning work used.
 
 use inf2vec_diffusion::PropagationNetwork;
-use inf2vec_graph::walk::restart_walk;
+use inf2vec_graph::walk::{restart_walk_stats, WalkStats};
 use inf2vec_util::rng::Xoshiro256pp;
+
+/// What one context generation produced: the local/global mix plus the
+/// restart-walk behaviour (Algorithm 1 walk stats).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ContextStats {
+    /// Nodes contributed by the local restart walk.
+    pub local: u64,
+    /// Nodes contributed by global user-similarity sampling.
+    pub global: u64,
+    /// The walk's restart counts.
+    pub walk: WalkStats,
+}
+
+impl ContextStats {
+    /// Component-wise accumulation.
+    pub fn merge(&mut self, other: ContextStats) {
+        self.local += other.local;
+        self.global += other.global;
+        self.walk.merge(other.walk);
+    }
+}
 
 /// Generates `C_u^i` for the *local-index* node `u` of `net`.
 ///
@@ -30,11 +51,25 @@ pub fn generate_context(
     restart: f64,
     rng: &mut Xoshiro256pp,
 ) -> Vec<u32> {
+    generate_context_stats(net, u, local_len, global_len, restart, rng).0
+}
+
+/// [`generate_context`] that also reports the local/global mix and walk
+/// behaviour — same RNG consumption, bit-identical context.
+pub fn generate_context_stats(
+    net: &PropagationNetwork,
+    u: u32,
+    local_len: usize,
+    global_len: usize,
+    restart: f64,
+    rng: &mut Xoshiro256pp,
+) -> (Vec<u32>, ContextStats) {
     debug_assert!((u as usize) < net.len());
     let mut context = Vec::with_capacity(local_len + global_len);
 
     // Line 2: local influence neighbors by random walk with restart.
-    restart_walk(net, u, local_len, restart, rng, &mut context);
+    let walk = restart_walk_stats(net, u, local_len, restart, rng, &mut context);
+    let local = context.len() as u64;
 
     // Line 3: global user-similarity samples from V_i (excluding u — a user
     // is trivially "similar" to itself and would only add a constant pull).
@@ -48,7 +83,12 @@ pub fn generate_context(
             context.push(w);
         }
     }
-    context
+    let stats = ContextStats {
+        local,
+        global: context.len() as u64 - local,
+        walk,
+    };
+    (context, stats)
 }
 
 #[cfg(test)]
@@ -132,6 +172,20 @@ mod tests {
         let a = generate_context(&net, 0, 10, 10, 0.5, &mut Xoshiro256pp::new(7));
         let b = generate_context(&net, 0, 10, 10, 0.5, &mut Xoshiro256pp::new(7));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stats_variant_reports_the_mix() {
+        let net = chain_net(10);
+        let (ctx, stats) =
+            generate_context_stats(&net, 0, 5, 45, 0.5, &mut Xoshiro256pp::new(1));
+        assert_eq!(stats.local + stats.global, ctx.len() as u64);
+        assert_eq!(stats.local, 5);
+        assert_eq!(stats.global, 45);
+        assert_eq!(stats.walk.emitted, 5);
+        // Bit-identical to the plain variant on the same stream.
+        let plain = generate_context(&net, 0, 5, 45, 0.5, &mut Xoshiro256pp::new(1));
+        assert_eq!(ctx, plain);
     }
 
     proptest! {

@@ -7,10 +7,11 @@
 
 use inf2vec_diffusion::PropagationNetwork;
 use inf2vec_embed::sgns::PairSource;
+use inf2vec_obs::{Event, Telemetry};
 use inf2vec_util::rng::{split_seed, Xoshiro256pp};
 
 use crate::config::Inf2vecConfig;
-use crate::context::generate_context;
+use crate::context::{generate_context_stats, ContextStats};
 
 /// The influence-context corpus over a set of propagation networks.
 #[derive(Debug)]
@@ -21,6 +22,7 @@ pub struct InfluenceContextSource {
     restart: f64,
     seed: u64,
     regenerate: bool,
+    telemetry: Telemetry,
     /// Pre-generated tuples `(global user, global context)` when not in
     /// regenerate mode.
     cached: Vec<(u32, Vec<u32>)>,
@@ -46,21 +48,37 @@ impl InfluenceContextSource {
             restart: config.restart,
             seed: config.seed,
             regenerate: config.regenerate_contexts,
+            telemetry: config.telemetry.clone(),
             cached: Vec::new(),
             cached_pairs: 0,
         };
         if !source.regenerate {
+            let span = source.telemetry.span("inf2vec_corpus_build");
             let mut rng = Xoshiro256pp::new(split_seed(config.seed, 0xC0D7E47));
             let mut cached = Vec::new();
             let mut total = 0u64;
+            let mut stats = ContextStats::default();
             for net in &source.nets {
-                source.generate_net_tuples(net, &mut rng, &mut |u, ctx| {
+                source.generate_net_tuples(net, &mut rng, &mut stats, &mut |u, ctx| {
                     total += ctx.len() as u64;
                     cached.push((u, ctx));
                 });
             }
             source.cached = cached;
             source.cached_pairs = total;
+            let secs = span.finish();
+            source.record_context_stats(&stats);
+            if source.telemetry.enabled() {
+                source.telemetry.emit(
+                    Event::new("corpus")
+                        .u64("tuples", source.cached.len() as u64)
+                        .u64("pairs", total)
+                        .u64("local", stats.local)
+                        .u64("global", stats.global)
+                        .u64("walk_restarts", stats.walk.restarts + stats.walk.dead_end_restarts)
+                        .f64("seconds", secs),
+                );
+            }
         } else {
             // Estimate for the lr schedule: every member yields ≈ L pairs.
             source.cached_pairs = source
@@ -74,24 +92,51 @@ impl InfluenceContextSource {
     }
 
     /// Generates all tuples of one network, emitting `(global_u, global
-    /// context)`.
+    /// context)` and accumulating Algorithm 1 walk stats into `stats`.
     fn generate_net_tuples(
         &self,
         net: &PropagationNetwork,
         rng: &mut Xoshiro256pp,
+        stats: &mut ContextStats,
         emit: &mut dyn FnMut(u32, Vec<u32>),
     ) {
         if net.len() < 2 {
             return;
         }
         for u in 0..net.len() as u32 {
-            let ctx = generate_context(net, u, self.local_len, self.global_len, self.restart, rng);
+            let (ctx, s) = generate_context_stats(
+                net,
+                u,
+                self.local_len,
+                self.global_len,
+                self.restart,
+                rng,
+            );
+            stats.merge(s);
             if ctx.is_empty() {
                 continue;
             }
             let global_ctx: Vec<u32> = ctx.iter().map(|&v| net.global(v).0).collect();
             emit(net.global(u).0, global_ctx);
         }
+    }
+
+    /// Flushes accumulated context stats into the registry (one atomic add
+    /// per counter, so this is cheap enough to call per epoch).
+    fn record_context_stats(&self, stats: &ContextStats) {
+        if !self.telemetry.enabled() {
+            return;
+        }
+        self.telemetry
+            .count("inf2vec_context_local_total", stats.local);
+        self.telemetry
+            .count("inf2vec_context_global_total", stats.global);
+        self.telemetry
+            .count("inf2vec_walk_restarts_total", stats.walk.restarts);
+        self.telemetry.count(
+            "inf2vec_walk_dead_end_restarts_total",
+            stats.walk.dead_end_restarts,
+        );
     }
 
     /// Number of `(u, C)` tuples in the cached corpus (0 in regenerate
@@ -142,13 +187,15 @@ impl PairSource for InfluenceContextSource {
             // corpus is identical regardless of thread count).
             let mut gen_rng =
                 Xoshiro256pp::new(split_seed(self.seed, 0x9E0 ^ ((epoch as u64) << 8 | shard as u64)));
+            let mut stats = ContextStats::default();
             for i in (shard..self.nets.len()).step_by(n_shards) {
-                self.generate_net_tuples(&self.nets[i], &mut gen_rng, &mut |u, ctx| {
+                self.generate_net_tuples(&self.nets[i], &mut gen_rng, &mut stats, &mut |u, ctx| {
                     for v in ctx {
                         f(u, v);
                     }
                 });
             }
+            self.record_context_stats(&stats);
         } else {
             let mut idx: Vec<u32> = (shard..self.cached.len())
                 .step_by(n_shards)

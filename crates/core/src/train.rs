@@ -70,10 +70,11 @@ pub fn try_train(
 ) -> Result<Inf2vecModel, Inf2vecError> {
     config.validate()?;
     // Lines 3-4: extract the propagation network of every episode.
-    let nets: Vec<PropagationNetwork> = train_idx
-        .iter()
-        .map(|&i| PropagationNetwork::build(&dataset.graph, &dataset.log.episodes()[i]))
-        .collect();
+    let nets = PropagationNetwork::build_all(
+        &dataset.graph,
+        train_idx.iter().map(|&i| &dataset.log.episodes()[i]),
+        &config.telemetry,
+    );
     Ok(try_train_on_networks(dataset.graph.node_count() as usize, nets, config)?.0)
 }
 
@@ -182,10 +183,11 @@ pub fn try_train_incremental(
         }
         .into());
     }
-    let nets: Vec<PropagationNetwork> = episode_idx
-        .iter()
-        .map(|&i| PropagationNetwork::build(&dataset.graph, &dataset.log.episodes()[i]))
-        .collect();
+    let nets = PropagationNetwork::build_all(
+        &dataset.graph,
+        episode_idx.iter().map(|&i| &dataset.log.episodes()[i]),
+        &config.telemetry,
+    );
     let source = InfluenceContextSource::new(nets, config);
     let negatives =
         NegativeTable::from_counts(&source.context_target_counts(model.store.len()));
@@ -197,7 +199,15 @@ pub fn try_train_incremental(
         threads: config.threads,
         seed: split_seed(config.seed, 0x263),
     })?;
-    trainer.try_train(&model.store, &source, &negatives)
+    trainer.try_train_with(
+        &model.store,
+        &source,
+        &negatives,
+        TrainOptions {
+            telemetry: config.telemetry.clone(),
+            ..TrainOptions::default()
+        },
+    )
 }
 
 /// Selects the component weight α on the tuning split, mirroring the
@@ -243,10 +253,16 @@ pub fn try_select_alpha(
         cfg.alpha = alpha;
         cfg.validate()?;
         let model = try_train(dataset, train_idx, &cfg)?;
-        let metrics = task.evaluate(&inf2vec_eval::ScoringModel::Representation(
-            &model,
-            inf2vec_eval::Aggregator::Ave,
-        ));
+        let metrics = inf2vec_eval::runner::observe_evaluation(
+            &config.telemetry,
+            "alpha_tuning_activation",
+            || {
+                task.evaluate(&inf2vec_eval::ScoringModel::Representation(
+                    &model,
+                    inf2vec_eval::Aggregator::Ave,
+                ))
+            },
+        );
         if metrics.map > best.1 {
             best = (alpha, metrics.map);
         }
@@ -270,10 +286,11 @@ pub fn train_resumable(
     ft: &FaultTolerance,
 ) -> Result<(Inf2vecModel, TrainReport), Inf2vecError> {
     config.validate()?;
-    let nets: Vec<PropagationNetwork> = train_idx
-        .iter()
-        .map(|&i| PropagationNetwork::build(&dataset.graph, &dataset.log.episodes()[i]))
-        .collect();
+    let nets = PropagationNetwork::build_all(
+        &dataset.graph,
+        train_idx.iter().map(|&i| &dataset.log.episodes()[i]),
+        &config.telemetry,
+    );
     let n_nodes = dataset.graph.node_count() as usize;
     let source = InfluenceContextSource::new(nets, config);
     let negatives = NegativeTable::from_counts(&source.context_target_counts(n_nodes));
@@ -380,9 +397,11 @@ pub fn train_resumable_on_source(
             let every = ck.every_epochs.max(1);
             let path = ck.path.clone();
             let store_ref = &store;
+            let telemetry = config.telemetry.clone();
             hook = move |st: &inf2vec_embed::EpochState| -> std::io::Result<()> {
                 let done = st.epoch + 1;
                 if done.is_multiple_of(every) || done == epochs {
+                    let start = std::time::Instant::now();
                     write_checkpoint(
                         &path,
                         done,
@@ -391,6 +410,14 @@ pub fn train_resumable_on_source(
                         Some(st.mean_loss),
                         store_ref,
                     )?;
+                    let secs = start.elapsed().as_secs_f64();
+                    telemetry.observe("inf2vec_checkpoint_write_seconds", secs);
+                    telemetry.emit(
+                        inf2vec_obs::Event::new("checkpoint")
+                            .u64("epochs_done", done as u64)
+                            .u64("pairs", st.pairs_processed)
+                            .f64("seconds", secs),
+                    );
                 }
                 Ok(())
             };
@@ -410,6 +437,7 @@ pub fn train_resumable_on_source(
             last_good_loss: last_good,
             guard: ft.guard.clone(),
             on_epoch,
+            telemetry: config.telemetry.clone(),
         },
     )?;
     Ok((Inf2vecModel::new(store), report))
@@ -433,7 +461,15 @@ fn run_sgns(
         threads: config.threads,
         seed: split_seed(config.seed, 0x262),
     })?;
-    let report = trainer.try_train(&store, source, negatives)?;
+    let report = trainer.try_train_with(
+        &store,
+        source,
+        negatives,
+        TrainOptions {
+            telemetry: config.telemetry.clone(),
+            ..TrainOptions::default()
+        },
+    )?;
     Ok((Inf2vecModel::new(store), report))
 }
 

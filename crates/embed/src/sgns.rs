@@ -31,7 +31,9 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
+use inf2vec_obs::{Event, Telemetry};
 use inf2vec_util::error::{ConfigError, Inf2vecError, TrainError};
 use inf2vec_util::rng::{split_seed, Xoshiro256pp};
 use inf2vec_util::SigmoidTable;
@@ -240,6 +242,9 @@ pub struct TrainOptions<'a> {
     /// Called after every healthy epoch — the checkpointing seam. An `Err`
     /// aborts training with [`Inf2vecError::Io`].
     pub on_epoch: Option<EpochHook<'a>>,
+    /// Metrics and event destination. The disabled default costs one
+    /// branch per epoch and nothing per pair.
+    pub telemetry: Telemetry,
 }
 
 impl Default for TrainOptions<'_> {
@@ -251,6 +256,7 @@ impl Default for TrainOptions<'_> {
             last_good_loss: None,
             guard: None,
             on_epoch: None,
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -264,6 +270,7 @@ impl std::fmt::Debug for TrainOptions<'_> {
             .field("last_good_loss", &self.last_good_loss)
             .field("guard", &self.guard)
             .field("on_epoch", &self.on_epoch.as_ref().map(|_| "<hook>"))
+            .field("telemetry", &self.telemetry)
             .finish()
     }
 }
@@ -280,6 +287,12 @@ pub struct TrainReport {
     pub epochs: usize,
     /// Mean loss of each epoch run by *this* call, in order.
     pub epoch_losses: Vec<f64>,
+    /// Wall-clock seconds of each healthy epoch run by *this* call, in
+    /// order (parallel to `epoch_losses`; diverged attempts are excluded).
+    pub epoch_durations: Vec<f64>,
+    /// Mean throughput over the healthy epochs of *this* call, in positive
+    /// pairs per second (0.0 when nothing was timed).
+    pub pairs_per_sec: f64,
     /// Divergence-guard interventions, in order of occurrence.
     pub recoveries: Vec<RecoveryEvent>,
 }
@@ -370,16 +383,24 @@ impl SgnsTrainer {
         let mut pairs_processed = opts.pairs_already_processed;
         let mut final_loss = 0.0f64;
         let mut epoch_losses = Vec::new();
+        let mut epoch_durations = Vec::new();
         let mut recoveries: Vec<RecoveryEvent> = Vec::new();
         let mut lr_scale = opts.lr_scale;
         let mut last_good = opts.last_good_loss;
         let mut snapshot = opts.guard.as_ref().map(|_| store.snapshot());
+        let telemetry = opts.telemetry.clone();
+        let mut run_pairs = 0u64;
+        let mut run_secs = 0.0f64;
 
         let mut epoch = opts.start_epoch;
         while epoch < cfg.epochs {
+            let epoch_start = Instant::now();
             let (epoch_pairs, loss_sum) = self
-                .run_epoch(store, source, negatives, epoch, lr_scale, &progress, total_pairs)
+                .run_epoch(
+                    store, source, negatives, epoch, lr_scale, &progress, total_pairs, &telemetry,
+                )
                 .map_err(Inf2vecError::Train)?;
+            let epoch_secs = epoch_start.elapsed().as_secs_f64();
             let mean = if epoch_pairs > 0 {
                 loss_sum / epoch_pairs as f64
             } else {
@@ -406,6 +427,13 @@ impl SgnsTrainer {
                         loss: mean,
                         lr_scale,
                     });
+                    telemetry.count("inf2vec_train_recoveries_total", 1);
+                    telemetry.emit(
+                        Event::new("recovery")
+                            .u64("epoch", epoch as u64)
+                            .f64("loss", mean)
+                            .f64("lr_scale", lr_scale as f64),
+                    );
                     // Rewind the lr schedule so the retried epoch replays
                     // the same progress window.
                     progress.fetch_sub(epoch_pairs, Ordering::Relaxed);
@@ -414,13 +442,39 @@ impl SgnsTrainer {
             }
 
             pairs_processed += epoch_pairs;
+            run_pairs += epoch_pairs;
+            run_secs += epoch_secs;
             final_loss = mean;
             epoch_losses.push(mean);
+            epoch_durations.push(epoch_secs);
             if epoch_pairs > 0 {
                 last_good = Some(mean);
             }
             if opts.guard.is_some() {
                 snapshot = Some(store.snapshot());
+            }
+            if telemetry.enabled() {
+                let rate = if epoch_secs > 0.0 {
+                    epoch_pairs as f64 / epoch_secs
+                } else {
+                    0.0
+                };
+                telemetry.count("inf2vec_train_pairs_total", epoch_pairs);
+                telemetry.count("inf2vec_train_epochs_total", 1);
+                telemetry.gauge_set("inf2vec_train_loss", mean);
+                telemetry.gauge_set("inf2vec_train_lr_scale", lr_scale as f64);
+                telemetry.gauge_set("inf2vec_train_pairs_per_sec", rate);
+                telemetry.observe("inf2vec_train_epoch_seconds", epoch_secs);
+                telemetry.emit(
+                    Event::new("epoch")
+                        .u64("epoch", epoch as u64)
+                        .f64("loss", mean)
+                        .f64("lr_scale", lr_scale as f64)
+                        .u64("pairs", epoch_pairs)
+                        .u64("pairs_total", pairs_processed)
+                        .f64("seconds", epoch_secs)
+                        .f64("pairs_per_sec", rate),
+                );
             }
             if let Some(hook) = opts.on_epoch.as_mut() {
                 hook(&EpochState {
@@ -438,6 +492,12 @@ impl SgnsTrainer {
             final_epoch_loss: final_loss,
             epochs: cfg.epochs,
             epoch_losses,
+            epoch_durations,
+            pairs_per_sec: if run_secs > 0.0 {
+                run_pairs as f64 / run_secs
+            } else {
+                0.0
+            },
             recoveries,
         })
     }
@@ -454,6 +514,7 @@ impl SgnsTrainer {
         lr_scale: f32,
         progress: &AtomicU64,
         total_pairs: u64,
+        telemetry: &Telemetry,
     ) -> Result<(u64, f64), TrainError> {
         let cfg = &self.config;
         if cfg.threads == 1 {
@@ -467,13 +528,14 @@ impl SgnsTrainer {
             let handles: Vec<_> = (0..cfg.threads)
                 .map(|shard| {
                     scope.spawn(move || {
+                        let shard_start = Instant::now();
                         // Contain the worker: a panic must not tear down the
                         // process while sibling shards are mid-update. The
                         // shared state is Hogwild matrices and a monotone
                         // progress counter — both meaningful after an
                         // arbitrary interruption — so AssertUnwindSafe is
                         // sound here.
-                        catch_unwind(AssertUnwindSafe(|| {
+                        let result = catch_unwind(AssertUnwindSafe(|| {
                             let mut rng = Xoshiro256pp::new(split_seed(
                                 cfg.seed,
                                 (epoch as u64) << 16 | shard as u64,
@@ -491,7 +553,31 @@ impl SgnsTrainer {
                                 total_pairs,
                             )
                         }))
-                        .map_err(panic_message)
+                        .map_err(panic_message);
+                        // Per-worker throughput, recorded by the worker
+                        // itself so the timing excludes join latency.
+                        if telemetry.enabled() {
+                            if let Ok((shard_pairs, _)) = &result {
+                                let secs = shard_start.elapsed().as_secs_f64();
+                                telemetry.observe("inf2vec_worker_shard_seconds", secs);
+                                telemetry.emit(
+                                    Event::new("shard")
+                                        .u64("epoch", epoch as u64)
+                                        .u64("shard", shard as u64)
+                                        .u64("pairs", *shard_pairs)
+                                        .f64("seconds", secs)
+                                        .f64(
+                                            "pairs_per_sec",
+                                            if secs > 0.0 {
+                                                *shard_pairs as f64 / secs
+                                            } else {
+                                                0.0
+                                            },
+                                        ),
+                                );
+                            }
+                        }
+                        result
                     })
                 })
                 .collect();
@@ -511,6 +597,13 @@ impl SgnsTrainer {
                     loss += l;
                 }
                 Err(message) => {
+                    telemetry.count("inf2vec_train_worker_panics_total", 1);
+                    telemetry.emit(
+                        Event::new("worker_panic")
+                            .u64("epoch", epoch as u64)
+                            .u64("shard", shard as u64)
+                            .str("message", message.clone()),
+                    );
                     if first_panic.is_none() {
                         first_panic = Some((shard, message));
                     }
@@ -988,6 +1081,77 @@ mod tests {
         assert!(report.final_epoch_loss.is_finite());
         assert!(!store.has_non_finite());
         assert_eq!(report.epoch_losses.len(), 5);
+    }
+
+    #[test]
+    fn report_carries_timing_and_telemetry_sees_epochs() {
+        use inf2vec_obs::{MemorySink, Telemetry};
+        use std::sync::Arc;
+
+        let source = FlatPairs::new(community_pairs());
+        let negs = NegativeTable::uniform(8);
+        let trainer = SgnsTrainer::new(SgnsConfig {
+            epochs: 3,
+            ..SgnsConfig::default()
+        });
+        let store = EmbeddingStore::new(8, 8, 11);
+        let sink = Arc::new(MemorySink::new());
+        let telemetry = Telemetry::new(Arc::clone(&sink) as Arc<dyn inf2vec_obs::Recorder>);
+        let report = trainer
+            .try_train_with(
+                &store,
+                &source,
+                &negs,
+                TrainOptions {
+                    telemetry: telemetry.clone(),
+                    ..TrainOptions::default()
+                },
+            )
+            .unwrap();
+
+        assert_eq!(report.epoch_durations.len(), report.epoch_losses.len());
+        assert!(report.epoch_durations.iter().all(|&d| d >= 0.0));
+        assert!(report.pairs_per_sec > 0.0);
+
+        let epochs: Vec<_> = sink
+            .take()
+            .into_iter()
+            .filter(|e| e.kind() == "epoch")
+            .collect();
+        assert_eq!(epochs.len(), 3);
+        assert_eq!(
+            epochs[2].get("pairs_total").and_then(|v| v.as_u64()),
+            Some(report.pairs_processed)
+        );
+        assert!(epochs[0].get("loss").and_then(|v| v.as_f64()).is_some());
+
+        let snap = telemetry.snapshot();
+        assert!(snap.get("inf2vec_train_loss").is_some());
+        assert!(snap.get("inf2vec_train_pairs_per_sec").is_some());
+        assert!(snap.get("inf2vec_train_epoch_seconds").is_some());
+    }
+
+    #[test]
+    fn telemetry_does_not_change_training_math() {
+        let run = |telemetry: Telemetry| {
+            let store = EmbeddingStore::new(8, 8, 5);
+            let trainer = SgnsTrainer::new(SgnsConfig::default());
+            let source = FlatPairs::new(community_pairs());
+            let negs = NegativeTable::uniform(8);
+            trainer
+                .try_train_with(
+                    &store,
+                    &source,
+                    &negs,
+                    TrainOptions {
+                        telemetry,
+                        ..TrainOptions::default()
+                    },
+                )
+                .unwrap();
+            store.source.to_vec()
+        };
+        assert_eq!(run(Telemetry::disabled()), run(Telemetry::with_registry()));
     }
 
     #[test]

@@ -2,11 +2,29 @@
 //!
 //! The paper reports representation-model results as the mean over 10 runs
 //! with the standard deviation, and claims significance at p < 0.05; this
-//! module aggregates per-run [`RankingMetrics`] accordingly.
+//! module aggregates per-run [`RankingMetrics`] accordingly. It also hosts
+//! [`observe_evaluation`], the telemetry shim that tags and times metric
+//! computations.
 
+use inf2vec_obs::{Event, Telemetry};
 use inf2vec_util::stats::{welch_t_test, Summary};
 
 use crate::metrics::RankingMetrics;
+
+/// Runs `f`, timing it into the `inf2vec_eval_seconds{task=...}` histogram
+/// and emitting one `"eval"` event tagged with the task name. With a
+/// disabled handle this is exactly `f()`.
+pub fn observe_evaluation<T>(telemetry: &Telemetry, task: &str, f: impl FnOnce() -> T) -> T {
+    if !telemetry.enabled() {
+        return f();
+    }
+    let start = std::time::Instant::now();
+    let out = f();
+    let secs = start.elapsed().as_secs_f64();
+    telemetry.observe_with("inf2vec_eval_seconds", &[("task", task)], secs);
+    telemetry.emit(Event::new("eval").str("task", task).f64("seconds", secs));
+    out
+}
 
 /// The runs of one method on one task.
 #[derive(Debug, Clone)]
@@ -123,5 +141,25 @@ mod tests {
     #[should_panic(expected = "at least one run")]
     fn empty_runs_rejected() {
         let _ = MethodRuns::new("x", vec![]);
+    }
+
+    #[test]
+    fn observe_evaluation_times_and_tags() {
+        use std::sync::Arc;
+        let sink = Arc::new(inf2vec_obs::MemorySink::new());
+        let t = Telemetry::new(Arc::clone(&sink) as Arc<dyn inf2vec_obs::Recorder>);
+        let out = observe_evaluation(&t, "activation_map", || 7);
+        assert_eq!(out, 7);
+        let events = sink.take();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind(), "eval");
+        assert_eq!(
+            events[0].get("task").and_then(|v| v.as_str()),
+            Some("activation_map")
+        );
+        assert!(t.prometheus().contains("inf2vec_eval_seconds_bucket{task=\"activation_map\""));
+
+        // Disabled handle: pure pass-through.
+        assert_eq!(observe_evaluation(&Telemetry::disabled(), "x", || 1), 1);
     }
 }

@@ -60,6 +60,27 @@ pub fn uniform_walk<G: WalkGraph>(
     }
 }
 
+/// What one restart walk did; plain counts so callers (and any telemetry
+/// layer above this crate) can aggregate them however they like.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalkStats {
+    /// Stochastic jumps back to the start (the `restart`-probability coin).
+    pub restarts: u64,
+    /// Deterministic restarts forced by reaching a sink mid-walk.
+    pub dead_end_restarts: u64,
+    /// Nodes emitted into `out`.
+    pub emitted: u64,
+}
+
+impl WalkStats {
+    /// Component-wise accumulation.
+    pub fn merge(&mut self, other: WalkStats) {
+        self.restarts += other.restarts;
+        self.dead_end_restarts += other.dead_end_restarts;
+        self.emitted += other.emitted;
+    }
+}
+
 /// Appends a random walk **with restart** to `out`: before every step, with
 /// probability `restart` the walker jumps back to `start`. Exactly `len`
 /// visited nodes are emitted unless the walk gets stuck at a sink *while at
@@ -76,11 +97,26 @@ pub fn restart_walk<G: WalkGraph>(
     rng: &mut Xoshiro256pp,
     out: &mut Vec<u32>,
 ) {
+    let _ = restart_walk_stats(graph, start, len, restart, rng, out);
+}
+
+/// [`restart_walk`] that also reports what the walk did — same RNG
+/// consumption, same output, bit-identical to the untracked variant.
+pub fn restart_walk_stats<G: WalkGraph>(
+    graph: &G,
+    start: u32,
+    len: usize,
+    restart: f64,
+    rng: &mut Xoshiro256pp,
+    out: &mut Vec<u32>,
+) -> WalkStats {
+    let mut stats = WalkStats::default();
     let mut cur = start;
     let mut emitted = 0usize;
     while emitted < len {
         if cur != start && rng.chance(restart) {
             cur = start;
+            stats.restarts += 1;
         }
         let mut ns = graph.neighbors(cur);
         if ns.is_empty() {
@@ -90,6 +126,7 @@ pub fn restart_walk<G: WalkGraph>(
             }
             // Dead end mid-walk: restart deterministically.
             cur = start;
+            stats.dead_end_restarts += 1;
             ns = graph.neighbors(cur);
             if ns.is_empty() {
                 break;
@@ -99,6 +136,8 @@ pub fn restart_walk<G: WalkGraph>(
         out.push(cur);
         emitted += 1;
     }
+    stats.emitted = emitted as u64;
+    stats
 }
 
 /// node2vec second-order walker with return parameter `p` and in-out
@@ -242,6 +281,21 @@ mod tests {
         restart_walk(&g, 0, 20, 0.5, &mut rng, &mut out);
         assert_eq!(out.len(), 20);
         assert!(out.iter().all(|&v| (1..4).contains(&v)));
+    }
+
+    #[test]
+    fn restart_walk_stats_matches_untracked_walk() {
+        let g = star_out();
+        let mut out_a = Vec::new();
+        restart_walk(&g, 0, 50, 0.5, &mut Xoshiro256pp::new(9), &mut out_a);
+        let mut out_b = Vec::new();
+        let stats = restart_walk_stats(&g, 0, 50, 0.5, &mut Xoshiro256pp::new(9), &mut out_b);
+        assert_eq!(out_a, out_b, "stats variant changed the walk");
+        assert_eq!(stats.emitted, 50);
+        // Every leaf of the out-star is a sink, so each emitted step after
+        // the first forces a dead-end restart (minus any stochastic ones
+        // that happened first at the leaf).
+        assert_eq!(stats.restarts + stats.dead_end_restarts, 49);
     }
 
     #[test]

@@ -1,0 +1,492 @@
+//! Structured telemetry events and their JSONL wire format.
+//!
+//! An [`Event`] is a kind tag plus an ordered list of typed fields. On the
+//! wire each event is one JSON object per line: the kind under the `"event"`
+//! key first, then the fields in insertion order —
+//! `{"event":"epoch","epoch":3,"loss":0.52}`. The crate carries its own
+//! minimal JSON writer *and* parser so event logs round-trip without any
+//! external dependency.
+//!
+//! Numbers: integers serialize without a decimal point and parse back as
+//! [`Value::U64`]/[`Value::I64`]; floats serialize via Rust's shortest
+//! round-trip representation (always with a `.` or exponent) and parse back
+//! as [`Value::F64`] bit-exactly. Non-finite floats are not valid JSON, so
+//! they serialize as the strings `"NaN"`, `"Infinity"`, `"-Infinity"`;
+//! [`Value::as_f64`] converts them back.
+
+use std::fmt;
+
+/// A typed event field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed (negative) integer.
+    I64(i64),
+    /// Finite or non-finite float (non-finite serializes as a string).
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(String),
+}
+
+impl Value {
+    /// Numeric view: integers and floats coerce; the non-finite string
+    /// spellings (`"NaN"`, `"Infinity"`, `"-Infinity"`) parse back.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::U64(v) => Some(*v as f64),
+            Value::I64(v) => Some(*v as f64),
+            Value::F64(v) => Some(*v),
+            Value::Bool(_) => None,
+            Value::Str(s) => match s.as_str() {
+                "NaN" => Some(f64::NAN),
+                "Infinity" => Some(f64::INFINITY),
+                "-Infinity" => Some(f64::NEG_INFINITY),
+                _ => None,
+            },
+        }
+    }
+
+    /// Unsigned-integer view (exact only).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(v) => Some(*v),
+            Value::I64(v) => u64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// One structured telemetry event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    kind: String,
+    fields: Vec<(String, Value)>,
+}
+
+impl Event {
+    /// A new event of the given kind with no fields yet.
+    pub fn new(kind: impl Into<String>) -> Self {
+        Self {
+            kind: kind.into(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// The event kind.
+    pub fn kind(&self) -> &str {
+        &self.kind
+    }
+
+    /// The fields in insertion order.
+    pub fn fields(&self) -> &[(String, Value)] {
+        &self.fields
+    }
+
+    /// First field with the given key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Appends a field (builder style).
+    pub fn field(mut self, key: impl Into<String>, value: Value) -> Self {
+        self.fields.push((key.into(), value));
+        self
+    }
+
+    /// Appends an unsigned-integer field.
+    pub fn u64(self, key: impl Into<String>, v: u64) -> Self {
+        self.field(key, Value::U64(v))
+    }
+
+    /// Appends a float field.
+    pub fn f64(self, key: impl Into<String>, v: f64) -> Self {
+        self.field(key, Value::F64(v))
+    }
+
+    /// Appends a boolean field.
+    pub fn bool(self, key: impl Into<String>, v: bool) -> Self {
+        self.field(key, Value::Bool(v))
+    }
+
+    /// Appends a string field.
+    pub fn str(self, key: impl Into<String>, v: impl Into<String>) -> Self {
+        self.field(key, Value::Str(v.into()))
+    }
+
+    /// Serializes as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(32 + self.fields.len() * 16);
+        out.push_str("{\"event\":");
+        write_json_string(&mut out, &self.kind);
+        for (k, v) in &self.fields {
+            out.push(',');
+            write_json_string(&mut out, k);
+            out.push(':');
+            write_json_value(&mut out, v);
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parses one JSON object produced by [`to_json`](Self::to_json) (or any
+    /// flat JSON object of scalars with a string `"event"` key).
+    pub fn from_json(s: &str) -> Result<Self, ParseError> {
+        let mut p = Parser::new(s);
+        p.skip_ws();
+        p.expect(b'{')?;
+        let mut kind: Option<String> = None;
+        let mut fields = Vec::new();
+        p.skip_ws();
+        if !p.eat(b'}') {
+            loop {
+                p.skip_ws();
+                let key = p.string()?;
+                p.skip_ws();
+                p.expect(b':')?;
+                p.skip_ws();
+                let value = p.value()?;
+                if key == "event" {
+                    match value {
+                        Value::Str(k) if kind.is_none() => kind = Some(k),
+                        Value::Str(_) => return Err(p.err("duplicate \"event\" key")),
+                        _ => return Err(p.err("\"event\" must be a string")),
+                    }
+                } else {
+                    fields.push((key, value));
+                }
+                p.skip_ws();
+                if p.eat(b',') {
+                    continue;
+                }
+                p.expect(b'}')?;
+                break;
+            }
+        }
+        p.skip_ws();
+        if !p.at_end() {
+            return Err(p.err("trailing characters after object"));
+        }
+        let kind = kind.ok_or_else(|| p.err("missing \"event\" key"))?;
+        Ok(Self { kind, fields })
+    }
+}
+
+/// Escapes and appends `s` as a JSON string literal.
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_json_value(out: &mut String, v: &Value) {
+    match v {
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::F64(x) if x.is_finite() => {
+            // `{:?}` is Rust's shortest round-trip float form and always
+            // contains a '.' or exponent, so integral floats stay floats.
+            out.push_str(&format!("{x:?}"));
+        }
+        Value::F64(x) => {
+            let s = if x.is_nan() {
+                "NaN"
+            } else if *x > 0.0 {
+                "Infinity"
+            } else {
+                "-Infinity"
+            };
+            write_json_string(out, s);
+        }
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Str(s) => write_json_string(out, s),
+    }
+}
+
+/// A JSON parse failure: byte offset plus message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the failure.
+    pub at: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid event JSON at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Minimal single-pass parser over the flat-object subset the sink writes.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Self {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            at: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.eat(b) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("bad escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogates never appear in our own output;
+                            // reject rather than mis-decode.
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| self.err("unpaired surrogate"))?;
+                            out.push(c);
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is &str, so boundaries
+                    // are valid; find the next char boundary).
+                    let rest = &self.bytes[self.pos..];
+                    let s = unsafe { std::str::from_utf8_unchecked(rest) };
+                    let c = s.chars().next().expect("non-empty by peek");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        match self.peek() {
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => {
+                self.keyword("true")?;
+                Ok(Value::Bool(true))
+            }
+            Some(b'f') => {
+                self.keyword("false")?;
+                Ok(Value::Bool(false))
+            }
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("expected a scalar value")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn keyword(&mut self, word: &str) -> Result<(), ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {word:?}")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' | b'-' | b'+' => self.pos += 1,
+                b'.' | b'e' | b'E' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("digits and punctuation are ASCII");
+        if !is_float {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Value::U64(v));
+            }
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Value::I64(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| self.err(format!("bad number {text:?}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_accessors() {
+        let e = Event::new("epoch").u64("epoch", 3).f64("loss", 0.5);
+        assert_eq!(e.kind(), "epoch");
+        assert_eq!(e.get("epoch"), Some(&Value::U64(3)));
+        assert_eq!(e.get("loss").and_then(Value::as_f64), Some(0.5));
+        assert_eq!(e.get("missing"), None);
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let e = Event::new("epoch")
+            .u64("epoch", 3)
+            .f64("loss", 0.52)
+            .f64("whole", 2.0)
+            .bool("ok", true)
+            .str("phase", "train");
+        assert_eq!(
+            e.to_json(),
+            r#"{"event":"epoch","epoch":3,"loss":0.52,"whole":2.0,"ok":true,"phase":"train"}"#
+        );
+    }
+
+    #[test]
+    fn round_trip_preserves_types_and_order() {
+        let e = Event::new("shard")
+            .u64("pairs", 123_456)
+            .field("delta", Value::I64(-5))
+            .f64("secs", 0.125)
+            .f64("rate", 3.0)
+            .bool("degraded", false)
+            .str("msg", "a \"quoted\"\nline\tπ");
+        let back = Event::from_json(&e.to_json()).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn non_finite_floats_round_trip_via_strings() {
+        let e = Event::new("x")
+            .f64("nan", f64::NAN)
+            .f64("inf", f64::INFINITY)
+            .f64("ninf", f64::NEG_INFINITY);
+        let back = Event::from_json(&e.to_json()).unwrap();
+        assert!(back.get("nan").unwrap().as_f64().unwrap().is_nan());
+        assert_eq!(
+            back.get("inf").unwrap().as_f64(),
+            Some(f64::INFINITY)
+        );
+        assert_eq!(
+            back.get("ninf").unwrap().as_f64(),
+            Some(f64::NEG_INFINITY)
+        );
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        for bad in [
+            "",
+            "{",
+            "{}",                                  // missing "event"
+            r#"{"event":3}"#,                      // non-string kind
+            r#"{"event":"a","x":}"#,               // missing value
+            r#"{"event":"a"} extra"#,              // trailing junk
+            r#"{"event":"a","x":[1]}"#,            // nested values unsupported
+            r#"{"event":"a","event":"b"}"#,        // duplicate kind
+            r#"{"event":"a","x":1e}"#,             // malformed number
+            "{\"event\":\"a\",\"x\":\"unterminated",
+        ] {
+            assert!(Event::from_json(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parser_accepts_whitespace_and_escapes() {
+        let e = Event::from_json(
+            " { \"event\" : \"k\" , \"s\" : \"\\u00e9\\t\" , \"n\" : -7 } ",
+        )
+        .unwrap();
+        assert_eq!(e.kind(), "k");
+        assert_eq!(e.get("s"), Some(&Value::Str("é\t".into())));
+        assert_eq!(e.get("n"), Some(&Value::I64(-7)));
+    }
+}

@@ -1,0 +1,246 @@
+//! `inf2vec-obs`: zero-dependency observability for the inf2vec pipeline.
+//!
+//! The crate provides four layers, all reachable through one cheap handle:
+//!
+//! - **Metrics** ([`Counter`], [`Gauge`], [`Histogram`]): lock-free atomic
+//!   primitives safe to update from Hogwild workers.
+//! - **Registry** ([`Registry`], [`Snapshot`]): named metric handles,
+//!   point-in-time snapshots, Prometheus text exposition.
+//! - **Events** ([`Event`], [`Recorder`], [`JsonlSink`], [`MemorySink`]):
+//!   structured one-line JSON records for per-epoch / per-phase history.
+//! - **Spans** ([`Span`]): wall-clock phase timers feeding `<name>_seconds`
+//!   histograms.
+//!
+//! # The `Telemetry` handle
+//!
+//! [`Telemetry`] is the only type the rest of the workspace needs. It is
+//! `Clone` (an `Option<Arc<..>>`), defaults to **disabled**, and every
+//! operation on a disabled handle is a branch on `None` — no allocation, no
+//! locking, no clock reads beyond span construction. That is what makes it
+//! safe to thread through the SGNS hot path unconditionally.
+//!
+//! ```
+//! use inf2vec_obs::{Telemetry, MemorySink};
+//! use std::sync::Arc;
+//!
+//! let sink = Arc::new(MemorySink::new());
+//! let t = Telemetry::new(Arc::clone(&sink) as Arc<dyn inf2vec_obs::Recorder>);
+//!
+//! t.count("inf2vec_train_pairs_total", 1200);
+//! t.gauge_set("inf2vec_train_loss", 0.52);
+//! t.emit(inf2vec_obs::Event::new("epoch").u64("epoch", 0).f64("loss", 0.52));
+//! let secs = t.span("demo_phase").finish();
+//! assert!(secs >= 0.0);
+//!
+//! assert_eq!(sink.len(), 1);
+//! let prom = t.snapshot().to_prometheus();
+//! assert!(prom.contains("inf2vec_train_loss 0.52"));
+//! ```
+
+mod event;
+mod metrics;
+mod recorder;
+pub mod registry;
+mod span;
+
+pub use event::{Event, ParseError, Value};
+pub use metrics::{Counter, Gauge, Histogram};
+pub use recorder::{JsonlSink, MemorySink, NoopRecorder, Recorder};
+pub use registry::{MetricSample, Registry, SampleValue, Snapshot};
+pub use span::Span;
+
+use std::sync::Arc;
+
+struct Inner {
+    registry: Registry,
+    recorder: Arc<dyn Recorder>,
+}
+
+/// The cheap, cloneable entry point to metrics, events, and spans.
+///
+/// Disabled by default ([`Telemetry::disabled`], also `Default`): every
+/// method is then a no-op costing one `Option` branch. Enable with
+/// [`Telemetry::new`] (events go to the given [`Recorder`]) or
+/// [`Telemetry::with_registry`] (metrics only, events dropped).
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("enabled", &self.enabled())
+            .finish()
+    }
+}
+
+impl Telemetry {
+    /// The disabled handle: records nothing, costs nothing.
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// An enabled handle sending events to `recorder`.
+    pub fn new(recorder: Arc<dyn Recorder>) -> Self {
+        Self {
+            inner: Some(Arc::new(Inner {
+                registry: Registry::new(),
+                recorder,
+            })),
+        }
+    }
+
+    /// An enabled handle with metrics only; events are dropped.
+    pub fn with_registry() -> Self {
+        Self::new(Arc::new(NoopRecorder))
+    }
+
+    /// Whether this handle records anything.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The metric registry, if enabled.
+    pub fn registry(&self) -> Option<&Registry> {
+        self.inner.as_deref().map(|i| &i.registry)
+    }
+
+    /// Sends one structured event to the recorder.
+    #[inline]
+    pub fn emit(&self, event: Event) {
+        if let Some(inner) = &self.inner {
+            inner.recorder.record(event);
+        }
+    }
+
+    /// Adds `n` to the counter `name`.
+    #[inline]
+    pub fn count(&self, name: &str, n: u64) {
+        if let Some(inner) = &self.inner {
+            inner.registry.counter(name, &[]).add(n);
+        }
+    }
+
+    /// Adds `n` to the counter `name` with labels.
+    #[inline]
+    pub fn count_with(&self, name: &str, labels: &[(&str, &str)], n: u64) {
+        if let Some(inner) = &self.inner {
+            inner.registry.counter(name, labels).add(n);
+        }
+    }
+
+    /// Sets the gauge `name` to `v`.
+    #[inline]
+    pub fn gauge_set(&self, name: &str, v: f64) {
+        if let Some(inner) = &self.inner {
+            inner.registry.gauge(name, &[]).set(v);
+        }
+    }
+
+    /// Records `v` into the histogram `name` (default latency buckets).
+    #[inline]
+    pub fn observe(&self, name: &str, v: f64) {
+        if let Some(inner) = &self.inner {
+            inner.registry.histogram(name, &[]).observe(v);
+        }
+    }
+
+    /// Records `v` into the histogram `name` with labels.
+    #[inline]
+    pub fn observe_with(&self, name: &str, labels: &[(&str, &str)], v: f64) {
+        if let Some(inner) = &self.inner {
+            inner.registry.histogram(name, labels).observe(v);
+        }
+    }
+
+    /// Starts a timed span; its duration lands in `<name>_seconds`.
+    pub fn span(&self, name: &'static str) -> Span {
+        Span::start(self.clone(), name)
+    }
+
+    /// Times `f`, recording into `<name>_seconds`, and returns its result.
+    pub fn time<T>(&self, name: &'static str, f: impl FnOnce() -> T) -> T {
+        let span = self.span(name);
+        let out = f();
+        span.finish();
+        out
+    }
+
+    /// Flushes the recorder (e.g. the JSONL buffer).
+    pub fn flush(&self) -> std::io::Result<()> {
+        match &self.inner {
+            Some(inner) => inner.recorder.flush(),
+            None => Ok(()),
+        }
+    }
+
+    /// Freezes current metric values ([`Snapshot::default`] when disabled).
+    pub fn snapshot(&self) -> Snapshot {
+        match &self.inner {
+            Some(inner) => inner.registry.snapshot(),
+            None => Snapshot::default(),
+        }
+    }
+
+    /// Renders the Prometheus text exposition of the current metrics.
+    pub fn prometheus(&self) -> String {
+        self.snapshot().to_prometheus()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let t = Telemetry::disabled();
+        assert!(!t.enabled());
+        t.count("c_total", 5);
+        t.gauge_set("g", 1.0);
+        t.observe("h_seconds", 0.1);
+        t.emit(Event::new("e"));
+        assert!(t.registry().is_none());
+        assert!(t.snapshot().samples.is_empty());
+        assert_eq!(t.prometheus(), "");
+        t.flush().unwrap();
+    }
+
+    #[test]
+    fn default_is_disabled() {
+        assert!(!Telemetry::default().enabled());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let t = Telemetry::with_registry();
+        let t2 = t.clone();
+        t.count("shared_total", 1);
+        t2.count("shared_total", 2);
+        match &t.snapshot().get("shared_total").unwrap().value {
+            SampleValue::Counter(v) => assert_eq!(*v, 3),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn events_reach_the_recorder() {
+        let sink = Arc::new(MemorySink::new());
+        let t = Telemetry::new(Arc::clone(&sink) as Arc<dyn Recorder>);
+        t.emit(Event::new("a").u64("n", 1));
+        t.emit(Event::new("b"));
+        let events = sink.take();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind(), "a");
+    }
+
+    #[test]
+    fn time_records_and_returns() {
+        let t = Telemetry::with_registry();
+        let out = t.time("timed", || 42);
+        assert_eq!(out, 42);
+        assert!(t.snapshot().get("timed_seconds").is_some());
+    }
+}

@@ -1,0 +1,338 @@
+//! Lock-free metric primitives: counters, gauges, and fixed-bucket
+//! histograms.
+//!
+//! All three update through atomics only, so any number of Hogwild workers
+//! can bump the same handle without synchronization. Reads (`get`, `sum`,
+//! quantiles) are racy-but-consistent-enough snapshots — exactly what a
+//! metrics scrape wants. Exact totals are still guaranteed: every update is
+//! a single atomic RMW, so no increment is ever lost (the concurrency tests
+//! assert N threads × M updates sum exactly).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins instantaneous measurement (stored as `f64` bits).
+#[derive(Debug)]
+pub struct Gauge(AtomicU64);
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Self(AtomicU64::new(0.0f64.to_bits()))
+    }
+}
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overwrites the value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Adds `v` (CAS loop; used for accumulating gauges).
+    pub fn add(&self, v: f64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self
+                .0
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// A fixed-bucket histogram with Prometheus-compatible semantics.
+///
+/// `bounds` are inclusive upper bucket edges in ascending order; one
+/// implicit `+Inf` overflow bucket catches the rest. Designed for
+/// non-negative measurements (durations, sizes): quantile interpolation
+/// treats the first bucket's lower edge as 0. Non-finite observations are
+/// dropped.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Box<[f64]>,
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram over the given ascending, finite bucket bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty, unsorted, or contains non-finite values.
+    pub fn new(bounds: Vec<f64>) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.iter().all(|b| b.is_finite()) && bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be finite and strictly ascending"
+        );
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            bounds: bounds.into_boxed_slice(),
+            buckets,
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0.0f64.to_bits()),
+        }
+    }
+
+    /// `n` exponential bounds `start, start·factor, start·factor², …`.
+    pub fn exponential(start: f64, factor: f64, n: usize) -> Self {
+        assert!(start > 0.0 && factor > 1.0 && n > 0, "bad exponential spec");
+        let mut bounds = Vec::with_capacity(n);
+        let mut b = start;
+        for _ in 0..n {
+            bounds.push(b);
+            b *= factor;
+        }
+        Self::new(bounds)
+    }
+
+    /// The default latency layout: 10 µs to ~84 s in ×2 steps — covers an
+    /// SGNS epoch, a checkpoint fsync (~10 ms), and a full evaluation pass.
+    pub fn default_seconds() -> Self {
+        Self::exponential(1e-5, 2.0, 24)
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        // First bucket whose inclusive upper edge holds v; the slice is
+        // sorted, so partition_point gives the Prometheus `le` bucket.
+        let i = self.bounds.partition_point(|&b| b < v);
+        self.buckets[i].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Total observations.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    #[inline]
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// The bucket upper edges (without the implicit `+Inf`).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts (non-cumulative), including the `+Inf` overflow
+    /// bucket as the last entry.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Estimates the `q`-quantile (`q ∈ [0, 1]`) by linear interpolation
+    /// inside the owning bucket, Prometheus `histogram_quantile` style.
+    ///
+    /// Returns `NaN` when empty. Values in the overflow bucket clamp to the
+    /// largest finite bound.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let counts = self.bucket_counts();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return f64::NAN;
+        }
+        let target = q.clamp(0.0, 1.0) * total as f64;
+        let mut cum = 0.0;
+        for (i, &c) in counts.iter().enumerate() {
+            let next = cum + c as f64;
+            if next >= target && c > 0 {
+                if i == self.bounds.len() {
+                    // Overflow bucket: no finite upper edge to interpolate to.
+                    return *self.bounds.last().expect("bounds are non-empty");
+                }
+                let lower = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let upper = self.bounds[i];
+                let frac = ((target - cum) / c as f64).clamp(0.0, 1.0);
+                return lower + (upper - lower) * frac;
+            }
+            cum = next;
+        }
+        *self.bounds.last().expect("bounds are non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::new();
+        g.set(2.5);
+        g.add(-1.0);
+        assert_eq!(g.get(), 1.5);
+    }
+
+    #[test]
+    fn concurrent_counter_updates_sum_exactly() {
+        let c = Arc::new(Counter::new());
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 80_000);
+    }
+
+    #[test]
+    fn concurrent_histogram_updates_sum_exactly() {
+        let h = Arc::new(Histogram::exponential(1.0, 2.0, 8));
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let h = Arc::clone(&h);
+                s.spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.observe(((t * 10_000 + i) % 100) as f64);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 80_000);
+        assert_eq!(h.bucket_counts().iter().sum::<u64>(), 80_000);
+        // Sum of 0..100 repeated 800 times, accumulated with CAS: exact,
+        // since every addend is an integer well inside f64 precision.
+        assert_eq!(h.sum(), 800.0 * (0..100).sum::<u64>() as f64);
+    }
+
+    #[test]
+    fn histogram_buckets_are_inclusive_upper_edges() {
+        let h = Histogram::new(vec![1.0, 2.0, 4.0]);
+        for v in [0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 9.0] {
+            h.observe(v);
+        }
+        // le=1: {0.5, 1.0}; le=2: {1.5, 2.0}; le=4: {3.0, 4.0}; +Inf: {9.0}
+        assert_eq!(h.bucket_counts(), vec![2, 2, 2, 1]);
+        assert_eq!(h.count(), 7);
+    }
+
+    #[test]
+    fn histogram_drops_non_finite() {
+        let h = Histogram::new(vec![1.0]);
+        h.observe(f64::NAN);
+        h.observe(f64::INFINITY);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn quantiles_on_uniform_distribution() {
+        // 1000 samples uniform over (0, 10] into 10 equal buckets: the
+        // interpolated quantiles land within one bucket width of truth.
+        let h = Histogram::new((1..=10).map(|i| i as f64).collect());
+        for i in 0..1000 {
+            h.observe((i % 1000) as f64 / 100.0 + 0.005);
+        }
+        for (q, expect) in [(0.1, 1.0), (0.5, 5.0), (0.9, 9.0)] {
+            let got = h.quantile(q);
+            assert!(
+                (got - expect).abs() <= 1.0,
+                "q{q}: got {got}, expected ≈{expect}"
+            );
+        }
+        assert_eq!(h.quantile(1.0), 10.0);
+    }
+
+    #[test]
+    fn quantile_of_point_mass_is_its_bucket() {
+        let h = Histogram::new(vec![0.001, 0.01, 0.1, 1.0]);
+        for _ in 0..100 {
+            h.observe(0.009); // all in the le=0.01 bucket
+        }
+        let med = h.quantile(0.5);
+        assert!(
+            (0.001..=0.01).contains(&med),
+            "median {med} escaped the owning bucket"
+        );
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        let h = Histogram::new(vec![1.0, 2.0]);
+        assert!(h.quantile(0.5).is_nan(), "empty histogram");
+        h.observe(100.0); // overflow bucket
+        assert_eq!(h.quantile(0.5), 2.0, "overflow clamps to the last bound");
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn unsorted_bounds_rejected() {
+        let _ = Histogram::new(vec![2.0, 1.0]);
+    }
+}

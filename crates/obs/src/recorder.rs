@@ -1,0 +1,204 @@
+//! Event sinks: where structured [`Event`]s go.
+//!
+//! A [`Recorder`] receives finished events. The three implementations cover
+//! the three deployment modes: [`NoopRecorder`] (drop everything — the
+//! default, zero overhead), [`MemorySink`] (buffer in RAM for tests), and
+//! [`JsonlSink`] (append one JSON object per line to a writer or file, with
+//! a relative `t_ms` timestamp injected into every event).
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::event::Event;
+
+/// Destination for structured telemetry events.
+pub trait Recorder: Send + Sync {
+    /// Accepts one event.
+    fn record(&self, event: Event);
+
+    /// Flushes any buffered output. Default: nothing to flush.
+    fn flush(&self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Discards every event.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    #[inline]
+    fn record(&self, _event: Event) {}
+}
+
+/// Buffers events in memory; intended for tests and examples.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Removes and returns everything recorded so far.
+    pub fn take(&self) -> Vec<Event> {
+        std::mem::take(&mut self.events.lock().expect("memory sink poisoned"))
+    }
+
+    /// A copy of everything recorded so far.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().expect("memory sink poisoned").clone()
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("memory sink poisoned").len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Recorder for MemorySink {
+    fn record(&self, event: Event) {
+        self.events.lock().expect("memory sink poisoned").push(event);
+    }
+}
+
+/// Writes events as JSON Lines: one object per event, each stamped with a
+/// `t_ms` field (milliseconds since the sink was created) appended after the
+/// event's own fields.
+///
+/// Write errors are counted (see [`error_count`](Self::error_count)) rather
+/// than propagated — telemetry must never take down training.
+pub struct JsonlSink {
+    writer: Mutex<BufWriter<Box<dyn Write + Send>>>,
+    start: Instant,
+    errors: std::sync::atomic::AtomicU64,
+}
+
+impl std::fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonlSink")
+            .field("errors", &self.error_count())
+            .finish_non_exhaustive()
+    }
+}
+
+impl JsonlSink {
+    /// A sink writing to an arbitrary writer (buffered internally).
+    pub fn to_writer(writer: impl Write + Send + 'static) -> Self {
+        Self {
+            writer: Mutex::new(BufWriter::new(Box::new(writer))),
+            start: Instant::now(),
+            errors: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Creates (truncating) the file at `path` and writes events to it.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(Self::to_writer(File::create(path)?))
+    }
+
+    /// How many writes failed so far.
+    pub fn error_count(&self) -> u64 {
+        self.errors.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+impl Recorder for JsonlSink {
+    fn record(&self, event: Event) {
+        let t_ms = self.start.elapsed().as_millis() as u64;
+        let line = event.u64("t_ms", t_ms).to_json();
+        let mut w = self.writer.lock().expect("jsonl sink poisoned");
+        if writeln!(w, "{line}").is_err() {
+            self.errors
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+
+    fn flush(&self) -> io::Result<()> {
+        self.writer.lock().expect("jsonl sink poisoned").flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn memory_sink_buffers_and_takes() {
+        let sink = MemorySink::new();
+        assert!(sink.is_empty());
+        sink.record(Event::new("a"));
+        sink.record(Event::new("b").u64("n", 1));
+        assert_eq!(sink.len(), 2);
+        let taken = sink.take();
+        assert_eq!(taken.len(), 2);
+        assert_eq!(taken[1].kind(), "b");
+        assert!(sink.is_empty());
+    }
+
+    /// Shared Vec<u8> writer so the test can inspect what the sink wrote.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parsable_lines_with_t_ms() {
+        let buf = SharedBuf::default();
+        let sink = JsonlSink::to_writer(buf.clone());
+        sink.record(Event::new("epoch").u64("epoch", 0).f64("loss", 0.5));
+        sink.record(Event::new("epoch").u64("epoch", 1).f64("loss", 0.25));
+        sink.flush().unwrap();
+        let bytes = buf.0.lock().unwrap().clone();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for (i, line) in lines.iter().enumerate() {
+            let e = Event::from_json(line).unwrap();
+            assert_eq!(e.kind(), "epoch");
+            assert_eq!(e.get("epoch").and_then(|v| v.as_u64()), Some(i as u64));
+            assert!(e.get("t_ms").and_then(|v| v.as_u64()).is_some());
+        }
+        assert_eq!(sink.error_count(), 0);
+    }
+
+    #[test]
+    fn jsonl_sink_counts_write_errors() {
+        struct Failing;
+        impl Write for Failing {
+            fn write(&mut self, _: &[u8]) -> io::Result<usize> {
+                Err(io::Error::other("boom"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        // Tiny BufWriter capacity is not controllable here, so force the
+        // flush path by writing more than the default 8 KiB buffer.
+        let sink = JsonlSink::to_writer(Failing);
+        let big = "x".repeat(16 * 1024);
+        sink.record(Event::new("big").str("pad", big));
+        sink.record(Event::new("small"));
+        assert!(sink.flush().is_err() || sink.error_count() > 0);
+    }
+}

@@ -1,0 +1,396 @@
+//! The metric registry: named handles, snapshots, Prometheus exposition.
+//!
+//! A [`Registry`] maps `(name, labels)` to a metric and hands out `Arc`
+//! handles. The lock is taken only at registration — the hot path (updating
+//! a `Counter`/`Gauge`/`Histogram` through its handle) is lock-free.
+//! [`Registry::snapshot`] freezes current values into plain data, and
+//! [`Snapshot::to_prometheus`] renders the standard text exposition format
+//! with deterministic (sorted) ordering so it can be snapshot-tested.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+use crate::metrics::{Counter, Gauge, Histogram};
+
+/// A metric identity: name plus sorted label pairs.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct MetricId {
+    name: String,
+    labels: Vec<(String, String)>,
+}
+
+#[derive(Debug)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A concurrent registry of named metrics.
+///
+/// `counter`/`gauge`/`histogram` get-or-create: the first call registers,
+/// later calls with the same name and labels return the same handle.
+///
+/// # Panics
+///
+/// Re-registering a name+labels pair as a different metric type panics —
+/// that is always a programming error, not a runtime condition.
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<BTreeMap<MetricId, Metric>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn id(name: &str, labels: &[(&str, &str)]) -> MetricId {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        MetricId {
+            name: name.to_string(),
+            labels,
+        }
+    }
+
+    /// Get-or-create a counter.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let id = Self::id(name, labels);
+        let mut map = self.inner.lock().expect("registry poisoned");
+        match map
+            .entry(id)
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::new())))
+        {
+            Metric::Counter(c) => Arc::clone(c),
+            _ => panic!("metric {name:?} already registered with a different type"),
+        }
+    }
+
+    /// Get-or-create a gauge.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let id = Self::id(name, labels);
+        let mut map = self.inner.lock().expect("registry poisoned");
+        match map
+            .entry(id)
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new())))
+        {
+            Metric::Gauge(g) => Arc::clone(g),
+            _ => panic!("metric {name:?} already registered with a different type"),
+        }
+    }
+
+    /// Get-or-create a histogram with the default latency buckets
+    /// ([`Histogram::default_seconds`]).
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        self.histogram_with(name, labels, Histogram::default_seconds)
+    }
+
+    /// Get-or-create a histogram, building it with `make` on first use.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Histogram,
+    ) -> Arc<Histogram> {
+        let id = Self::id(name, labels);
+        let mut map = self.inner.lock().expect("registry poisoned");
+        match map
+            .entry(id)
+            .or_insert_with(|| Metric::Histogram(Arc::new(make())))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            _ => panic!("metric {name:?} already registered with a different type"),
+        }
+    }
+
+    /// Freezes the current value of every registered metric.
+    pub fn snapshot(&self) -> Snapshot {
+        let map = self.inner.lock().expect("registry poisoned");
+        let samples = map
+            .iter()
+            .map(|(id, metric)| MetricSample {
+                name: id.name.clone(),
+                labels: id.labels.clone(),
+                value: match metric {
+                    Metric::Counter(c) => SampleValue::Counter(c.get()),
+                    Metric::Gauge(g) => SampleValue::Gauge(g.get()),
+                    Metric::Histogram(h) => SampleValue::Histogram {
+                        bounds: h.bounds().to_vec(),
+                        counts: h.bucket_counts(),
+                        sum: h.sum(),
+                        count: h.count(),
+                    },
+                },
+            })
+            .collect();
+        Snapshot { samples }
+    }
+}
+
+/// One metric's frozen value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSample {
+    /// Metric name.
+    pub name: String,
+    /// Sorted label pairs.
+    pub labels: Vec<(String, String)>,
+    /// The value at snapshot time.
+    pub value: SampleValue,
+}
+
+/// Frozen metric value by type.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SampleValue {
+    /// Counter total.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(f64),
+    /// Histogram state: per-bucket (non-cumulative) counts with the `+Inf`
+    /// overflow last, plus sum and count.
+    Histogram {
+        /// Inclusive upper bucket edges (finite).
+        bounds: Vec<f64>,
+        /// Non-cumulative per-bucket counts; last entry is the overflow.
+        counts: Vec<u64>,
+        /// Sum of observations.
+        sum: f64,
+        /// Number of observations.
+        count: u64,
+    },
+}
+
+/// A point-in-time copy of a registry, ordered by (name, labels).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    /// The frozen samples, sorted by name then labels.
+    pub samples: Vec<MetricSample>,
+}
+
+impl Snapshot {
+    /// The sample with the given name and no labels.
+    pub fn get(&self, name: &str) -> Option<&MetricSample> {
+        self.samples
+            .iter()
+            .find(|s| s.name == name && s.labels.is_empty())
+    }
+
+    /// Renders the Prometheus text exposition format (version 0.0.4).
+    ///
+    /// Output is deterministic: samples appear in name order, histogram
+    /// buckets cumulative with a final `le="+Inf"`, every family preceded by
+    /// a `# TYPE` line.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_family: Option<&str> = None;
+        for s in &self.samples {
+            let type_name = match s.value {
+                SampleValue::Counter(_) => "counter",
+                SampleValue::Gauge(_) => "gauge",
+                SampleValue::Histogram { .. } => "histogram",
+            };
+            if last_family != Some(s.name.as_str()) {
+                let _ = writeln!(out, "# TYPE {} {}", s.name, type_name);
+                last_family = Some(s.name.as_str());
+            }
+            match &s.value {
+                SampleValue::Counter(v) => {
+                    let _ = writeln!(out, "{}{} {}", s.name, labels(&s.labels, &[]), v);
+                }
+                SampleValue::Gauge(v) => {
+                    let _ = writeln!(
+                        out,
+                        "{}{} {}",
+                        s.name,
+                        labels(&s.labels, &[]),
+                        fmt_f64(*v)
+                    );
+                }
+                SampleValue::Histogram {
+                    bounds,
+                    counts,
+                    sum,
+                    count,
+                } => {
+                    let mut cum = 0u64;
+                    for (i, b) in bounds.iter().enumerate() {
+                        cum += counts[i];
+                        let le = fmt_f64(*b);
+                        let _ = writeln!(
+                            out,
+                            "{}_bucket{} {}",
+                            s.name,
+                            labels(&s.labels, &[("le", &le)]),
+                            cum
+                        );
+                    }
+                    cum += counts.last().copied().unwrap_or(0);
+                    let _ = writeln!(
+                        out,
+                        "{}_bucket{} {}",
+                        s.name,
+                        labels(&s.labels, &[("le", "+Inf")]),
+                        cum
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{}_sum{} {}",
+                        s.name,
+                        labels(&s.labels, &[]),
+                        fmt_f64(*sum)
+                    );
+                    let _ = writeln!(out, "{}_count{} {}", s.name, labels(&s.labels, &[]), count);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Renders a `{k="v",...}` label block (empty string when no labels).
+fn labels(base: &[(String, String)], extra: &[(&str, &str)]) -> String {
+    if base.is_empty() && extra.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    for (k, v) in base
+        .iter()
+        .map(|(k, v)| (k.as_str(), v.as_str()))
+        .chain(extra.iter().copied())
+    {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(k);
+        out.push_str("=\"");
+        for c in v.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+/// Prometheus-style float formatting: shortest round-trip form.
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.is_finite() && v.abs() < 1e15 {
+        // Integral values print without an exponent or trailing zeros.
+        format!("{v}")
+    } else {
+        format!("{v:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_create_returns_same_handle() {
+        let r = Registry::new();
+        let a = r.counter("x_total", &[]);
+        let b = r.counter("x_total", &[]);
+        a.inc();
+        assert_eq!(b.get(), 1);
+        // Labels in different order resolve to the same metric.
+        let g1 = r.gauge("g", &[("a", "1"), ("b", "2")]);
+        let g2 = r.gauge("g", &[("b", "2"), ("a", "1")]);
+        g1.set(7.0);
+        assert_eq!(g2.get(), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different type")]
+    fn type_conflict_panics() {
+        let r = Registry::new();
+        let _ = r.counter("m", &[]);
+        let _ = r.gauge("m", &[]);
+    }
+
+    #[test]
+    fn snapshot_freezes_values() {
+        let r = Registry::new();
+        r.counter("c_total", &[]).add(3);
+        r.gauge("g", &[]).set(1.5);
+        let snap = r.snapshot();
+        r.counter("c_total", &[]).add(100);
+        assert_eq!(
+            snap.get("c_total").map(|s| &s.value),
+            Some(&SampleValue::Counter(3))
+        );
+        assert_eq!(
+            snap.get("g").map(|s| &s.value),
+            Some(&SampleValue::Gauge(1.5))
+        );
+    }
+
+    #[test]
+    fn prometheus_text_format_snapshot() {
+        let r = Registry::new();
+        r.counter("inf2vec_train_pairs_total", &[]).add(1200);
+        r.gauge("inf2vec_train_loss", &[]).set(0.5234);
+        r.gauge("inf2vec_train_pairs_per_sec", &[]).set(150000.0);
+        let h = r.histogram_with("inf2vec_checkpoint_write_seconds", &[], || {
+            Histogram::new(vec![0.001, 0.01, 0.1])
+        });
+        // Binary-exact values so the `_sum` line is deterministic.
+        h.observe(0.0078125);
+        h.observe(0.015625);
+        h.observe(0.25);
+        r.counter("inf2vec_worker_pairs_total", &[("worker", "0")])
+            .add(600);
+        r.counter("inf2vec_worker_pairs_total", &[("worker", "1")])
+            .add(600);
+
+        let text = r.snapshot().to_prometheus();
+        let expect = "\
+# TYPE inf2vec_checkpoint_write_seconds histogram
+inf2vec_checkpoint_write_seconds_bucket{le=\"0.001\"} 0
+inf2vec_checkpoint_write_seconds_bucket{le=\"0.01\"} 1
+inf2vec_checkpoint_write_seconds_bucket{le=\"0.1\"} 2
+inf2vec_checkpoint_write_seconds_bucket{le=\"+Inf\"} 3
+inf2vec_checkpoint_write_seconds_sum 0.2734375
+inf2vec_checkpoint_write_seconds_count 3
+# TYPE inf2vec_train_loss gauge
+inf2vec_train_loss 0.5234
+# TYPE inf2vec_train_pairs_per_sec gauge
+inf2vec_train_pairs_per_sec 150000
+# TYPE inf2vec_train_pairs_total counter
+inf2vec_train_pairs_total 1200
+# TYPE inf2vec_worker_pairs_total counter
+inf2vec_worker_pairs_total{worker=\"0\"} 600
+inf2vec_worker_pairs_total{worker=\"1\"} 600
+";
+        assert_eq!(text, expect);
+    }
+
+    #[test]
+    fn type_line_emitted_once_per_family() {
+        let r = Registry::new();
+        r.counter("fam_total", &[("w", "0")]).inc();
+        r.counter("fam_total", &[("w", "1")]).inc();
+        let text = r.snapshot().to_prometheus();
+        assert_eq!(text.matches("# TYPE fam_total counter").count(), 1);
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let r = Registry::new();
+        r.counter("c_total", &[("path", "a\"b\\c\nd")]).inc();
+        let text = r.snapshot().to_prometheus();
+        assert!(text.contains(r#"path="a\"b\\c\nd""#), "got: {text}");
+    }
+}

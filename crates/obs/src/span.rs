@@ -1,0 +1,100 @@
+//! Phase/span timing.
+//!
+//! A [`Span`] measures wall-clock from creation to [`finish`](Span::finish)
+//! (or drop) and records the duration into the histogram
+//! `<name>_seconds` of the owning [`Telemetry`](crate::Telemetry) handle.
+//! On a disabled handle a span is inert: no clock read beyond creation, no
+//! allocation, nothing recorded.
+
+use std::time::Instant;
+
+use crate::Telemetry;
+
+/// An in-flight timed phase. Records on `finish()` or drop.
+#[derive(Debug)]
+pub struct Span {
+    telemetry: Telemetry,
+    name: &'static str,
+    start: Instant,
+    done: bool,
+}
+
+impl Span {
+    pub(crate) fn start(telemetry: Telemetry, name: &'static str) -> Self {
+        Self {
+            telemetry,
+            name,
+            start: Instant::now(),
+            done: false,
+        }
+    }
+
+    /// Stops the clock, records `<name>_seconds`, and returns the elapsed
+    /// seconds (measured even when telemetry is disabled, so callers can
+    /// reuse the figure).
+    pub fn finish(mut self) -> f64 {
+        self.done = true;
+        let secs = self.start.elapsed().as_secs_f64();
+        self.record(secs);
+        secs
+    }
+
+    fn record(&self, secs: f64) {
+        if self.telemetry.enabled() {
+            // Histogram names follow Prometheus convention: base unit
+            // suffix, no label on the phase itself.
+            let name = format!("{}_seconds", self.name);
+            self.telemetry.observe(&name, secs);
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if !self.done {
+            self.record(self.start.elapsed().as_secs_f64());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finish_records_into_named_histogram() {
+        let t = Telemetry::with_registry();
+        let span = t.span("unit_test_phase");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let secs = span.finish();
+        assert!(secs >= 0.002);
+        let snap = t.snapshot();
+        let s = snap.get("unit_test_phase_seconds").expect("histogram");
+        match &s.value {
+            crate::registry::SampleValue::Histogram { count, sum, .. } => {
+                assert_eq!(*count, 1);
+                assert!(*sum >= 0.002);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn drop_records_too() {
+        let t = Telemetry::with_registry();
+        {
+            let _span = t.span("drop_phase");
+        }
+        let snap = t.snapshot();
+        assert!(snap.get("drop_phase_seconds").is_some());
+    }
+
+    #[test]
+    fn disabled_handle_records_nothing() {
+        let t = Telemetry::disabled();
+        let secs = t.span("ghost").finish();
+        assert!(secs >= 0.0);
+        assert!(t.snapshot().samples.is_empty());
+    }
+
+}

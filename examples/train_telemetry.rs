@@ -1,0 +1,82 @@
+//! Telemetry demo: checkpointed training on a digg-like synthetic dataset
+//! with every phase streaming JSONL events, then a round-trip of the event
+//! stream and a Prometheus snapshot of the run.
+//!
+//! ```sh
+//! cargo run --release --example train_telemetry [events.jsonl]
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use inf2vec::core::train::{train_resumable, CheckpointConfig, FaultTolerance};
+use inf2vec::core::Inf2vecConfig;
+use inf2vec::diffusion::synth::{generate, SyntheticConfig};
+use inf2vec::embed::DivergenceGuard;
+use inf2vec::obs::{Event, JsonlSink, Telemetry};
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "telemetry.jsonl".into());
+
+    // The digg-like generator, scaled down so the example runs in seconds.
+    let synth = generate(&SyntheticConfig::digg_like().scaled(400, 60), 42);
+    let dataset = &synth.dataset;
+    let split = dataset.split(0.8, 0.1, 1);
+
+    let sink = JsonlSink::create(&out).expect("open JSONL sink");
+    let telemetry = Telemetry::new(Arc::new(sink));
+    let config = Inf2vecConfig {
+        k: 32,
+        epochs: 8,
+        seed: 42,
+        telemetry: telemetry.clone(),
+        ..Inf2vecConfig::default()
+    };
+
+    let ckpt = std::env::temp_dir().join(format!(
+        "inf2vec-telemetry-{}.ckpt",
+        std::process::id()
+    ));
+    let ft = FaultTolerance {
+        checkpoint: Some(CheckpointConfig::every_epoch(&ckpt)),
+        guard: Some(DivergenceGuard::default()),
+    };
+    let (_model, report) =
+        train_resumable(dataset, &split.train, &config, &ft).expect("training succeeds");
+    telemetry.flush().expect("flush telemetry");
+    let _ = std::fs::remove_file(&ckpt);
+
+    println!(
+        "trained {} epochs over {} pairs ({:.0} pairs/s)",
+        report.epochs, report.pairs_processed, report.pairs_per_sec
+    );
+
+    // Round-trip the stream: every line the sink wrote must parse back.
+    let raw = std::fs::read_to_string(&out).expect("read event stream");
+    let mut per_kind: BTreeMap<String, usize> = BTreeMap::new();
+    let mut losses: Vec<f64> = Vec::new();
+    for line in raw.lines() {
+        let ev = Event::from_json(line).expect("event round-trips");
+        *per_kind.entry(ev.kind().to_string()).or_insert(0) += 1;
+        if ev.kind() == "epoch" {
+            losses.push(ev.get("loss").and_then(|v| v.as_f64()).expect("loss field"));
+        }
+    }
+    println!("\n{} events in {out}:", raw.lines().count());
+    for (kind, n) in &per_kind {
+        println!("  {kind:<12} {n}");
+    }
+    println!(
+        "loss trajectory: {}",
+        losses
+            .iter()
+            .map(|l| format!("{l:.4}"))
+            .collect::<Vec<_>>()
+            .join(" → ")
+    );
+
+    println!("\n--- Prometheus snapshot ---");
+    print!("{}", telemetry.prometheus());
+}

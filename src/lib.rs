@@ -38,6 +38,7 @@
 //! | [`embed`] | `inf2vec-embed` | embedding stores, SGNS kernels, Hogwild parallel SGD |
 //! | [`baselines`] | `inf2vec-baselines` | DE, ST, IC-EM, Emb-IC, MF-BPR, node2vec |
 //! | [`eval`] | `inf2vec-eval` | activation/diffusion prediction tasks, AUC/MAP/P@N, aggregators |
+//! | [`obs`] | `inf2vec-obs` | zero-dependency telemetry: metrics registry, spans, JSONL events, Prometheus exposition |
 //! | [`tsne`] | `inf2vec-tsne` | exact t-SNE + PCA for embedding visualization |
 //! | [`util`] | `inf2vec-util` | hashing, deterministic RNG, alias sampling, stats, text tables/plots |
 //!
@@ -50,6 +51,7 @@ pub use inf2vec_diffusion as diffusion;
 pub use inf2vec_embed as embed;
 pub use inf2vec_eval as eval;
 pub use inf2vec_graph as graph;
+pub use inf2vec_obs as obs;
 pub use inf2vec_tsne as tsne;
 pub use inf2vec_util as util;
 

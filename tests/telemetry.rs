@@ -1,0 +1,117 @@
+//! End-to-end telemetry: a checkpointed training run must stream JSONL
+//! events that round-trip through the parser, expose a Prometheus snapshot
+//! with the headline series, and leave the learned parameters bit-identical
+//! to an uninstrumented run.
+
+use std::sync::Arc;
+
+use inf2vec::core::train::{train_resumable, CheckpointConfig, FaultTolerance};
+use inf2vec::core::Inf2vecConfig;
+use inf2vec::diffusion::synth::{generate, SyntheticConfig, SyntheticDataset};
+use inf2vec::embed::DivergenceGuard;
+use inf2vec::obs::{Event, JsonlSink, MemorySink, Recorder, Telemetry};
+
+const EPOCHS: usize = 4;
+
+fn synth() -> SyntheticDataset {
+    generate(&SyntheticConfig::tiny(), 11)
+}
+
+fn config(telemetry: Telemetry) -> Inf2vecConfig {
+    Inf2vecConfig {
+        k: 8,
+        epochs: EPOCHS,
+        seed: 5,
+        telemetry,
+        ..Inf2vecConfig::default()
+    }
+}
+
+fn scratch(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("inf2vec-test-{}-{name}", std::process::id()))
+}
+
+#[test]
+fn resumable_run_streams_parseable_events_and_prometheus_series() {
+    let synth = synth();
+    let split = synth.dataset.split(0.8, 0.1, 2);
+    let jsonl = scratch("events.jsonl");
+    let ckpt = scratch("train.ckpt");
+
+    let sink = JsonlSink::create(&jsonl).expect("open sink");
+    let telemetry = Telemetry::new(Arc::new(sink));
+    let ft = FaultTolerance {
+        checkpoint: Some(CheckpointConfig::every_epoch(&ckpt)),
+        guard: Some(DivergenceGuard::default()),
+    };
+    let (_, report) = train_resumable(&synth.dataset, &split.train, &config(telemetry.clone()), &ft)
+        .expect("training succeeds");
+    telemetry.flush().expect("flush");
+
+    // The report carries the new timing fields.
+    assert_eq!(report.epoch_durations.len(), EPOCHS);
+    assert!(report.epoch_durations.iter().all(|&d| d >= 0.0));
+    assert!(report.pairs_per_sec > 0.0);
+
+    // Every line round-trips; per-epoch and checkpoint events are present.
+    let raw = std::fs::read_to_string(&jsonl).expect("read stream");
+    let events: Vec<Event> = raw
+        .lines()
+        .map(|l| Event::from_json(l).expect("line parses"))
+        .collect();
+    let count = |kind: &str| events.iter().filter(|e| e.kind() == kind).count();
+    assert_eq!(count("epoch"), EPOCHS);
+    assert_eq!(count("checkpoint"), EPOCHS);
+    assert_eq!(count("corpus"), 1);
+    assert_eq!(count("propnet"), 1);
+    for ev in events.iter().filter(|e| e.kind() == "epoch") {
+        let loss = ev.get("loss").and_then(|v| v.as_f64()).expect("loss");
+        assert!(loss.is_finite());
+        assert!(ev.get("t_ms").is_some(), "sink injects a timestamp");
+    }
+
+    // The Prometheus snapshot carries the headline series.
+    let prom = telemetry.prometheus();
+    for series in [
+        "inf2vec_train_loss",
+        "inf2vec_train_pairs_per_sec",
+        "inf2vec_checkpoint_write_seconds_bucket",
+        "inf2vec_train_epoch_seconds_count",
+        "inf2vec_influence_pairs_total",
+    ] {
+        assert!(prom.contains(series), "missing {series} in:\n{prom}");
+    }
+
+    let _ = std::fs::remove_file(&jsonl);
+    let _ = std::fs::remove_file(&ckpt);
+}
+
+#[test]
+fn telemetry_does_not_change_the_learned_model() {
+    let synth = synth();
+    let split = synth.dataset.split(0.8, 0.1, 2);
+    let ft = FaultTolerance::default();
+
+    let (plain, _) = train_resumable(
+        &synth.dataset,
+        &split.train,
+        &config(Telemetry::disabled()),
+        &ft,
+    )
+    .expect("plain run");
+
+    let sink = Arc::new(MemorySink::new());
+    let (observed, _) = train_resumable(
+        &synth.dataset,
+        &split.train,
+        &config(Telemetry::new(Arc::clone(&sink) as Arc<dyn Recorder>)),
+        &ft,
+    )
+    .expect("observed run");
+
+    assert!(!sink.events().is_empty(), "events were recorded");
+    let bits = |m: &inf2vec::core::Inf2vecModel| -> Vec<u32> {
+        m.store.source.to_vec().iter().map(|x| x.to_bits()).collect()
+    };
+    assert_eq!(bits(&plain), bits(&observed), "telemetry must be read-only");
+}
