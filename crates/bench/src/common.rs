@@ -16,6 +16,7 @@ use inf2vec_diffusion::{DatasetSplit, Episode};
 use inf2vec_eval::activation::ActivationTask;
 use inf2vec_eval::diffusion_task::DiffusionTask;
 use inf2vec_eval::runner::{observe_evaluation, MethodRuns};
+use inf2vec_ingest::ErrorPolicy;
 use inf2vec_obs::{Event, Telemetry};
 use inf2vec_eval::{Aggregator, RankingMetrics, ScoringModel};
 use inf2vec_util::rng::split_seed;
@@ -47,6 +48,16 @@ pub struct Opts {
     /// Metrics/event destination, threaded into every trained model and
     /// mirrored by the harness's own output helpers.
     pub telemetry: Telemetry,
+    /// Edge-list file for the `ingest` command (`--edges`).
+    pub edges: Option<PathBuf>,
+    /// Action-log file for the `ingest` command (`--actions`).
+    pub actions: Option<PathBuf>,
+    /// Defect-handling policy for the `ingest` command (`--on-error`).
+    pub on_error: ErrorPolicy,
+    /// Quarantine budget for `--on-error skip` (`--max-errors`).
+    pub max_errors: Option<u64>,
+    /// Destination for the ingest report JSON (`--ingest-report`).
+    pub ingest_report: Option<PathBuf>,
 }
 
 impl Default for Opts {
@@ -62,6 +73,11 @@ impl Default for Opts {
             lr_override: None,
             quiet: false,
             telemetry: Telemetry::disabled(),
+            edges: None,
+            actions: None,
+            on_error: ErrorPolicy::Strict,
+            max_errors: None,
+            ingest_report: None,
         }
     }
 }

@@ -1,0 +1,53 @@
+//! The `ingest` subcommand: load a real edge-list + action-log pair
+//! through the policy-driven loader and account for every defect.
+//!
+//! ```text
+//! repro ingest --edges graph.txt --actions log.txt \
+//!     --on-error skip --max-errors 100 --ingest-report report.json
+//! ```
+
+use inf2vec_ingest::{ErrorPolicy, IngestConfig, Ingestor};
+
+use crate::common::Opts;
+use crate::die;
+
+/// Runs the ingest command from the harness options.
+pub fn ingest(opts: &Opts) {
+    let (Some(edges), Some(actions)) = (&opts.edges, &opts.actions) else {
+        die("ingest needs both --edges FILE and --actions FILE");
+    };
+
+    let mut policy = opts.on_error;
+    if let Some(n) = opts.max_errors {
+        match &mut policy {
+            ErrorPolicy::Skip { max_errors, .. } => *max_errors = n,
+            _ => opts.warn(&format!(
+                "warning: --max-errors only applies with --on-error skip (policy is {})",
+                policy.name()
+            )),
+        }
+    }
+
+    let cfg = IngestConfig {
+        policy,
+        telemetry: opts.telemetry.clone(),
+        ..IngestConfig::default()
+    };
+    let name = edges
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "ingested".to_string());
+
+    match Ingestor::new(cfg).ingest_paths(edges, actions, name) {
+        Ok(v) => {
+            opts.say(&v.summary());
+            if let Some(path) = &opts.ingest_report {
+                match std::fs::write(path, v.to_json()) {
+                    Ok(()) => opts.note(&format!("[ingest] report written to {}", path.display())),
+                    Err(e) => die(&format!("cannot write {}: {e}", path.display())),
+                }
+            }
+        }
+        Err(e) => die(&format!("ingest failed: {e}")),
+    }
+}

@@ -7,6 +7,8 @@
 //!   table1 table2 table3 table4 table5 table6
 //!   fig1 fig2 fig3 fig6 fig7 fig8 fig9
 //!   ablate-alpha ablate-bias ablate-restart ablate-regen
+//!   ingest         load real data via --edges/--actions with an
+//!                  --on-error policy, writing --ingest-report JSON
 //!   all            every table and figure in order
 //!   ablate         every ablation
 //!
@@ -30,6 +32,7 @@
 mod ablate;
 mod common;
 mod figures;
+mod ingest;
 mod oracle;
 mod tables;
 
@@ -87,6 +90,27 @@ fn main() {
             }
             "--telemetry-jsonl" => {
                 telemetry_jsonl = Some(take_value(&mut i).into());
+            }
+            "--edges" => {
+                opts.edges = Some(take_value(&mut i).into());
+            }
+            "--actions" => {
+                opts.actions = Some(take_value(&mut i).into());
+            }
+            "--on-error" => {
+                opts.on_error = take_value(&mut i)
+                    .parse()
+                    .unwrap_or_else(|e| die(&format!("--on-error: {e}")));
+            }
+            "--max-errors" => {
+                opts.max_errors = Some(
+                    take_value(&mut i)
+                        .parse()
+                        .unwrap_or_else(|_| die("--max-errors expects an integer")),
+                );
+            }
+            "--ingest-report" => {
+                opts.ingest_report = Some(take_value(&mut i).into());
             }
             "--epochs" => {
                 opts.epochs_override = Some(
@@ -151,6 +175,7 @@ fn run_command(cmd: &str, opts: &Opts) {
         "fig8" => figures::fig78(opts, true),
         "fig9" => figures::fig9(opts),
         "oracle" => oracle::oracle(opts),
+        "ingest" => ingest::ingest(opts),
         "ablate-alpha" => ablate::ablate_alpha(opts),
         "ablate-bias" => ablate::ablate_bias(opts),
         "ablate-restart" => ablate::ablate_restart(opts),
@@ -180,11 +205,15 @@ fn print_help() {
          commands: table1 table2 table3 table4 table5 table6\n\
                    fig1 fig2 fig3 fig6 fig7 fig8 fig9\n\
                    ablate-alpha ablate-bias ablate-restart ablate-regen ablate\n\
-                   oracle all"
+                   oracle ingest all\n\n\
+         ingest:   repro ingest --edges FILE --actions FILE\n\
+                   [--on-error strict|skip|repair] [--max-errors N]\n\
+                   [--ingest-report FILE]  load a real dataset through the\n\
+                   policy-driven loader and write the quarantine report"
     );
 }
 
-fn die(msg: &str) -> ! {
+pub(crate) fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     std::process::exit(2);
 }

@@ -48,6 +48,13 @@ impl Episode {
     /// Builds an episode, sorting by time and keeping each user's *first*
     /// adoption (later duplicates are dropped — re-votes carry no extra
     /// influence signal under the paper's model).
+    ///
+    /// Duplicate-activation semantics, precisely: for a user appearing more
+    /// than once, the record with the **earliest timestamp** wins; among
+    /// records tied on that earliest timestamp, the one **first in the
+    /// input** wins (the sort is stable, so input order is the tiebreak).
+    /// Any ingestion path that claims byte-identical output with this
+    /// constructor (see `inf2vec-ingest`) must reproduce both rules.
     pub fn new(item: ItemId, mut activations: Vec<(NodeId, u64)>) -> Self {
         activations.sort_by_key(|&(_, t)| t);
         let mut seen = inf2vec_util::hash::fx_hashset_with_capacity(activations.len());
@@ -159,6 +166,26 @@ mod tests {
         assert_eq!(users, vec![3, 1, 2]);
         assert_eq!(e.time_of(n(3)), Some(5));
         assert_eq!(e.time_of(n(9)), None);
+    }
+
+    #[test]
+    fn duplicate_activation_keeps_earliest_then_input_order() {
+        // User 1 re-votes at t=40 and t=10: earliest (10) wins.
+        // User 2 has two records both at t=20: the first in the input
+        // ("a"-position, arriving before the other) wins via stable sort.
+        // We can't distinguish identical (u, t) pairs directly, so prove
+        // the tie rule through ordering against a distinct neighbor: with
+        // ties, the neighbor that came first in the input sorts first.
+        let e = Episode::new(
+            ItemId(0),
+            vec![(n(1), 40), (n(2), 20), (n(3), 20), (n(1), 10), (n(2), 20)],
+        );
+        assert_eq!(e.time_of(n(1)), Some(10));
+        assert_eq!(e.time_of(n(2)), Some(20));
+        let users: Vec<u32> = e.users().map(|u| u.0).collect();
+        // t=10 first; then the t=20 tie resolves to input order: 2 before 3.
+        assert_eq!(users, vec![1, 2, 3]);
+        assert_eq!(e.len(), 3);
     }
 
     #[test]

@@ -154,7 +154,14 @@ impl std::fmt::Display for LogIoError {
     }
 }
 
-impl std::error::Error for LogIoError {}
+impl std::error::Error for LogIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LogIoError::Io(e) => Some(e),
+            LogIoError::Malformed { .. } => None,
+        }
+    }
+}
 
 impl From<std::io::Error> for LogIoError {
     fn from(e: std::io::Error) -> Self {
@@ -167,6 +174,13 @@ pub fn read_log<R: BufRead>(r: R) -> Result<ActionLog, LogIoError> {
     let mut actions = Vec::new();
     for (idx, line) in r.lines().enumerate() {
         let line = line?;
+        // `trim` already eats CR (CRLF endings) and stray whitespace; a
+        // UTF-8 BOM on the first line is the other Windows-export artifact.
+        let line = if idx == 0 {
+            line.trim_start_matches('\u{feff}')
+        } else {
+            line.as_str()
+        };
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
@@ -307,6 +321,55 @@ mod tests {
     fn log_io_rejects_garbage() {
         for bad in ["1 2", "1 2 3 4", "a 2 3", "1 b 3", "1 2 c"] {
             assert!(read_log(bad.as_bytes()).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn log_io_error_source_exposes_io() {
+        use std::error::Error;
+        let io = LogIoError::from(std::io::Error::new(std::io::ErrorKind::Other, "boom"));
+        assert!(io.source().is_some(), "Io variant must chain its cause");
+        assert_eq!(io.source().unwrap().to_string(), "boom");
+        let mal = LogIoError::Malformed {
+            line: 3,
+            content: "x".into(),
+        };
+        assert!(mal.source().is_none());
+    }
+
+    #[test]
+    fn log_io_tolerates_crlf_bom_and_trailing_whitespace() {
+        let text = "\u{feff}# actions: 3\r\n0\t0\t1  \r\n 1 0 2\t\r\n\r\n2\t1\t5\r\n";
+        let log = read_log(text.as_bytes()).unwrap();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.action_count(), 3);
+    }
+
+    #[test]
+    fn log_io_bom_only_stripped_on_first_line() {
+        // A BOM mid-file is real corruption, not an export artifact.
+        let err = read_log("0 0 1\n\u{feff}1 0 2\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, LogIoError::Malformed { line: 2, .. }));
+    }
+
+    proptest::proptest! {
+        /// `Dataset::write_log` → `read_log` reproduces the episodes
+        /// exactly for any action set (duplicates already collapsed by
+        /// `ActionLog::from_actions` before writing).
+        #[test]
+        fn proptest_log_round_trip(
+            raw in proptest::prop::collection::vec((0u32..8, 0u32..6, 0u64..50), 0..120),
+        ) {
+            let actions: Vec<Action> = raw
+                .iter()
+                .map(|&(u, i, t)| Action { user: NodeId(u), item: ItemId(i), time: t })
+                .collect();
+            let log = ActionLog::from_actions(&actions);
+            let d = Dataset::new(GraphBuilder::with_nodes(8).build(), log, "rt");
+            let mut buf = Vec::new();
+            d.write_log(&mut buf).unwrap();
+            let log2 = read_log(buf.as_slice()).unwrap();
+            proptest::prop_assert_eq!(d.log.episodes(), log2.episodes());
         }
     }
 }

@@ -67,6 +67,13 @@ pub fn read_edge_list<R: BufRead>(r: R) -> Result<DiGraph, GraphIoError> {
     let mut b = GraphBuilder::new();
     for (idx, line) in r.lines().enumerate() {
         let line = line?;
+        // `trim` already eats CR (CRLF endings) and stray whitespace; a
+        // UTF-8 BOM on the first line is the other Windows-export artifact.
+        let line = if idx == 0 {
+            line.trim_start_matches('\u{feff}')
+        } else {
+            line.as_str()
+        };
         let trimmed = line.trim();
         if trimmed.is_empty() {
             continue;
@@ -168,11 +175,61 @@ mod tests {
         assert_eq!(g.edge_count(), 1);
     }
 
+    /// Regression for the `merge` rebuild: a `# nodes:` header arriving
+    /// after edges must preserve every already-parsed edge (not just the
+    /// node count), keep accepting edges afterwards, and ignore a later,
+    /// smaller header.
+    #[test]
+    fn header_after_edges_preserves_edges_and_keeps_parsing() {
+        let text = "0 1\n3 2\n# nodes: 10\n4 5\n# nodes: 2\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.node_count(), 10);
+        assert_eq!(g.edge_count(), 3);
+        for (u, v) in [(0, 1), (3, 2), (4, 5)] {
+            assert!(g.has_edge(NodeId(u), NodeId(v)), "{u}->{v} lost in merge");
+        }
+    }
+
+    #[test]
+    fn tolerates_crlf_bom_and_trailing_whitespace() {
+        let text = "\u{feff}# nodes: 4\r\n0\t1  \r\n 1 2\t\r\n\r\n2 3\r\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn bom_only_stripped_on_first_line() {
+        // A BOM mid-file is real corruption, not an export artifact.
+        let err = read_edge_list("0 1\n\u{feff}1 2\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphIoError::Malformed { line: 2, .. }));
+    }
+
     #[test]
     fn error_display_is_informative() {
         let err = read_edge_list("zzz".as_bytes()).unwrap_err();
         let msg = err.to_string();
         assert!(msg.contains("line 1"));
         assert!(msg.contains("zzz"));
+    }
+
+    proptest::proptest! {
+        /// `write_edge_list` → `read_edge_list` is the identity for any
+        /// graph, including isolated nodes and empty graphs.
+        #[test]
+        fn proptest_edge_list_round_trip(
+            n in 0u32..40,
+            raw_edges in proptest::prop::collection::vec((0u32..40, 0u32..40), 0..120),
+        ) {
+            let mut b = GraphBuilder::with_nodes(n);
+            for &(u, v) in &raw_edges {
+                b.add_edge(NodeId(u), NodeId(v));
+            }
+            let g = b.build();
+            let mut buf = Vec::new();
+            write_edge_list(&g, &mut buf).unwrap();
+            let g2 = read_edge_list(buf.as_slice()).unwrap();
+            proptest::prop_assert_eq!(g, g2);
+        }
     }
 }

@@ -1,0 +1,261 @@
+//! Streaming action-log ingestion and bounded-memory episode assembly.
+//!
+//! The legacy path (`read_log` → `ActionLog::from_actions`) materializes
+//! every raw action — duplicates included — before grouping. This parser
+//! folds each record straight into a per-item, per-user "earliest
+//! activation" table, so memory is bounded by the *deduplicated* output
+//! (distinct `(item, user)` pairs), not by the raw log; a Digg-style dump
+//! where users re-vote the same story costs nothing extra.
+
+use std::io::BufRead;
+
+use inf2vec_diffusion::{ActionLog, Episode, ItemId};
+use inf2vec_graph::{DiGraph, NodeId};
+use inf2vec_util::error::{DefectKind, IngestError};
+use inf2vec_util::hash::{fx_hashmap, FxHashMap};
+
+use crate::collect::Collector;
+use crate::idmap::IdMap;
+use crate::lines::LineStream;
+use crate::parse::{lookup_id, parse_id, parse_time, TimeParse};
+use crate::policy::{IdMode, IngestConfig};
+use crate::report::IngestReport;
+
+/// Per-user earliest activation: time plus the arrival index of the kept
+/// record (the tie-breaker that reproduces `Episode::new`'s stable-sort
+/// semantics exactly).
+type UserTable = FxHashMap<u32, (u64, u64)>;
+
+/// Ingests a `user item time` action log under the configured policy,
+/// cross-validating every user against `graph` (dangling users are a
+/// defect, not a panic).
+///
+/// In `Remap` mode `users` must be the map built while ingesting the edge
+/// list — users are *looked up*, never interned, so a log-only user is a
+/// [`DefectKind::DanglingNode`] exactly like an out-of-range dense id.
+pub(crate) fn ingest_actions<R: BufRead>(
+    r: R,
+    cfg: &IngestConfig,
+    graph: &DiGraph,
+    users: Option<&IdMap>,
+    items: Option<&mut IdMap>,
+) -> Result<(ActionLog, IngestReport), IngestError> {
+    let mut col = Collector::new("actions", cfg);
+    let mut stream = LineStream::new(r);
+    let mut by_item: FxHashMap<u32, UserTable> = fx_hashmap();
+    let mut items = items;
+    let mut seq: u64 = 0;
+
+    while let Some((line_no, line)) = stream.next_line()? {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        col.report.records += 1;
+
+        let mut parts = trimmed.split_whitespace();
+        let fields = (parts.next(), parts.next(), parts.next(), parts.next());
+        let (u_tok, i_tok, t_tok) = match fields {
+            (Some(u), Some(i), Some(t), None) => (u, i, t),
+            _ => {
+                col.fatal(DefectKind::MalformedLine, line_no, trimmed)?;
+                continue;
+            }
+        };
+
+        // User: must already exist in the graph's id space.
+        let user = match cfg.id_mode {
+            IdMode::Preserve => parse_id(u_tok, IdMode::Preserve, None),
+            IdMode::Remap => lookup_id(u_tok, users.expect("Remap mode requires the user IdMap")),
+        };
+        let user = match user {
+            Ok(u) if (u as usize) < graph.node_count() as usize => u,
+            Ok(_) => {
+                col.fatal(DefectKind::DanglingNode, line_no, trimmed)?;
+                continue;
+            }
+            Err(kind) => {
+                col.fatal(kind, line_no, trimmed)?;
+                continue;
+            }
+        };
+
+        // Item: its own namespace, interned freely in Remap mode.
+        let item = match parse_id(i_tok, cfg.id_mode, items.as_deref_mut()) {
+            Ok(i) => i,
+            Err(kind) => {
+                col.fatal(kind, line_no, trimmed)?;
+                continue;
+            }
+        };
+
+        // Timestamp: integers pass, floats classify, Repair clamps.
+        let (time, time_repaired) = match parse_time(t_tok) {
+            TimeParse::Ok(t) => (t, false),
+            TimeParse::Repairable(clamped, kind) => {
+                if col.repairable(kind, line_no, trimmed)? {
+                    (clamped, true)
+                } else {
+                    continue;
+                }
+            }
+            TimeParse::Bad(kind) => {
+                col.fatal(kind, line_no, trimmed)?;
+                continue;
+            }
+        };
+
+        // Fold into the earliest-activation table (Episode::new semantics:
+        // keep the earliest time; on ties the first arrival wins).
+        seq += 1;
+        match by_item.entry(item).or_default().entry(user) {
+            std::collections::hash_map::Entry::Occupied(mut slot) => {
+                col.normalized(DefectKind::DuplicateActivation, line_no, trimmed);
+                if time < slot.get().0 {
+                    slot.insert((time, seq));
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert((time, seq));
+                if !time_repaired {
+                    col.report.records_ok += 1;
+                }
+            }
+        }
+    }
+
+    // Assemble episodes in ascending item order; inside an episode sort by
+    // (time, arrival) — bit-identical to `Episode::new` over the raw
+    // record stream.
+    let mut item_ids: Vec<u32> = by_item.keys().copied().collect();
+    item_ids.sort_unstable();
+    let episodes: Vec<Episode> = item_ids
+        .into_iter()
+        .map(|item| {
+            let table = by_item.remove(&item).expect("key present");
+            let mut acts: Vec<(u64, u64, u32)> =
+                table.into_iter().map(|(u, (t, s))| (t, s, u)).collect();
+            acts.sort_unstable();
+            Episode::new(
+                ItemId(item),
+                acts.into_iter().map(|(t, _, u)| (NodeId(u), t)).collect(),
+            )
+        })
+        .collect();
+
+    let report = col.finish(stream.lines(), stream.bytes());
+    Ok((ActionLog::from_episodes(episodes), report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::ErrorPolicy;
+    use inf2vec_graph::GraphBuilder;
+
+    fn graph(n: u32) -> DiGraph {
+        GraphBuilder::with_nodes(n).build()
+    }
+
+    fn ingest(
+        text: &[u8],
+        policy: ErrorPolicy,
+        n: u32,
+    ) -> Result<(ActionLog, IngestReport), IngestError> {
+        let cfg = IngestConfig {
+            policy,
+            ..IngestConfig::default()
+        };
+        ingest_actions(text, &cfg, &graph(n), None, None)
+    }
+
+    #[test]
+    fn strict_matches_legacy_reader_on_clean_input() {
+        let text = b"# actions: 4\n0\t0\t5\n1\t0\t2\n2\t1\t9\n0\t1\t1\n";
+        let (log, report) = ingest(text, ErrorPolicy::Strict, 4).unwrap();
+        let legacy = inf2vec_diffusion::dataset::read_log(text.as_slice()).unwrap();
+        assert_eq!(log.episodes(), legacy.episodes());
+        assert_eq!(report.records_ok, 4);
+        assert_eq!(report.total_defects(), 0);
+    }
+
+    #[test]
+    fn duplicate_activation_keeps_earliest_and_counts() {
+        let text = b"0 0 30\n1 0 10\n0 0 5\n2 0 20\n";
+        let (log, report) = ingest(text, ErrorPolicy::Strict, 4).unwrap();
+        assert_eq!(report.count(DefectKind::DuplicateActivation), 1);
+        let e = &log.episodes()[0];
+        let users: Vec<u32> = e.users().map(|u| u.0).collect();
+        assert_eq!(users, vec![0, 1, 2]); // user 0's earliest is t=5
+        assert_eq!(e.time_of(NodeId(0)), Some(5));
+    }
+
+    #[test]
+    fn strict_aborts_on_dangling_node() {
+        let err = ingest(b"9 0 1\n", ErrorPolicy::Strict, 4).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                IngestError::Defect {
+                    kind: DefectKind::DanglingNode,
+                    line: 1,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn skip_drops_dangling_and_junk() {
+        let text = b"0 0 1\n9 0 2\nnot a record\n1 0 NaN\n1 0 3\n";
+        let (log, report) = ingest(text, ErrorPolicy::skip(10), 4).unwrap();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.episodes()[0].len(), 2);
+        assert_eq!(report.count(DefectKind::DanglingNode), 1);
+        assert_eq!(report.count(DefectKind::MalformedLine), 1);
+        assert_eq!(report.count(DefectKind::NonFiniteTimestamp), 1);
+        assert_eq!(report.quarantined, 3);
+    }
+
+    #[test]
+    fn repair_clamps_timestamps_skip_drops_them() {
+        let text = b"0 0 -5\n1 0 2.75\n2 0 10\n";
+        let (log, report) = ingest(text, ErrorPolicy::Repair, 4).unwrap();
+        let e = &log.episodes()[0];
+        assert_eq!(e.time_of(NodeId(0)), Some(0)); // clamped from -5
+        assert_eq!(e.time_of(NodeId(1)), Some(2)); // truncated from 2.75
+        assert_eq!(report.repaired, 2);
+        assert_eq!(report.count(DefectKind::TimestampOutOfRange), 2);
+
+        let (log, report) = ingest(text, ErrorPolicy::skip(10), 4).unwrap();
+        assert_eq!(log.episodes()[0].len(), 1); // only the clean record
+        assert_eq!(report.quarantined, 2);
+    }
+
+    #[test]
+    fn remap_users_are_looked_up_not_interned() {
+        let mut users = IdMap::new();
+        users.intern(4000019);
+        users.intern(17);
+        let cfg = IngestConfig {
+            policy: ErrorPolicy::skip(10),
+            id_mode: IdMode::Remap,
+            ..IngestConfig::default()
+        };
+        let mut items = IdMap::new();
+        let (log, report) = ingest_actions(
+            b"4000019 900 1\n17 900 2\n555 900 3\n".as_slice(),
+            &cfg,
+            &graph(2),
+            Some(&users),
+            Some(&mut items),
+        )
+        .unwrap();
+        assert_eq!(report.count(DefectKind::DanglingNode), 1);
+        assert_eq!(log.episodes()[0].len(), 2);
+        assert_eq!(items.external(0), Some(900));
+        // Log-only user 555 was not interned.
+        assert_eq!(users.get(555), None);
+    }
+}

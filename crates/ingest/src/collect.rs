@@ -1,0 +1,166 @@
+//! Policy enforcement: routes every defect into the report, the telemetry
+//! stream, and — when the policy says so — a typed error.
+
+use inf2vec_obs::{Event, Telemetry};
+use inf2vec_util::error::{DefectKind, IngestError};
+
+use crate::policy::{ErrorPolicy, IngestConfig, RATIO_MIN_RECORDS};
+use crate::report::{Disposition, IngestReport};
+
+/// Per-stream defect router. Owns the growing [`IngestReport`]; parsers
+/// call [`normalized`]/[`fatal`]/[`repairable`] per defect and
+/// [`finish`] once at EOF.
+///
+/// [`normalized`]: Collector::normalized
+/// [`fatal`]: Collector::fatal
+/// [`repairable`]: Collector::repairable
+/// [`finish`]: Collector::finish
+pub(crate) struct Collector<'a> {
+    policy: ErrorPolicy,
+    telemetry: &'a Telemetry,
+    pub(crate) report: IngestReport,
+    started: std::time::Instant,
+}
+
+impl<'a> Collector<'a> {
+    /// Starts accounting for one stream; emits `ingest_started`.
+    pub(crate) fn new(stream: &'static str, cfg: &'a IngestConfig) -> Self {
+        let report = IngestReport::new(stream, cfg.policy.name(), cfg.max_samples_per_defect);
+        if cfg.telemetry.enabled() {
+            cfg.telemetry.emit(
+                Event::new("ingest_started")
+                    .str("stream", stream)
+                    .str("policy", cfg.policy.name()),
+            );
+        }
+        Self {
+            policy: cfg.policy,
+            telemetry: &cfg.telemetry,
+            report,
+            started: std::time::Instant::now(),
+        }
+    }
+
+    /// A normalization defect (duplicate edge/activation, self-loop):
+    /// counted under every policy, never fatal.
+    pub(crate) fn normalized(&mut self, kind: DefectKind, line: u64, content: &str) {
+        debug_assert!(!kind.is_fatal_in_strict());
+        self.report.note(kind, line, content, Disposition::Normalized);
+    }
+
+    /// A fatal, unfixable defect. `Strict` aborts; `Skip` quarantines
+    /// within budget; `Repair` quarantines unbounded. `Ok(())` means the
+    /// record was dropped and ingestion continues.
+    pub(crate) fn fatal(
+        &mut self,
+        kind: DefectKind,
+        line: u64,
+        content: &str,
+    ) -> Result<(), IngestError> {
+        debug_assert!(kind.is_fatal_in_strict());
+        if self.policy == ErrorPolicy::Strict {
+            return Err(IngestError::Defect {
+                kind,
+                line,
+                content: content.to_string(),
+            });
+        }
+        self.quarantine(kind, line, content)
+    }
+
+    /// A fixable defect (out-of-range timestamp). Returns `Ok(true)` when
+    /// the caller should apply the fix and keep the record (`Repair`),
+    /// `Ok(false)` when the record was quarantined instead (`Skip`).
+    pub(crate) fn repairable(
+        &mut self,
+        kind: DefectKind,
+        line: u64,
+        content: &str,
+    ) -> Result<bool, IngestError> {
+        match self.policy {
+            ErrorPolicy::Strict => Err(IngestError::Defect {
+                kind,
+                line,
+                content: content.to_string(),
+            }),
+            ErrorPolicy::Skip { .. } => {
+                self.quarantine(kind, line, content)?;
+                Ok(false)
+            }
+            ErrorPolicy::Repair => {
+                self.report.note(kind, line, content, Disposition::Repaired);
+                Ok(true)
+            }
+        }
+    }
+
+    fn quarantine(&mut self, kind: DefectKind, line: u64, content: &str) -> Result<(), IngestError> {
+        let sampled = self.report.note(kind, line, content, Disposition::Quarantined);
+        if sampled && self.telemetry.enabled() {
+            self.telemetry.emit(
+                Event::new("record_quarantined")
+                    .str("stream", self.report.stream)
+                    .str("kind", kind.name())
+                    .u64("line", line)
+                    .str("content", self.report.samples().last().map_or("", |s| &s.content)),
+            );
+        }
+        if let ErrorPolicy::Skip {
+            max_errors,
+            max_error_ratio,
+        } = self.policy
+        {
+            let over_count = self.report.quarantined > max_errors;
+            let over_ratio = self.report.records >= RATIO_MIN_RECORDS
+                && self.report.quarantined as f64 > max_error_ratio * self.report.records as f64;
+            if over_count || over_ratio {
+                return Err(IngestError::BudgetExceeded {
+                    quarantined: self.report.quarantined,
+                    records: self.report.records,
+                    max_errors,
+                    max_error_ratio,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Seals the report with throughput figures, flushes stream-level
+    /// counters/histograms, and emits `ingest_finished`.
+    pub(crate) fn finish(mut self, lines: u64, bytes: u64) -> IngestReport {
+        self.report.lines = lines;
+        self.report.bytes = bytes;
+        self.report.elapsed_secs = self.started.elapsed().as_secs_f64();
+        let stream = self.report.stream;
+        let t = self.telemetry;
+        if t.enabled() {
+            t.count_with("inf2vec_ingest_records_total", &[("stream", stream)], self.report.records);
+            t.count_with("inf2vec_ingest_bytes_total", &[("stream", stream)], bytes);
+            t.count_with(
+                "inf2vec_ingest_quarantined_total",
+                &[("stream", stream)],
+                self.report.quarantined,
+            );
+            for (kind, n) in self.report.counts() {
+                t.count_with("inf2vec_ingest_defects_total", &[("kind", kind.name())], n);
+            }
+            t.observe_with(
+                "inf2vec_ingest_seconds",
+                &[("stream", stream)],
+                self.report.elapsed_secs,
+            );
+            t.emit(
+                Event::new("ingest_finished")
+                    .str("stream", stream)
+                    .u64("records", self.report.records)
+                    .u64("records_ok", self.report.records_ok)
+                    .u64("quarantined", self.report.quarantined)
+                    .u64("repaired", self.report.repaired)
+                    .u64("normalized", self.report.normalized)
+                    .u64("bytes", bytes)
+                    .f64("secs", self.report.elapsed_secs),
+            );
+        }
+        self.report
+    }
+}

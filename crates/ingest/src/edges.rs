@@ -1,0 +1,189 @@
+//! Streaming edge-list ingestion.
+
+use std::io::BufRead;
+
+use inf2vec_graph::{DiGraph, GraphBuilder, NodeId};
+use inf2vec_util::error::{DefectKind, IngestError};
+use inf2vec_util::hash::fx_hashset;
+
+use crate::collect::Collector;
+use crate::idmap::IdMap;
+use crate::lines::LineStream;
+use crate::parse::parse_id;
+use crate::policy::{IdMode, IngestConfig};
+use crate::report::IngestReport;
+
+/// Ingests a SNAP-style edge list under the configured policy.
+///
+/// Comment lines are skipped; a `# nodes: N` header is honored in
+/// `Preserve` mode (it declares the dense universe, so isolated nodes
+/// survive) and ignored in `Remap` mode (the dense universe is defined by
+/// the ids actually seen). Duplicate edges and self-loops are counted and
+/// collapsed under every policy, exactly as `GraphBuilder::build` always
+/// did.
+pub(crate) fn ingest_edges<R: BufRead>(
+    r: R,
+    cfg: &IngestConfig,
+    users: Option<&mut IdMap>,
+) -> Result<(DiGraph, IngestReport), IngestError> {
+    let mut col = Collector::new("edges", cfg);
+    let mut stream = LineStream::new(r);
+    let mut seen = fx_hashset::<(u32, u32)>();
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut declared_nodes: u32 = 0;
+    let mut users = users;
+
+    while let Some((line_no, line)) = stream.next_line()? {
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(rest) = trimmed.strip_prefix('#') {
+            if cfg.id_mode == IdMode::Preserve {
+                if let Some(n) = rest.trim().strip_prefix("nodes:") {
+                    if let Ok(n) = n.trim().parse::<u32>() {
+                        declared_nodes = declared_nodes.max(n);
+                    }
+                }
+            }
+            continue;
+        }
+        col.report.records += 1;
+
+        let mut parts = trimmed.split_whitespace();
+        let (u_tok, v_tok) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(u), Some(v), None) => (u, v),
+            _ => {
+                col.fatal(DefectKind::MalformedLine, line_no, trimmed)?;
+                continue;
+            }
+        };
+        let u = match parse_id(u_tok, cfg.id_mode, users.as_deref_mut()) {
+            Ok(u) => u,
+            Err(kind) => {
+                col.fatal(kind, line_no, trimmed)?;
+                continue;
+            }
+        };
+        let v = match parse_id(v_tok, cfg.id_mode, users.as_deref_mut()) {
+            Ok(v) => v,
+            Err(kind) => {
+                col.fatal(kind, line_no, trimmed)?;
+                continue;
+            }
+        };
+        if u == v {
+            col.normalized(DefectKind::SelfLoop, line_no, trimmed);
+            continue;
+        }
+        if !seen.insert((u, v)) {
+            col.normalized(DefectKind::DuplicateEdge, line_no, trimmed);
+            continue;
+        }
+        edges.push((u, v));
+        col.report.records_ok += 1;
+    }
+
+    let mut b = GraphBuilder::with_nodes(declared_nodes);
+    b.reserve_edges(edges.len());
+    for (u, v) in edges {
+        b.add_edge(NodeId(u), NodeId(v));
+    }
+    let report = col.finish(stream.lines(), stream.bytes());
+    Ok((b.build(), report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::ErrorPolicy;
+
+    fn ingest(text: &[u8], policy: ErrorPolicy) -> Result<(DiGraph, IngestReport), IngestError> {
+        let cfg = IngestConfig {
+            policy,
+            ..IngestConfig::default()
+        };
+        ingest_edges(text, &cfg, None)
+    }
+
+    #[test]
+    fn strict_matches_legacy_reader_on_clean_input() {
+        let text = b"# nodes: 6\n# edges: 3\n0\t1\n1\t2\n4\t0\n";
+        let (g, report) = ingest(text, ErrorPolicy::Strict).unwrap();
+        let legacy = inf2vec_graph::io::read_edge_list(text.as_slice()).unwrap();
+        assert_eq!(g, legacy);
+        assert_eq!(g.node_count(), 6);
+        assert_eq!(report.records_ok, 3);
+        assert_eq!(report.total_defects(), 0);
+        assert_eq!(report.bytes, text.len() as u64);
+    }
+
+    #[test]
+    fn strict_aborts_on_junk() {
+        let err = ingest(b"0 1\njunk line\n", ErrorPolicy::Strict).unwrap_err();
+        match err {
+            IngestError::Defect {
+                kind: DefectKind::MalformedLine,
+                line: 2,
+                ..
+            } => {}
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn skip_quarantines_and_recovers() {
+        let text = b"0 1\njunk\n1 2\n0 1\n3 3\n99999999999999999999999999 0\n2 0\n";
+        let (g, report) = ingest(text, ErrorPolicy::skip(10)).unwrap();
+        assert_eq!(g.edge_count(), 3); // 0->1, 1->2, 2->0; dup/self dropped
+        assert_eq!(report.count(DefectKind::MalformedLine), 1);
+        assert_eq!(report.count(DefectKind::DuplicateEdge), 1);
+        assert_eq!(report.count(DefectKind::SelfLoop), 1);
+        assert_eq!(report.count(DefectKind::IdOverflow), 1);
+        assert_eq!(report.quarantined, 2);
+        assert_eq!(report.normalized, 2);
+        assert_eq!(report.records_ok, 3);
+    }
+
+    #[test]
+    fn skip_budget_aborts() {
+        let text = b"a\nb\nc\n0 1\n";
+        let err = ingest(text, ErrorPolicy::skip(1)).unwrap_err();
+        assert!(matches!(err, IngestError::BudgetExceeded { quarantined: 2, .. }), "{err}");
+    }
+
+    #[test]
+    fn remap_interns_sparse_ids() {
+        let mut users = IdMap::new();
+        let cfg = IngestConfig {
+            id_mode: IdMode::Remap,
+            ..IngestConfig::default()
+        };
+        let (g, _) = ingest_edges(
+            b"4000019 17\n17 31337\n".as_slice(),
+            &cfg,
+            Some(&mut users),
+        )
+        .unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert!(g.has_edge(NodeId(0), NodeId(1)));
+        assert!(g.has_edge(NodeId(1), NodeId(2)));
+        assert_eq!(users.external(2), Some(31337));
+    }
+
+    #[test]
+    fn bom_and_crlf_tolerated() {
+        let text = b"\xef\xbb\xbf# nodes: 3\r\n0\t1\r\n1 2\r\n";
+        let (g, report) = ingest(text, ErrorPolicy::Strict).unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(report.total_defects(), 0);
+    }
+
+    #[test]
+    fn header_after_edges_still_grows() {
+        let (g, _) = ingest(b"0 1\n# nodes: 10\n", ErrorPolicy::Strict).unwrap();
+        assert_eq!(g.node_count(), 10);
+        assert_eq!(g.edge_count(), 1);
+    }
+}

@@ -1,0 +1,106 @@
+//! Sparse external-id interning.
+//!
+//! SNAP-style crawls identify users and items by arbitrary, non-contiguous
+//! integers (Digg vote dumps jump from id 17 to id 4 000 019). The rest of
+//! the workspace wants dense `u32` indices into CSR arrays and embedding
+//! matrices, so ingestion interns every external id it meets, in first-seen
+//! order, and keeps the reverse table for reporting and export.
+
+use inf2vec_util::hash::{fx_hashmap, FxHashMap};
+
+/// A bijection between sparse external `u64` ids and dense `u32` indices.
+#[derive(Debug, Clone)]
+pub struct IdMap {
+    fwd: FxHashMap<u64, u32>,
+    rev: Vec<u64>,
+    limit: u32,
+}
+
+impl Default for IdMap {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl IdMap {
+    /// An empty map over the full `u32` dense space.
+    pub fn new() -> Self {
+        Self::with_limit(u32::MAX)
+    }
+
+    /// An empty map holding at most `limit` distinct ids — smaller limits
+    /// exist so tests can exercise the overflow path without 2³² inserts.
+    pub fn with_limit(limit: u32) -> Self {
+        Self {
+            fwd: fx_hashmap(),
+            rev: Vec::new(),
+            limit,
+        }
+    }
+
+    /// Dense index for `ext`, interning it if new. `None` when the map is
+    /// full — the caller reports [`IdOverflow`].
+    ///
+    /// [`IdOverflow`]: inf2vec_util::error::DefectKind::IdOverflow
+    pub fn intern(&mut self, ext: u64) -> Option<u32> {
+        if let Some(&dense) = self.fwd.get(&ext) {
+            return Some(dense);
+        }
+        if self.rev.len() >= self.limit as usize {
+            return None;
+        }
+        let dense = self.rev.len() as u32;
+        self.fwd.insert(ext, dense);
+        self.rev.push(ext);
+        Some(dense)
+    }
+
+    /// Dense index for `ext` without interning.
+    pub fn get(&self, ext: u64) -> Option<u32> {
+        self.fwd.get(&ext).copied()
+    }
+
+    /// The external id behind a dense index.
+    pub fn external(&self, dense: u32) -> Option<u64> {
+        self.rev.get(dense as usize).copied()
+    }
+
+    /// Number of interned ids.
+    pub fn len(&self) -> usize {
+        self.rev.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.rev.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interns_in_first_seen_order() {
+        let mut m = IdMap::new();
+        assert_eq!(m.intern(4_000_019), Some(0));
+        assert_eq!(m.intern(17), Some(1));
+        assert_eq!(m.intern(4_000_019), Some(0));
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get(17), Some(1));
+        assert_eq!(m.get(99), None);
+        assert_eq!(m.external(0), Some(4_000_019));
+        assert_eq!(m.external(2), None);
+    }
+
+    #[test]
+    fn respects_limit() {
+        let mut m = IdMap::with_limit(2);
+        assert_eq!(m.intern(10), Some(0));
+        assert_eq!(m.intern(20), Some(1));
+        assert_eq!(m.intern(30), None);
+        // Already-interned ids still resolve at the limit.
+        assert_eq!(m.intern(10), Some(0));
+        assert_eq!(m.len(), 2);
+    }
+}

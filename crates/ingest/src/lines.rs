@@ -1,0 +1,127 @@
+//! Byte-level line streaming with defensive decoding.
+//!
+//! Real crawl dumps arrive with CRLF endings, UTF-8 BOMs from Windows
+//! exports, invalid UTF-8 from transport corruption, and NUL noise. The
+//! stream reads raw bytes (`read_until`), strips the line terminator and a
+//! leading BOM, lossy-decodes the rest, and counts bytes/lines — so the
+//! parsers above it only ever see `&str` and can never panic on encoding.
+
+use std::io::{self, BufRead};
+
+/// Streams physical lines out of a `BufRead`, tracking line numbers and
+/// byte throughput.
+#[derive(Debug)]
+pub(crate) struct LineStream<R> {
+    r: R,
+    raw: Vec<u8>,
+    text: String,
+    line_no: u64,
+    bytes: u64,
+    first: bool,
+}
+
+impl<R: BufRead> LineStream<R> {
+    pub(crate) fn new(r: R) -> Self {
+        Self {
+            r,
+            raw: Vec::new(),
+            text: String::new(),
+            line_no: 0,
+            bytes: 0,
+            first: true,
+        }
+    }
+
+    /// The next physical line (1-based number, terminator stripped), or
+    /// `None` at EOF. Invalid UTF-8 is replaced, never fatal.
+    pub(crate) fn next_line(&mut self) -> io::Result<Option<(u64, &str)>> {
+        self.raw.clear();
+        let n = self.r.read_until(b'\n', &mut self.raw)?;
+        if n == 0 {
+            return Ok(None);
+        }
+        self.bytes += n as u64;
+        self.line_no += 1;
+        let mut bytes: &[u8] = &self.raw;
+        if bytes.ends_with(b"\n") {
+            bytes = &bytes[..bytes.len() - 1];
+        }
+        if bytes.ends_with(b"\r") {
+            bytes = &bytes[..bytes.len() - 1];
+        }
+        if self.first {
+            self.first = false;
+            if bytes.starts_with(b"\xef\xbb\xbf") {
+                bytes = &bytes[3..];
+            }
+        }
+        self.text.clear();
+        match std::str::from_utf8(bytes) {
+            Ok(s) => self.text.push_str(s),
+            Err(_) => self.text.push_str(&String::from_utf8_lossy(bytes)),
+        }
+        Ok(Some((self.line_no, &self.text)))
+    }
+
+    /// Physical lines seen so far.
+    pub(crate) fn lines(&self) -> u64 {
+        self.line_no
+    }
+
+    /// Bytes consumed so far.
+    pub(crate) fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(input: &[u8]) -> Vec<(u64, String)> {
+        let mut s = LineStream::new(input);
+        let mut out = Vec::new();
+        while let Some((no, line)) = s.next_line().unwrap() {
+            out.push((no, line.to_string()));
+        }
+        out
+    }
+
+    #[test]
+    fn strips_bom_crlf_and_counts() {
+        let input = b"\xef\xbb\xbf0\t1\r\n1\t2\nlast";
+        let lines = collect(input);
+        assert_eq!(
+            lines,
+            vec![
+                (1, "0\t1".to_string()),
+                (2, "1\t2".to_string()),
+                (3, "last".to_string()),
+            ]
+        );
+        let mut s = LineStream::new(input.as_slice());
+        while s.next_line().unwrap().is_some() {}
+        assert_eq!(s.bytes(), input.len() as u64);
+        assert_eq!(s.lines(), 3);
+    }
+
+    #[test]
+    fn bom_only_stripped_on_first_line() {
+        let lines = collect(b"a\n\xef\xbb\xbfb\n");
+        assert_eq!(lines[1].1, "\u{feff}b");
+    }
+
+    #[test]
+    fn invalid_utf8_is_replaced_not_fatal() {
+        let lines = collect(b"\xff\xfe junk\n0 1\n");
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].1.contains('\u{fffd}'));
+        assert_eq!(lines[1].1, "0 1");
+    }
+
+    #[test]
+    fn interleaved_nuls_survive_as_text() {
+        let lines = collect(b"0\x001\n");
+        assert_eq!(lines[0].1, "0\u{0}1");
+    }
+}

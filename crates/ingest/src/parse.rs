@@ -1,0 +1,158 @@
+//! Defensive token parsing: every failure maps to a defect kind, never a
+//! panic.
+
+use inf2vec_util::error::DefectKind;
+
+use crate::idmap::IdMap;
+use crate::policy::IdMode;
+
+/// Parses an id token into the dense `u32` space.
+///
+/// - `Preserve`: the token must be an integer `<= u32::MAX`.
+/// - `Remap`: the token must be an integer `<= u64::MAX`; it is interned
+///   through `map` in first-seen order.
+///
+/// All-digit tokens too large for the id space classify as
+/// [`DefectKind::IdOverflow`]; anything else as
+/// [`DefectKind::MalformedLine`].
+pub(crate) fn parse_id(
+    token: &str,
+    mode: IdMode,
+    map: Option<&mut IdMap>,
+) -> Result<u32, DefectKind> {
+    match token.parse::<u64>() {
+        Ok(ext) => match mode {
+            IdMode::Preserve => u32::try_from(ext).map_err(|_| DefectKind::IdOverflow),
+            IdMode::Remap => map
+                .expect("Remap mode requires an IdMap")
+                .intern(ext)
+                .ok_or(DefectKind::IdOverflow),
+        },
+        Err(_) => {
+            if !token.is_empty() && token.bytes().all(|b| b.is_ascii_digit()) {
+                Err(DefectKind::IdOverflow)
+            } else {
+                Err(DefectKind::MalformedLine)
+            }
+        }
+    }
+}
+
+/// Looks an id token up *without* interning (action-log users must already
+/// exist in the graph's id space).
+pub(crate) fn lookup_id(token: &str, map: &IdMap) -> Result<u32, DefectKind> {
+    match token.parse::<u64>() {
+        Ok(ext) => map.get(ext).ok_or(DefectKind::DanglingNode),
+        Err(_) => {
+            if !token.is_empty() && token.bytes().all(|b| b.is_ascii_digit()) {
+                Err(DefectKind::IdOverflow)
+            } else {
+                Err(DefectKind::MalformedLine)
+            }
+        }
+    }
+}
+
+/// Outcome of parsing a timestamp token.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum TimeParse {
+    /// A clean integer timestamp.
+    Ok(u64),
+    /// Fixable under `Repair`: the clamped/truncated value plus the defect
+    /// to record (`TimestampOutOfRange`).
+    Repairable(u64, DefectKind),
+    /// Unfixable (`NonFiniteTimestamp` or `MalformedLine`).
+    Bad(DefectKind),
+}
+
+/// Parses a timestamp token. Integers pass through exactly; floats are
+/// classified — NaN/Inf is [`DefectKind::NonFiniteTimestamp`], anything
+/// negative, above `u64::MAX`, or fractional is
+/// [`DefectKind::TimestampOutOfRange`] with a clamped repair value.
+pub(crate) fn parse_time(token: &str) -> TimeParse {
+    if let Ok(t) = token.parse::<u64>() {
+        return TimeParse::Ok(t);
+    }
+    match token.parse::<f64>() {
+        Ok(x) if x.is_nan() || x.is_infinite() => TimeParse::Bad(DefectKind::NonFiniteTimestamp),
+        Ok(x) if x < 0.0 => TimeParse::Repairable(0, DefectKind::TimestampOutOfRange),
+        Ok(x) if x >= u64::MAX as f64 => {
+            TimeParse::Repairable(u64::MAX, DefectKind::TimestampOutOfRange)
+        }
+        Ok(x) => TimeParse::Repairable(x.trunc() as u64, DefectKind::TimestampOutOfRange),
+        Err(_) => TimeParse::Bad(DefectKind::MalformedLine),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserve_parses_and_overflows() {
+        assert_eq!(parse_id("42", IdMode::Preserve, None), Ok(42));
+        assert_eq!(parse_id("+7", IdMode::Preserve, None), Ok(7));
+        assert_eq!(
+            parse_id("4294967296", IdMode::Preserve, None),
+            Err(DefectKind::IdOverflow)
+        );
+        assert_eq!(
+            parse_id("99999999999999999999999999", IdMode::Preserve, None),
+            Err(DefectKind::IdOverflow)
+        );
+        assert_eq!(
+            parse_id("x7", IdMode::Preserve, None),
+            Err(DefectKind::MalformedLine)
+        );
+        assert_eq!(
+            parse_id("", IdMode::Preserve, None),
+            Err(DefectKind::MalformedLine)
+        );
+    }
+
+    #[test]
+    fn remap_interns_first_seen() {
+        let mut m = IdMap::new();
+        assert_eq!(parse_id("4000019", IdMode::Remap, Some(&mut m)), Ok(0));
+        assert_eq!(parse_id("17", IdMode::Remap, Some(&mut m)), Ok(1));
+        assert_eq!(parse_id("4000019", IdMode::Remap, Some(&mut m)), Ok(0));
+        assert_eq!(lookup_id("17", &m), Ok(1));
+        assert_eq!(lookup_id("23", &m), Err(DefectKind::DanglingNode));
+    }
+
+    #[test]
+    fn remap_overflow_at_limit() {
+        let mut m = IdMap::with_limit(1);
+        assert_eq!(parse_id("5", IdMode::Remap, Some(&mut m)), Ok(0));
+        assert_eq!(
+            parse_id("6", IdMode::Remap, Some(&mut m)),
+            Err(DefectKind::IdOverflow)
+        );
+    }
+
+    #[test]
+    fn time_classification() {
+        assert_eq!(parse_time("123"), TimeParse::Ok(123));
+        assert_eq!(
+            parse_time("NaN"),
+            TimeParse::Bad(DefectKind::NonFiniteTimestamp)
+        );
+        assert_eq!(
+            parse_time("inf"),
+            TimeParse::Bad(DefectKind::NonFiniteTimestamp)
+        );
+        assert_eq!(
+            parse_time("-5"),
+            TimeParse::Repairable(0, DefectKind::TimestampOutOfRange)
+        );
+        assert_eq!(
+            parse_time("1.5"),
+            TimeParse::Repairable(1, DefectKind::TimestampOutOfRange)
+        );
+        assert_eq!(
+            parse_time("1e300"),
+            TimeParse::Repairable(u64::MAX, DefectKind::TimestampOutOfRange)
+        );
+        assert_eq!(parse_time("t0"), TimeParse::Bad(DefectKind::MalformedLine));
+    }
+}

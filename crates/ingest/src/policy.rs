@@ -1,0 +1,141 @@
+//! Error policies and ingestion configuration.
+
+use inf2vec_obs::Telemetry;
+
+/// What the loader does when a record is defective.
+///
+/// | policy | fatal defect | repairable defect | normalization defect |
+/// |---|---|---|---|
+/// | `Strict` | typed error, abort | typed error, abort | normalize + count |
+/// | `Skip`   | quarantine (budgeted) | quarantine (budgeted) | normalize + count |
+/// | `Repair` | quarantine (unbounded) | fix + count as repaired | normalize + count |
+///
+/// *Fatal* defects are those [`DefectKind::is_fatal_in_strict`] returns
+/// true for; the only *repairable* one is
+/// [`DefectKind::TimestampOutOfRange`] (clamped into `[0, u64::MAX]` /
+/// truncated to an integer). Normalization defects (duplicate edges,
+/// self-loops, duplicate activations) are collapsed under every policy,
+/// exactly as `GraphBuilder::build` and `Episode::new` always did — the
+/// ingest layer just counts the collapse.
+///
+/// [`DefectKind::is_fatal_in_strict`]: inf2vec_util::error::DefectKind::is_fatal_in_strict
+/// [`DefectKind::TimestampOutOfRange`]: inf2vec_util::error::DefectKind::TimestampOutOfRange
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ErrorPolicy {
+    /// Abort on the first fatal defect with a typed error — the legacy
+    /// `read_edge_list`/`read_log` behaviour.
+    Strict,
+    /// Quarantine defective records and keep going, aborting once the
+    /// budget is exhausted.
+    Skip {
+        /// Maximum quarantined records before aborting.
+        max_errors: u64,
+        /// Maximum quarantined/seen ratio in `[0, 1]`, checked once at
+        /// least [`RATIO_MIN_RECORDS`] records have been seen (so a bad
+        /// first line cannot abort a billion-line load).
+        max_error_ratio: f64,
+    },
+    /// Best-effort fixes (clamp out-of-range timestamps, drop what cannot
+    /// be fixed) with no error budget.
+    Repair,
+}
+
+/// Records to see before [`ErrorPolicy::Skip`]'s ratio bound is enforced.
+pub const RATIO_MIN_RECORDS: u64 = 64;
+
+impl ErrorPolicy {
+    /// A `Skip` policy bounded only by an absolute error count.
+    pub fn skip(max_errors: u64) -> Self {
+        ErrorPolicy::Skip {
+            max_errors,
+            max_error_ratio: 1.0,
+        }
+    }
+
+    /// Stable lowercase name used in reports and telemetry.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ErrorPolicy::Strict => "strict",
+            ErrorPolicy::Skip { .. } => "skip",
+            ErrorPolicy::Repair => "repair",
+        }
+    }
+}
+
+impl std::str::FromStr for ErrorPolicy {
+    type Err = String;
+
+    /// Parses the CLI spellings `strict`, `skip`, `repair`. `skip` gets an
+    /// effectively unbounded budget; tighten it with
+    /// [`ErrorPolicy::skip`] / the `--max-errors` flag.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "strict" => Ok(ErrorPolicy::Strict),
+            "skip" => Ok(ErrorPolicy::skip(u64::MAX)),
+            "repair" => Ok(ErrorPolicy::Repair),
+            other => Err(format!(
+                "unknown error policy {other:?} (expected strict, skip, or repair)"
+            )),
+        }
+    }
+}
+
+/// How node/item id tokens map into the dense `u32` index space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IdMode {
+    /// Ids are already dense `0..n` indices (anything our own
+    /// `write_edge_list`/`write_log` produced): parse as `u32`, larger
+    /// values are [`IdOverflow`](inf2vec_util::error::DefectKind::IdOverflow).
+    Preserve,
+    /// Ids are sparse external identifiers (SNAP crawls): parse as `u64`
+    /// and intern through an [`IdMap`](crate::IdMap) in first-seen order.
+    Remap,
+}
+
+/// Everything the [`Ingestor`](crate::Ingestor) needs to know.
+#[derive(Debug, Clone)]
+pub struct IngestConfig {
+    /// Defect handling policy.
+    pub policy: ErrorPolicy,
+    /// Id-space interpretation.
+    pub id_mode: IdMode,
+    /// Offending-line samples kept per defect kind (and mirrored as
+    /// `record_quarantined` events).
+    pub max_samples_per_defect: usize,
+    /// Metrics/event destination.
+    pub telemetry: Telemetry,
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        Self {
+            policy: ErrorPolicy::Strict,
+            id_mode: IdMode::Preserve,
+            max_samples_per_defect: 8,
+            telemetry: Telemetry::disabled(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_parses_cli_spellings() {
+        assert_eq!("strict".parse::<ErrorPolicy>().unwrap(), ErrorPolicy::Strict);
+        assert_eq!("repair".parse::<ErrorPolicy>().unwrap(), ErrorPolicy::Repair);
+        assert!(matches!(
+            "skip".parse::<ErrorPolicy>().unwrap(),
+            ErrorPolicy::Skip { max_errors: u64::MAX, .. }
+        ));
+        assert!("lenient".parse::<ErrorPolicy>().is_err());
+    }
+
+    #[test]
+    fn policy_names_round_trip() {
+        for p in [ErrorPolicy::Strict, ErrorPolicy::skip(3), ErrorPolicy::Repair] {
+            assert_eq!(p.name().parse::<ErrorPolicy>().unwrap().name(), p.name());
+        }
+    }
+}

@@ -169,6 +169,160 @@ impl fmt::Display for DataError {
 
 impl std::error::Error for DataError {}
 
+/// The defect taxonomy for streaming ingestion (`inf2vec-ingest`).
+///
+/// Every record a parser quarantines, repairs, or aborts on is classified
+/// under exactly one of these kinds; the `IngestReport` keys its counters
+/// and samples by it. Kinds split into two severities:
+///
+/// - **fatal-in-strict** (`is_fatal_in_strict` = true): the record cannot
+///   be used as written — `Strict` ingestion aborts, `Skip` quarantines,
+///   `Repair` quarantines unless a documented fix exists.
+/// - **normalization** defects (`DuplicateEdge`, `SelfLoop`,
+///   `DuplicateActivation`): the legacy pipeline already collapses these
+///   silently (`GraphBuilder::build`, `Episode::new`), so every policy
+///   normalizes them; ingestion merely makes the collapse *observable* by
+///   counting it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DefectKind {
+    /// A line that does not parse under the expected field layout
+    /// (wrong field count, non-numeric ids, embedded NUL/garbage bytes).
+    MalformedLine,
+    /// An action references a user absent from the social graph.
+    DanglingNode,
+    /// An edge already ingested appears again.
+    DuplicateEdge,
+    /// An edge `u -> u`.
+    SelfLoop,
+    /// A user activates the same item more than once (re-vote).
+    DuplicateActivation,
+    /// A timestamp field that parses as a float but is NaN/Inf.
+    NonFiniteTimestamp,
+    /// A timestamp outside `[0, u64::MAX]` or with a fractional part
+    /// (repairable by clamping/truncation).
+    TimestampOutOfRange,
+    /// A node id too large for the configured id space.
+    IdOverflow,
+}
+
+impl DefectKind {
+    /// All kinds, in taxonomy order (stable report/exposition order).
+    pub const ALL: [DefectKind; 8] = [
+        DefectKind::MalformedLine,
+        DefectKind::DanglingNode,
+        DefectKind::DuplicateEdge,
+        DefectKind::SelfLoop,
+        DefectKind::DuplicateActivation,
+        DefectKind::NonFiniteTimestamp,
+        DefectKind::TimestampOutOfRange,
+        DefectKind::IdOverflow,
+    ];
+
+    /// Stable snake_case name used in reports, metrics labels, and events.
+    pub fn name(self) -> &'static str {
+        match self {
+            DefectKind::MalformedLine => "malformed_line",
+            DefectKind::DanglingNode => "dangling_node",
+            DefectKind::DuplicateEdge => "duplicate_edge",
+            DefectKind::SelfLoop => "self_loop",
+            DefectKind::DuplicateActivation => "duplicate_activation",
+            DefectKind::NonFiniteTimestamp => "non_finite_timestamp",
+            DefectKind::TimestampOutOfRange => "timestamp_out_of_range",
+            DefectKind::IdOverflow => "id_overflow",
+        }
+    }
+
+    /// Whether `Strict` ingestion aborts on this defect. Normalization
+    /// defects (duplicates, self-loops) are counted but never fatal —
+    /// that matches the legacy `GraphBuilder`/`Episode::new` semantics.
+    pub fn is_fatal_in_strict(self) -> bool {
+        !matches!(
+            self,
+            DefectKind::DuplicateEdge | DefectKind::SelfLoop | DefectKind::DuplicateActivation
+        )
+    }
+}
+
+impl fmt::Display for DefectKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A failure of streaming ingestion (`inf2vec-ingest`).
+#[derive(Debug)]
+pub enum IngestError {
+    /// Underlying I/O failure while reading the stream.
+    Io(std::io::Error),
+    /// `Strict` policy hit a fatal defect.
+    Defect {
+        /// The defect class.
+        kind: DefectKind,
+        /// 1-based line number in the source stream (0 when unknown).
+        line: u64,
+        /// The offending content (truncated sample).
+        content: String,
+    },
+    /// `Skip` policy exhausted its error budget.
+    BudgetExceeded {
+        /// Records quarantined so far.
+        quarantined: u64,
+        /// Records seen so far (good + quarantined).
+        records: u64,
+        /// The absolute quarantine cap that was exceeded (if that was
+        /// the bound that tripped).
+        max_errors: u64,
+        /// The error-ratio cap in `[0, 1]`.
+        max_error_ratio: f64,
+    },
+    /// The assembled dataset failed final cross-validation.
+    Invalid {
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::Io(e) => write!(f, "ingest I/O error: {e}"),
+            IngestError::Defect {
+                kind,
+                line,
+                content,
+            } => write!(f, "ingest defect {kind} at line {line}: {content:?}"),
+            IngestError::BudgetExceeded {
+                quarantined,
+                records,
+                max_errors,
+                max_error_ratio,
+            } => write!(
+                f,
+                "ingest error budget exceeded: {quarantined} of {records} records quarantined \
+                 (max_errors {max_errors}, max_error_ratio {max_error_ratio})"
+            ),
+            IngestError::Invalid { message } => {
+                write!(f, "ingested dataset invalid: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IngestError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IngestError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for IngestError {
+    fn from(e: std::io::Error) -> Self {
+        IngestError::Io(e)
+    }
+}
+
 /// The workspace-wide error type: every fallible public API returns this
 /// or one of its payload types.
 #[derive(Debug)]
@@ -181,6 +335,9 @@ pub enum Inf2vecError {
     Io(std::io::Error),
     /// Malformed input data.
     Data(DataError),
+    /// Streaming-ingestion failure (strict defect, exhausted error
+    /// budget, failed cross-validation).
+    Ingest(IngestError),
 }
 
 impl fmt::Display for Inf2vecError {
@@ -190,6 +347,7 @@ impl fmt::Display for Inf2vecError {
             Inf2vecError::Train(e) => write!(f, "{e}"),
             Inf2vecError::Io(e) => write!(f, "I/O error: {e}"),
             Inf2vecError::Data(e) => write!(f, "{e}"),
+            Inf2vecError::Ingest(e) => write!(f, "{e}"),
         }
     }
 }
@@ -201,6 +359,7 @@ impl std::error::Error for Inf2vecError {
             Inf2vecError::Train(e) => Some(e),
             Inf2vecError::Io(e) => Some(e),
             Inf2vecError::Data(e) => Some(e),
+            Inf2vecError::Ingest(e) => Some(e),
         }
     }
 }
@@ -226,6 +385,12 @@ impl From<std::io::Error> for Inf2vecError {
 impl From<DataError> for Inf2vecError {
     fn from(e: DataError) -> Self {
         Inf2vecError::Data(e)
+    }
+}
+
+impl From<IngestError> for Inf2vecError {
+    fn from(e: IngestError) -> Self {
+        Inf2vecError::Ingest(e)
     }
 }
 
@@ -271,5 +436,55 @@ mod tests {
         use std::error::Error as _;
         let e: Inf2vecError = ConfigError::new("lr", "learning rate must be positive").into();
         assert!(e.source().unwrap().to_string().contains("lr"));
+    }
+
+    #[test]
+    fn defect_kind_names_are_stable_and_unique() {
+        let names: std::collections::BTreeSet<&str> =
+            DefectKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), DefectKind::ALL.len());
+        assert!(names.contains("malformed_line"));
+        assert!(names.contains("duplicate_activation"));
+    }
+
+    #[test]
+    fn normalization_defects_are_not_fatal_in_strict() {
+        for k in DefectKind::ALL {
+            let fatal = k.is_fatal_in_strict();
+            match k {
+                DefectKind::DuplicateEdge
+                | DefectKind::SelfLoop
+                | DefectKind::DuplicateActivation => assert!(!fatal, "{k} should normalize"),
+                _ => assert!(fatal, "{k} should abort strict ingestion"),
+            }
+        }
+    }
+
+    #[test]
+    fn ingest_error_displays_and_sources() {
+        use std::error::Error as _;
+        let e = IngestError::Defect {
+            kind: DefectKind::MalformedLine,
+            line: 12,
+            content: "x y z q".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("malformed_line") && msg.contains("line 12"), "{msg}");
+        assert!(e.source().is_none());
+
+        let io: IngestError = std::io::Error::other("yanked mount").into();
+        assert!(io.source().unwrap().to_string().contains("yanked"));
+
+        let b = IngestError::BudgetExceeded {
+            quarantined: 11,
+            records: 20,
+            max_errors: 10,
+            max_error_ratio: 0.5,
+        };
+        assert!(b.to_string().contains("11 of 20"));
+
+        let wrapped: Inf2vecError = b.into();
+        assert!(matches!(wrapped, Inf2vecError::Ingest(_)));
+        assert!(wrapped.source().unwrap().to_string().contains("budget"));
     }
 }

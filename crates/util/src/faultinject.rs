@@ -1,13 +1,21 @@
-//! Fault-injection `Write` adapters for robustness tests.
+//! Fault-injection `Write`/`Read` adapters and fixture manglers for
+//! robustness tests.
 //!
 //! These wrappers let tests simulate the disk failures the persistence
 //! layer must survive — truncation (power loss mid-write), bit corruption
 //! (bad sectors, partial flushes), and hard I/O errors (full disk, yanked
-//! mount) — without touching a real device. They live in the library (not
-//! `#[cfg(test)]`) so integration tests and downstream crates can reuse
-//! them, but nothing on a production code path constructs one.
+//! mount) — without touching a real device. The read side mirrors them for
+//! the ingestion layer: [`CorruptingReader`] rots bytes in flight, and
+//! [`mangle_lines`] turns a clean text fixture into the kind of dirty
+//! SNAP-style crawl dump real ingestion must survive (junk lines, bit
+//! flips, truncated lines, shuffled fields, CRLF, BOM, interleaved NULs).
+//! They live in the library (not `#[cfg(test)]`) so integration tests and
+//! downstream crates can reuse them, but nothing on a production code path
+//! constructs one.
 
-use std::io::{self, Write};
+use std::io::{self, Read, Write};
+
+use crate::rng::Xoshiro256pp;
 
 /// Writes through to the inner writer until `limit` bytes have passed,
 /// then silently discards the rest — the on-disk image of a crash that
@@ -132,6 +140,140 @@ impl<W: Write> Write for CorruptingWriter<W> {
     }
 }
 
+/// Deterministically flips one bit roughly every `period` bytes *read* —
+/// the mirror of [`CorruptingWriter`] for loaders: the on-disk file is
+/// clean, but what the parser sees has rotted in flight.
+#[derive(Debug)]
+pub struct CorruptingReader<R> {
+    inner: R,
+    period: usize,
+    seen: usize,
+}
+
+impl<R: Read> CorruptingReader<R> {
+    /// Flips the low bit of every `period`-th byte read (period ≥ 1).
+    pub fn new(inner: R, period: usize) -> Self {
+        Self {
+            inner,
+            period: period.max(1),
+            seen: 0,
+        }
+    }
+}
+
+impl<R: Read> Read for CorruptingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        for (i, byte) in buf[..n].iter_mut().enumerate() {
+            if (self.seen + i + 1).is_multiple_of(self.period) {
+                *byte ^= 1;
+            }
+        }
+        self.seen += n;
+        Ok(n)
+    }
+}
+
+/// How [`mangle_lines`] is allowed to damage a fixture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MangleMode {
+    /// Only *insert* whole junk lines between the clean ones; every clean
+    /// line survives byte-for-byte. A `Skip`-policy loader must therefore
+    /// recover a dataset bit-identical to the clean fixture's.
+    InjectJunk,
+    /// Additionally damage clean lines in place: bit flips, mid-line
+    /// truncation, field shuffling, CRLF endings, a leading BOM,
+    /// interleaved NULs. Recovery is best-effort; the only guarantee a
+    /// loader owes is "no panic, defects accounted for".
+    CorruptInPlace,
+}
+
+/// The junk-line repertoire shared by both modes: everything a crawler dump
+/// can contain between valid records.
+fn junk_line(rng: &mut Xoshiro256pp) -> Vec<u8> {
+    match rng.below(8) {
+        0 => b"garbage line that is not a record".to_vec(),
+        1 => b"12 34 56 78 99".to_vec(),               // too many fields
+        2 => b"42".to_vec(),                           // too few fields
+        3 => b"\x00\x00\x00\x00".to_vec(),             // NUL noise
+        4 => b"7 not_a_number".to_vec(),               // non-numeric field
+        5 => b"\xff\xfe\xba\xad\xf0\x0d".to_vec(),     // invalid UTF-8
+        6 => b"99999999999999999999999999 3".to_vec(), // id overflow
+        7 => {
+            // A pathologically long line (buffer-handling stress).
+            let mut v = Vec::with_capacity(512);
+            while v.len() < 512 {
+                v.extend_from_slice(b"xyzzy ");
+            }
+            v
+        }
+        _ => unreachable!(),
+    }
+}
+
+/// Deterministically mangles a line-oriented text fixture.
+///
+/// With probability `rate` per clean line a junk line is inserted before
+/// it; in [`MangleMode::CorruptInPlace`] the clean line itself is also
+/// damaged with probability `rate`. The output always begins with a UTF-8
+/// BOM in `CorruptInPlace` mode (a classic Windows-exported-crawl artifact)
+/// and a final junk line is appended in both modes, so a positive `rate`
+/// yields at least one defect. Deterministic per `(input, seed, mode,
+/// rate)`.
+pub fn mangle_lines(input: &[u8], seed: u64, mode: MangleMode, rate: f64) -> Vec<u8> {
+    let mut rng = Xoshiro256pp::new(seed);
+    let mut out = Vec::with_capacity(input.len() + input.len() / 4 + 64);
+    if mode == MangleMode::CorruptInPlace {
+        out.extend_from_slice(b"\xef\xbb\xbf");
+    }
+    for line in input.split(|&b| b == b'\n') {
+        if line.is_empty() {
+            continue;
+        }
+        if rng.chance(rate) {
+            out.extend_from_slice(&junk_line(&mut rng));
+            out.push(b'\n');
+        }
+        let mut owned = line.to_vec();
+        if mode == MangleMode::CorruptInPlace && rng.chance(rate) {
+            match rng.below(5) {
+                0 => {
+                    // Flip one bit somewhere in the line.
+                    let i = rng.index(owned.len());
+                    owned[i] ^= 1 << rng.below(8);
+                }
+                1 => {
+                    // Truncate mid-line.
+                    owned.truncate(rng.index(owned.len()));
+                }
+                2 => {
+                    // Shuffle whitespace-separated fields.
+                    let mut fields: Vec<&[u8]> =
+                        owned.split(|&b| b == b' ' || b == b'\t').collect();
+                    rng.shuffle(&mut fields);
+                    owned = fields.join(&b'\t');
+                }
+                3 => {
+                    // Interleave a NUL byte.
+                    owned.insert(rng.index(owned.len() + 1), 0);
+                }
+                4 => {
+                    // CRLF line ending.
+                    owned.push(b'\r');
+                }
+                _ => unreachable!(),
+            }
+        }
+        out.extend_from_slice(&owned);
+        out.push(b'\n');
+    }
+    if rate > 0.0 {
+        out.extend_from_slice(&junk_line(&mut rng));
+        out.push(b'\n');
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -156,5 +298,57 @@ mod tests {
         let mut w = CorruptingWriter::new(Vec::new(), 4);
         w.write_all(&[0u8; 8]).unwrap();
         assert_eq!(w.inner, vec![0, 0, 0, 1, 0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn corrupting_reader_mirrors_writer() {
+        let clean = [0u8; 8];
+        let mut rotted = Vec::new();
+        CorruptingReader::new(clean.as_slice(), 4)
+            .read_to_end(&mut rotted)
+            .unwrap();
+        assert_eq!(rotted, vec![0, 0, 0, 1, 0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn inject_junk_preserves_clean_lines() {
+        let clean = b"0\t1\n1\t2\n4\t0\n";
+        let dirty = mangle_lines(clean, 7, MangleMode::InjectJunk, 0.5);
+        assert_ne!(dirty, clean.to_vec());
+        // Every clean line survives byte-for-byte, in order.
+        let clean_lines: Vec<&[u8]> =
+            clean.split(|&b| b == b'\n').filter(|l| !l.is_empty()).collect();
+        let mut it = dirty.split(|&b| b == b'\n');
+        for want in &clean_lines {
+            assert!(
+                it.any(|l| l == *want),
+                "clean line {want:?} lost from {dirty:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn mangle_is_deterministic_per_seed() {
+        let clean = b"0 1\n1 2\n2 3\n3 4\n";
+        let a = mangle_lines(clean, 3, MangleMode::CorruptInPlace, 0.8);
+        let b = mangle_lines(clean, 3, MangleMode::CorruptInPlace, 0.8);
+        let c = mangle_lines(clean, 4, MangleMode::CorruptInPlace, 0.8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn corrupt_in_place_starts_with_bom_and_adds_junk() {
+        let clean = b"0 1\n";
+        let dirty = mangle_lines(clean, 1, MangleMode::CorruptInPlace, 1.0);
+        assert!(dirty.starts_with(b"\xef\xbb\xbf"));
+        assert!(dirty.len() > clean.len());
+    }
+
+    #[test]
+    fn zero_rate_inject_junk_is_identity_modulo_trailing_newline() {
+        let clean = b"0 1\n1 2\n";
+        let out = mangle_lines(clean, 9, MangleMode::InjectJunk, 0.0);
+        assert_eq!(out, clean.to_vec());
     }
 }

@@ -42,7 +42,7 @@ pub mod table;
 pub mod topk;
 
 pub use alias::AliasTable;
-pub use error::{ConfigError, DataError, Inf2vecError, TrainError};
+pub use error::{ConfigError, DataError, DefectKind, Inf2vecError, IngestError, TrainError};
 pub use fsio::atomic_write;
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use rng::{split_seed, SplitMix64, Xoshiro256pp};

@@ -34,6 +34,7 @@
 //! |---|---|---|
 //! | [`core`] | `inf2vec-core` | the Inf2vec model: influence contexts (Algorithm 1), training (Algorithm 2), prediction (Eq. 7) |
 //! | [`graph`] | `inf2vec-graph` | CSR digraphs, generators, random walks, edge-list I/O |
+//! | [`ingest`] | `inf2vec-ingest` | robust streaming ingestion: error policies, defect quarantine, id remapping, validated dataset assembly |
 //! | [`diffusion`] | `inf2vec-diffusion` | action logs, episodes, influence pairs, propagation networks, IC/LT simulators, synthetic datasets |
 //! | [`embed`] | `inf2vec-embed` | embedding stores, SGNS kernels, Hogwild parallel SGD |
 //! | [`baselines`] | `inf2vec-baselines` | DE, ST, IC-EM, Emb-IC, MF-BPR, node2vec |
@@ -51,6 +52,7 @@ pub use inf2vec_diffusion as diffusion;
 pub use inf2vec_embed as embed;
 pub use inf2vec_eval as eval;
 pub use inf2vec_graph as graph;
+pub use inf2vec_ingest as ingest;
 pub use inf2vec_obs as obs;
 pub use inf2vec_tsne as tsne;
 pub use inf2vec_util as util;
@@ -62,5 +64,6 @@ pub mod prelude {
     pub use inf2vec_embed::EmbeddingStore;
     pub use inf2vec_eval::{Aggregator, RankingMetrics, ScoringModel};
     pub use inf2vec_graph::{DiGraph, GraphBuilder, NodeId};
+    pub use inf2vec_ingest::{ErrorPolicy, IngestConfig, Ingestor, ValidatedDataset};
     pub use inf2vec_util::rng::Xoshiro256pp;
 }

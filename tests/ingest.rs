@@ -1,0 +1,131 @@
+//! Integration tests for the policy-driven ingest path: no input may
+//! panic the loader, junk injection must be fully quarantined with the
+//! clean dataset recovered bit-identically, and the error budget must
+//! abort runs that exceed it.
+
+use inf2vec::graph::io::write_edge_list;
+use inf2vec::ingest::{ErrorPolicy, IngestConfig, IngestError, Ingestor};
+use inf2vec::prelude::*;
+use inf2vec::util::faultinject::{mangle_lines, MangleMode};
+use proptest::prelude::*;
+
+/// A clean serialized fixture: (edge-list bytes, action-log bytes, dataset).
+fn clean_fixture() -> (Vec<u8>, Vec<u8>, Dataset) {
+    let synth = inf2vec::diffusion::synth::generate(
+        &inf2vec::diffusion::synth::SyntheticConfig::tiny(),
+        7,
+    );
+    let mut edges = Vec::new();
+    write_edge_list(&synth.dataset.graph, &mut edges).unwrap();
+    let mut actions = Vec::new();
+    synth.dataset.write_log(&mut actions).unwrap();
+    (edges, actions, synth.dataset)
+}
+
+fn ingest_with(policy: ErrorPolicy, edges: &[u8], actions: &[u8]) -> Result<(), IngestError> {
+    Ingestor::new(IngestConfig {
+        policy,
+        ..IngestConfig::default()
+    })
+    .ingest(edges, actions, "fuzz")
+    .map(|_| ())
+}
+
+fn newline_count(bytes: &[u8]) -> u64 {
+    bytes.iter().filter(|&&b| b == b'\n').count() as u64
+}
+
+#[test]
+fn inject_junk_is_fully_quarantined_and_dataset_recovered() {
+    let (edges, actions, _) = clean_fixture();
+    for seed in [1u64, 2, 3, 11, 99] {
+        let dirty_edges = mangle_lines(&edges, seed, MangleMode::InjectJunk, 0.2);
+        let dirty_actions = mangle_lines(&actions, seed ^ 0xFF, MangleMode::InjectJunk, 0.2);
+
+        let clean = Ingestor::default()
+            .ingest(edges.as_slice(), actions.as_slice(), "clean")
+            .unwrap();
+        let dirty = Ingestor::new(IngestConfig {
+            policy: ErrorPolicy::skip(u64::MAX),
+            ..IngestConfig::default()
+        })
+        .ingest(dirty_edges.as_slice(), dirty_actions.as_slice(), "dirty")
+        .unwrap();
+
+        // Junk lines never parse, so every injected line is exactly one
+        // quarantined record — no more, no less.
+        let injected_edges = newline_count(&dirty_edges) - newline_count(&edges);
+        let injected_actions = newline_count(&dirty_actions) - newline_count(&actions);
+        assert!(injected_edges > 0, "seed {seed} injected nothing");
+        assert_eq!(dirty.edges.quarantined, injected_edges, "seed {seed}");
+        assert_eq!(dirty.actions.quarantined, injected_actions, "seed {seed}");
+        assert_eq!(dirty.total_defects(), injected_edges + injected_actions);
+
+        // And the surviving dataset is the clean one, bit for bit.
+        assert_eq!(clean.dataset.graph, dirty.dataset.graph, "seed {seed}");
+        assert_eq!(
+            clean.dataset.log.episodes(),
+            dirty.dataset.log.episodes(),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn corrupt_in_place_never_panics_under_any_policy() {
+    let (edges, actions, _) = clean_fixture();
+    for seed in 0u64..20 {
+        let dirty_edges = mangle_lines(&edges, seed, MangleMode::CorruptInPlace, 0.3);
+        let dirty_actions = mangle_lines(&actions, seed.wrapping_add(77), MangleMode::CorruptInPlace, 0.3);
+        for policy in [
+            ErrorPolicy::Strict,
+            ErrorPolicy::skip(u64::MAX),
+            ErrorPolicy::Repair,
+        ] {
+            // Ok or typed Err are both acceptable; panics are not.
+            let _ = ingest_with(policy, &dirty_edges, &dirty_actions);
+        }
+    }
+}
+
+#[test]
+fn budget_aborts_when_junk_exceeds_max_errors() {
+    let mut edges = Vec::new();
+    for i in 0..50 {
+        edges.extend_from_slice(format!("{} {}\n", i, i + 1).as_bytes());
+        edges.extend_from_slice(b"this is junk\n");
+    }
+    let err = Ingestor::new(IngestConfig {
+        policy: ErrorPolicy::skip(3),
+        ..IngestConfig::default()
+    })
+    .ingest(edges.as_slice(), b"".as_slice(), "over-budget")
+    .unwrap_err();
+    match err {
+        IngestError::BudgetExceeded { quarantined, max_errors, .. } => {
+            assert_eq!(max_errors, 3);
+            assert_eq!(quarantined, 4, "aborts on the first record past the budget");
+        }
+        other => panic!("expected BudgetExceeded, got {other}"),
+    }
+}
+
+proptest! {
+    /// Arbitrary bytes must never panic the loader under any policy, as
+    /// either stream.
+    #[test]
+    fn proptest_arbitrary_bytes_never_panic(
+        bytes in prop::collection::vec(any::<u8>(), 0..1024),
+        policy_idx in 0usize..3,
+    ) {
+        let policy = [
+            ErrorPolicy::Strict,
+            ErrorPolicy::skip(u64::MAX),
+            ErrorPolicy::Repair,
+        ][policy_idx];
+        // Garbage as the edge stream (empty log is always valid)...
+        let _ = ingest_with(policy, &bytes, b"");
+        // ...and garbage as the action stream behind a small valid graph.
+        let _ = ingest_with(policy, b"0 1\n1 2\n", &bytes);
+    }
+}
