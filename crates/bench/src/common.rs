@@ -58,6 +58,12 @@ pub struct Opts {
     pub max_errors: Option<u64>,
     /// Destination for the ingest report JSON (`--ingest-report`).
     pub ingest_report: Option<PathBuf>,
+    /// Worker threads for the `serve` chaos command (`--serve-workers`).
+    pub serve_workers: usize,
+    /// Overload policy for the `serve` chaos command (`--serve-policy`).
+    pub serve_policy: inf2vec_serve::OverloadPolicy,
+    /// Destination for the serve chaos report JSON (`--serve-report`).
+    pub serve_report: Option<PathBuf>,
 }
 
 impl Default for Opts {
@@ -78,6 +84,9 @@ impl Default for Opts {
             on_error: ErrorPolicy::Strict,
             max_errors: None,
             ingest_report: None,
+            serve_workers: 8,
+            serve_policy: inf2vec_serve::OverloadPolicy::Shed,
+            serve_report: None,
         }
     }
 }

@@ -9,6 +9,9 @@
 //!   ablate-alpha ablate-bias ablate-restart ablate-regen
 //!   ingest         load real data via --edges/--actions with an
 //!                  --on-error policy, writing --ingest-report JSON
+//!   serve          run the scoring-service chaos scenario and
+//!                  reconcile outcome tallies against the metrics,
+//!                  writing --serve-report JSON
 //!   all            every table and figure in order
 //!   ablate         every ablation
 //!
@@ -34,6 +37,7 @@ mod common;
 mod figures;
 mod ingest;
 mod oracle;
+mod serve;
 mod tables;
 
 use std::sync::Arc;
@@ -112,6 +116,19 @@ fn main() {
             "--ingest-report" => {
                 opts.ingest_report = Some(take_value(&mut i).into());
             }
+            "--serve-workers" => {
+                opts.serve_workers = take_value(&mut i)
+                    .parse()
+                    .unwrap_or_else(|_| die("--serve-workers expects an integer"));
+            }
+            "--serve-policy" => {
+                opts.serve_policy = take_value(&mut i)
+                    .parse()
+                    .unwrap_or_else(|e| die(&format!("--serve-policy: {e}")));
+            }
+            "--serve-report" => {
+                opts.serve_report = Some(take_value(&mut i).into());
+            }
             "--epochs" => {
                 opts.epochs_override = Some(
                     take_value(&mut i)
@@ -176,6 +193,7 @@ fn run_command(cmd: &str, opts: &Opts) {
         "fig9" => figures::fig9(opts),
         "oracle" => oracle::oracle(opts),
         "ingest" => ingest::ingest(opts),
+        "serve" => serve::serve(opts),
         "ablate-alpha" => ablate::ablate_alpha(opts),
         "ablate-bias" => ablate::ablate_bias(opts),
         "ablate-restart" => ablate::ablate_restart(opts),
@@ -209,7 +227,11 @@ fn print_help() {
          ingest:   repro ingest --edges FILE --actions FILE\n\
                    [--on-error strict|skip|repair] [--max-errors N]\n\
                    [--ingest-report FILE]  load a real dataset through the\n\
-                   policy-driven loader and write the quarantine report"
+                   policy-driven loader and write the quarantine report\n\n\
+         serve:    repro serve [--serve-workers N]\n\
+                   [--serve-policy reject|shed|block] [--serve-report FILE]\n\
+                   hammer the resilient scoring service with scripted\n\
+                   snapshot faults and reconcile every outcome tally"
     );
 }
 

@@ -1,0 +1,46 @@
+//! The `serve` subcommand: run the scripted chaos scenario against the
+//! resilient scoring service and reconcile every outcome tally against
+//! the telemetry metrics.
+//!
+//! ```text
+//! repro serve [--serve-workers N] [--serve-policy reject|shed|block] \
+//!     [--serve-report FILE] [--telemetry-jsonl FILE]
+//! ```
+//!
+//! Exits non-zero when any tally fails to reconcile, any request hangs
+//! without an outcome, or any NaN escapes — this is the CI gate for the
+//! serving layer.
+
+use inf2vec_obs::Telemetry;
+use inf2vec_serve::chaos::{run_chaos, ChaosConfig};
+
+use crate::common::Opts;
+use crate::die;
+
+/// Runs the serve chaos command from the harness options.
+pub fn serve(opts: &Opts) {
+    // Reconciliation reads counters back, so the run needs a registry
+    // even when no --telemetry-jsonl sink was requested.
+    let telemetry = if opts.telemetry.enabled() {
+        opts.telemetry.clone()
+    } else {
+        Telemetry::with_registry()
+    };
+    let cfg = ChaosConfig {
+        seed: opts.seed,
+        workers: opts.serve_workers,
+        policy: opts.serve_policy,
+        ..ChaosConfig::default()
+    };
+    let report = run_chaos(&cfg, telemetry);
+    opts.say(&report.summary());
+    if let Some(path) = &opts.serve_report {
+        match std::fs::write(path, report.to_json()) {
+            Ok(()) => opts.note(&format!("[serve] report written to {}", path.display())),
+            Err(e) => die(&format!("cannot write {}: {e}", path.display())),
+        }
+    }
+    if !report.reconciled() {
+        die("serve chaos run failed to reconcile (see mismatches above)");
+    }
+}

@@ -327,7 +327,7 @@ mod tests {
     #[test]
     fn log_io_error_source_exposes_io() {
         use std::error::Error;
-        let io = LogIoError::from(std::io::Error::new(std::io::ErrorKind::Other, "boom"));
+        let io = LogIoError::from(std::io::Error::other("boom"));
         assert!(io.source().is_some(), "Io variant must chain its cause");
         assert_eq!(io.source().unwrap().to_string(), "boom");
         let mal = LogIoError::Malformed {

@@ -139,23 +139,63 @@ impl EmbeddingStore {
         }
     }
 
-    /// Overwrites every parameter from `snap` through a shared reference.
+    /// Overwrites every parameter from `snap` through a shared reference,
+    /// after validating that the snapshot matches this store's shape and
+    /// contains only finite values.
     ///
-    /// Intended for inter-epoch rollback: the caller must guarantee no
-    /// training thread is concurrently touching the store (the trainer
-    /// only restores after all workers of an epoch have joined).
-    pub fn restore(&self, snap: &StoreSnapshot) {
+    /// Intended for inter-epoch rollback and serving-side hot swaps: the
+    /// caller must guarantee no training thread is concurrently touching
+    /// the store (the trainer only restores after all workers of an epoch
+    /// have joined).
+    pub fn try_restore(&self, snap: &StoreSnapshot) -> Result<(), DataError> {
+        let n = self.len();
         let k = self.k();
+        if snap.source.len() != n * k
+            || snap.target.len() != n * k
+            || snap.bias_src.len() != n
+            || snap.bias_tgt.len() != n
+        {
+            return Err(DataError::Invalid {
+                message: format!(
+                    "snapshot shape mismatch: store is {n}×{k}, snapshot holds \
+                     {}/{} vector and {}/{} bias entries",
+                    snap.source.len(),
+                    snap.target.len(),
+                    snap.bias_src.len(),
+                    snap.bias_tgt.len()
+                ),
+            });
+        }
+        let finite = |v: &[f32]| v.iter().all(|x| x.is_finite());
+        if !finite(&snap.source)
+            || !finite(&snap.target)
+            || !finite(&snap.bias_src)
+            || !finite(&snap.bias_tgt)
+        {
+            return Err(DataError::NonFinite {
+                what: "store snapshot",
+                line: 0,
+            });
+        }
         // SAFETY: one row borrow at a time per matrix; exclusivity across
         // threads is the caller contract documented above.
         unsafe {
-            for u in 0..self.len() {
+            for u in 0..n {
                 self.source.row_mut(u).copy_from_slice(&snap.source[u * k..(u + 1) * k]);
                 self.target.row_mut(u).copy_from_slice(&snap.target[u * k..(u + 1) * k]);
                 self.bias_src.row_mut(u)[0] = snap.bias_src[u];
                 self.bias_tgt.row_mut(u)[0] = snap.bias_tgt[u];
             }
         }
+        Ok(())
+    }
+
+    /// Panicking shim over [`try_restore`](Self::try_restore) for callers
+    /// that restore a snapshot taken from this very store (the divergence
+    /// guard), where a mismatch is a bug rather than an input error.
+    pub fn restore(&self, snap: &StoreSnapshot) {
+        self.try_restore(snap)
+            .expect("restore: snapshot must match the store's shape and be finite");
     }
 
     /// True when any parameter is NaN or infinite.
@@ -209,57 +249,82 @@ impl EmbeddingStore {
         Ok(())
     }
 
-    /// Reads a store from `path`, rejecting malformed or non-finite data.
+    /// Reads a store from `path`, rejecting malformed or non-finite data
+    /// with the typed [`DataError`] (line numbers included).
     pub fn load_from_path(path: &Path) -> Result<Self, Inf2vecError> {
         let file = std::fs::File::open(path)?;
-        let store = Self::load(std::io::BufReader::new(file)).map_err(|e| {
-            Inf2vecError::Data(DataError::Invalid {
-                message: format!("{}: {e}", path.display()),
-            })
-        })?;
-        Ok(store)
+        Self::load_data(std::io::BufReader::new(file))
     }
 
-    /// Reads a store written by [`save`](Self::save).
-    pub fn load<R: BufRead>(mut r: R) -> std::io::Result<Self> {
-        let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+    /// Reads a store written by [`save`](Self::save), returning a typed
+    /// error on rejection.
+    ///
+    /// Rejections map onto the [`DataError`] taxonomy: a stream that ends
+    /// before the declared `n` rows is [`DataError::Truncated`], a row that
+    /// does not parse (bad float, wrong field count) is
+    /// [`DataError::Malformed`] with its 1-based line number, and a value
+    /// that parses but is NaN/Inf is [`DataError::NonFinite`] — `f32`
+    /// parsing happily accepts `"NaN"` and `"inf"`, and a corrupted or
+    /// hand-edited snapshot must not smuggle those into serving scores.
+    pub fn load_data<R: BufRead>(mut r: R) -> Result<Self, Inf2vecError> {
+        let malformed = |line: usize, content: &str| {
+            Inf2vecError::Data(DataError::Malformed {
+                line,
+                content: content.trim_end().chars().take(80).collect(),
+            })
+        };
         let mut header = String::new();
-        r.read_line(&mut header)?;
+        if r.read_line(&mut header)? == 0 {
+            return Err(DataError::Truncated {
+                what: "embedding store header",
+            }
+            .into());
+        }
         let mut parts = header.split_whitespace();
-        let n: usize = parts
-            .next()
-            .and_then(|s| s.parse().ok())
-            .ok_or_else(|| bad("missing n"))?;
-        let k: usize = parts
-            .next()
-            .and_then(|s| s.parse().ok())
-            .ok_or_else(|| bad("missing k"))?;
-        let use_bias: u8 = parts
-            .next()
-            .and_then(|s| s.parse().ok())
-            .ok_or_else(|| bad("missing bias flag"))?;
+        let mut field = |what: &'static str| {
+            parts
+                .next()
+                .and_then(|s| s.parse::<usize>().ok())
+                .ok_or_else(|| {
+                    Inf2vecError::Data(DataError::Invalid {
+                        message: format!("store header missing {what}: {:?}", header.trim_end()),
+                    })
+                })
+        };
+        let n = field("n")?;
+        let k = field("k")?;
+        let use_bias = field("bias flag")?;
         if n == 0 || k == 0 {
-            return Err(bad("empty store"));
+            return Err(DataError::Invalid {
+                message: format!("empty store (n={n}, k={k})"),
+            }
+            .into());
         }
 
         let mut store = Self::new(n, k, 0);
         store.use_bias = use_bias != 0;
         let mut line = String::new();
         for u in 0..n {
+            let lineno = u + 2; // 1-based; line 1 is the header.
             line.clear();
             if r.read_line(&mut line)? == 0 {
-                return Err(bad("truncated store"));
+                return Err(DataError::Truncated {
+                    what: "embedding store body",
+                }
+                .into());
             }
             let mut vals = line.split_whitespace().map(|s| s.parse::<f32>());
-            // `f32::parse` happily accepts "NaN" and "inf"; a corrupted or
-            // hand-edited file must not smuggle those into the parameters.
-            let mut next_finite = || -> std::io::Result<f32> {
+            let mut next_finite = || -> Result<f32, Inf2vecError> {
                 let x = vals
                     .next()
-                    .ok_or_else(|| bad("short row"))?
-                    .map_err(|_| bad("bad float"))?;
+                    .ok_or_else(|| malformed(lineno, &line))?
+                    .map_err(|_| malformed(lineno, &line))?;
                 if !x.is_finite() {
-                    return Err(bad("non-finite value"));
+                    return Err(DataError::NonFinite {
+                        what: "embedding store",
+                        line: lineno,
+                    }
+                    .into());
                 }
                 Ok(x)
             };
@@ -275,10 +340,22 @@ impl EmbeddingStore {
                 store.bias_tgt.row_mut(u)[0] = next_finite()?;
             }
             if vals.next().is_some() {
-                return Err(bad("overlong row"));
+                return Err(malformed(lineno, &line));
             }
         }
         Ok(store)
+    }
+
+    /// Reads a store written by [`save`](Self::save).
+    ///
+    /// Thin `io::Result` shim over [`load_data`](Self::load_data) kept for
+    /// callers that live in `std::io` land; rejection detail (line numbers,
+    /// defect class) survives only in the error message here.
+    pub fn load<R: BufRead>(r: R) -> std::io::Result<Self> {
+        Self::load_data(r).map_err(|e| match e {
+            Inf2vecError::Io(io) => io,
+            other => std::io::Error::new(std::io::ErrorKind::InvalidData, other.to_string()),
+        })
     }
 }
 
@@ -401,6 +478,76 @@ mod tests {
             s.target.row_mut(0)[0] = f32::INFINITY;
         }
         assert!(s.has_non_finite());
+    }
+
+    #[test]
+    fn truncated_snapshot_file_is_typed_data_error() {
+        let dir = std::env::temp_dir().join(format!("inf2vec-trunc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.txt");
+        let s = EmbeddingStore::new(4, 3, 21);
+        let mut full = Vec::new();
+        s.save(&mut full).unwrap();
+        // Cut at a line boundary after the header + 2 of 4 rows: the
+        // on-disk image of a crash mid-write with no atomic rename.
+        let cut = full
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b == b'\n')
+            .map(|(i, _)| i + 1)
+            .nth(2)
+            .unwrap();
+        std::fs::write(&path, &full[..cut]).unwrap();
+        match EmbeddingStore::load_from_path(&path) {
+            Err(Inf2vecError::Data(DataError::Truncated { what })) => {
+                assert!(what.contains("store"), "{what}");
+            }
+            other => panic!("expected typed Truncated error, got {other:?}"),
+        }
+        // Mid-row truncation surfaces as Malformed with the line number.
+        std::fs::write(&path, &full[..cut + 3]).unwrap();
+        match EmbeddingStore::load_from_path(&path) {
+            Err(Inf2vecError::Data(DataError::Malformed { line, .. })) => assert_eq!(line, 4),
+            other => panic!("expected typed Malformed error, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn nan_injected_snapshot_file_is_typed_data_error() {
+        let dir = std::env::temp_dir().join(format!("inf2vec-nan-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.txt");
+        std::fs::write(&path, "2 2 1\n1 2 3 4 0 0\n1 NaN 3 4 0 0\n").unwrap();
+        match EmbeddingStore::load_from_path(&path) {
+            Err(Inf2vecError::Data(DataError::NonFinite { what, line })) => {
+                assert!(what.contains("store"));
+                assert_eq!(line, 3);
+            }
+            other => panic!("expected typed NonFinite error, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn try_restore_rejects_shape_mismatch_and_non_finite() {
+        let s = EmbeddingStore::new(3, 2, 11);
+        let other = EmbeddingStore::new(3, 4, 11);
+        match s.try_restore(&other.snapshot()) {
+            Err(DataError::Invalid { message }) => {
+                assert!(message.contains("shape mismatch"), "{message}")
+            }
+            res => panic!("expected shape mismatch, got {res:?}"),
+        }
+        let mut snap = s.snapshot();
+        snap.target[1] = f32::NAN;
+        match s.try_restore(&snap) {
+            Err(DataError::NonFinite { what, .. }) => assert!(what.contains("snapshot")),
+            res => panic!("expected NonFinite, got {res:?}"),
+        }
+        // A rejected restore leaves the store untouched.
+        assert!(!s.has_non_finite());
+        assert!(s.try_restore(&s.snapshot()).is_ok());
     }
 
     #[test]

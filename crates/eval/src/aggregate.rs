@@ -27,8 +27,22 @@ impl Aggregator {
     ];
 
     /// Applies the aggregation to scores ordered by influencer activation
-    /// time (`Latest` takes the last element). Returns `f64::NEG_INFINITY`
-    /// for an empty slice (no possible influencer ranks below everything).
+    /// time (`Latest` takes the last element).
+    ///
+    /// # Empty-slice semantics
+    ///
+    /// Every variant returns `f64::NEG_INFINITY` for an empty slice. This
+    /// is a deliberate, uniform contract rather than each variant's
+    /// mathematical identity: `Ave` would otherwise be `0/0 = NaN` (which
+    /// poisons every comparison downstream), `Sum`'s identity `0.0` would
+    /// rank a candidate with *no* possible influencer above candidates
+    /// with negative evidence, and `Max`/`Latest` have no identity at all.
+    /// "No active in-neighbor" means "cannot be influenced", so the
+    /// candidate must rank below every candidate that has any evidence —
+    /// the bottom element. The serving layer and the evaluation tasks both
+    /// rely on this being deterministic and NaN-free; tests pin it for all
+    /// four variants, both here and through
+    /// `ScoringModel::score_given_active`.
     pub fn apply(self, xs: &[f64]) -> f64 {
         if xs.is_empty() {
             return f64::NEG_INFINITY;

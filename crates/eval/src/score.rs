@@ -46,6 +46,11 @@ impl ScoringModel<'_> {
     ///
     /// Representation models apply Eq. 7; cascade models apply Eq. 8:
     /// `P(v) = 1 - Π_{u ∈ S_v} (1 - P_uv)`.
+    ///
+    /// An empty active set deterministically returns `f64::NEG_INFINITY`
+    /// for both families — never NaN — so "no possible influencer" ranks
+    /// below every scored candidate (see [`Aggregator::apply`] for the
+    /// rationale).
     pub fn score_given_active(&self, v: NodeId, active: &[NodeId]) -> f64 {
         match self {
             ScoringModel::Representation(model, agg) => {
@@ -114,17 +119,20 @@ mod tests {
 
     #[test]
     fn empty_active_set_is_bottom() {
+        // Deterministic bottom — never NaN — for every aggregator and for
+        // the cascade family alike.
         let f = Fixed(0.0);
-        let h = Half;
-        for model in [
-            ScoringModel::Representation(&f, Aggregator::Ave),
-            ScoringModel::Cascade(&h),
-        ] {
-            assert_eq!(
-                model.score_given_active(NodeId(0), &[]),
-                f64::NEG_INFINITY
-            );
+        for agg in Aggregator::ALL {
+            let model = ScoringModel::Representation(&f, agg);
+            let s = model.score_given_active(NodeId(0), &[]);
+            assert_eq!(s, f64::NEG_INFINITY, "{agg} must hit bottom");
+            assert!(!s.is_nan());
         }
+        let h = Half;
+        assert_eq!(
+            ScoringModel::Cascade(&h).score_given_active(NodeId(0), &[]),
+            f64::NEG_INFINITY
+        );
     }
 
     #[test]

@@ -228,24 +228,10 @@ fn truncate_sample(content: &str) -> String {
     }
 }
 
-/// Escapes and appends `v` as a JSON string literal.
-pub(crate) fn push_json_string(out: &mut String, v: &str) {
-    out.push('"');
-    for c in v.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
+// The JSON string escaping lives in `inf2vec-util` so every hand-rolled
+// JSON writer in the workspace (this report, the serve chaos report)
+// shares one implementation; re-exported for the sibling modules.
+pub(crate) use inf2vec_util::json::push_json_string;
 
 fn push_str_field(out: &mut String, key: &str, v: &str, first: bool) {
     if !first {

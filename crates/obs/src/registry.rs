@@ -180,6 +180,29 @@ impl Snapshot {
             .find(|s| s.name == name && s.labels.is_empty())
     }
 
+    /// The sample with the given name and exactly the given labels
+    /// (order-insensitive, like registration).
+    pub fn get_with(&self, name: &str, labels: &[(&str, &str)]) -> Option<&MetricSample> {
+        let mut want: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        want.sort();
+        self.samples
+            .iter()
+            .find(|s| s.name == name && s.labels == want)
+    }
+
+    /// Counter total for `name` with exactly `labels`; 0 when the metric is
+    /// absent or not a counter. Convenient for reconciling externally kept
+    /// tallies against the registry.
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        match self.get_with(name, labels).map(|s| &s.value) {
+            Some(SampleValue::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
     /// Renders the Prometheus text exposition format (version 0.0.4).
     ///
     /// Output is deterministic: samples appear in name order, histogram
@@ -310,6 +333,23 @@ mod tests {
         let g2 = r.gauge("g", &[("b", "2"), ("a", "1")]);
         g1.set(7.0);
         assert_eq!(g2.get(), 7.0);
+    }
+
+    #[test]
+    fn labeled_lookup_is_order_insensitive() {
+        let r = Registry::new();
+        r.counter("req_total", &[("outcome", "ok"), ("kind", "pair")])
+            .add(4);
+        let snap = r.snapshot();
+        assert_eq!(
+            snap.counter_value("req_total", &[("kind", "pair"), ("outcome", "ok")]),
+            4
+        );
+        assert_eq!(snap.counter_value("req_total", &[("outcome", "shed")]), 0);
+        assert_eq!(snap.counter_value("missing_total", &[]), 0);
+        assert!(snap
+            .get_with("req_total", &[("outcome", "ok"), ("kind", "pair")])
+            .is_some());
     }
 
     #[test]

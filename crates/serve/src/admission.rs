@@ -1,0 +1,442 @@
+//! Bounded admission: in-flight cap, FIFO wait queue with three overload
+//! policies, and per-request deadlines.
+//!
+//! The service admits at most `max_in_flight` requests at once. Arrivals
+//! beyond that either wait in a bounded FIFO queue or are turned away,
+//! depending on the [`OverloadPolicy`]:
+//!
+//! - [`Reject`](OverloadPolicy::Reject) — a full queue turns away the
+//!   *newest* arrival with [`ServeError::Overloaded`] (`shed: false`).
+//! - [`Shed`](OverloadPolicy::Shed) — a full queue evicts the *oldest*
+//!   waiter (which fails with `shed: true`) to make room for the newest;
+//!   under sustained overload the queue holds the freshest work.
+//! - [`Block`](OverloadPolicy::Block) — arrivals always queue; the wait
+//!   is bounded only by the request's own deadline, and boundedness
+//!   comes from the finite number of caller threads.
+//!
+//! Deadlines are cooperative: checked at admission, after the wait, and
+//! by the scoring loops every few candidates ([`Deadline::check`]). A
+//! waiter whose deadline lapses removes itself from the queue, so an
+//! expired request never occupies a slot.
+
+use std::collections::{HashSet, VecDeque};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use inf2vec_util::error::ServeError;
+
+/// What happens to arrivals when the wait queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverloadPolicy {
+    /// Turn away the newest arrival.
+    Reject,
+    /// Evict the oldest waiter to admit the newest arrival.
+    Shed,
+    /// Never turn work away; wait bounded only by the deadline.
+    Block,
+}
+
+impl OverloadPolicy {
+    /// Lowercase policy name (CLI / metrics label).
+    pub fn name(self) -> &'static str {
+        match self {
+            OverloadPolicy::Reject => "reject",
+            OverloadPolicy::Shed => "shed",
+            OverloadPolicy::Block => "block",
+        }
+    }
+}
+
+impl std::str::FromStr for OverloadPolicy {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "reject" => Ok(OverloadPolicy::Reject),
+            "shed" => Ok(OverloadPolicy::Shed),
+            "block" => Ok(OverloadPolicy::Block),
+            other => Err(format!(
+                "unknown overload policy {other:?} (expected reject|shed|block)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for OverloadPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A request's time budget, started at arrival.
+///
+/// `budget: None` means unbounded. Checks are cooperative — the scoring
+/// loops call [`Deadline::check`] at loop boundaries rather than being
+/// preempted, so a miss is detected within one check interval.
+#[derive(Debug, Clone, Copy)]
+pub struct Deadline {
+    start: Instant,
+    budget: Option<Duration>,
+}
+
+impl Deadline {
+    /// Starts the clock now with the given budget.
+    pub fn start(budget: Option<Duration>) -> Self {
+        Self {
+            start: Instant::now(),
+            budget,
+        }
+    }
+
+    /// A deadline that never expires.
+    pub fn unbounded() -> Self {
+        Self::start(None)
+    }
+
+    /// Time since the request arrived.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Remaining budget: `None` when unbounded, `Some(ZERO)` when spent.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.budget
+            .map(|b| b.saturating_sub(self.start.elapsed()))
+    }
+
+    /// True once the budget is spent (a zero budget is spent on arrival).
+    pub fn expired(&self) -> bool {
+        matches!(self.budget, Some(b) if self.start.elapsed() >= b)
+    }
+
+    /// Errors with [`ServeError::DeadlineExceeded`] once expired.
+    pub fn check(&self) -> Result<(), ServeError> {
+        if self.expired() {
+            Err(ServeError::DeadlineExceeded {
+                elapsed_ms: self.start.elapsed().as_millis() as u64,
+                budget_ms: self.budget.unwrap_or(Duration::ZERO).as_millis() as u64,
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// Admission controller configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionConfig {
+    /// Requests scored concurrently.
+    pub max_in_flight: usize,
+    /// Waiters held beyond that (ignored under [`OverloadPolicy::Block`]).
+    pub max_queue: usize,
+    /// What to do when the queue is full.
+    pub policy: OverloadPolicy,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        Self {
+            max_in_flight: 8,
+            max_queue: 16,
+            policy: OverloadPolicy::Reject,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct State {
+    in_flight: usize,
+    /// Tickets waiting for an in-flight slot, oldest first.
+    queue: VecDeque<u64>,
+    /// Tickets evicted by `Shed` that have not yet noticed.
+    shed: HashSet<u64>,
+    next_ticket: u64,
+}
+
+/// The admission controller. Cheap to share behind an `Arc`; one mutex
+/// guards the tiny queue state and a condvar wakes waiters on release.
+#[derive(Debug)]
+pub struct Admission {
+    cfg: AdmissionConfig,
+    state: Mutex<State>,
+    cond: Condvar,
+}
+
+/// Queue depth and in-flight count observed at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionStats {
+    /// Requests currently scoring.
+    pub in_flight: usize,
+    /// Requests currently queued.
+    pub queued: usize,
+}
+
+impl Admission {
+    /// A controller with the given limits. `max_in_flight` is clamped to
+    /// at least 1.
+    pub fn new(cfg: AdmissionConfig) -> Self {
+        let cfg = AdmissionConfig {
+            max_in_flight: cfg.max_in_flight.max(1),
+            ..cfg
+        };
+        Self {
+            cfg,
+            state: Mutex::new(State::default()),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> AdmissionConfig {
+        self.cfg
+    }
+
+    /// Current queue depth and in-flight count.
+    pub fn stats(&self) -> AdmissionStats {
+        let st = self.state.lock().expect("admission lock poisoned");
+        AdmissionStats {
+            in_flight: st.in_flight,
+            queued: st.queue.len(),
+        }
+    }
+
+    /// Admits the request or returns the typed overload/deadline error.
+    /// The returned [`Permit`] releases the slot on drop.
+    pub fn admit(&self, deadline: &Deadline) -> Result<Permit<'_>, ServeError> {
+        deadline.check()?;
+        let mut st = self.state.lock().expect("admission lock poisoned");
+        // Fast path: a free slot and nobody ahead of us.
+        if st.in_flight < self.cfg.max_in_flight && st.queue.is_empty() {
+            st.in_flight += 1;
+            return Ok(Permit { admission: self });
+        }
+        // Queue (or refuse to).
+        if self.cfg.policy != OverloadPolicy::Block && st.queue.len() >= self.cfg.max_queue {
+            match self.cfg.policy {
+                OverloadPolicy::Reject => {
+                    return Err(ServeError::Overloaded {
+                        depth: st.queue.len(),
+                        capacity: self.cfg.max_queue,
+                        shed: false,
+                    });
+                }
+                OverloadPolicy::Shed => {
+                    if let Some(victim) = st.queue.pop_front() {
+                        st.shed.insert(victim);
+                        // Wake everyone: the victim must notice it was
+                        // shed, and queue positions have shifted.
+                        self.cond.notify_all();
+                    }
+                }
+                OverloadPolicy::Block => unreachable!(),
+            }
+        }
+        let ticket = st.next_ticket;
+        st.next_ticket += 1;
+        st.queue.push_back(ticket);
+        loop {
+            if st.shed.remove(&ticket) {
+                return Err(ServeError::Overloaded {
+                    depth: st.queue.len(),
+                    capacity: self.cfg.max_queue,
+                    shed: true,
+                });
+            }
+            if deadline.expired() {
+                st.queue.retain(|&t| t != ticket);
+                // Our departure may unblock the new head of the queue.
+                self.cond.notify_all();
+                drop(st);
+                return Err(deadline.check().expect_err("deadline just expired"));
+            }
+            if st.in_flight < self.cfg.max_in_flight && st.queue.front() == Some(&ticket) {
+                st.queue.pop_front();
+                st.in_flight += 1;
+                // More slots may be free for the next waiter.
+                self.cond.notify_all();
+                return Ok(Permit { admission: self });
+            }
+            st = match deadline.remaining() {
+                Some(left) => {
+                    let (guard, _timeout) = self
+                        .cond
+                        .wait_timeout(st, left.min(Duration::from_millis(50)))
+                        .expect("admission lock poisoned");
+                    guard
+                }
+                None => self.cond.wait(st).expect("admission lock poisoned"),
+            };
+        }
+    }
+
+    fn release(&self) {
+        let mut st = self.state.lock().expect("admission lock poisoned");
+        st.in_flight = st.in_flight.saturating_sub(1);
+        drop(st);
+        self.cond.notify_all();
+    }
+}
+
+/// An admitted request's slot; releasing is automatic on drop, so every
+/// exit path (including panics in the scoring closure) frees the slot.
+#[derive(Debug)]
+pub struct Permit<'a> {
+    admission: &'a Admission,
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        self.admission.release();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Barrier};
+
+    #[test]
+    fn policy_parses_and_displays() {
+        for p in [
+            OverloadPolicy::Reject,
+            OverloadPolicy::Shed,
+            OverloadPolicy::Block,
+        ] {
+            assert_eq!(p.name().parse::<OverloadPolicy>().unwrap(), p);
+            assert_eq!(p.to_string(), p.name());
+        }
+        assert!("drop".parse::<OverloadPolicy>().is_err());
+    }
+
+    #[test]
+    fn zero_budget_deadline_is_expired_on_arrival() {
+        let d = Deadline::start(Some(Duration::ZERO));
+        assert!(d.expired());
+        assert!(matches!(
+            d.check(),
+            Err(ServeError::DeadlineExceeded { budget_ms: 0, .. })
+        ));
+        assert!(!Deadline::unbounded().expired());
+        assert_eq!(d.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn fast_path_admits_up_to_capacity() {
+        let adm = Admission::new(AdmissionConfig {
+            max_in_flight: 2,
+            max_queue: 0,
+            policy: OverloadPolicy::Reject,
+        });
+        let d = Deadline::unbounded();
+        let p1 = adm.admit(&d).unwrap();
+        let p2 = adm.admit(&d).unwrap();
+        assert_eq!(adm.stats().in_flight, 2);
+        let err = adm.admit(&d).unwrap_err();
+        assert!(matches!(err, ServeError::Overloaded { shed: false, .. }));
+        drop(p1);
+        let _p3 = adm.admit(&d).unwrap();
+        drop(p2);
+        assert_eq!(adm.stats().in_flight, 1);
+    }
+
+    #[test]
+    fn queued_waiter_admitted_on_release() {
+        let adm = Arc::new(Admission::new(AdmissionConfig {
+            max_in_flight: 1,
+            max_queue: 4,
+            policy: OverloadPolicy::Reject,
+        }));
+        let permit = adm.admit(&Deadline::unbounded()).unwrap();
+        let entered = Arc::new(AtomicUsize::new(0));
+        let t = {
+            let adm = Arc::clone(&adm);
+            let entered = Arc::clone(&entered);
+            std::thread::spawn(move || {
+                let _p = adm.admit(&Deadline::unbounded()).unwrap();
+                entered.fetch_add(1, Ordering::SeqCst);
+            })
+        };
+        // The waiter cannot enter while the permit is held.
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(entered.load(Ordering::SeqCst), 0);
+        drop(permit);
+        t.join().unwrap();
+        assert_eq!(entered.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn shed_evicts_oldest_waiter() {
+        let adm = Arc::new(Admission::new(AdmissionConfig {
+            max_in_flight: 1,
+            max_queue: 1,
+            policy: OverloadPolicy::Shed,
+        }));
+        let permit = adm.admit(&Deadline::unbounded()).unwrap();
+        let barrier = Arc::new(Barrier::new(2));
+        let old = {
+            let adm = Arc::clone(&adm);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                adm.admit(&Deadline::unbounded()).map(|_| ())
+            })
+        };
+        barrier.wait();
+        // Wait until the old waiter is queued.
+        while adm.stats().queued == 0 {
+            std::hint::spin_loop();
+        }
+        // Queue is full (1) — a new arrival sheds the old waiter and
+        // takes its place.
+        let new = {
+            let adm = Arc::clone(&adm);
+            std::thread::spawn(move || adm.admit(&Deadline::unbounded()).map(|_| ()))
+        };
+        let old_res = old.join().unwrap();
+        assert!(
+            matches!(old_res, Err(ServeError::Overloaded { shed: true, .. })),
+            "oldest waiter must be shed: {old_res:?}"
+        );
+        drop(permit);
+        new.join().unwrap().expect("newest arrival must be admitted");
+    }
+
+    #[test]
+    fn queued_waiter_times_out_and_leaves_queue() {
+        let adm = Admission::new(AdmissionConfig {
+            max_in_flight: 1,
+            max_queue: 4,
+            policy: OverloadPolicy::Reject,
+        });
+        let _permit = adm.admit(&Deadline::unbounded()).unwrap();
+        let d = Deadline::start(Some(Duration::from_millis(40)));
+        let err = adm.admit(&d).unwrap_err();
+        assert!(matches!(err, ServeError::DeadlineExceeded { .. }), "{err}");
+        assert_eq!(adm.stats().queued, 0, "expired waiter must leave the queue");
+    }
+
+    #[test]
+    fn block_policy_never_rejects() {
+        let adm = Arc::new(Admission::new(AdmissionConfig {
+            max_in_flight: 1,
+            max_queue: 0, // ignored under Block
+            policy: OverloadPolicy::Block,
+        }));
+        let admitted = Arc::new(AtomicUsize::new(0));
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let adm = Arc::clone(&adm);
+                let admitted = Arc::clone(&admitted);
+                std::thread::spawn(move || {
+                    let _p = adm.admit(&Deadline::unbounded()).unwrap();
+                    admitted.fetch_add(1, Ordering::SeqCst);
+                    std::thread::sleep(Duration::from_millis(5));
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(admitted.load(Ordering::SeqCst), 4);
+    }
+}

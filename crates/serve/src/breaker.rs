@@ -1,0 +1,273 @@
+//! Circuit breaker around snapshot (re)loads.
+//!
+//! Consecutive load failures trip the breaker open; while open, further
+//! reload attempts are refused immediately (no I/O, no parse) until an
+//! exponential backoff elapses. The first attempt after the backoff runs
+//! in half-open probe mode: success closes the breaker, failure re-opens
+//! it with a doubled backoff (capped). This keeps a flaky snapshot source
+//! from burning load bandwidth while the last-good model keeps serving.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Breaker configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip the breaker.
+    pub failure_threshold: u32,
+    /// Backoff after the first trip; doubles per consecutive trip.
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        Self {
+            failure_threshold: 3,
+            base_backoff: Duration::from_millis(250),
+            max_backoff: Duration::from_secs(30),
+        }
+    }
+}
+
+/// The observable breaker state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Normal operation; loads proceed.
+    Closed,
+    /// Probing: one load is allowed through after a backoff elapsed.
+    HalfOpen,
+    /// Tripped: loads are refused until the backoff elapses.
+    Open,
+}
+
+impl BreakerState {
+    /// Gauge encoding: closed=0, half-open=1, open=2.
+    pub fn gauge_code(self) -> f64 {
+        match self {
+            BreakerState::Closed => 0.0,
+            BreakerState::HalfOpen => 1.0,
+            BreakerState::Open => 2.0,
+        }
+    }
+
+    /// Lowercase state name (events / logs).
+    pub fn name(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::HalfOpen => "half_open",
+            BreakerState::Open => "open",
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Phase {
+    Closed { consecutive_failures: u32 },
+    Open { until: Instant, trips: u32 },
+    HalfOpen { trips: u32 },
+}
+
+/// A state transition worth reporting (gauge update + event).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transition {
+    /// The breaker tripped open; next probe after `backoff`.
+    Opened {
+        /// Backoff until the next half-open probe.
+        backoff: Duration,
+        /// Consecutive trips so far (1 on the first).
+        trips: u32,
+    },
+    /// A half-open probe succeeded; normal operation resumed.
+    Closed,
+    /// The backoff elapsed; one probe is going through.
+    Probing,
+}
+
+/// Consecutive-failure circuit breaker with exponential backoff.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    phase: Mutex<Phase>,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker. `failure_threshold` is clamped to at least 1.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        let cfg = BreakerConfig {
+            failure_threshold: cfg.failure_threshold.max(1),
+            ..cfg
+        };
+        Self {
+            cfg,
+            phase: Mutex::new(Phase::Closed {
+                consecutive_failures: 0,
+            }),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> BreakerConfig {
+        self.cfg
+    }
+
+    /// The current observable state.
+    pub fn state(&self) -> BreakerState {
+        match *self.phase.lock().expect("breaker lock poisoned") {
+            Phase::Closed { .. } => BreakerState::Closed,
+            Phase::Open { .. } => BreakerState::Open,
+            Phase::HalfOpen { .. } => BreakerState::HalfOpen,
+        }
+    }
+
+    /// Asks permission to attempt a load. `Ok(None)` means go (closed or
+    /// already half-open), `Ok(Some(Probing))` means go — this call moved
+    /// the breaker to half-open, `Err(retry_in)` means refused.
+    pub fn try_acquire(&self) -> Result<Option<Transition>, Duration> {
+        let mut phase = self.phase.lock().expect("breaker lock poisoned");
+        match *phase {
+            Phase::Closed { .. } | Phase::HalfOpen { .. } => Ok(None),
+            Phase::Open { until, trips } => {
+                let now = Instant::now();
+                if now >= until {
+                    *phase = Phase::HalfOpen { trips };
+                    Ok(Some(Transition::Probing))
+                } else {
+                    Err(until - now)
+                }
+            }
+        }
+    }
+
+    /// Reports a successful load. Returns [`Transition::Closed`] when this
+    /// closed a half-open breaker.
+    pub fn on_success(&self) -> Option<Transition> {
+        let mut phase = self.phase.lock().expect("breaker lock poisoned");
+        let was_half_open = matches!(*phase, Phase::HalfOpen { .. });
+        *phase = Phase::Closed {
+            consecutive_failures: 0,
+        };
+        was_half_open.then_some(Transition::Closed)
+    }
+
+    /// Reports a failed load. Returns [`Transition::Opened`] when this
+    /// tripped (or re-tripped) the breaker.
+    pub fn on_failure(&self) -> Option<Transition> {
+        let mut phase = self.phase.lock().expect("breaker lock poisoned");
+        match *phase {
+            Phase::Closed {
+                consecutive_failures,
+            } => {
+                let fails = consecutive_failures + 1;
+                if fails >= self.cfg.failure_threshold {
+                    let trips = 1;
+                    let backoff = self.backoff(trips);
+                    *phase = Phase::Open {
+                        until: Instant::now() + backoff,
+                        trips,
+                    };
+                    Some(Transition::Opened { backoff, trips })
+                } else {
+                    *phase = Phase::Closed {
+                        consecutive_failures: fails,
+                    };
+                    None
+                }
+            }
+            Phase::HalfOpen { trips } => {
+                let trips = trips + 1;
+                let backoff = self.backoff(trips);
+                *phase = Phase::Open {
+                    until: Instant::now() + backoff,
+                    trips,
+                };
+                Some(Transition::Opened { backoff, trips })
+            }
+            // A failure reported while already open (racing loaders):
+            // keep the existing backoff.
+            Phase::Open { .. } => None,
+        }
+    }
+
+    fn backoff(&self, trips: u32) -> Duration {
+        let factor = 1u32.checked_shl(trips.saturating_sub(1)).unwrap_or(u32::MAX);
+        self.cfg
+            .base_backoff
+            .checked_mul(factor)
+            .map_or(self.cfg.max_backoff, |d| d.min(self.cfg.max_backoff))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker(threshold: u32, base_ms: u64, max_ms: u64) -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            failure_threshold: threshold,
+            base_backoff: Duration::from_millis(base_ms),
+            max_backoff: Duration::from_millis(max_ms),
+        })
+    }
+
+    #[test]
+    fn trips_after_threshold_consecutive_failures() {
+        let b = breaker(3, 20, 1000);
+        assert!(b.on_failure().is_none());
+        assert!(b.on_failure().is_none());
+        let t = b.on_failure().unwrap();
+        assert!(
+            matches!(t, Transition::Opened { trips: 1, backoff } if backoff == Duration::from_millis(20))
+        );
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(b.try_acquire().is_err());
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let b = breaker(2, 20, 1000);
+        assert!(b.on_failure().is_none());
+        assert!(b.on_success().is_none()); // closed -> closed: no transition
+        assert!(b.on_failure().is_none()); // streak restarted
+        assert!(b.on_failure().is_some());
+    }
+
+    #[test]
+    fn half_open_probe_closes_on_success() {
+        let b = breaker(1, 10, 1000);
+        b.on_failure().unwrap();
+        std::thread::sleep(Duration::from_millis(15));
+        assert_eq!(b.try_acquire().unwrap(), Some(Transition::Probing));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // A second acquirer during the probe is allowed (no probe quota).
+        assert_eq!(b.try_acquire().unwrap(), None);
+        assert_eq!(b.on_success(), Some(Transition::Closed));
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn reopening_doubles_backoff_up_to_cap() {
+        let b = breaker(1, 10, 25);
+        b.on_failure().unwrap(); // trip 1: 10ms
+        std::thread::sleep(Duration::from_millis(15));
+        b.try_acquire().unwrap();
+        let t = b.on_failure().unwrap(); // trip 2: 20ms
+        assert!(matches!(t, Transition::Opened { trips: 2, backoff } if backoff == Duration::from_millis(20)));
+        std::thread::sleep(Duration::from_millis(25));
+        b.try_acquire().unwrap();
+        let t = b.on_failure().unwrap(); // trip 3: 40ms capped to 25ms
+        assert!(matches!(t, Transition::Opened { trips: 3, backoff } if backoff == Duration::from_millis(25)));
+    }
+
+    #[test]
+    fn refused_acquire_reports_remaining_backoff() {
+        let b = breaker(1, 500, 1000);
+        b.on_failure().unwrap();
+        let retry_in = b.try_acquire().unwrap_err();
+        assert!(retry_in <= Duration::from_millis(500));
+        assert!(retry_in > Duration::from_millis(100));
+        // Failure while already open keeps the backoff (no new transition).
+        assert!(b.on_failure().is_none());
+    }
+}

@@ -1,0 +1,861 @@
+//! The scoring service: admission → version pin → guarded scoring →
+//! single-point outcome accounting.
+//!
+//! Every public query runs the same spine: start the deadline clock,
+//! pass the admission controller, pin a model version (full or the
+//! degraded bias fallback), score with runtime non-finite guards, and
+//! record exactly one outcome label per request. Because the outcome is
+//! counted in exactly one place, external tallies (the chaos harness,
+//! callers' own books) reconcile *exactly* against
+//! `inf2vec_serve_requests_total{outcome=...}`.
+//!
+//! Snapshot (re)loads go through the circuit breaker; query traffic does
+//! not — queries keep flowing against the pinned last-good version (or
+//! the bias fallback) no matter how broken the snapshot source is.
+
+use std::io::Read;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use inf2vec_embed::EmbeddingStore;
+use inf2vec_eval::aggregate::Aggregator;
+use inf2vec_eval::score::ScoringModel;
+use inf2vec_graph::NodeId;
+use inf2vec_obs::{Event, Telemetry};
+use inf2vec_util::error::{Inf2vecError, ServeError};
+use inf2vec_util::topk::TopK;
+
+use crate::admission::{Admission, AdmissionConfig, Deadline};
+use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker, Transition};
+use crate::registry::{BiasFallback, ModelRegistry, ModelVersion};
+
+/// Metric names the service registers (all under `inf2vec_serve_`).
+pub mod metrics {
+    /// Counter, labelled `outcome=<label>`: one increment per finished
+    /// request. The eight labels are [`crate::service::OUTCOMES`].
+    pub const REQUESTS_TOTAL: &str = "inf2vec_serve_requests_total";
+    /// Histogram of request wall-clock seconds.
+    pub const REQUEST_SECONDS: &str = "inf2vec_serve_request_seconds";
+    /// Gauge: waiters in the admission queue.
+    pub const QUEUE_DEPTH: &str = "inf2vec_serve_queue_depth";
+    /// Gauge: requests currently scoring.
+    pub const IN_FLIGHT: &str = "inf2vec_serve_in_flight";
+    /// Counter: requests evicted by the `Shed` policy.
+    pub const SHED_TOTAL: &str = "inf2vec_serve_shed_total";
+    /// Counter: requests that ran out of deadline budget.
+    pub const DEADLINE_MISS_TOTAL: &str = "inf2vec_serve_deadline_miss_total";
+    /// Counter: successful answers served from the bias fallback.
+    pub const DEGRADED_TOTAL: &str = "inf2vec_serve_degraded_answers_total";
+    /// Counter: successful model installs (hot-swaps).
+    pub const SWAP_TOTAL: &str = "inf2vec_serve_swap_total";
+    /// Counter: failed install attempts (validation or I/O).
+    pub const SWAP_FAILED_TOTAL: &str = "inf2vec_serve_swap_failed_total";
+    /// Histogram of snapshot load+validate+swap seconds.
+    pub const SWAP_SECONDS: &str = "inf2vec_serve_swap_seconds";
+    /// Gauge: breaker state (closed=0, half-open=1, open=2).
+    pub const BREAKER_STATE: &str = "inf2vec_serve_breaker_state";
+    /// Counter: reload attempts refused by the open breaker.
+    pub const BREAKER_SUPPRESSED_TOTAL: &str = "inf2vec_serve_breaker_suppressed_total";
+    /// Counter: versions evicted after a runtime non-finite score.
+    pub const QUARANTINED_TOTAL: &str = "inf2vec_serve_model_quarantined_total";
+    /// Gauge: currently serving model version (0 = none).
+    pub const MODEL_VERSION: &str = "inf2vec_serve_model_version";
+}
+
+/// Every outcome label a finished request can carry, in display order.
+/// `ok` and `degraded` are successes; the rest mirror
+/// [`ServeError::outcome`].
+pub const OUTCOMES: [&str; 8] = [
+    "ok",
+    "degraded",
+    "overloaded",
+    "shed",
+    "deadline_exceeded",
+    "unavailable",
+    "degraded_refused",
+    "bad_request",
+];
+
+/// Service configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Admission limits and overload policy.
+    pub admission: AdmissionConfig,
+    /// Snapshot-load circuit breaker tuning.
+    pub breaker: BreakerConfig,
+    /// Embedding dimension every installed model must have (`None`
+    /// accepts any).
+    pub expect_k: Option<usize>,
+    /// Deadline applied to requests that do not carry their own.
+    pub default_deadline: Option<Duration>,
+    /// Ranked-scoring loops re-check the deadline every this many
+    /// candidates (clamped to at least 1).
+    pub deadline_check_every: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            admission: AdmissionConfig::default(),
+            breaker: BreakerConfig::default(),
+            expect_k: None,
+            default_deadline: None,
+            deadline_check_every: 64,
+        }
+    }
+}
+
+/// Per-request options.
+#[derive(Debug, Clone, Copy)]
+pub struct Request {
+    /// Time budget; `None` falls back to the service's default deadline.
+    pub deadline: Option<Duration>,
+    /// When false, a bias-only answer is refused with
+    /// [`ServeError::DegradedAnswer`] instead of served flagged.
+    pub allow_degraded: bool,
+}
+
+impl Default for Request {
+    fn default() -> Self {
+        Self {
+            deadline: None,
+            allow_degraded: true,
+        }
+    }
+}
+
+impl Request {
+    /// Default options: service-default deadline, degraded answers ok.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets an explicit deadline budget.
+    pub fn with_deadline(mut self, budget: Duration) -> Self {
+        self.deadline = Some(budget);
+        self
+    }
+
+    /// Refuses degraded (bias-only) answers.
+    pub fn strict(mut self) -> Self {
+        self.allow_degraded = false;
+        self
+    }
+}
+
+/// One scalar answer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scored {
+    /// The influence score. Never NaN; `-inf` only for an empty active
+    /// set (the documented bottom element).
+    pub value: f64,
+    /// Model version that answered.
+    pub version: u64,
+    /// True when served from the bias-only fallback.
+    pub degraded: bool,
+}
+
+/// One ranked answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ranked {
+    /// Top candidates, best first, with their scores.
+    pub items: Vec<(NodeId, f64)>,
+    /// Model version that answered.
+    pub version: u64,
+    /// True when served from the bias-only fallback.
+    pub degraded: bool,
+}
+
+enum Resolved {
+    Full(Arc<ModelVersion>),
+    Degraded(Arc<BiasFallback>),
+}
+
+/// The thread-safe influence-scoring service. Share behind an `Arc`;
+/// every method takes `&self`.
+#[derive(Debug)]
+pub struct ScoringService {
+    cfg: ServeConfig,
+    registry: ModelRegistry,
+    admission: Admission,
+    breaker: CircuitBreaker,
+    telemetry: Telemetry,
+}
+
+impl ScoringService {
+    /// A service with no model installed yet. Queries before the first
+    /// successful install fail with [`ServeError::ModelUnavailable`].
+    pub fn new(cfg: ServeConfig, telemetry: Telemetry) -> Self {
+        let svc = Self {
+            cfg,
+            registry: ModelRegistry::new(cfg.expect_k),
+            admission: Admission::new(cfg.admission),
+            breaker: CircuitBreaker::new(cfg.breaker),
+            telemetry,
+        };
+        svc.telemetry
+            .gauge_set(metrics::BREAKER_STATE, BreakerState::Closed.gauge_code());
+        svc.telemetry.gauge_set(metrics::MODEL_VERSION, 0.0);
+        svc
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// The model registry (tests and embedders may install directly;
+    /// direct installs bypass swap accounting).
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.registry
+    }
+
+    /// The telemetry handle the service records through.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Current breaker state.
+    pub fn breaker_state(&self) -> BreakerState {
+        self.breaker.state()
+    }
+
+    // ----- model lifecycle -------------------------------------------------
+
+    /// Validates and installs an in-memory store (trusted local data:
+    /// not breaker-gated, but fully validated and accounted).
+    pub fn install_store(
+        &self,
+        store: EmbeddingStore,
+        label: &str,
+    ) -> Result<u64, Inf2vecError> {
+        match self.registry.install(store, label) {
+            Ok(m) => {
+                self.note_swap(&m);
+                Ok(m.version())
+            }
+            Err(e) => {
+                self.note_swap_failure(label, &e);
+                Err(e)
+            }
+        }
+    }
+
+    /// Loads, validates, and hot-swaps a snapshot from a reader, gated
+    /// by the circuit breaker. Returns the new version number.
+    pub fn reload_from_reader<R: Read>(
+        &self,
+        label: &str,
+        reader: R,
+        expected_checksum: Option<u64>,
+    ) -> Result<u64, Inf2vecError> {
+        self.reload_with(label, |reg| reg.load_from_reader(label, reader, expected_checksum))
+    }
+
+    /// Loads, validates, and hot-swaps a snapshot file (verifying a
+    /// `<path>.sum` sidecar when present), gated by the circuit breaker.
+    pub fn reload_from_path(&self, path: &Path) -> Result<u64, Inf2vecError> {
+        self.reload_with(&path.display().to_string(), |reg| reg.load_from_path(path))
+    }
+
+    fn reload_with(
+        &self,
+        label: &str,
+        load: impl FnOnce(&ModelRegistry) -> Result<Arc<ModelVersion>, Inf2vecError>,
+    ) -> Result<u64, Inf2vecError> {
+        match self.breaker.try_acquire() {
+            Err(retry_in) => {
+                self.telemetry.count(metrics::BREAKER_SUPPRESSED_TOTAL, 1);
+                Err(Inf2vecError::Serve(ServeError::ModelUnavailable {
+                    reason: format!(
+                        "snapshot reload suppressed by open circuit breaker; \
+                         retry in {}ms",
+                        retry_in.as_millis().max(1)
+                    ),
+                }))
+            }
+            Ok(transition) => {
+                if let Some(t) = transition {
+                    self.note_breaker(t);
+                }
+                let started = Instant::now();
+                let res = load(&self.registry);
+                self.telemetry
+                    .observe(metrics::SWAP_SECONDS, started.elapsed().as_secs_f64());
+                match res {
+                    Ok(m) => {
+                        if let Some(t) = self.breaker.on_success() {
+                            self.note_breaker(t);
+                        }
+                        self.note_swap(&m);
+                        Ok(m.version())
+                    }
+                    Err(e) => {
+                        if let Some(t) = self.breaker.on_failure() {
+                            self.note_breaker(t);
+                        }
+                        self.note_swap_failure(label, &e);
+                        Err(e)
+                    }
+                }
+            }
+        }
+    }
+
+    fn note_swap(&self, m: &ModelVersion) {
+        self.telemetry.count(metrics::SWAP_TOTAL, 1);
+        self.telemetry
+            .gauge_set(metrics::MODEL_VERSION, m.version() as f64);
+        self.telemetry.emit(
+            Event::new("serve_model_swapped")
+                .u64("version", m.version())
+                .str("label", m.label())
+                .str("checksum", format!("{:016x}", m.checksum()))
+                .u64("n", m.n() as u64)
+                .u64("k", m.k() as u64),
+        );
+    }
+
+    fn note_swap_failure(&self, label: &str, e: &Inf2vecError) {
+        self.telemetry.count(metrics::SWAP_FAILED_TOTAL, 1);
+        self.telemetry.emit(
+            Event::new("serve_swap_failed")
+                .str("label", label)
+                .str("error", e.to_string()),
+        );
+    }
+
+    fn note_breaker(&self, t: Transition) {
+        self.telemetry
+            .gauge_set(metrics::BREAKER_STATE, self.breaker.state().gauge_code());
+        let event = match t {
+            Transition::Opened { backoff, trips } => Event::new("serve_breaker_open")
+                .u64("backoff_ms", backoff.as_millis() as u64)
+                .u64("trips", u64::from(trips)),
+            Transition::Closed => Event::new("serve_breaker_closed"),
+            Transition::Probing => Event::new("serve_breaker_half_open"),
+        };
+        self.telemetry.emit(event);
+    }
+
+    // ----- queries ---------------------------------------------------------
+
+    /// The pair score `x(u, v)` (Eq. 3), or the bias-only approximation
+    /// when degraded.
+    pub fn score_pair(&self, u: NodeId, v: NodeId, req: &Request) -> Result<Scored, ServeError> {
+        let deadline = self.deadline(req);
+        let res = self.score_pair_inner(u, v, req, &deadline);
+        self.finish(scored_outcome(&res), &deadline);
+        res
+    }
+
+    /// Eq. 7: candidate `v`'s activation score given its activated
+    /// in-neighbors (activation order; empty set is the deterministic
+    /// bottom, `-inf`).
+    pub fn score_given_active(
+        &self,
+        v: NodeId,
+        active: &[NodeId],
+        agg: Aggregator,
+        req: &Request,
+    ) -> Result<Scored, ServeError> {
+        let deadline = self.deadline(req);
+        let res = self.score_given_active_inner(v, active, agg, req, &deadline);
+        self.finish(scored_outcome(&res), &deadline);
+        res
+    }
+
+    /// The `top_n` candidates most influenced by `u`, best first.
+    pub fn rank_targets(
+        &self,
+        u: NodeId,
+        candidates: &[NodeId],
+        top_n: usize,
+        req: &Request,
+    ) -> Result<Ranked, ServeError> {
+        let deadline = self.deadline(req);
+        let res = self.rank_targets_inner(u, candidates, top_n, req, &deadline);
+        let outcome = match &res {
+            Ok(r) => {
+                if r.degraded {
+                    "degraded"
+                } else {
+                    "ok"
+                }
+            }
+            Err(e) => e.outcome(),
+        };
+        self.finish(outcome, &deadline);
+        res
+    }
+
+    fn score_pair_inner(
+        &self,
+        u: NodeId,
+        v: NodeId,
+        req: &Request,
+        deadline: &Deadline,
+    ) -> Result<Scored, ServeError> {
+        let _permit = self.admission.admit(deadline)?;
+        deadline.check()?;
+        match self.resolve(req)? {
+            Resolved::Full(m) => {
+                check_ids(m.n(), &[u, v])?;
+                let x = m.store().score(u.0, v.0);
+                if x.is_finite() {
+                    Ok(Scored {
+                        value: x as f64,
+                        version: m.version(),
+                        degraded: false,
+                    })
+                } else {
+                    let reason = self.quarantine(&m, u, v);
+                    let fb = self.fallback_for(req, reason)?;
+                    bias_pair(&fb, u, v)
+                }
+            }
+            Resolved::Degraded(fb) => bias_pair(&fb, u, v),
+        }
+    }
+
+    fn score_given_active_inner(
+        &self,
+        v: NodeId,
+        active: &[NodeId],
+        agg: Aggregator,
+        req: &Request,
+        deadline: &Deadline,
+    ) -> Result<Scored, ServeError> {
+        let _permit = self.admission.admit(deadline)?;
+        deadline.check()?;
+        match self.resolve(req)? {
+            Resolved::Full(m) => {
+                check_ids(m.n(), &[v])?;
+                check_ids(m.n(), active)?;
+                if active.is_empty() {
+                    // The documented bottom element: deterministic, not a
+                    // model fault (see `Aggregator::apply`).
+                    return Ok(Scored {
+                        value: f64::NEG_INFINITY,
+                        version: m.version(),
+                        degraded: false,
+                    });
+                }
+                let scorer = m.scorer();
+                let model = ScoringModel::Representation(&scorer, agg);
+                let x = model.score_given_active(v, active);
+                if x.is_finite() {
+                    Ok(Scored {
+                        value: x,
+                        version: m.version(),
+                        degraded: false,
+                    })
+                } else {
+                    // Non-empty active set with finite parameters cannot
+                    // legally produce a non-finite aggregate; the model
+                    // must be emitting non-finite pair scores.
+                    let reason = self.quarantine(&m, active[0], v);
+                    let fb = self.fallback_for(req, reason)?;
+                    bias_active(&fb, v, active, agg)
+                }
+            }
+            Resolved::Degraded(fb) => {
+                check_ids(fb.len(), &[v])?;
+                check_ids(fb.len(), active)?;
+                bias_active(&fb, v, active, agg)
+            }
+        }
+    }
+
+    fn rank_targets_inner(
+        &self,
+        u: NodeId,
+        candidates: &[NodeId],
+        top_n: usize,
+        req: &Request,
+        deadline: &Deadline,
+    ) -> Result<Ranked, ServeError> {
+        if top_n == 0 {
+            return Err(ServeError::BadRequest {
+                reason: "top_n must be positive".into(),
+            });
+        }
+        let _permit = self.admission.admit(deadline)?;
+        deadline.check()?;
+        let every = self.cfg.deadline_check_every.max(1);
+        match self.resolve(req)? {
+            Resolved::Full(m) => {
+                check_ids(m.n(), &[u])?;
+                let mut top = TopK::new(top_n);
+                for (i, &v) in candidates.iter().enumerate() {
+                    if i % every == 0 {
+                        deadline.check()?;
+                    }
+                    check_ids(m.n(), &[v])?;
+                    let x = m.store().score(u.0, v.0);
+                    if !x.is_finite() {
+                        let reason = self.quarantine(&m, u, v);
+                        let fb = self.fallback_for(req, reason)?;
+                        return rank_bias(&fb, u, candidates, top_n, deadline, every);
+                    }
+                    top.push(x as f64, v);
+                }
+                Ok(Ranked {
+                    items: top.into_sorted().into_iter().map(|(s, v)| (v, s)).collect(),
+                    version: m.version(),
+                    degraded: false,
+                })
+            }
+            Resolved::Degraded(fb) => {
+                check_ids(fb.len(), &[u])?;
+                rank_bias(&fb, u, candidates, top_n, deadline, every)
+            }
+        }
+    }
+
+    // ----- plumbing --------------------------------------------------------
+
+    fn deadline(&self, req: &Request) -> Deadline {
+        Deadline::start(req.deadline.or(self.cfg.default_deadline))
+    }
+
+    fn resolve(&self, req: &Request) -> Result<Resolved, ServeError> {
+        if let Some(m) = self.registry.current() {
+            return Ok(Resolved::Full(m));
+        }
+        self.fallback_for(req, "no full model version installed".to_string())
+            .map(Resolved::Degraded)
+    }
+
+    fn fallback_for(
+        &self,
+        req: &Request,
+        reason: String,
+    ) -> Result<Arc<BiasFallback>, ServeError> {
+        let Some(fb) = self.registry.fallback() else {
+            return Err(ServeError::ModelUnavailable {
+                reason: format!("{reason}; no bias fallback retained"),
+            });
+        };
+        if !req.allow_degraded {
+            return Err(ServeError::DegradedAnswer { reason });
+        }
+        Ok(fb)
+    }
+
+    /// Evicts a version caught emitting non-finite scores at runtime.
+    /// Racing detectors are benign: only the first eviction counts, and
+    /// the fallback keeps serving either way.
+    fn quarantine(&self, m: &ModelVersion, u: NodeId, v: NodeId) -> String {
+        let reason = format!(
+            "model v{} emitted a non-finite score for pair ({}, {})",
+            m.version(),
+            u.0,
+            v.0
+        );
+        if self.registry.evict(m.version()) {
+            self.telemetry.count(metrics::QUARANTINED_TOTAL, 1);
+            self.telemetry
+                .gauge_set(metrics::MODEL_VERSION, self.registry.current_version() as f64);
+            self.telemetry.emit(
+                Event::new("serve_model_quarantined")
+                    .u64("version", m.version())
+                    .str("reason", reason.clone()),
+            );
+        }
+        reason
+    }
+
+    /// The single place an outcome is counted; external tallies reconcile
+    /// against exactly these increments.
+    fn finish(&self, outcome: &'static str, deadline: &Deadline) {
+        self.telemetry
+            .count_with(metrics::REQUESTS_TOTAL, &[("outcome", outcome)], 1);
+        self.telemetry
+            .observe(metrics::REQUEST_SECONDS, deadline.elapsed().as_secs_f64());
+        match outcome {
+            "shed" => self.telemetry.count(metrics::SHED_TOTAL, 1),
+            "deadline_exceeded" => self.telemetry.count(metrics::DEADLINE_MISS_TOTAL, 1),
+            "degraded" => self.telemetry.count(metrics::DEGRADED_TOTAL, 1),
+            _ => {}
+        }
+        let stats = self.admission.stats();
+        self.telemetry
+            .gauge_set(metrics::QUEUE_DEPTH, stats.queued as f64);
+        self.telemetry
+            .gauge_set(metrics::IN_FLIGHT, stats.in_flight as f64);
+    }
+}
+
+fn scored_outcome(res: &Result<Scored, ServeError>) -> &'static str {
+    match res {
+        Ok(s) if s.degraded => "degraded",
+        Ok(_) => "ok",
+        Err(e) => e.outcome(),
+    }
+}
+
+fn check_ids(n: usize, ids: &[NodeId]) -> Result<(), ServeError> {
+    for &id in ids {
+        if id.0 as usize >= n {
+            return Err(ServeError::BadRequest {
+                reason: format!("node id {} outside model id space 0..{n}", id.0),
+            });
+        }
+    }
+    Ok(())
+}
+
+fn bias_pair(fb: &BiasFallback, u: NodeId, v: NodeId) -> Result<Scored, ServeError> {
+    check_ids(fb.len(), &[u, v])?;
+    Ok(Scored {
+        value: fb.score(u.0, v.0),
+        version: fb.version(),
+        degraded: true,
+    })
+}
+
+fn bias_active(
+    fb: &BiasFallback,
+    v: NodeId,
+    active: &[NodeId],
+    agg: Aggregator,
+) -> Result<Scored, ServeError> {
+    let scorer = fb.scorer();
+    let model = ScoringModel::Representation(&scorer, agg);
+    Ok(Scored {
+        value: model.score_given_active(v, active),
+        version: fb.version(),
+        degraded: true,
+    })
+}
+
+fn rank_bias(
+    fb: &BiasFallback,
+    u: NodeId,
+    candidates: &[NodeId],
+    top_n: usize,
+    deadline: &Deadline,
+    every: usize,
+) -> Result<Ranked, ServeError> {
+    check_ids(fb.len(), &[u])?;
+    let mut top = TopK::new(top_n);
+    for (i, &v) in candidates.iter().enumerate() {
+        if i % every == 0 {
+            deadline.check()?;
+        }
+        check_ids(fb.len(), &[v])?;
+        top.push(fb.score(u.0, v.0), v);
+    }
+    Ok(Ranked {
+        items: top.into_sorted().into_iter().map(|(s, v)| (v, s)).collect(),
+        version: fb.version(),
+        degraded: true,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inf2vec_obs::Telemetry;
+
+    fn service(expect_k: Option<usize>) -> ScoringService {
+        ScoringService::new(
+            ServeConfig {
+                expect_k,
+                ..ServeConfig::default()
+            },
+            Telemetry::with_registry(),
+        )
+    }
+
+    fn store(n: usize, k: usize, seed: u64) -> EmbeddingStore {
+        EmbeddingStore::new(n, k, seed)
+    }
+
+    #[test]
+    fn unserved_service_is_typed_unavailable() {
+        let svc = service(None);
+        let err = svc
+            .score_pair(NodeId(0), NodeId(1), &Request::new())
+            .unwrap_err();
+        assert!(matches!(err, ServeError::ModelUnavailable { .. }), "{err}");
+        assert_eq!(err.outcome(), "unavailable");
+    }
+
+    #[test]
+    fn scores_match_the_store_and_carry_the_version() {
+        let svc = service(Some(4));
+        let s = store(8, 4, 1);
+        let expect = s.score(2, 5) as f64;
+        let v = svc.install_store(s, "m1").unwrap();
+        let got = svc
+            .score_pair(NodeId(2), NodeId(5), &Request::new())
+            .unwrap();
+        assert_eq!(got.value, expect);
+        assert_eq!(got.version, v);
+        assert!(!got.degraded);
+    }
+
+    #[test]
+    fn empty_active_set_is_bottom_not_a_fault() {
+        let svc = service(None);
+        svc.install_store(store(4, 2, 3), "m").unwrap();
+        let got = svc
+            .score_given_active(NodeId(1), &[], Aggregator::Ave, &Request::new())
+            .unwrap();
+        assert_eq!(got.value, f64::NEG_INFINITY);
+        assert!(!got.degraded, "empty active set is not a degraded answer");
+        // The model was NOT quarantined for it.
+        assert!(svc.registry().current().is_some());
+    }
+
+    #[test]
+    fn out_of_range_ids_are_bad_requests() {
+        let svc = service(None);
+        svc.install_store(store(4, 2, 3), "m").unwrap();
+        for err in [
+            svc.score_pair(NodeId(4), NodeId(0), &Request::new())
+                .unwrap_err(),
+            svc.score_given_active(NodeId(0), &[NodeId(9)], Aggregator::Max, &Request::new())
+                .unwrap_err(),
+            svc.rank_targets(NodeId(0), &[NodeId(1)], 0, &Request::new())
+                .unwrap_err(),
+        ] {
+            assert_eq!(err.outcome(), "bad_request", "{err}");
+        }
+    }
+
+    #[test]
+    fn zero_budget_requests_fail_with_deadline_exceeded() {
+        let svc = service(None);
+        svc.install_store(store(4, 2, 3), "m").unwrap();
+        let req = Request::new().with_deadline(Duration::ZERO);
+        let err = svc.score_pair(NodeId(0), NodeId(1), &req).unwrap_err();
+        assert_eq!(err.outcome(), "deadline_exceeded");
+        let snap = svc.telemetry().snapshot();
+        assert_eq!(
+            snap.counter_value(metrics::REQUESTS_TOTAL, &[("outcome", "deadline_exceeded")]),
+            1
+        );
+        assert_eq!(snap.counter_value(metrics::DEADLINE_MISS_TOTAL, &[]), 1);
+    }
+
+    #[test]
+    fn runtime_overflow_quarantines_and_degrades() {
+        let svc = service(None);
+        // Finite parameters that overflow f32 in the dot product:
+        // 1e30 * 1e30 = 1e60 >> f32::MAX. Validation cannot catch this
+        // (every parameter is finite); the runtime guard must.
+        let s = store(4, 2, 3);
+        for i in 0..4 {
+            unsafe {
+                s.source.row_mut(i).fill(1e30);
+                s.target.row_mut(i).fill(1e30);
+            }
+        }
+        svc.install_store(s, "overflow").unwrap();
+        let got = svc
+            .score_pair(NodeId(0), NodeId(1), &Request::new())
+            .unwrap();
+        assert!(got.degraded, "overflowing model must degrade, not serve inf");
+        assert!(got.value.is_finite());
+        assert!(svc.registry().current().is_none(), "bad version evicted");
+        // Strict requests now get the typed refusal.
+        let err = svc
+            .score_pair(NodeId(0), NodeId(1), &Request::new().strict())
+            .unwrap_err();
+        assert_eq!(err.outcome(), "degraded_refused");
+        let snap = svc.telemetry().snapshot();
+        assert_eq!(snap.counter_value(metrics::QUARANTINED_TOTAL, &[]), 1);
+        assert_eq!(snap.counter_value(metrics::DEGRADED_TOTAL, &[]), 1);
+    }
+
+    #[test]
+    fn rank_results_are_sorted_and_consistent_with_pairs() {
+        let svc = service(None);
+        let s = store(16, 4, 7);
+        let expected: Vec<(u32, f64)> = (1..16).map(|v| (v, s.score(0, v) as f64)).collect();
+        svc.install_store(s, "m").unwrap();
+        let candidates: Vec<NodeId> = (1..16).map(NodeId).collect();
+        let ranked = svc
+            .rank_targets(NodeId(0), &candidates, 5, &Request::new())
+            .unwrap();
+        assert_eq!(ranked.items.len(), 5);
+        let mut best = expected.clone();
+        best.sort_by(|a, b| b.1.total_cmp(&a.1));
+        for (i, (v, score)) in ranked.items.iter().enumerate() {
+            assert_eq!(v.0, best[i].0, "rank position {i}");
+            assert_eq!(*score, best[i].1);
+        }
+    }
+
+    #[test]
+    fn breaker_suppresses_reloads_after_repeated_failures() {
+        let svc = ScoringService::new(
+            ServeConfig {
+                breaker: BreakerConfig {
+                    failure_threshold: 2,
+                    base_backoff: Duration::from_millis(30),
+                    max_backoff: Duration::from_millis(120),
+                },
+                ..ServeConfig::default()
+            },
+            Telemetry::with_registry(),
+        );
+        svc.install_store(store(4, 2, 1), "good").unwrap();
+        let garbage = b"not a snapshot";
+        assert!(svc.reload_from_reader("bad1", &garbage[..], None).is_err());
+        assert!(svc.reload_from_reader("bad2", &garbage[..], None).is_err());
+        assert_eq!(svc.breaker_state(), BreakerState::Open);
+        // While open: refused without touching the reader, as a typed
+        // Serve error; the good model keeps serving.
+        let err = svc
+            .reload_from_reader("bad3", &garbage[..], None)
+            .unwrap_err();
+        assert!(
+            matches!(&err, Inf2vecError::Serve(ServeError::ModelUnavailable { reason })
+                if reason.contains("circuit breaker")),
+            "{err}"
+        );
+        assert!(svc
+            .score_pair(NodeId(0), NodeId(1), &Request::new())
+            .is_ok());
+        // After the backoff, a good snapshot closes the breaker.
+        std::thread::sleep(Duration::from_millis(40));
+        let mut bytes = Vec::new();
+        store(4, 2, 2).save(&mut bytes).unwrap();
+        svc.reload_from_reader("recovered", &bytes[..], None)
+            .unwrap();
+        assert_eq!(svc.breaker_state(), BreakerState::Closed);
+        let snap = svc.telemetry().snapshot();
+        assert_eq!(snap.counter_value(metrics::BREAKER_SUPPRESSED_TOTAL, &[]), 1);
+        assert_eq!(snap.counter_value(metrics::SWAP_FAILED_TOTAL, &[]), 2);
+        assert_eq!(snap.counter_value(metrics::SWAP_TOTAL, &[]), 2);
+    }
+
+    #[test]
+    fn outcome_accounting_reconciles_exactly() {
+        let svc = service(None);
+        svc.install_store(store(4, 2, 1), "m").unwrap();
+        let req = Request::new();
+        let mut ok = 0u64;
+        for u in 0..4u32 {
+            for v in 0..4u32 {
+                svc.score_pair(NodeId(u), NodeId(v), &req).unwrap();
+                ok += 1;
+            }
+        }
+        svc.score_pair(NodeId(99), NodeId(0), &req).unwrap_err();
+        let snap = svc.telemetry().snapshot();
+        assert_eq!(
+            snap.counter_value(metrics::REQUESTS_TOTAL, &[("outcome", "ok")]),
+            ok
+        );
+        assert_eq!(
+            snap.counter_value(metrics::REQUESTS_TOTAL, &[("outcome", "bad_request")]),
+            1
+        );
+    }
+}

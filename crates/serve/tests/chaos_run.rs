@@ -1,0 +1,31 @@
+//! End-to-end chaos acceptance: every request gets a definitive outcome,
+//! nothing hangs or panics, no NaN ever escapes, and every worker-side
+//! tally reconciles exactly against the `inf2vec-obs` metrics.
+
+use inf2vec_obs::Telemetry;
+use inf2vec_serve::chaos::{run_chaos, ChaosConfig};
+
+#[test]
+fn scripted_chaos_run_reconciles_exactly() {
+    let report = run_chaos(&ChaosConfig::default(), Telemetry::with_registry());
+    assert!(report.reconciled(), "{}", report.summary());
+    assert!(report.requests > 0, "workers issued no traffic");
+    assert_eq!(report.bad_values, 0);
+    // The scripted phases all actually happened.
+    assert_eq!(report.swaps_ok, 4, "{}", report.summary());
+    // Corrupted, truncated, and two flaky loads: four scripted failures.
+    assert_eq!(report.swaps_failed, 4, "{}", report.summary());
+    assert_eq!(report.suppressed, 1, "{}", report.summary());
+    assert_eq!(report.quarantined, 1, "{}", report.summary());
+    // The traffic mix exercised the full outcome taxonomy we script for.
+    for outcome in ["ok", "degraded", "deadline_exceeded"] {
+        assert!(
+            report.tallies.get(outcome).copied().unwrap_or(0) > 0,
+            "no {outcome} outcomes in {}",
+            report.summary()
+        );
+    }
+    // The report serializes for artifact upload.
+    let json = report.to_json();
+    assert!(json.contains("\"reconciled\":true"), "{json}");
+}

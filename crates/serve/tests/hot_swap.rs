@@ -1,0 +1,155 @@
+//! Concurrent hot-swap correctness: readers hammering the service while
+//! a swapper flips between two models must never observe a torn model —
+//! every score is bit-identical to what exactly one of the versions
+//! produces, and the version tag on the answer always matches the model
+//! that produced the value.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Barrier;
+use std::time::Duration;
+
+use inf2vec_embed::EmbeddingStore;
+use inf2vec_graph::NodeId;
+use inf2vec_obs::Telemetry;
+use inf2vec_serve::{Request, ScoringService, ServeConfig};
+
+const N: usize = 32;
+const K: usize = 8;
+
+/// A store whose every pair score is exactly `K * s_val * t_val`
+/// (biases stay zero), so torn reads are detectable bit-for-bit.
+fn constant_store(s_val: f32, t_val: f32) -> EmbeddingStore {
+    let store = EmbeddingStore::new(N, K, 0);
+    for i in 0..N {
+        unsafe {
+            store.source.row_mut(i).fill(s_val);
+            store.target.row_mut(i).fill(t_val);
+        }
+    }
+    store
+}
+
+#[test]
+fn readers_never_observe_a_torn_model_across_hot_swaps() {
+    // Model A scores exactly 8 * 0.5 * 0.25 = 1.0 for every pair;
+    // model B scores exactly 8 * 1.0 * 0.5 = 4.0. Both are exact in f32,
+    // so any blend of the two parameter sets would score something else.
+    const VALUE_A: f64 = 1.0;
+    const VALUE_B: f64 = 4.0;
+    const READERS: usize = 4;
+    const SWAPS: u64 = 24;
+
+    let svc = ScoringService::new(
+        ServeConfig {
+            expect_k: Some(K),
+            ..ServeConfig::default()
+        },
+        Telemetry::with_registry(),
+    );
+    // Version 1 = A; the swapper then alternates B, A, B, ... so odd
+    // versions score VALUE_A and even versions VALUE_B.
+    svc.install_store(constant_store(0.5, 0.25), "A-v1").unwrap();
+
+    let barrier = Barrier::new(READERS + 1);
+    let stop = AtomicBool::new(false);
+
+    let versions_seen: Vec<Vec<u64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..READERS)
+            .map(|r| {
+                let svc = &svc;
+                let barrier = &barrier;
+                let stop = &stop;
+                scope.spawn(move || {
+                    barrier.wait();
+                    let mut seen = Vec::new();
+                    let mut i = r as u32;
+                    while !stop.load(Ordering::Relaxed) {
+                        i = i.wrapping_add(1);
+                        let u = NodeId(i % N as u32);
+                        let v = NodeId((i / 7) % N as u32);
+                        let scored = svc
+                            .score_pair(u, v, &Request::new())
+                            .expect("scoring must never fail during swaps");
+                        assert!(!scored.degraded, "full model must keep serving");
+                        let expected = if scored.version % 2 == 1 {
+                            VALUE_A
+                        } else {
+                            VALUE_B
+                        };
+                        // Bit-identical to the version the answer claims:
+                        // any torn read of a half-swapped parameter set
+                        // would produce a third value.
+                        assert_eq!(
+                            scored.value, expected,
+                            "torn model: version {} scored {}",
+                            scored.version, scored.value
+                        );
+                        if seen.last() != Some(&scored.version) {
+                            seen.push(scored.version);
+                        }
+                    }
+                    seen
+                })
+            })
+            .collect();
+
+        // The swapper: alternate B and A under full read traffic.
+        barrier.wait();
+        for gen in 2..=SWAPS {
+            let (store, label) = if gen % 2 == 0 {
+                (constant_store(1.0, 0.5), "B")
+            } else {
+                (constant_store(0.5, 0.25), "A")
+            };
+            svc.install_store(store, &format!("{label}-v{gen}")).unwrap();
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        stop.store(true, Ordering::SeqCst);
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    assert_eq!(svc.registry().installed_count(), SWAPS);
+    // Versions on answers never go backwards for a single reader (the
+    // registry never rolls back to an older generation), and the swaps
+    // really happened under the readers' feet.
+    let mut distinct_total = 0;
+    for seen in &versions_seen {
+        assert!(seen.windows(2).all(|w| w[0] < w[1]), "version went backwards: {seen:?}");
+        distinct_total += seen.len();
+    }
+    assert!(
+        distinct_total > READERS,
+        "readers never observed a swap: {versions_seen:?}"
+    );
+}
+
+#[test]
+fn failed_swap_is_invisible_to_readers() {
+    let svc = ScoringService::new(
+        ServeConfig {
+            expect_k: Some(K),
+            ..ServeConfig::default()
+        },
+        Telemetry::with_registry(),
+    );
+    svc.install_store(constant_store(0.5, 0.25), "good").unwrap();
+    let before = svc
+        .score_pair(NodeId(0), NodeId(1), &Request::new())
+        .unwrap();
+
+    // Reject at every validation layer in turn: parse garbage, wrong
+    // dimension, NaN parameters.
+    assert!(svc.reload_from_reader("garbage", &b"junk"[..], None).is_err());
+    assert!(svc
+        .install_store(EmbeddingStore::new(N, K + 1, 1), "bad-k")
+        .is_err());
+    let nan = EmbeddingStore::new(N, K, 2);
+    unsafe { nan.target.row_mut(3)[0] = f32::NAN };
+    assert!(svc.install_store(nan, "bad-nan").is_err());
+
+    let after = svc
+        .score_pair(NodeId(0), NodeId(1), &Request::new())
+        .unwrap();
+    assert_eq!(before, after, "failed loads must not disturb the serving model");
+    assert_eq!(after.version, 1);
+}

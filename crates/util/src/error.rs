@@ -323,6 +323,104 @@ impl From<std::io::Error> for IngestError {
     }
 }
 
+/// A failure of the online influence-scoring service (`inf2vec-serve`).
+///
+/// Every request the service accepts terminates in a definitive outcome:
+/// a successful (possibly degraded-flagged) answer or exactly one of these
+/// variants. None of them is a bug — they are the operational vocabulary
+/// the admission controller, deadline checks, model registry, and degraded
+/// mode speak.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The bounded admission queue rejected or shed the request.
+    Overloaded {
+        /// Queue depth observed at rejection time.
+        depth: usize,
+        /// Configured queue capacity.
+        capacity: usize,
+        /// True when the request had been admitted to the queue and was
+        /// later evicted by the `Shed` policy to make room for newer work;
+        /// false when it was turned away at the door (`Reject`).
+        shed: bool,
+    },
+    /// The request's deadline budget ran out (at admission, while queued,
+    /// or at a scoring-loop boundary).
+    DeadlineExceeded {
+        /// Wall-clock spent when the budget check failed.
+        elapsed_ms: u64,
+        /// The request's total budget.
+        budget_ms: u64,
+    },
+    /// No usable model version is installed (initial load never succeeded
+    /// and no bias fallback is retained, or a reload was suppressed by the
+    /// snapshot circuit breaker).
+    ModelUnavailable {
+        /// Why no model could answer.
+        reason: String,
+    },
+    /// Only a degraded (bias-only) answer was available and the request
+    /// explicitly refused degraded answers.
+    DegradedAnswer {
+        /// Why the full model could not answer.
+        reason: String,
+    },
+    /// The request itself is unanswerable (e.g. a node id outside the
+    /// model's id space).
+    BadRequest {
+        /// What was wrong with the request.
+        reason: String,
+    },
+}
+
+impl ServeError {
+    /// Stable snake_case outcome label used in metrics
+    /// (`inf2vec_serve_requests_total{outcome=...}`) and chaos tallies.
+    pub fn outcome(&self) -> &'static str {
+        match self {
+            ServeError::Overloaded { shed: false, .. } => "overloaded",
+            ServeError::Overloaded { shed: true, .. } => "shed",
+            ServeError::DeadlineExceeded { .. } => "deadline_exceeded",
+            ServeError::ModelUnavailable { .. } => "unavailable",
+            ServeError::DegradedAnswer { .. } => "degraded_refused",
+            ServeError::BadRequest { .. } => "bad_request",
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded {
+                depth,
+                capacity,
+                shed,
+            } => {
+                if *shed {
+                    write!(f, "request shed from admission queue (depth {depth}/{capacity})")
+                } else {
+                    write!(f, "service overloaded: admission queue full (depth {depth}/{capacity})")
+                }
+            }
+            ServeError::DeadlineExceeded {
+                elapsed_ms,
+                budget_ms,
+            } => write!(
+                f,
+                "deadline exceeded: {elapsed_ms}ms elapsed of a {budget_ms}ms budget"
+            ),
+            ServeError::ModelUnavailable { reason } => {
+                write!(f, "model unavailable: {reason}")
+            }
+            ServeError::DegradedAnswer { reason } => {
+                write!(f, "degraded answer refused by request: {reason}")
+            }
+            ServeError::BadRequest { reason } => write!(f, "bad request: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
 /// The workspace-wide error type: every fallible public API returns this
 /// or one of its payload types.
 #[derive(Debug)]
@@ -338,6 +436,8 @@ pub enum Inf2vecError {
     /// Streaming-ingestion failure (strict defect, exhausted error
     /// budget, failed cross-validation).
     Ingest(IngestError),
+    /// Online-serving failure (overload, deadline, model unavailable).
+    Serve(ServeError),
 }
 
 impl fmt::Display for Inf2vecError {
@@ -348,6 +448,7 @@ impl fmt::Display for Inf2vecError {
             Inf2vecError::Io(e) => write!(f, "I/O error: {e}"),
             Inf2vecError::Data(e) => write!(f, "{e}"),
             Inf2vecError::Ingest(e) => write!(f, "{e}"),
+            Inf2vecError::Serve(e) => write!(f, "{e}"),
         }
     }
 }
@@ -360,6 +461,7 @@ impl std::error::Error for Inf2vecError {
             Inf2vecError::Io(e) => Some(e),
             Inf2vecError::Data(e) => Some(e),
             Inf2vecError::Ingest(e) => Some(e),
+            Inf2vecError::Serve(e) => Some(e),
         }
     }
 }
@@ -391,6 +493,12 @@ impl From<DataError> for Inf2vecError {
 impl From<IngestError> for Inf2vecError {
     fn from(e: IngestError) -> Self {
         Inf2vecError::Ingest(e)
+    }
+}
+
+impl From<ServeError> for Inf2vecError {
+    fn from(e: ServeError) -> Self {
+        Inf2vecError::Serve(e)
     }
 }
 
@@ -458,6 +566,74 @@ mod tests {
                 _ => assert!(fatal, "{k} should abort strict ingestion"),
             }
         }
+    }
+
+    #[test]
+    fn serve_error_outcomes_and_displays() {
+        let cases: [(ServeError, &str, &str); 6] = [
+            (
+                ServeError::Overloaded {
+                    depth: 8,
+                    capacity: 8,
+                    shed: false,
+                },
+                "overloaded",
+                "queue full",
+            ),
+            (
+                ServeError::Overloaded {
+                    depth: 8,
+                    capacity: 8,
+                    shed: true,
+                },
+                "shed",
+                "shed",
+            ),
+            (
+                ServeError::DeadlineExceeded {
+                    elapsed_ms: 12,
+                    budget_ms: 10,
+                },
+                "deadline_exceeded",
+                "12ms",
+            ),
+            (
+                ServeError::ModelUnavailable {
+                    reason: "no snapshot ever loaded".into(),
+                },
+                "unavailable",
+                "no snapshot",
+            ),
+            (
+                ServeError::DegradedAnswer {
+                    reason: "bias-only fallback".into(),
+                },
+                "degraded_refused",
+                "bias-only",
+            ),
+            (
+                ServeError::BadRequest {
+                    reason: "node 99 out of range".into(),
+                },
+                "bad_request",
+                "node 99",
+            ),
+        ];
+        let mut outcomes = std::collections::BTreeSet::new();
+        for (e, outcome, substr) in cases {
+            assert_eq!(e.outcome(), outcome);
+            assert!(e.to_string().contains(substr), "{e}");
+            outcomes.insert(outcome);
+        }
+        assert_eq!(outcomes.len(), 6, "outcome labels must be unique");
+
+        let wrapped: Inf2vecError = ServeError::ModelUnavailable {
+            reason: "breaker open".into(),
+        }
+        .into();
+        assert!(matches!(wrapped, Inf2vecError::Serve(_)));
+        use std::error::Error as _;
+        assert!(wrapped.source().unwrap().to_string().contains("breaker"));
     }
 
     #[test]

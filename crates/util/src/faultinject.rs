@@ -9,6 +9,10 @@
 //! [`mangle_lines`] turns a clean text fixture into the kind of dirty
 //! SNAP-style crawl dump real ingestion must survive (junk lines, bit
 //! flips, truncated lines, shuffled fields, CRLF, BOM, interleaved NULs).
+//! For the serving layer, [`SlowReader`], [`FlakyReader`], and
+//! [`TruncatingReader`] simulate slow, dying, and truncated snapshot
+//! streams, and a [`FaultSchedule`] scripts a deterministic sequence of
+//! [`SnapshotFault`]s for chaos runs — one fault consumed per load attempt.
 //! They live in the library (not `#[cfg(test)]`) so integration tests and
 //! downstream crates can reuse them, but nothing on a production code path
 //! constructs one.
@@ -174,6 +178,242 @@ impl<R: Read> Read for CorruptingReader<R> {
     }
 }
 
+/// Reports end-of-file after `limit` bytes even though the inner reader has
+/// more — the read-side image of a truncated snapshot file (power loss
+/// mid-write with no atomic rename protecting it).
+#[derive(Debug)]
+pub struct TruncatingReader<R> {
+    inner: R,
+    remaining: usize,
+}
+
+impl<R: Read> TruncatingReader<R> {
+    /// Yields at most `limit` bytes, then EOF.
+    pub fn new(inner: R, limit: usize) -> Self {
+        Self {
+            inner,
+            remaining: limit,
+        }
+    }
+}
+
+impl<R: Read> Read for TruncatingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.remaining == 0 {
+            return Ok(0);
+        }
+        let cap = buf.len().min(self.remaining);
+        let n = self.inner.read(&mut buf[..cap])?;
+        self.remaining -= n;
+        Ok(n)
+    }
+}
+
+/// Reads through until `fail_after` bytes have passed, then returns a hard
+/// `io::Error` on every subsequent read — a yanked mount or a dying disk
+/// encountered mid-load.
+#[derive(Debug)]
+pub struct FlakyReader<R> {
+    inner: R,
+    remaining: usize,
+}
+
+impl<R: Read> FlakyReader<R> {
+    /// Delivers `fail_after` bytes, then errors forever.
+    pub fn new(inner: R, fail_after: usize) -> Self {
+        Self {
+            inner,
+            remaining: fail_after,
+        }
+    }
+}
+
+impl<R: Read> Read for FlakyReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.remaining == 0 {
+            return Err(io::Error::other("injected read failure"));
+        }
+        let cap = buf.len().min(self.remaining);
+        let n = self.inner.read(&mut buf[..cap])?;
+        self.remaining -= n;
+        Ok(n)
+    }
+}
+
+/// Caps each read at `chunk` bytes and sleeps `delay` before every chunk —
+/// an overloaded NFS volume or cold object store. Total injected latency is
+/// `ceil(len / chunk) * delay`, so tests can bound it precisely.
+#[derive(Debug)]
+pub struct SlowReader<R> {
+    inner: R,
+    delay: std::time::Duration,
+    chunk: usize,
+}
+
+impl<R: Read> SlowReader<R> {
+    /// Sleeps `delay` before each at-most-`chunk`-byte read (chunk ≥ 1).
+    pub fn new(inner: R, delay: std::time::Duration, chunk: usize) -> Self {
+        Self {
+            inner,
+            delay,
+            chunk: chunk.max(1),
+        }
+    }
+}
+
+impl<R: Read> Read for SlowReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        std::thread::sleep(self.delay);
+        let cap = buf.len().min(self.chunk);
+        self.inner.read(&mut buf[..cap])
+    }
+}
+
+/// One scripted fault applied to a snapshot read, consumed from a
+/// [`FaultSchedule`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotFault {
+    /// Read cleanly.
+    Clean,
+    /// Sleep `delay_ms` before every `chunk`-byte read ([`SlowReader`]).
+    Slow {
+        /// Milliseconds of sleep injected per chunk.
+        delay_ms: u64,
+        /// Bytes delivered per read.
+        chunk: usize,
+    },
+    /// Hard I/O error after `fail_after` bytes ([`FlakyReader`]).
+    Flaky {
+        /// Bytes delivered before the injected error.
+        fail_after: usize,
+    },
+    /// Bit-flip every `period`-th byte ([`CorruptingReader`]).
+    Corrupt {
+        /// Corruption period in bytes.
+        period: usize,
+    },
+    /// EOF after `limit` bytes ([`TruncatingReader`]).
+    Truncate {
+        /// Bytes delivered before the premature EOF.
+        limit: usize,
+    },
+}
+
+impl SnapshotFault {
+    /// Wraps `inner` in the reader this fault describes.
+    pub fn wrap<R: Read>(self, inner: R) -> FaultReader<R> {
+        match self {
+            SnapshotFault::Clean => FaultReader::Clean(inner),
+            SnapshotFault::Slow { delay_ms, chunk } => FaultReader::Slow(SlowReader::new(
+                inner,
+                std::time::Duration::from_millis(delay_ms),
+                chunk,
+            )),
+            SnapshotFault::Flaky { fail_after } => {
+                FaultReader::Flaky(FlakyReader::new(inner, fail_after))
+            }
+            SnapshotFault::Corrupt { period } => {
+                FaultReader::Corrupt(CorruptingReader::new(inner, period))
+            }
+            SnapshotFault::Truncate { limit } => {
+                FaultReader::Truncate(TruncatingReader::new(inner, limit))
+            }
+        }
+    }
+
+    /// Whether a loader fed through this fault is expected to fail (or at
+    /// least to reject the payload). `Slow` is the exception: it must
+    /// succeed, just late.
+    pub fn expect_load_failure(self) -> bool {
+        matches!(
+            self,
+            SnapshotFault::Flaky { .. }
+                | SnapshotFault::Corrupt { .. }
+                | SnapshotFault::Truncate { .. }
+        )
+    }
+}
+
+/// The concrete reader for one [`SnapshotFault`] (a closed enum instead of
+/// a `Box<dyn Read>` so no allocation or vtable sits on the load path).
+#[derive(Debug)]
+pub enum FaultReader<R> {
+    /// Pass-through.
+    Clean(R),
+    /// Delayed reads.
+    Slow(SlowReader<R>),
+    /// Hard error mid-stream.
+    Flaky(FlakyReader<R>),
+    /// Bit rot in flight.
+    Corrupt(CorruptingReader<R>),
+    /// Premature EOF.
+    Truncate(TruncatingReader<R>),
+}
+
+impl<R: Read> Read for FaultReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            FaultReader::Clean(r) => r.read(buf),
+            FaultReader::Slow(r) => r.read(buf),
+            FaultReader::Flaky(r) => r.read(buf),
+            FaultReader::Corrupt(r) => r.read(buf),
+            FaultReader::Truncate(r) => r.read(buf),
+        }
+    }
+}
+
+/// A scripted sequence of snapshot faults, consumed one per load attempt.
+///
+/// The chaos harness builds one schedule up front, then every snapshot
+/// (re)load takes the next step; once the script is exhausted every further
+/// load is [`SnapshotFault::Clean`]. Thread-safe: steps are handed out by
+/// an atomic cursor, so concurrent loaders each get a distinct step.
+#[derive(Debug)]
+pub struct FaultSchedule {
+    steps: Vec<SnapshotFault>,
+    cursor: std::sync::atomic::AtomicUsize,
+}
+
+impl FaultSchedule {
+    /// A schedule that plays `steps` in order, then stays clean.
+    pub fn new(steps: Vec<SnapshotFault>) -> Self {
+        Self {
+            steps,
+            cursor: std::sync::atomic::AtomicUsize::new(0),
+        }
+    }
+
+    /// Takes the next scripted fault (clean once exhausted).
+    pub fn next_fault(&self) -> SnapshotFault {
+        let i = self
+            .cursor
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.steps.get(i).copied().unwrap_or(SnapshotFault::Clean)
+    }
+
+    /// How many steps have been consumed so far.
+    pub fn consumed(&self) -> usize {
+        self.cursor
+            .load(std::sync::atomic::Ordering::Relaxed)
+            .min(self.steps.len())
+    }
+
+    /// Total scripted steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the script is empty.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The scripted steps.
+    pub fn steps(&self) -> &[SnapshotFault] {
+        &self.steps
+    }
+}
+
 /// How [`mangle_lines`] is allowed to damage a fixture.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MangleMode {
@@ -308,6 +548,86 @@ mod tests {
             .read_to_end(&mut rotted)
             .unwrap();
         assert_eq!(rotted, vec![0, 0, 0, 1, 0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn truncating_reader_reports_early_eof() {
+        let mut out = Vec::new();
+        TruncatingReader::new(&b"hello world"[..], 5)
+            .read_to_end(&mut out)
+            .unwrap();
+        assert_eq!(out, b"hello");
+    }
+
+    #[test]
+    fn flaky_reader_errors_after_budget() {
+        let mut r = FlakyReader::new(&b"abcdef"[..], 4);
+        let mut buf = [0u8; 3];
+        assert_eq!(r.read(&mut buf).unwrap(), 3);
+        assert_eq!(r.read(&mut buf).unwrap(), 1);
+        assert!(r.read(&mut buf).is_err());
+    }
+
+    #[test]
+    fn slow_reader_chunks_and_delivers_everything() {
+        let start = std::time::Instant::now();
+        let mut out = Vec::new();
+        SlowReader::new(&b"0123456789"[..], std::time::Duration::from_millis(2), 3)
+            .read_to_end(&mut out)
+            .unwrap();
+        assert_eq!(out, b"0123456789");
+        // 10 bytes at 3/chunk = 4 data reads (+1 EOF read), ≥ 8ms injected.
+        assert!(start.elapsed() >= std::time::Duration::from_millis(8));
+    }
+
+    #[test]
+    fn fault_schedule_plays_in_order_then_stays_clean() {
+        let sched = FaultSchedule::new(vec![
+            SnapshotFault::Corrupt { period: 7 },
+            SnapshotFault::Clean,
+            SnapshotFault::Flaky { fail_after: 2 },
+        ]);
+        assert_eq!(sched.len(), 3);
+        assert_eq!(sched.next_fault(), SnapshotFault::Corrupt { period: 7 });
+        assert_eq!(sched.next_fault(), SnapshotFault::Clean);
+        assert_eq!(sched.next_fault(), SnapshotFault::Flaky { fail_after: 2 });
+        assert_eq!(sched.next_fault(), SnapshotFault::Clean);
+        assert_eq!(sched.next_fault(), SnapshotFault::Clean);
+        assert_eq!(sched.consumed(), 3);
+    }
+
+    #[test]
+    fn snapshot_fault_wrap_dispatches() {
+        let data = b"0 1\n1 0\n";
+        let mut clean = Vec::new();
+        SnapshotFault::Clean
+            .wrap(&data[..])
+            .read_to_end(&mut clean)
+            .unwrap();
+        assert_eq!(clean, data);
+        assert!(!SnapshotFault::Clean.expect_load_failure());
+        assert!(!SnapshotFault::Slow { delay_ms: 1, chunk: 8 }.expect_load_failure());
+
+        let mut rotted = Vec::new();
+        SnapshotFault::Corrupt { period: 3 }
+            .wrap(&data[..])
+            .read_to_end(&mut rotted)
+            .unwrap();
+        assert_ne!(rotted, data);
+        assert!(SnapshotFault::Corrupt { period: 3 }.expect_load_failure());
+
+        let mut short = Vec::new();
+        SnapshotFault::Truncate { limit: 4 }
+            .wrap(&data[..])
+            .read_to_end(&mut short)
+            .unwrap();
+        assert_eq!(short, &data[..4]);
+
+        let mut sink = Vec::new();
+        assert!(SnapshotFault::Flaky { fail_after: 1 }
+            .wrap(&data[..])
+            .read_to_end(&mut sink)
+            .is_err());
     }
 
     #[test]

@@ -1,0 +1,83 @@
+//! Minimal JSON string escaping shared by the workspace's hand-rolled
+//! JSON writers.
+//!
+//! Several subsystems emit JSON without a serialization dependency: the
+//! ingest quarantine report (`inf2vec-ingest`), the serving layer's chaos
+//! reconciliation report (`inf2vec-serve`), and assorted bench artifacts.
+//! They all need exactly one hard part — correct string escaping — so it
+//! lives here once instead of being re-rolled (and re-bugged) per crate.
+//! (`inf2vec-obs` keeps a private copy by design: that crate is
+//! deliberately zero-dependency so it can be lifted out wholesale.)
+
+use std::fmt::Write as _;
+
+/// Appends the JSON escape of `s` (no surrounding quotes) to `out`.
+///
+/// Escapes the two mandatory characters (`"`, `\`), the common control
+/// characters by short form (`\n`, `\r`, `\t`), and every other control
+/// character as `\u00XX`. Everything else — including non-ASCII — passes
+/// through verbatim, which is valid JSON (UTF-8 wire encoding).
+pub fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Appends `s` as a complete JSON string literal (quotes included) to `out`.
+pub fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    escape_into(out, s);
+    out.push('"');
+}
+
+/// Returns `s` as a complete JSON string literal.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    push_json_string(&mut out, s);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_strings_pass_through() {
+        assert_eq!(json_string("hello"), "\"hello\"");
+        assert_eq!(json_string(""), "\"\"");
+        assert_eq!(json_string("π é 日本"), "\"π é 日本\"");
+    }
+
+    #[test]
+    fn mandatory_escapes() {
+        assert_eq!(json_string("a\"b"), r#""a\"b""#);
+        assert_eq!(json_string("a\\b"), r#""a\\b""#);
+        assert_eq!(json_string("a\nb\tc\rd"), r#""a\nb\tc\rd""#);
+    }
+
+    #[test]
+    fn control_characters_use_u_escapes() {
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+        assert_eq!(json_string("\u{1f}"), "\"\\u001f\"");
+        // 0x20 (space) and above are literal.
+        assert_eq!(json_string(" ~"), "\" ~\"");
+    }
+
+    #[test]
+    fn push_appends_in_place() {
+        let mut s = String::from("{\"k\":");
+        push_json_string(&mut s, "v\n");
+        s.push('}');
+        assert_eq!(s, "{\"k\":\"v\\n\"}");
+    }
+}

@@ -26,8 +26,12 @@
 //!   and friends) that fallible APIs return instead of panicking.
 //! - [`fsio`]: crash-safe file persistence (atomic write-temp + fsync +
 //!   rename) used by model/store/checkpoint writers.
-//! - [`faultinject`]: fault-injection writers (truncation, corruption,
-//!   forced I/O errors) for robustness tests; not used on production paths.
+//! - [`faultinject`]: fault-injection writers and readers (truncation,
+//!   corruption, slowness, forced I/O errors) plus scripted fault schedules
+//!   for robustness tests; not used on production paths.
+//! - [`json`]: the one shared JSON string-escaping helper behind every
+//!   hand-rolled JSON writer in the workspace (ingest reports, serve chaos
+//!   reports).
 
 pub mod alias;
 pub mod ascii;
@@ -35,6 +39,7 @@ pub mod error;
 pub mod faultinject;
 pub mod fsio;
 pub mod hash;
+pub mod json;
 pub mod rng;
 pub mod sigmoid;
 pub mod stats;
@@ -42,7 +47,9 @@ pub mod table;
 pub mod topk;
 
 pub use alias::AliasTable;
-pub use error::{ConfigError, DataError, DefectKind, Inf2vecError, IngestError, TrainError};
+pub use error::{
+    ConfigError, DataError, DefectKind, Inf2vecError, IngestError, ServeError, TrainError,
+};
 pub use fsio::atomic_write;
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use rng::{split_seed, SplitMix64, Xoshiro256pp};

@@ -1,0 +1,73 @@
+//! Serve-under-chaos demo: hammer the resilient scoring service from
+//! worker threads while a scripted fault schedule breaks the snapshot
+//! source — corrupted, slow, truncated, and flaky loads, a circuit-
+//! breaker trip with a suppressed reload, a finite-parameter model that
+//! overflows at scoring time (runtime quarantine + degraded bias-only
+//! answers), and a final recovery swap — then prove three things:
+//!
+//! 1. every request got a definitive outcome (success, typed rejection,
+//!    or flagged degraded answer) — nothing hung, nothing panicked,
+//! 2. no NaN or unexpected non-finite score ever escaped, and
+//! 3. every worker-side tally reconciles *exactly* against the
+//!    `inf2vec-obs` metrics (`inf2vec_serve_requests_total{outcome=...}`,
+//!    swap/suppression/quarantine counters).
+//!
+//! ```sh
+//! cargo run --release --example serve_chaos -- \
+//!     /tmp/serve_chaos_report.json /tmp/serve_chaos_events.jsonl
+//! ```
+//!
+//! Exits non-zero if reconciliation fails; CI runs this and uploads both
+//! the report JSON and the JSONL telemetry as artifacts.
+
+use std::process::exit;
+use std::sync::Arc;
+
+use inf2vec::obs::{JsonlSink, Telemetry};
+use inf2vec::serve::chaos::{run_chaos, ChaosConfig};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let report_path = args.next();
+    let jsonl_path = args.next();
+
+    let telemetry = match &jsonl_path {
+        Some(path) => {
+            let sink = JsonlSink::create(path).unwrap_or_else(|e| {
+                eprintln!("error: cannot open {path}: {e}");
+                exit(2);
+            });
+            Telemetry::new(Arc::new(sink))
+        }
+        None => Telemetry::with_registry(),
+    };
+
+    let report = run_chaos(&ChaosConfig::default(), telemetry.clone());
+    println!("{}", report.summary());
+
+    if let Some(path) = &report_path {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("error: cannot write {path}: {e}");
+            exit(2);
+        }
+        println!("[serve_chaos] report written to {path}");
+    }
+    if let Err(e) = telemetry.flush() {
+        eprintln!("warning: telemetry flush failed: {e}");
+    }
+    if jsonl_path.is_some() {
+        println!(
+            "[serve_chaos] telemetry events written to {}",
+            jsonl_path.as_deref().unwrap_or("-")
+        );
+    }
+
+    if !report.reconciled() {
+        eprintln!("FAILED: chaos tallies did not reconcile against the metrics");
+        exit(1);
+    }
+    println!(
+        "OK: {} requests, all outcomes definitive and reconciled exactly",
+        report.requests
+    );
+}

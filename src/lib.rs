@@ -39,6 +39,7 @@
 //! | [`embed`] | `inf2vec-embed` | embedding stores, SGNS kernels, Hogwild parallel SGD |
 //! | [`baselines`] | `inf2vec-baselines` | DE, ST, IC-EM, Emb-IC, MF-BPR, node2vec |
 //! | [`eval`] | `inf2vec-eval` | activation/diffusion prediction tasks, AUC/MAP/P@N, aggregators |
+//! | [`serve`] | `inf2vec-serve` | resilient scoring service: versioned hot-swap registry, bounded admission, deadlines, circuit breaker, degraded fallback, chaos harness |
 //! | [`obs`] | `inf2vec-obs` | zero-dependency telemetry: metrics registry, spans, JSONL events, Prometheus exposition |
 //! | [`tsne`] | `inf2vec-tsne` | exact t-SNE + PCA for embedding visualization |
 //! | [`util`] | `inf2vec-util` | hashing, deterministic RNG, alias sampling, stats, text tables/plots |
@@ -54,6 +55,7 @@ pub use inf2vec_eval as eval;
 pub use inf2vec_graph as graph;
 pub use inf2vec_ingest as ingest;
 pub use inf2vec_obs as obs;
+pub use inf2vec_serve as serve;
 pub use inf2vec_tsne as tsne;
 pub use inf2vec_util as util;
 
@@ -65,5 +67,6 @@ pub mod prelude {
     pub use inf2vec_eval::{Aggregator, RankingMetrics, ScoringModel};
     pub use inf2vec_graph::{DiGraph, GraphBuilder, NodeId};
     pub use inf2vec_ingest::{ErrorPolicy, IngestConfig, Ingestor, ValidatedDataset};
+    pub use inf2vec_serve::{OverloadPolicy, Request, ScoringService, ServeConfig};
     pub use inf2vec_util::rng::Xoshiro256pp;
 }
