@@ -64,6 +64,12 @@ pub struct Opts {
     pub serve_policy: inf2vec_serve::OverloadPolicy,
     /// Destination for the serve chaos report JSON (`--serve-report`).
     pub serve_report: Option<PathBuf>,
+    /// Crash/recover cycles for the `soak` command (`--soak-cycles`).
+    pub soak_cycles: Option<u32>,
+    /// Records per traffic chunk for the `soak` command (`--soak-records`).
+    pub soak_records: Option<u32>,
+    /// Destination for the soak report JSON (`--soak-report`).
+    pub soak_report: Option<PathBuf>,
 }
 
 impl Default for Opts {
@@ -87,6 +93,9 @@ impl Default for Opts {
             serve_workers: 8,
             serve_policy: inf2vec_serve::OverloadPolicy::Shed,
             serve_report: None,
+            soak_cycles: None,
+            soak_records: None,
+            soak_report: None,
         }
     }
 }

@@ -12,6 +12,9 @@
 //!   serve          run the scoring-service chaos scenario and
 //!                  reconcile outcome tallies against the metrics,
 //!                  writing --serve-report JSON
+//!   soak           run the crash/recover pipeline soak with fault
+//!                  injection and reconcile every record, writing
+//!                  --soak-report JSON
 //!   all            every table and figure in order
 //!   ablate         every ablation
 //!
@@ -38,6 +41,7 @@ mod figures;
 mod ingest;
 mod oracle;
 mod serve;
+mod soak;
 mod tables;
 
 use std::sync::Arc;
@@ -129,6 +133,23 @@ fn main() {
             "--serve-report" => {
                 opts.serve_report = Some(take_value(&mut i).into());
             }
+            "--soak-cycles" => {
+                opts.soak_cycles = Some(
+                    take_value(&mut i)
+                        .parse()
+                        .unwrap_or_else(|_| die("--soak-cycles expects an integer")),
+                );
+            }
+            "--soak-records" => {
+                opts.soak_records = Some(
+                    take_value(&mut i)
+                        .parse()
+                        .unwrap_or_else(|_| die("--soak-records expects an integer")),
+                );
+            }
+            "--soak-report" => {
+                opts.soak_report = Some(take_value(&mut i).into());
+            }
             "--epochs" => {
                 opts.epochs_override = Some(
                     take_value(&mut i)
@@ -194,6 +215,7 @@ fn run_command(cmd: &str, opts: &Opts) {
         "oracle" => oracle::oracle(opts),
         "ingest" => ingest::ingest(opts),
         "serve" => serve::serve(opts),
+        "soak" => soak::soak(opts),
         "ablate-alpha" => ablate::ablate_alpha(opts),
         "ablate-bias" => ablate::ablate_bias(opts),
         "ablate-restart" => ablate::ablate_restart(opts),
@@ -223,7 +245,7 @@ fn print_help() {
          commands: table1 table2 table3 table4 table5 table6\n\
                    fig1 fig2 fig3 fig6 fig7 fig8 fig9\n\
                    ablate-alpha ablate-bias ablate-restart ablate-regen ablate\n\
-                   oracle ingest all\n\n\
+                   oracle ingest serve soak all\n\n\
          ingest:   repro ingest --edges FILE --actions FILE\n\
                    [--on-error strict|skip|repair] [--max-errors N]\n\
                    [--ingest-report FILE]  load a real dataset through the\n\
@@ -231,7 +253,12 @@ fn print_help() {
          serve:    repro serve [--serve-workers N]\n\
                    [--serve-policy reject|shed|block] [--serve-report FILE]\n\
                    hammer the resilient scoring service with scripted\n\
-                   snapshot faults and reconcile every outcome tally"
+                   snapshot faults and reconcile every outcome tally\n\n\
+         soak:     repro soak [--soak-cycles N] [--soak-records N]\n\
+                   [--soak-report FILE]  crash and recover the\n\
+                   continuous-learning pipeline under injected faults,\n\
+                   then reconcile every record and prove replay\n\
+                   bit-identity"
     );
 }
 

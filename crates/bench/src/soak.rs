@@ -1,0 +1,84 @@
+//! The `soak` subcommand: run the fault-injection pipeline soak and
+//! reconcile every written record against the pipeline's ledger.
+//!
+//! ```text
+//! repro soak [--soak-cycles N] [--soak-records N] \
+//!     [--soak-report FILE] [--telemetry-jsonl FILE]
+//! ```
+//!
+//! Drives synthetic action-log traffic through repeated crash/recover
+//! cycles while a scripted fault plan panics stages, fails and slows
+//! publishes, and tears journal slots. Exits non-zero when any record
+//! escapes the {applied, quarantined, pending} ledger, the obs gauges
+//! disagree, or an uninterrupted replay is not bit-identical — this is
+//! the CI gate for the continuous-learning pipeline.
+
+use inf2vec_obs::Telemetry;
+use inf2vec_pipeline::{run_soak, SoakConfig};
+
+use crate::common::Opts;
+use crate::die;
+
+/// Runs the pipeline soak command from the harness options.
+pub fn soak(opts: &Opts) {
+    // Reconciliation cross-checks the gauges, so the run needs a registry
+    // even when no --telemetry-jsonl sink was requested.
+    let telemetry = if opts.telemetry.enabled() {
+        opts.telemetry.clone()
+    } else {
+        Telemetry::with_registry()
+    };
+    let mut cfg = SoakConfig {
+        seed: opts.seed,
+        ..SoakConfig::default()
+    };
+    cfg.pipeline.telemetry = telemetry;
+    if opts.quick {
+        cfg.cycles = 3;
+        cfg.records_per_chunk = 80;
+    }
+    if let Some(cycles) = opts.soak_cycles {
+        cfg.cycles = cycles;
+    }
+    if let Some(records) = opts.soak_records {
+        cfg.records_per_chunk = records;
+    }
+
+    let workdir = opts.out.join("soak");
+    let report = run_soak(&cfg, &workdir)
+        .unwrap_or_else(|e| die(&format!("soak run failed: {e}")));
+
+    let r = &report.reconciliation;
+    opts.say(&format!(
+        "[soak] {} cycles, {} good + {} garbage records written",
+        report.cycles, report.written_good, report.written_bad
+    ));
+    opts.say(&format!(
+        "[soak] ledger: {} applied + {} pending = {} seen; {} quarantined",
+        r.records_applied, r.records_pending, r.records_seen, r.records_quarantined
+    ));
+    opts.say(&format!(
+        "[soak] restarts tail/train/publish: {}/{}/{}  publishes ok/failed/skipped: {}/{}/{}  versions installed: {}",
+        report.restarts.0,
+        report.restarts.1,
+        report.restarts.2,
+        report.publishes.0,
+        report.publishes.1,
+        report.publishes.2,
+        report.versions_installed,
+    ));
+    opts.say(&format!(
+        "[soak] balanced={} gauges_consistent={} bit_identical={} checksum={:016x}",
+        report.balanced, report.gauges_consistent, report.bit_identical, r.store_checksum
+    ));
+
+    if let Some(path) = &opts.soak_report {
+        match std::fs::write(path, report.to_json()) {
+            Ok(()) => opts.note(&format!("[soak] report written to {}", path.display())),
+            Err(e) => die(&format!("cannot write {}: {e}", path.display())),
+        }
+    }
+    if !report.passed() {
+        die("pipeline soak failed to reconcile (see report above)");
+    }
+}

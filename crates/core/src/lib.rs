@@ -29,10 +29,12 @@ pub mod config;
 pub mod context;
 pub mod corpus;
 pub mod model;
+pub mod stream;
 pub mod train;
 
 pub use config::Inf2vecConfig;
 pub use corpus::InfluenceContextSource;
+pub use stream::episode_pairs;
 pub use model::Inf2vecModel;
 pub use train::{
     resume_from_checkpoint, select_alpha, train, train_incremental, train_on_pairs,

@@ -23,12 +23,14 @@ pub mod checkpoint;
 pub mod faultinject;
 pub mod hogwild;
 pub mod negative;
+pub mod online;
 pub mod sgns;
 pub mod store;
 
 pub use checkpoint::Checkpoint;
 pub use hogwild::HogwildMatrix;
 pub use negative::NegativeTable;
+pub use online::{OnlineConfig, OnlineSgns, OnlineState};
 pub use sgns::{
     DivergenceGuard, EpochState, FlatPairs, PairSource, RecoveryEvent, SgnsConfig, SgnsTrainer,
     TrainOptions, TrainReport,

@@ -1,0 +1,423 @@
+//! Online SGNS: incremental per-episode updates for continuous learning.
+//!
+//! The batch trainer ([`crate::sgns::SgnsTrainer`]) iterates epochs over a
+//! frozen corpus. A continuous pipeline instead applies each episode's
+//! pairs once, as the episode completes, and must be able to re-apply an
+//! episode bit-identically when a crash forces replay from a journal.
+//! [`OnlineSgns`] therefore keeps *all* of its mutable state in a plain
+//! [`OnlineState`] value the pipeline can persist and restore:
+//!
+//! - **Lazy rows.** The store starts zeroed; a node's vectors are
+//!   initialized on first touch from a per-row stream (order-independent,
+//!   see [`EmbeddingStore::init_row`]), so cost scales with the users
+//!   actually seen, not the id space.
+//! - **Per-node adaptive learning rate.** Each pair trains at
+//!   `lr / sqrt(1 + decay · updates[u])` — fresh users take full-size
+//!   steps while long-seen users anneal, the online stand-in for the
+//!   batch trainer's global schedule.
+//! - **Deterministic negative sampling.** The unigram^0.75 table is
+//!   rebuilt before each episode as a *pure function* of the journaled
+//!   context counts, and the episode RNG is derived from
+//!   `(seed, episode_seq)` alone — replaying an episode against the same
+//!   prior state reproduces every sample, gradient, and row init exactly.
+
+use inf2vec_util::error::DataError;
+use inf2vec_util::rng::{split_seed, Xoshiro256pp};
+use inf2vec_util::SigmoidTable;
+
+use crate::hogwild::dot;
+use crate::negative::NegativeTable;
+use crate::store::EmbeddingStore;
+
+/// Stream id namespacing the per-episode update RNG.
+const ONLINE_STREAM: u64 = 0x0011_5E56;
+
+/// Online trainer hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct OnlineConfig {
+    /// Negative samples per positive pair.
+    pub negatives: usize,
+    /// Base learning rate.
+    pub lr: f32,
+    /// Per-node annealing strength: pair `(u, ·)` trains at
+    /// `lr / sqrt(1 + lr_decay · updates[u])`. Zero disables annealing.
+    pub lr_decay: f64,
+    /// Whether biases participate (mirrors [`EmbeddingStore::use_bias`]).
+    pub use_bias: bool,
+}
+
+impl Default for OnlineConfig {
+    fn default() -> Self {
+        Self {
+            negatives: 5,
+            lr: 0.025,
+            lr_decay: 0.05,
+            use_bias: true,
+        }
+    }
+}
+
+/// Every mutable piece of the online trainer, as plain persistable data.
+///
+/// A journal that stores an `OnlineState` (plus the episode stream
+/// position) can reconstruct the trainer exactly with
+/// [`OnlineSgns::from_state`].
+#[derive(Debug, Clone)]
+pub struct OnlineState {
+    /// The learned parameters (zero rows for never-seen users).
+    pub store: EmbeddingStore,
+    /// Per-node count of pairs applied with the node as center.
+    pub update_counts: Vec<u64>,
+    /// Per-node count of appearances as a (positive) context target —
+    /// the negative-sampling distribution.
+    pub ctx_counts: Vec<u64>,
+    /// Which rows have been lazily initialized.
+    pub initialized: Vec<bool>,
+    /// Episodes applied so far.
+    pub episodes_applied: u64,
+    /// Pairs applied so far.
+    pub pairs_applied: u64,
+}
+
+impl OnlineState {
+    /// A fresh state for `n` users with dimension `k`.
+    pub fn fresh(n: usize, k: usize) -> Self {
+        Self {
+            store: EmbeddingStore::zeroed(n, k),
+            update_counts: vec![0; n],
+            ctx_counts: vec![0; n],
+            initialized: vec![false; n],
+            episodes_applied: 0,
+            pairs_applied: 0,
+        }
+    }
+}
+
+/// The online trainer. Single-threaded over its store.
+#[derive(Debug)]
+pub struct OnlineSgns {
+    cfg: OnlineConfig,
+    seed: u64,
+    state: OnlineState,
+    sigmoid: SigmoidTable,
+}
+
+impl OnlineSgns {
+    /// A fresh trainer over `n` users with dimension `k`.
+    pub fn new(n: usize, k: usize, cfg: OnlineConfig, seed: u64) -> Self {
+        let mut state = OnlineState::fresh(n, k);
+        state.store.use_bias = cfg.use_bias;
+        Self {
+            cfg,
+            seed,
+            state,
+            sigmoid: SigmoidTable::default(),
+        }
+    }
+
+    /// Reconstructs a trainer from journaled state, validating shape
+    /// coherence (a mismatched journal must fail closed, not corrupt the
+    /// model).
+    pub fn from_state(state: OnlineState, cfg: OnlineConfig, seed: u64) -> Result<Self, DataError> {
+        let n = state.store.len();
+        if state.update_counts.len() != n
+            || state.ctx_counts.len() != n
+            || state.initialized.len() != n
+        {
+            return Err(DataError::Invalid {
+                message: format!(
+                    "online state shape mismatch: store has {n} rows, counts hold \
+                     {}/{}/{} entries",
+                    state.update_counts.len(),
+                    state.ctx_counts.len(),
+                    state.initialized.len()
+                ),
+            });
+        }
+        if state.store.has_non_finite() {
+            return Err(DataError::NonFinite {
+                what: "online state store",
+                line: 0,
+            });
+        }
+        Ok(Self {
+            cfg,
+            seed,
+            state,
+            sigmoid: SigmoidTable::default(),
+        })
+    }
+
+    /// The persistable state (journal this).
+    pub fn state(&self) -> &OnlineState {
+        &self.state
+    }
+
+    /// The learned parameters.
+    pub fn store(&self) -> &EmbeddingStore {
+        &self.state.store
+    }
+
+    /// Episodes applied so far.
+    pub fn episodes_applied(&self) -> u64 {
+        self.state.episodes_applied
+    }
+
+    /// Pairs applied so far.
+    pub fn pairs_applied(&self) -> u64 {
+        self.state.pairs_applied
+    }
+
+    /// Applies one episode's pairs. `episode_seq` is the episode's
+    /// position in the deterministic application order; re-applying the
+    /// same `(episode_seq, pairs)` to the same prior state is
+    /// bit-identical. Returns the mean SGNS loss over the pairs (0 for an
+    /// empty pair set).
+    pub fn apply_episode(&mut self, episode_seq: u64, pairs: &[(u32, u32)]) -> f64 {
+        // The sampler is a pure function of the pre-episode context
+        // counts, so recovery rebuilds exactly this table from the
+        // journal. O(n) per episode; the online n is the population the
+        // pipeline serves, not a web-scale vocabulary.
+        let negatives = if self.state.ctx_counts.iter().all(|&c| c == 0) {
+            NegativeTable::uniform(self.state.store.len() as u32)
+        } else {
+            NegativeTable::from_counts(&self.state.ctx_counts)
+        };
+        let mut rng = Xoshiro256pp::new(split_seed(
+            split_seed(self.seed, ONLINE_STREAM),
+            episode_seq,
+        ));
+        let k = self.state.store.k();
+        let mut grad = vec![0.0f32; k];
+        let mut loss = 0.0f64;
+        for &(u, v) in pairs {
+            let lr = self.adaptive_lr(u);
+            self.ensure_row(u);
+            self.ensure_row(v);
+            loss += self.update_pair(u, v, &negatives, lr, &mut rng, &mut grad);
+            self.state.update_counts[u as usize] += 1;
+            self.state.ctx_counts[v as usize] += 1;
+        }
+        self.state.episodes_applied += 1;
+        self.state.pairs_applied += pairs.len() as u64;
+        if pairs.is_empty() {
+            0.0
+        } else {
+            loss / pairs.len() as f64
+        }
+    }
+
+    fn adaptive_lr(&self, u: u32) -> f32 {
+        let c = self.state.update_counts[u as usize];
+        (self.cfg.lr as f64 / (1.0 + self.cfg.lr_decay * c as f64).sqrt()) as f32
+    }
+
+    fn ensure_row(&mut self, u: u32) {
+        let slot = &mut self.state.initialized[u as usize];
+        if !*slot {
+            self.state.store.init_row(u, self.seed);
+            *slot = true;
+        }
+    }
+
+    /// One SGNS pair update (the paper's Eq. 6 gradients, as in the batch
+    /// trainer) at the given learning rate. Negative rows are lazily
+    /// initialized as they are drawn.
+    fn update_pair(
+        &mut self,
+        u: u32,
+        v: u32,
+        negatives: &NegativeTable,
+        lr: f32,
+        rng: &mut Xoshiro256pp,
+        grad: &mut [f32],
+    ) -> f64 {
+        // Draw all negatives first so lazy row init (borrowing the state
+        // mutably) stays out of the unsafe row-borrow region below.
+        let mut negs = Vec::with_capacity(self.cfg.negatives);
+        for _ in 0..self.cfg.negatives {
+            let w = negatives.sample_excluding(u, v, rng);
+            self.ensure_row(w);
+            negs.push(w);
+        }
+
+        let store = &self.state.store;
+        let use_bias = store.use_bias;
+        grad.fill(0.0);
+        let mut bias_grad = 0.0f32;
+        let mut loss = 0.0f64;
+
+        // SAFETY (all row_mut calls below): source/target/bias matrices
+        // are distinct allocations and at most one row of each is borrowed
+        // at a time; the trainer is single-threaded over the store.
+        unsafe {
+            let su: &mut [f32] = store.source.row_mut(u as usize);
+            let b_u = if use_bias {
+                store.bias_src.row(u as usize)[0]
+            } else {
+                0.0
+            };
+
+            // Positive example v.
+            {
+                let tv: &mut [f32] = store.target.row_mut(v as usize);
+                let b_v = if use_bias {
+                    store.bias_tgt.row(v as usize)[0]
+                } else {
+                    0.0
+                };
+                let z = dot(su, tv) + b_u + b_v;
+                let sig = self.sigmoid.get(z);
+                let g = 1.0 - sig;
+                for (gi, ti) in grad.iter_mut().zip(tv.iter()) {
+                    *gi += g * ti;
+                }
+                for (ti, si) in tv.iter_mut().zip(su.iter()) {
+                    *ti += lr * g * si;
+                }
+                if use_bias {
+                    store.bias_tgt.row_mut(v as usize)[0] += lr * g;
+                }
+                bias_grad += g;
+                loss -= (sig.max(1e-7) as f64).ln();
+            }
+
+            // Negative examples.
+            for &w in &negs {
+                let tw: &mut [f32] = store.target.row_mut(w as usize);
+                let b_w = if use_bias {
+                    store.bias_tgt.row(w as usize)[0]
+                } else {
+                    0.0
+                };
+                let z = dot(su, tw) + b_u + b_w;
+                let sig = self.sigmoid.get(z);
+                let g = -sig;
+                for (gi, ti) in grad.iter_mut().zip(tw.iter()) {
+                    *gi += g * ti;
+                }
+                for (ti, si) in tw.iter_mut().zip(su.iter()) {
+                    *ti += lr * g * si;
+                }
+                if use_bias {
+                    store.bias_tgt.row_mut(w as usize)[0] += lr * g;
+                }
+                bias_grad += g;
+                loss -= ((1.0 - sig).max(1e-7) as f64).ln();
+            }
+
+            // Apply the accumulated center gradient.
+            for (si, gi) in su.iter_mut().zip(grad.iter()) {
+                *si += lr * gi;
+            }
+            if use_bias {
+                store.bias_src.row_mut(u as usize)[0] += lr * bias_grad;
+            }
+        }
+        loss
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pairs_for(episode: u64) -> Vec<(u32, u32)> {
+        // Deterministic toy pairs: two communities, plus drift per episode.
+        let base = [(0u32, 1u32), (1, 0), (2, 3), (3, 2), (0, 2)];
+        base.iter()
+            .map(|&(u, v)| ((u + episode as u32) % 6, (v + episode as u32) % 6))
+            .filter(|(u, v)| u != v)
+            .collect()
+    }
+
+    #[test]
+    fn replay_from_state_is_bit_identical() {
+        let mut a = OnlineSgns::new(6, 4, OnlineConfig::default(), 9);
+        for e in 0..3u64 {
+            a.apply_episode(e, &pairs_for(e));
+        }
+        // "Crash": persist the state, reconstruct, continue.
+        let snapshot = a.state().clone();
+        let mut b = OnlineSgns::from_state(snapshot, OnlineConfig::default(), 9).unwrap();
+        for e in 3..6u64 {
+            let la = a.apply_episode(e, &pairs_for(e));
+            let lb = b.apply_episode(e, &pairs_for(e));
+            assert_eq!(la, lb, "episode {e} loss");
+        }
+        assert_eq!(a.store().source.to_vec(), b.store().source.to_vec());
+        assert_eq!(a.store().target.to_vec(), b.store().target.to_vec());
+        assert_eq!(a.store().bias_src.to_vec(), b.store().bias_src.to_vec());
+        assert_eq!(a.state().update_counts, b.state().update_counts);
+        assert_eq!(a.state().ctx_counts, b.state().ctx_counts);
+    }
+
+    #[test]
+    fn untouched_rows_stay_zero() {
+        let mut t = OnlineSgns::new(10, 4, OnlineConfig::default(), 1);
+        t.apply_episode(0, &[(0, 1), (1, 0)]);
+        // Nodes 0 and 1 were centers/contexts; negatives may touch others,
+        // but any initialized row is flagged and any unflagged row is zero.
+        for u in 0..10u32 {
+            let zero = t.store().s(u).iter().all(|&x| x == 0.0)
+                && t.store().t(u).iter().all(|&x| x == 0.0);
+            assert_eq!(
+                zero,
+                !t.state().initialized[u as usize],
+                "row {u}: initialized flag must track content"
+            );
+        }
+        assert!(t.state().initialized[0] && t.state().initialized[1]);
+    }
+
+    #[test]
+    fn adaptive_lr_anneals_per_node() {
+        let mut t = OnlineSgns::new(4, 4, OnlineConfig::default(), 2);
+        let lr0 = t.adaptive_lr(0);
+        t.apply_episode(0, &[(0, 1); 50]);
+        assert!(t.adaptive_lr(0) < lr0, "node 0 must anneal after updates");
+        assert_eq!(t.adaptive_lr(2), lr0, "untouched node keeps the base lr");
+    }
+
+    #[test]
+    fn from_state_rejects_mismatched_shapes() {
+        let t = OnlineSgns::new(4, 4, OnlineConfig::default(), 3);
+        let mut bad = t.state().clone();
+        bad.ctx_counts.pop();
+        assert!(OnlineSgns::from_state(bad, OnlineConfig::default(), 3).is_err());
+    }
+
+    #[test]
+    fn training_separates_communities() {
+        let mut t = OnlineSgns::new(
+            8,
+            8,
+            OnlineConfig {
+                lr: 0.05,
+                lr_decay: 0.0,
+                ..OnlineConfig::default()
+            },
+            7,
+        );
+        // Two tight communities: {0..4} and {4..8}.
+        let mut pairs = Vec::new();
+        for u in 0..4u32 {
+            for v in 0..4u32 {
+                if u != v {
+                    pairs.push((u, v));
+                    pairs.push((u + 4, v + 4));
+                }
+            }
+        }
+        for e in 0..60u64 {
+            t.apply_episode(e, &pairs);
+        }
+        let s = t.store();
+        let within = s.score(0, 1) + s.score(4, 5);
+        let across = s.score(0, 5) + s.score(4, 1);
+        assert!(
+            within > across,
+            "within-community scores must dominate: {within} vs {across}"
+        );
+    }
+}

@@ -60,6 +60,47 @@ impl EmbeddingStore {
         }
     }
 
+    /// An all-zero store for online training: rows are lazily filled on a
+    /// node's first appearance via [`init_row`](Self::init_row), so a
+    /// continuous pipeline pays initialization only for users it has
+    /// actually seen.
+    pub fn zeroed(n: usize, k: usize) -> Self {
+        assert!(k > 0, "dimension must be positive");
+        assert!(n > 0, "need at least one node");
+        Self {
+            source: HogwildMatrix::zeros(n, k),
+            target: HogwildMatrix::zeros(n, k),
+            bias_src: HogwildMatrix::zeros(n, 1),
+            bias_tgt: HogwildMatrix::zeros(n, 1),
+            use_bias: true,
+        }
+    }
+
+    /// Initializes node `u`'s vectors from `U[-1/K, 1/K]` (biases stay 0)
+    /// using a per-row random stream split from `seed` — the result
+    /// depends only on `(seed, u)`, never on the order rows are touched,
+    /// so lazy initialization replays bit-identically after a crash.
+    ///
+    /// Caller contract: no concurrent access to row `u` (the online
+    /// trainer is single-threaded over the store).
+    pub fn init_row(&self, u: u32, seed: u64) {
+        let scale = 1.0 / self.k() as f32;
+        // Double split: the outer stream id namespaces row-init away from
+        // every other per-`u` stream derived from the same seed.
+        let row_seed =
+            inf2vec_util::split_seed(inf2vec_util::split_seed(seed, 0x1417), u as u64);
+        let mut rng = Xoshiro256pp::new(row_seed);
+        // SAFETY: one row borrow at a time; exclusivity per the contract.
+        unsafe {
+            for slot in self.source.row_mut(u as usize) {
+                *slot = (rng.next_f32() * 2.0 - 1.0) * scale;
+            }
+            for slot in self.target.row_mut(u as usize) {
+                *slot = (rng.next_f32() * 2.0 - 1.0) * scale;
+            }
+        }
+    }
+
     /// Embedding dimension K.
     #[inline]
     pub fn k(&self) -> usize {
@@ -561,6 +602,30 @@ mod tests {
         assert_eq!(l.source.to_vec(), s.source.to_vec());
         assert_eq!(l.target.to_vec(), s.target.to_vec());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lazy_row_init_is_order_independent() {
+        let a = EmbeddingStore::zeroed(5, 4);
+        let b = EmbeddingStore::zeroed(5, 4);
+        assert!(a.s(3).iter().all(|&x| x == 0.0));
+        // Touch rows in different orders: the result must match exactly.
+        for u in [3u32, 0, 4] {
+            a.init_row(u, 42);
+        }
+        for u in [4u32, 3, 0] {
+            b.init_row(u, 42);
+        }
+        assert_eq!(a.source.to_vec(), b.source.to_vec());
+        assert_eq!(a.target.to_vec(), b.target.to_vec());
+        let bound = 1.0 / 4.0 + 1e-6;
+        assert!(a.s(3).iter().any(|&x| x != 0.0));
+        assert!(a.s(3).iter().all(|x| x.abs() <= bound));
+        // Untouched rows stay zero; a different seed gives different rows.
+        assert!(a.s(1).iter().all(|&x| x == 0.0));
+        let c = EmbeddingStore::zeroed(5, 4);
+        c.init_row(3, 43);
+        assert_ne!(c.s(3), a.s(3));
     }
 
     #[test]

@@ -28,6 +28,9 @@
 //! - [`ValidatedDataset`] — the [`Ingestor`] entry point that
 //!   cross-validates log against graph and passes the final bundle
 //!   through `Dataset::try_new`.
+//! - [`LogTail`] — resumable tailing of an append-only action log for the
+//!   continuous-learning pipeline: complete-lines-only consumption and a
+//!   persistable [`TailPosition`] so a crash replays exactly once.
 //!
 //! Telemetry: when [`IngestConfig::telemetry`] is enabled, ingestion emits
 //! `ingest_started` / `record_quarantined` / `ingest_finished` events and
@@ -60,11 +63,13 @@ mod lines;
 mod parse;
 mod policy;
 mod report;
+mod tail;
 mod validated;
 
 pub use idmap::IdMap;
 pub use policy::{ErrorPolicy, IdMode, IngestConfig, RATIO_MIN_RECORDS};
 pub use report::{DefectSample, Disposition, IngestReport, SAMPLE_MAX_CHARS};
+pub use tail::{ActionRecord, LogTail, TailItem, TailPosition};
 pub use validated::{Ingestor, ValidatedDataset};
 
 // The taxonomy and error type live in the workspace error hierarchy

@@ -18,17 +18,25 @@ pub(crate) struct LineStream<R> {
     line_no: u64,
     bytes: u64,
     first: bool,
+    terminated: bool,
 }
 
 impl<R: BufRead> LineStream<R> {
     pub(crate) fn new(r: R) -> Self {
+        Self::with_bom_strip(r, true)
+    }
+
+    /// A stream that only strips a BOM when `strip_bom` is set — resumed
+    /// tails start mid-file, where a BOM-looking prefix is real data.
+    pub(crate) fn with_bom_strip(r: R, strip_bom: bool) -> Self {
         Self {
             r,
             raw: Vec::new(),
             text: String::new(),
             line_no: 0,
             bytes: 0,
-            first: true,
+            first: strip_bom,
+            terminated: false,
         }
     }
 
@@ -43,6 +51,7 @@ impl<R: BufRead> LineStream<R> {
         self.bytes += n as u64;
         self.line_no += 1;
         let mut bytes: &[u8] = &self.raw;
+        self.terminated = bytes.ends_with(b"\n");
         if bytes.ends_with(b"\n") {
             bytes = &bytes[..bytes.len() - 1];
         }
@@ -71,6 +80,13 @@ impl<R: BufRead> LineStream<R> {
     /// Bytes consumed so far.
     pub(crate) fn bytes(&self) -> u64 {
         self.bytes
+    }
+
+    /// Whether the most recent line ended with a `\n` terminator. A tail
+    /// reader uses this to tell a complete record from a partial line
+    /// still being appended by the writer.
+    pub(crate) fn last_terminated(&self) -> bool {
+        self.terminated
     }
 }
 

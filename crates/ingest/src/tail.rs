@@ -1,0 +1,328 @@
+//! Resumable tailing of an append-only `user item time` action log.
+//!
+//! A [`LogTail`] polls the log file for *complete* lines past a committed
+//! byte offset. A trailing line without its `\n` terminator is presumed to
+//! be mid-append and is left unconsumed — the next poll re-reads it — so a
+//! record is either seen whole exactly once or not yet at all. The
+//! committed [`TailPosition`] (byte offset + line number) is plain data a
+//! caller can persist in a progress journal and hand back to
+//! [`LogTail::resume`] after a crash: replaying from a journaled position
+//! yields exactly the records an uninterrupted tail would have produced.
+//!
+//! Every complete line classifies into exactly one [`TailItem`]:
+//! a parsed [`ActionRecord`], a typed [`TailItem::Defect`] (quarantine),
+//! or — for blanks and `#` comments — nothing at all. Corrupted tails
+//! (torn writes, flipped bytes) therefore surface as `MalformedLine` /
+//! `DanglingNode` / timestamp defects instead of derailing the stream.
+
+use std::io::{self, BufReader, Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+
+use inf2vec_util::error::DefectKind;
+
+use crate::lines::LineStream;
+use crate::parse::{parse_id, parse_time, TimeParse};
+use crate::policy::IdMode;
+use crate::report::SAMPLE_MAX_CHARS;
+
+/// One parsed action: `user` activated on `item` at `time`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ActionRecord {
+    /// 1-based physical line number in the log.
+    pub line_no: u64,
+    /// Dense user id, verified `< num_users`.
+    pub user: u32,
+    /// Item id (its own namespace; any `u32`).
+    pub item: u32,
+    /// Activation timestamp.
+    pub time: u64,
+}
+
+/// What one complete log line classified as.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TailItem {
+    /// A well-formed action record.
+    Record(ActionRecord),
+    /// A quarantined line: the defect kind plus a truncated sample.
+    Defect {
+        /// 1-based physical line number in the log.
+        line_no: u64,
+        /// Why the line was quarantined.
+        kind: DefectKind,
+        /// The offending line, truncated for reporting.
+        sample: String,
+    },
+}
+
+/// A committed tail position: resume here and the stream continues as if
+/// never interrupted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TailPosition {
+    /// Byte offset of the first unconsumed byte.
+    pub offset: u64,
+    /// Complete lines consumed so far.
+    pub line_no: u64,
+}
+
+/// Tails an append-only action log from a resumable position.
+#[derive(Debug)]
+pub struct LogTail {
+    path: PathBuf,
+    num_users: u32,
+    pos: TailPosition,
+}
+
+impl LogTail {
+    /// Tails `path` from the beginning. `num_users` bounds valid user ids
+    /// (a record naming a user outside the propagation network is a
+    /// [`DefectKind::DanglingNode`] defect).
+    pub fn new(path: impl Into<PathBuf>, num_users: u32) -> Self {
+        Self::resume(path, num_users, TailPosition::default())
+    }
+
+    /// Resumes tailing from a previously committed position.
+    pub fn resume(path: impl Into<PathBuf>, num_users: u32, pos: TailPosition) -> Self {
+        Self {
+            path: path.into(),
+            num_users,
+            pos,
+        }
+    }
+
+    /// The position the next poll starts from (persist this to resume).
+    pub fn position(&self) -> TailPosition {
+        self.pos
+    }
+
+    /// The log file being tailed.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Reads up to `max` newly completed lines, classifying each. Returns
+    /// an empty vec when nothing new is terminated yet (including when the
+    /// log file does not exist yet). The committed position only advances
+    /// past lines whose terminator has been seen.
+    pub fn poll(&mut self, max: usize) -> io::Result<Vec<TailItem>> {
+        let mut file = match std::fs::File::open(&self.path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e),
+        };
+        file.seek(SeekFrom::Start(self.pos.offset))?;
+        let reader = BufReader::new(file.take(u64::MAX));
+        let mut stream = LineStream::with_bom_strip(reader, self.pos.offset == 0);
+        let mut out = Vec::new();
+        let mut committed = 0u64;
+        while out.len() < max {
+            let Some((_, line)) = stream.next_line()? else {
+                break;
+            };
+            let line = line.to_string();
+            if !stream.last_terminated() {
+                // Partial tail line: the writer hasn't finished it. Leave
+                // it for the next poll.
+                break;
+            }
+            // Only lines whose terminator was seen move the offset.
+            committed = stream.bytes();
+            self.pos.line_no += 1;
+            if let Some(item) = self.classify(self.pos.line_no, &line) {
+                out.push(item);
+            }
+        }
+        self.pos.offset += committed;
+        Ok(out)
+    }
+
+    /// Classifies one complete line. Blank lines and comments yield
+    /// nothing; everything else is exactly one record or one defect.
+    fn classify(&self, line_no: u64, line: &str) -> Option<TailItem> {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            return None;
+        }
+        let defect = |kind| TailItem::Defect {
+            line_no,
+            kind,
+            sample: sample_of(trimmed),
+        };
+
+        let mut parts = trimmed.split_whitespace();
+        let fields = (parts.next(), parts.next(), parts.next(), parts.next());
+        let (u_tok, i_tok, t_tok) = match fields {
+            (Some(u), Some(i), Some(t), None) => (u, i, t),
+            _ => return Some(defect(DefectKind::MalformedLine)),
+        };
+        let user = match parse_id(u_tok, IdMode::Preserve, None) {
+            Ok(u) if u < self.num_users => u,
+            Ok(_) => return Some(defect(DefectKind::DanglingNode)),
+            Err(kind) => return Some(defect(kind)),
+        };
+        let item = match parse_id(i_tok, IdMode::Preserve, None) {
+            Ok(i) => i,
+            Err(kind) => return Some(defect(kind)),
+        };
+        let time = match parse_time(t_tok) {
+            TimeParse::Ok(t) => t,
+            // The tail quarantines rather than repairs: an online record
+            // with a mangled timestamp is evidence of a torn write, not a
+            // float export quirk.
+            TimeParse::Repairable(_, kind) | TimeParse::Bad(kind) => {
+                return Some(defect(kind));
+            }
+        };
+        Some(TailItem::Record(ActionRecord {
+            line_no,
+            user,
+            item,
+            time,
+        }))
+    }
+}
+
+fn sample_of(line: &str) -> String {
+    if line.chars().count() <= SAMPLE_MAX_CHARS {
+        line.to_string()
+    } else {
+        let cut: String = line.chars().take(SAMPLE_MAX_CHARS).collect();
+        format!("{cut}…")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs::OpenOptions;
+    use std::io::Write;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("inf2vec_tail_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn append(path: &Path, bytes: &[u8]) {
+        let mut f = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .unwrap();
+        f.write_all(bytes).unwrap();
+    }
+
+    fn rec(line_no: u64, user: u32, item: u32, time: u64) -> TailItem {
+        TailItem::Record(ActionRecord {
+            line_no,
+            user,
+            item,
+            time,
+        })
+    }
+
+    #[test]
+    fn partial_tail_line_waits_for_terminator() {
+        let path = tmp("partial.log");
+        std::fs::remove_file(&path).ok();
+        let mut tail = LogTail::new(&path, 10);
+        assert_eq!(tail.poll(100).unwrap(), Vec::new()); // file absent: not an error
+
+        append(&path, b"0 0 5\n1 0 7");
+        assert_eq!(tail.poll(100).unwrap(), vec![rec(1, 0, 0, 5)]);
+        let pos = tail.position();
+        assert_eq!(pos, TailPosition { offset: 6, line_no: 1 });
+
+        // The writer finishes the line: now it is consumed, exactly once.
+        append(&path, b"\n");
+        assert_eq!(tail.poll(100).unwrap(), vec![rec(2, 1, 0, 7)]);
+        assert_eq!(tail.poll(100).unwrap(), Vec::new());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_from_position_matches_uninterrupted_tail() {
+        let path = tmp("resume.log");
+        std::fs::remove_file(&path).ok();
+        append(&path, b"0 0 1\n1 0 2\n2 1 3\n3 1 4\n");
+
+        let mut uninterrupted = LogTail::new(&path, 10);
+        let all = uninterrupted.poll(100).unwrap();
+
+        let mut first = LogTail::new(&path, 10);
+        let head = first.poll(2).unwrap();
+        let mut second = LogTail::resume(&path, 10, first.position());
+        let rest = second.poll(100).unwrap();
+        let mut replayed = head;
+        replayed.extend(rest);
+        assert_eq!(replayed, all);
+        assert_eq!(second.position(), uninterrupted.position());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_lines_quarantine_with_typed_defects() {
+        let path = tmp("corrupt.log");
+        std::fs::remove_file(&path).ok();
+        append(
+            &path,
+            b"0 0 1\ngarbage\n9 0 2\n1 0 NaN\n1 0 2.5\n# comment\n\n2 0 3\n",
+        );
+        let mut tail = LogTail::new(&path, 5);
+        let items = tail.poll(100).unwrap();
+        let kinds: Vec<_> = items
+            .iter()
+            .map(|i| match i {
+                TailItem::Record(_) => None,
+                TailItem::Defect { kind, .. } => Some(*kind),
+            })
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                None,
+                Some(DefectKind::MalformedLine),
+                Some(DefectKind::DanglingNode),
+                Some(DefectKind::NonFiniteTimestamp),
+                Some(DefectKind::TimestampOutOfRange),
+                None,
+            ]
+        );
+        assert_eq!(tail.position().line_no, 8); // comments/blanks still count as lines
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn poll_respects_max_and_continues() {
+        let path = tmp("batch.log");
+        std::fs::remove_file(&path).ok();
+        append(&path, b"0 0 1\n1 0 2\n2 0 3\n");
+        let mut tail = LogTail::new(&path, 10);
+        assert_eq!(tail.poll(2).unwrap().len(), 2);
+        assert_eq!(tail.poll(2).unwrap(), vec![rec(3, 2, 0, 3)]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bom_is_data_when_resuming_mid_file() {
+        let path = tmp("bom.log");
+        std::fs::remove_file(&path).ok();
+        append(&path, b"\xef\xbb\xbf0 0 1\n");
+        let mut tail = LogTail::new(&path, 10);
+        assert_eq!(tail.poll(100).unwrap(), vec![rec(1, 0, 0, 1)]);
+        // A resumed tail must not strip BOM-looking bytes mid-file.
+        append(&path, b"\xef\xbb\xbf1 0 2\n");
+        let mut resumed = LogTail::resume(&path, 10, tail.position());
+        let items = resumed.poll(100).unwrap();
+        assert!(
+            matches!(
+                &items[..],
+                [TailItem::Defect {
+                    kind: DefectKind::MalformedLine,
+                    ..
+                }]
+            ),
+            "{items:?}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+}

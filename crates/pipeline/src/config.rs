@@ -1,0 +1,84 @@
+//! Pipeline configuration.
+
+use std::time::Duration;
+
+use inf2vec_core::Inf2vecConfig;
+use inf2vec_embed::OnlineConfig;
+use inf2vec_obs::Telemetry;
+
+/// Everything the continuous-learning pipeline needs to run.
+///
+/// The determinism-relevant knobs are `close_after`, `online`, `inf2vec`,
+/// and `seed`: together with the action-log bytes they fully determine the
+/// final model state. The remaining knobs (batching, channel capacity,
+/// publish cadence, backoff) shape *where* work happens, never *what* the
+/// result is — a crash and journal replay under any of them reconverges
+/// bit-identically.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Episode closing: an open item whose last activity is this many
+    /// accepted records in the past is complete. Keyed on the accepted-
+    /// record sequence (not wall clock) so closing replays exactly.
+    pub close_after: u64,
+    /// Max records consumed per tail poll.
+    pub batch_max: usize,
+    /// Bounded tail→train channel capacity (backpressure: a slow trainer
+    /// blocks the tailer instead of growing a queue).
+    pub channel_capacity: usize,
+    /// Consecutive empty tail polls that count as "caught up" for
+    /// [`Pipeline::run_until_idle`](crate::Pipeline::run_until_idle).
+    pub idle_polls: u32,
+    /// Tailer sleep between empty polls.
+    pub poll_interval: Duration,
+    /// Write the progress journal every N applied batches (1 = always).
+    pub journal_every_batches: u32,
+    /// Offer a snapshot to the publisher every N closed episodes.
+    pub publish_every_episodes: u64,
+    /// Publish retry attempts before giving the snapshot up.
+    pub publish_max_attempts: u32,
+    /// First retry backoff; doubles per attempt.
+    pub publish_backoff: Duration,
+    /// Retry backoff ceiling.
+    pub publish_backoff_cap: Duration,
+    /// Per-stage restarts tolerated before the pipeline escalates to
+    /// [`PipelineError::StageFailed`](inf2vec_util::PipelineError::StageFailed).
+    pub restart_budget: u32,
+    /// Online SGNS hyper-parameters.
+    pub online: OnlineConfig,
+    /// Context generation (Algorithm 1) parameters; `inf2vec.seed` is the
+    /// pipeline's determinism root.
+    pub inf2vec: Inf2vecConfig,
+    /// Metrics/events sink.
+    pub telemetry: Telemetry,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            close_after: 64,
+            batch_max: 256,
+            channel_capacity: 4,
+            idle_polls: 2,
+            poll_interval: Duration::from_millis(1),
+            journal_every_batches: 1,
+            publish_every_episodes: 8,
+            publish_max_attempts: 4,
+            publish_backoff: Duration::from_millis(10),
+            publish_backoff_cap: Duration::from_millis(500),
+            restart_budget: 5,
+            online: OnlineConfig::default(),
+            inf2vec: Inf2vecConfig {
+                l: 10,
+                ..Inf2vecConfig::default()
+            },
+            telemetry: Telemetry::disabled(),
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// The determinism root seed (shared with context generation).
+    pub fn seed(&self) -> u64 {
+        self.inf2vec.seed
+    }
+}

@@ -1,0 +1,187 @@
+//! Deterministic fault schedule for soak and robustness tests.
+//!
+//! Every trigger is keyed on a *monotonic cumulative counter* owned by the
+//! plan itself (items delivered, episodes closed, publish attempts,
+//! journal writes) — never on wall clock, and never on the pipeline's own
+//! replayable counters. A trigger fires exactly once even when recovery
+//! replays the pipeline counter past the same value again, so an injected
+//! crash cannot re-trigger itself into a crash loop.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// A scripted schedule of injected faults. [`FaultPlan::none`] is inert
+/// and is what production construction uses.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    /// Panic the tailer once its cumulative delivered-item count crosses
+    /// each value (ascending).
+    pub tailer_panic_after_items: Vec<u64>,
+    /// Panic the trainer once its cumulative episode-close count crosses
+    /// each value (ascending).
+    pub trainer_panic_after_episodes: Vec<u64>,
+    /// Fail these 1-based publish attempt ordinals.
+    pub publish_fail_attempts: Vec<u64>,
+    /// Panic the publisher once its cumulative snapshot count crosses
+    /// each value (ascending).
+    pub publisher_panic_after_snapshots: Vec<u64>,
+    /// After each of these 1-based journal writes, truncate the slot that
+    /// was just written (a torn write the next recovery must survive via
+    /// the other slot).
+    pub truncate_journal_after_writes: Vec<u64>,
+    /// Extra delay injected into every publish (a slow registry).
+    pub publish_delay: Option<Duration>,
+
+    items: AtomicU64,
+    items_idx: AtomicUsize,
+    episodes: AtomicU64,
+    episodes_idx: AtomicUsize,
+    attempts: AtomicU64,
+    snapshots: AtomicU64,
+    snapshots_idx: AtomicUsize,
+    journal_writes: AtomicU64,
+    writes_idx: AtomicUsize,
+}
+
+/// Advances `counter` by `n` and reports whether any threshold in
+/// `(old, new]` fires; `idx` consumes thresholds so each fires once.
+fn crossed(counter: &AtomicU64, idx: &AtomicUsize, thresholds: &[u64], n: u64) -> bool {
+    let new = counter.fetch_add(n, Ordering::SeqCst) + n;
+    let mut fired = false;
+    loop {
+        let i = idx.load(Ordering::SeqCst);
+        match thresholds.get(i) {
+            Some(&t) if t <= new => {
+                if idx
+                    .compare_exchange(i, i + 1, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+                {
+                    fired = true;
+                }
+            }
+            _ => return fired,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// An inert plan (no faults).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Schedules tailer panics (ascending cumulative item thresholds).
+    pub fn with_tailer_panics(mut self, after_items: Vec<u64>) -> Self {
+        self.tailer_panic_after_items = after_items;
+        self
+    }
+
+    /// Schedules trainer panics (ascending cumulative episode thresholds).
+    pub fn with_trainer_panics(mut self, after_episodes: Vec<u64>) -> Self {
+        self.trainer_panic_after_episodes = after_episodes;
+        self
+    }
+
+    /// Fails the given 1-based publish attempt ordinals.
+    pub fn with_publish_failures(mut self, attempts: Vec<u64>) -> Self {
+        self.publish_fail_attempts = attempts;
+        self
+    }
+
+    /// Schedules publisher panics (ascending cumulative snapshot thresholds).
+    pub fn with_publisher_panics(mut self, after_snapshots: Vec<u64>) -> Self {
+        self.publisher_panic_after_snapshots = after_snapshots;
+        self
+    }
+
+    /// Truncates the slot after the given 1-based journal writes.
+    pub fn with_journal_truncations(mut self, after_writes: Vec<u64>) -> Self {
+        self.truncate_journal_after_writes = after_writes;
+        self
+    }
+
+    /// Injects a fixed delay into every publish.
+    pub fn with_publish_delay(mut self, delay: Duration) -> Self {
+        self.publish_delay = Some(delay);
+        self
+    }
+
+    /// Tailer delivered `n` more items; true = panic now.
+    pub fn tick_tailer_items(&self, n: u64) -> bool {
+        crossed(
+            &self.items,
+            &self.items_idx,
+            &self.tailer_panic_after_items,
+            n,
+        )
+    }
+
+    /// Trainer closed one more episode; true = panic now.
+    pub fn tick_trainer_episode(&self) -> bool {
+        crossed(
+            &self.episodes,
+            &self.episodes_idx,
+            &self.trainer_panic_after_episodes,
+            1,
+        )
+    }
+
+    /// Publisher is making one more attempt; true = this attempt fails.
+    pub fn tick_publish_attempt(&self) -> bool {
+        let attempt = self.attempts.fetch_add(1, Ordering::SeqCst) + 1;
+        self.publish_fail_attempts.contains(&attempt)
+    }
+
+    /// Publisher finished one more snapshot; true = panic now.
+    pub fn tick_publisher_snapshot(&self) -> bool {
+        crossed(
+            &self.snapshots,
+            &self.snapshots_idx,
+            &self.publisher_panic_after_snapshots,
+            1,
+        )
+    }
+
+    /// Trainer wrote one more journal; true = truncate that slot file.
+    pub fn tick_journal_write(&self) -> bool {
+        crossed(
+            &self.journal_writes,
+            &self.writes_idx,
+            &self.truncate_journal_after_writes,
+            1,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thresholds_fire_exactly_once_each() {
+        let plan = FaultPlan {
+            tailer_panic_after_items: vec![5, 12],
+            ..FaultPlan::none()
+        };
+        let mut fires = 0;
+        for _ in 0..10 {
+            if plan.tick_tailer_items(2) {
+                fires += 1;
+            }
+        }
+        assert_eq!(fires, 2, "each threshold fires exactly once");
+        assert!(!plan.tick_tailer_items(100));
+    }
+
+    #[test]
+    fn publish_attempts_fail_by_ordinal() {
+        let plan = FaultPlan {
+            publish_fail_attempts: vec![1, 3],
+            ..FaultPlan::none()
+        };
+        assert!(plan.tick_publish_attempt());
+        assert!(!plan.tick_publish_attempt());
+        assert!(plan.tick_publish_attempt());
+        assert!(!plan.tick_publish_attempt());
+    }
+}

@@ -1,0 +1,424 @@
+//! Write-ahead progress journal: double-slot, checksummed, atomic.
+//!
+//! The journal captures *everything* the trainer needs to resume —
+//! committed tail position, acceptance counters, open (not-yet-closed)
+//! episode assembly state, and the full [`OnlineState`] — so that after a
+//! crash, replaying the action log from the journaled position reproduces
+//! the uninterrupted run bit for bit.
+//!
+//! # Slot discipline
+//!
+//! Writes alternate between two slot files (`journal.a` / `journal.b` by
+//! round parity), each written via [`atomic_write`] (temp sibling, fsync,
+//! rename) with a trailing FNV-1a checksum line. Recovery parses both
+//! slots, discards any whose checksum or structure fails, and keeps the
+//! valid one with the highest round:
+//!
+//! - a torn or truncated newest slot falls back to the previous round
+//!   (older position → more log replay → same final state);
+//! - both slots corrupt or absent → fresh start from offset 0, which is
+//!   still correct because the log, not the journal, is the source of
+//!   truth — the journal only saves work;
+//! - a slot that parses but disagrees with the pipeline's fixed shape
+//!   (user count, dimension) is a configuration error, surfaced as
+//!   [`PipelineError::JournalMismatch`] rather than silently retrained.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use inf2vec_embed::{EmbeddingStore, OnlineState};
+use inf2vec_ingest::TailPosition;
+use inf2vec_util::atomic_write;
+use inf2vec_util::error::{Inf2vecError, PipelineError};
+
+/// Journal format tag; bump on any incompatible layout change.
+const HEADER: &str = "inf2vec-journal v1";
+
+/// One open (still-assembling) episode, in persistable form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpenItemState {
+    /// The item (episode) id.
+    pub item: u32,
+    /// Accepted-record sequence of the item's most recent activity; the
+    /// episode closes when `records_seen - last_seq >= close_after`.
+    pub last_seq: u64,
+    /// Accepted records folded into this item so far (each record is
+    /// accounted to exactly one open item until the item closes).
+    pub folded: u64,
+    /// Per-user earliest activation: `(user, time, seq)`, sorted by user.
+    pub users: Vec<(u32, u64, u64)>,
+}
+
+/// A complete, self-validating snapshot of trainer progress.
+#[derive(Debug, Clone)]
+pub struct JournalState {
+    /// Monotonic write counter; selects the slot and orders recoveries.
+    pub round: u64,
+    /// Committed tail position: replay resumes exactly here.
+    pub pos: TailPosition,
+    /// Accepted (well-formed) records consumed.
+    pub records_seen: u64,
+    /// Records whose episode has closed (applied to the model).
+    pub records_applied: u64,
+    /// Defective records quarantined.
+    pub quarantined: u64,
+    /// Open episode assembly state, sorted by item id.
+    pub open: Vec<OpenItemState>,
+    /// The online trainer's full mutable state.
+    pub online: OnlineState,
+}
+
+/// The on-disk journal: a directory holding the two slots.
+#[derive(Debug, Clone)]
+pub struct Journal {
+    dir: PathBuf,
+}
+
+/// FNV-1a (64-bit) over raw bytes.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn unreadable(detail: impl std::fmt::Display) -> PipelineError {
+    PipelineError::JournalUnreadable {
+        detail: detail.to_string(),
+    }
+}
+
+impl Journal {
+    /// Opens (creating if needed) the journal directory.
+    pub fn new(dir: impl Into<PathBuf>) -> Result<Self, PipelineError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|e| unreadable(format!("create {dir:?}: {e}")))?;
+        Ok(Self { dir })
+    }
+
+    /// The slot file a given round lands in (rounds alternate slots, so
+    /// the previous round always survives the current write).
+    pub fn slot_path(&self, round: u64) -> PathBuf {
+        self.dir
+            .join(if round % 2 == 0 { "journal.a" } else { "journal.b" })
+    }
+
+    /// Atomically writes `state` into its slot. Returns the slot path
+    /// (fault injection truncates it to simulate torn writes).
+    pub fn write(&self, state: &JournalState) -> Result<PathBuf, Inf2vecError> {
+        let mut body = Vec::new();
+        serialize(state, &mut body)?;
+        let sum = fnv1a(&body);
+        let path = self.slot_path(state.round);
+        atomic_write(&path, |f| {
+            use std::io::Write;
+            f.write_all(&body)?;
+            writeln!(f, "checksum {sum:016x}")
+        })?;
+        Ok(path)
+    }
+
+    /// Loads the newest valid snapshot, or `None` for a fresh start.
+    ///
+    /// Corrupt/truncated slots are skipped (that is the double-slot
+    /// design working, not an error); an unreadable directory or a slot
+    /// that is valid but shaped for a different pipeline is an error.
+    pub fn load_latest(&self) -> Result<Option<JournalState>, PipelineError> {
+        let mut best: Option<JournalState> = None;
+        for name in ["journal.a", "journal.b"] {
+            let path = self.dir.join(name);
+            let bytes = match fs::read(&path) {
+                Ok(b) => b,
+                Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
+                Err(e) => return Err(unreadable(format!("read {path:?}: {e}"))),
+            };
+            let Some(state) = parse_slot(&bytes) else {
+                continue; // torn write: the other slot carries the state
+            };
+            if best.as_ref().map_or(true, |b| state.round > b.round) {
+                best = Some(state);
+            }
+        }
+        Ok(best)
+    }
+}
+
+/// Checks a parsed snapshot against the pipeline's fixed shape.
+pub fn check_shape(state: &JournalState, n: usize, k: usize) -> Result<(), PipelineError> {
+    let (jn, jk) = (state.online.store.len(), state.online.store.k());
+    if (jn, jk) != (n, k) {
+        return Err(PipelineError::JournalMismatch {
+            detail: format!("journal holds a {jn}x{jk} model, pipeline expects {n}x{k}"),
+        });
+    }
+    Ok(())
+}
+
+fn serialize(state: &JournalState, out: &mut Vec<u8>) -> io::Result<()> {
+    use std::io::Write;
+    writeln!(out, "{HEADER}")?;
+    writeln!(out, "round {}", state.round)?;
+    writeln!(out, "pos {} {}", state.pos.offset, state.pos.line_no)?;
+    writeln!(
+        out,
+        "counters {} {} {} {} {}",
+        state.records_seen,
+        state.records_applied,
+        state.quarantined,
+        state.online.episodes_applied,
+        state.online.pairs_applied
+    )?;
+    writeln!(out, "open {}", state.open.len())?;
+    for it in &state.open {
+        writeln!(
+            out,
+            "item {} {} {} {}",
+            it.item,
+            it.last_seq,
+            it.folded,
+            it.users.len()
+        )?;
+        for &(u, t, s) in &it.users {
+            writeln!(out, "{u} {t} {s}")?;
+        }
+    }
+    write_u64s(out, "update_counts", &state.online.update_counts)?;
+    write_u64s(out, "ctx_counts", &state.online.ctx_counts)?;
+    let init: Vec<u64> = state.online.initialized.iter().map(|&b| b as u64).collect();
+    write_u64s(out, "initialized", &init)?;
+    writeln!(out, "store")?;
+    state.online.store.save(&mut *out)?;
+    Ok(())
+}
+
+fn write_u64s(out: &mut Vec<u8>, tag: &str, vals: &[u64]) -> io::Result<()> {
+    use std::io::Write;
+    write!(out, "{tag} {}", vals.len())?;
+    for v in vals {
+        write!(out, " {v}")?;
+    }
+    writeln!(out)
+}
+
+/// Parses one slot; `None` on any structural or checksum defect.
+fn parse_slot(bytes: &[u8]) -> Option<JournalState> {
+    let text = std::str::from_utf8(bytes).ok()?;
+    // The checksum covers every byte before its own line.
+    let body_end = text.trim_end_matches('\n').rfind('\n')? + 1;
+    let sum_line = text[body_end..].trim();
+    let declared = u64::from_str_radix(sum_line.strip_prefix("checksum ")?, 16).ok()?;
+    if fnv1a(&bytes[..body_end]) != declared {
+        return None;
+    }
+
+    let mut lines = text[..body_end].lines();
+    if lines.next()? != HEADER {
+        return None;
+    }
+    let round: u64 = field(lines.next()?, "round")?.parse().ok()?;
+    let pos = fields(lines.next()?, "pos", 2)?;
+    let pos = TailPosition {
+        offset: pos[0],
+        line_no: pos[1],
+    };
+    let c = fields(lines.next()?, "counters", 5)?;
+    let n_open: usize = field(lines.next()?, "open")?.parse().ok()?;
+    let mut open = Vec::with_capacity(n_open);
+    for _ in 0..n_open {
+        let head = fields(lines.next()?, "item", 4)?;
+        let n_users = head[3] as usize;
+        let mut users = Vec::with_capacity(n_users);
+        for _ in 0..n_users {
+            let mut it = lines.next()?.split_ascii_whitespace();
+            let u: u32 = it.next()?.parse().ok()?;
+            let t: u64 = it.next()?.parse().ok()?;
+            let s: u64 = it.next()?.parse().ok()?;
+            if it.next().is_some() {
+                return None;
+            }
+            users.push((u, t, s));
+        }
+        open.push(OpenItemState {
+            item: head[0] as u32,
+            last_seq: head[1],
+            folded: head[2],
+            users,
+        });
+    }
+    let update_counts = read_u64s(lines.next()?, "update_counts")?;
+    let ctx_counts = read_u64s(lines.next()?, "ctx_counts")?;
+    let initialized: Vec<bool> = read_u64s(lines.next()?, "initialized")?
+        .into_iter()
+        .map(|v| v != 0)
+        .collect();
+    if lines.next()? != "store" {
+        return None;
+    }
+    let store_start = text[..body_end].find("\nstore\n")? + "\nstore\n".len();
+    let store = EmbeddingStore::load_data(io::Cursor::new(&bytes[store_start..body_end])).ok()?;
+    let n = store.len();
+    if update_counts.len() != n || ctx_counts.len() != n || initialized.len() != n {
+        return None;
+    }
+    Some(JournalState {
+        round,
+        pos,
+        records_seen: c[0],
+        records_applied: c[1],
+        quarantined: c[2],
+        open,
+        online: OnlineState {
+            store,
+            update_counts,
+            ctx_counts,
+            initialized,
+            episodes_applied: c[3],
+            pairs_applied: c[4],
+        },
+    })
+}
+
+fn field<'a>(line: &'a str, tag: &str) -> Option<&'a str> {
+    line.strip_prefix(tag)?.strip_prefix(' ').map(str::trim)
+}
+
+fn fields(line: &str, tag: &str, n: usize) -> Option<Vec<u64>> {
+    let vals: Vec<u64> = field(line, tag)?
+        .split_ascii_whitespace()
+        .map(|t| t.parse().ok())
+        .collect::<Option<_>>()?;
+    (vals.len() == n).then_some(vals)
+}
+
+fn read_u64s(line: &str, tag: &str) -> Option<Vec<u64>> {
+    let mut it = field(line, tag)?.split_ascii_whitespace();
+    let n: usize = it.next()?.parse().ok()?;
+    let vals: Vec<u64> = it.map(|t| t.parse().ok()).collect::<Option<_>>()?;
+    (vals.len() == n).then_some(vals)
+}
+
+/// Truncates `bytes` off the end of `path` — the soak harness's torn-write
+/// simulator (a crash between write and fsync on a less careful design).
+pub fn truncate_tail(path: &Path, bytes: u64) -> io::Result<()> {
+    let len = fs::metadata(path)?.len();
+    let f = fs::OpenOptions::new().write(true).open(path)?;
+    f.set_len(len.saturating_sub(bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::tmp_dir;
+
+    fn sample(round: u64) -> JournalState {
+        let mut online = OnlineState::fresh(4, 3);
+        online.store.init_row(1, 7);
+        online.initialized[1] = true;
+        online.update_counts[1] = 5;
+        online.ctx_counts[2] = 9;
+        online.episodes_applied = 3;
+        online.pairs_applied = 40;
+        JournalState {
+            round,
+            pos: TailPosition {
+                offset: 123,
+                line_no: 9,
+            },
+            records_seen: 11,
+            records_applied: 6,
+            quarantined: 2,
+            open: vec![OpenItemState {
+                item: 42,
+                last_seq: 11,
+                folded: 5,
+                users: vec![(0, 10, 3), (2, 4, 1)],
+            }],
+            online,
+        }
+    }
+
+    fn assert_same(a: &JournalState, b: &JournalState) {
+        assert_eq!(a.round, b.round);
+        assert_eq!(a.pos, b.pos);
+        assert_eq!(
+            (a.records_seen, a.records_applied, a.quarantined),
+            (b.records_seen, b.records_applied, b.quarantined)
+        );
+        assert_eq!(a.open, b.open);
+        assert_eq!(a.online.update_counts, b.online.update_counts);
+        assert_eq!(a.online.ctx_counts, b.online.ctx_counts);
+        assert_eq!(a.online.initialized, b.online.initialized);
+        assert_eq!(a.online.episodes_applied, b.online.episodes_applied);
+        assert_eq!(a.online.pairs_applied, b.online.pairs_applied);
+        assert_eq!(
+            a.online.store.source.to_vec(),
+            b.online.store.source.to_vec()
+        );
+        assert_eq!(
+            a.online.store.target.to_vec(),
+            b.online.store.target.to_vec()
+        );
+    }
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let tmp = tmp_dir("journal-roundtrip");
+        let j = Journal::new(&tmp).unwrap();
+        let state = sample(4);
+        j.write(&state).unwrap();
+        let loaded = j.load_latest().unwrap().expect("snapshot present");
+        assert_same(&state, &loaded);
+    }
+
+    #[test]
+    fn newest_valid_round_wins_across_slots() {
+        let tmp = tmp_dir("journal-rounds");
+        let j = Journal::new(&tmp).unwrap();
+        j.write(&sample(4)).unwrap(); // slot a
+        j.write(&sample(5)).unwrap(); // slot b
+        assert_eq!(j.load_latest().unwrap().unwrap().round, 5);
+        j.write(&sample(6)).unwrap(); // slot a again
+        assert_eq!(j.load_latest().unwrap().unwrap().round, 6);
+    }
+
+    #[test]
+    fn truncated_slot_falls_back_to_previous_round() {
+        let tmp = tmp_dir("journal-torn");
+        let j = Journal::new(&tmp).unwrap();
+        j.write(&sample(4)).unwrap();
+        let newest = j.write(&sample(5)).unwrap();
+        truncate_tail(&newest, 10).unwrap();
+        let loaded = j.load_latest().unwrap().expect("older slot survives");
+        assert_eq!(loaded.round, 4);
+    }
+
+    #[test]
+    fn bitflip_is_rejected_by_checksum() {
+        let tmp = tmp_dir("journal-flip");
+        let j = Journal::new(&tmp).unwrap();
+        let path = j.write(&sample(4)).unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        fs::write(&path, bytes).unwrap();
+        assert!(j.load_latest().unwrap().is_none(), "corrupt slot discarded");
+    }
+
+    #[test]
+    fn empty_dir_is_a_fresh_start() {
+        let tmp = tmp_dir("journal-fresh");
+        let j = Journal::new(&tmp).unwrap();
+        assert!(j.load_latest().unwrap().is_none());
+    }
+
+    #[test]
+    fn shape_mismatch_is_typed() {
+        let state = sample(0);
+        assert!(check_shape(&state, 4, 3).is_ok());
+        let err = check_shape(&state, 8, 3).unwrap_err();
+        assert!(matches!(err, PipelineError::JournalMismatch { .. }));
+    }
+}

@@ -1,0 +1,66 @@
+#![warn(missing_docs)]
+
+//! Crash-recoverable continuous-learning pipeline.
+//!
+//! Batch training (ingest a frozen log, train epochs, export) answers the
+//! paper's offline evaluation; a deployed influence model instead watches
+//! an *append-only action log* grow and must keep the served embeddings
+//! current without ever losing or double-counting a record. This crate
+//! wires the existing subsystems into that runtime:
+//!
+//! ```text
+//!  action log ──tail──▶ [tailer] ──bounded chan──▶ [trainer] ──try_send──▶ [publisher]
+//!  (append-only)         ingest     backpressure    assemble episodes       retry+backoff
+//!                                                   online SGNS             install_checked
+//!                                                   journal (WAL)           into ModelRegistry
+//! ```
+//!
+//! - [`journal`]: double-slot checksummed write-ahead journal; a crash at
+//!   *any* point replays to a bit-identical model (the log is the source
+//!   of truth, the journal only commits how far it has been consumed).
+//! - [`runner`]: the [`Pipeline`] — stage threads, bounded channels, a
+//!   supervisor that restarts panicked stages within a restart budget,
+//!   and exactly-once episode application across crashes.
+//! - [`publish`]: snapshot publication into the serve registry with
+//!   capped exponential backoff; a failing or slow registry never stalls
+//!   training (snapshots are skipped, training continues against the last
+//!   good version).
+//! - [`faults`]: deterministic fault schedules (stage panics, publish
+//!   failures, torn journal writes) for the soak harness.
+//! - [`soak`]: the fault-injection soak harness — drives synthetic
+//!   traffic through repeated crash/recover cycles, then reconciles
+//!   every written record against exactly one of
+//!   {applied, quarantined, pending} and proves replay bit-identity.
+
+pub mod config;
+pub mod faults;
+pub mod journal;
+pub mod publish;
+pub mod runner;
+pub mod soak;
+
+pub use config::PipelineConfig;
+pub use faults::FaultPlan;
+pub use journal::{Journal, JournalState, OpenItemState};
+pub use publish::{CountingSink, PublishSink, RegistrySink, Snapshot};
+pub use runner::{Pipeline, Reconciliation};
+pub use soak::{run_soak, SoakConfig, SoakReport};
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// A fresh, empty, uniquely named temp directory for one test.
+    pub fn tmp_dir(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "inf2vec_pipeline_{tag}_{}_{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+}

@@ -1,0 +1,245 @@
+//! Snapshot publication: retried, backed off, never blocking training.
+//!
+//! The trainer offers a [`Snapshot`] to the publisher thread over a
+//! capacity-1 `try_send` channel: if the publisher is still busy (slow
+//! registry, mid-backoff) the offer is simply dropped and counted — a
+//! fresher snapshot will come along, and training never waits on serving.
+//! Each accepted snapshot is pushed through a [`PublishSink`] with capped
+//! exponential backoff; exhausting the attempts abandons that snapshot
+//! (the registry keeps serving the last good version).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use inf2vec_embed::EmbeddingStore;
+use inf2vec_serve::ModelRegistry;
+use inf2vec_util::error::Inf2vecError;
+use inf2vec_util::SharedClock;
+
+use crate::config::PipelineConfig;
+use crate::faults::FaultPlan;
+
+/// One publishable model state, checksummed at capture time so the sink
+/// can verify the bits survived the channel crossing.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// The parameters to publish.
+    pub store: EmbeddingStore,
+    /// Version label (shows up in registry/version metadata).
+    pub label: String,
+    /// [`inf2vec_serve::store_checksum`] at capture time.
+    pub checksum: u64,
+    /// Episodes applied when the snapshot was taken.
+    pub episodes: u64,
+}
+
+/// Where snapshots go. The registry sink is the production target;
+/// tests substitute counting/failing sinks.
+pub trait PublishSink: Send + Sync {
+    /// Publishes one snapshot, returning the installed version number.
+    fn publish(&self, snap: &Snapshot) -> Result<u64, Inf2vecError>;
+}
+
+/// Publishes into a live [`ModelRegistry`] via checksum-verified install.
+#[derive(Debug)]
+pub struct RegistrySink {
+    registry: Arc<ModelRegistry>,
+}
+
+impl RegistrySink {
+    /// Wraps a registry.
+    pub fn new(registry: Arc<ModelRegistry>) -> Self {
+        Self { registry }
+    }
+}
+
+impl PublishSink for RegistrySink {
+    fn publish(&self, snap: &Snapshot) -> Result<u64, Inf2vecError> {
+        let version =
+            self.registry
+                .install_checked(snap.store.clone(), &snap.label, Some(snap.checksum))?;
+        Ok(version.version())
+    }
+}
+
+/// A test/bench sink that records successful publishes.
+#[derive(Debug, Default)]
+pub struct CountingSink {
+    published: AtomicU64,
+}
+
+impl CountingSink {
+    /// A fresh sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshots accepted so far.
+    pub fn published(&self) -> u64 {
+        self.published.load(Ordering::SeqCst)
+    }
+}
+
+impl PublishSink for CountingSink {
+    fn publish(&self, _snap: &Snapshot) -> Result<u64, Inf2vecError> {
+        Ok(self.published.fetch_add(1, Ordering::SeqCst) + 1)
+    }
+}
+
+/// Publisher-side counters, shared with the supervisor (atomics: the
+/// publisher thread may be restarted, the counters persist).
+#[derive(Debug, Default)]
+pub struct PublishCounters {
+    /// Snapshots successfully installed.
+    pub ok: AtomicU64,
+    /// Snapshots abandoned after exhausting retries.
+    pub failed: AtomicU64,
+    /// Snapshot offers dropped because the publisher was busy.
+    pub skipped: AtomicU64,
+}
+
+/// Publishes one snapshot with retry + capped exponential backoff.
+/// Returns `true` on success. Never propagates an error upward — a dead
+/// registry degrades publication, not training.
+pub fn publish_with_retry(
+    sink: &dyn PublishSink,
+    snap: &Snapshot,
+    cfg: &PipelineConfig,
+    clock: &SharedClock,
+    faults: &FaultPlan,
+    counters: &PublishCounters,
+) -> bool {
+    if let Some(delay) = faults.publish_delay {
+        clock.sleep(delay); // a slow registry
+    }
+    let mut backoff = cfg.publish_backoff;
+    for attempt in 1..=cfg.publish_max_attempts.max(1) {
+        let injected = faults.tick_publish_attempt();
+        let result = if injected {
+            Err(Inf2vecError::Data(inf2vec_util::error::DataError::Invalid {
+                message: "injected publish failure".into(),
+            }))
+        } else {
+            sink.publish(snap)
+        };
+        match result {
+            Ok(version) => {
+                counters.ok.fetch_add(1, Ordering::SeqCst);
+                cfg.telemetry.count("inf2vec_pipeline_publish_ok_total", 1);
+                cfg.telemetry.emit(
+                    inf2vec_obs::Event::new("pipeline.publish")
+                        .u64("version", version)
+                        .u64("episodes", snap.episodes)
+                        .u64("attempt", attempt as u64),
+                );
+                return true;
+            }
+            Err(e) => {
+                cfg.telemetry
+                    .count("inf2vec_pipeline_publish_retry_total", 1);
+                cfg.telemetry.emit(
+                    inf2vec_obs::Event::new("pipeline.publish_error")
+                        .u64("attempt", attempt as u64)
+                        .str("error", e.to_string()),
+                );
+                if attempt < cfg.publish_max_attempts.max(1) {
+                    clock.sleep(backoff);
+                    backoff = (backoff * 2).min(cfg.publish_backoff_cap);
+                }
+            }
+        }
+    }
+    counters.failed.fetch_add(1, Ordering::SeqCst);
+    cfg.telemetry.count("inf2vec_pipeline_publish_failed_total", 1);
+    false
+}
+
+/// Capped exponential backoff schedule (exposed for tests).
+pub fn backoff_schedule(base: Duration, cap: Duration, attempts: u32) -> Vec<Duration> {
+    let mut out = Vec::with_capacity(attempts as usize);
+    let mut b = base;
+    for _ in 0..attempts {
+        out.push(b.min(cap));
+        b = (b * 2).min(cap);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inf2vec_util::{Clock, ManualClock};
+
+    fn snap() -> Snapshot {
+        let store = EmbeddingStore::zeroed(3, 2);
+        store.init_row(0, 1);
+        Snapshot {
+            checksum: inf2vec_serve::store_checksum(&store),
+            store,
+            label: "test".into(),
+            episodes: 1,
+        }
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let s = backoff_schedule(
+            Duration::from_millis(10),
+            Duration::from_millis(35),
+            4,
+        );
+        assert_eq!(
+            s,
+            vec![
+                Duration::from_millis(10),
+                Duration::from_millis(20),
+                Duration::from_millis(35),
+                Duration::from_millis(35)
+            ]
+        );
+    }
+
+    #[test]
+    fn retry_recovers_from_injected_failures() {
+        let (clock, manual) = ManualClock::shared();
+        let cfg = PipelineConfig::default();
+        let sink = CountingSink::new();
+        let faults = FaultPlan::none().with_publish_failures(vec![1, 2]);
+        let counters = PublishCounters::default();
+        let before = manual.now();
+        assert!(publish_with_retry(
+            &sink, &snap(), &cfg, &clock, &faults, &counters
+        ));
+        assert_eq!(sink.published(), 1);
+        assert_eq!(counters.ok.load(Ordering::SeqCst), 1);
+        // Two failed attempts slept base then 2*base of backoff.
+        assert_eq!(manual.now() - before, cfg.publish_backoff * 3);
+    }
+
+    #[test]
+    fn exhausted_retries_abandon_the_snapshot() {
+        let (clock, _manual) = ManualClock::shared();
+        let cfg = PipelineConfig {
+            publish_max_attempts: 2,
+            ..PipelineConfig::default()
+        };
+        let sink = CountingSink::new();
+        let faults = FaultPlan::none().with_publish_failures(vec![1, 2]);
+        let counters = PublishCounters::default();
+        assert!(!publish_with_retry(
+            &sink, &snap(), &cfg, &clock, &faults, &counters
+        ));
+        assert_eq!(sink.published(), 0);
+        assert_eq!(counters.failed.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn registry_sink_round_trips_the_checksum() {
+        let registry = Arc::new(ModelRegistry::new(Some(2)));
+        let sink = RegistrySink::new(Arc::clone(&registry));
+        let v = sink.publish(&snap()).unwrap();
+        assert_eq!(v, registry.current_version());
+        assert_eq!(registry.current().unwrap().version(), v);
+    }
+}

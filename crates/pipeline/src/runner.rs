@@ -1,0 +1,1038 @@
+//! The pipeline runtime: stage threads, supervision, exactly-once replay.
+//!
+//! Three stages, two bounded channels:
+//!
+//! - **tailer** (thread): polls the action log via [`LogTail`] and sends
+//!   record batches over a bounded channel — a slow trainer applies
+//!   backpressure by blocking the tailer, never by growing a queue.
+//! - **trainer** (the caller's thread, inside
+//!   [`Pipeline::run_until_idle`]): folds records into open episodes,
+//!   closes episodes that have gone quiet, applies their pairs to the
+//!   online model, and journals progress at batch boundaries.
+//! - **publisher** (thread): receives model snapshots over a capacity-1
+//!   channel and installs them into the sink with retry + backoff.
+//!
+//! # Exactly-once across crashes
+//!
+//! The journal commits `(tail position, counters, open episodes, online
+//! state)` atomically, only at batch boundaries. After a crash anywhere,
+//! recovery loads the newest valid journal and re-tails the log from the
+//! committed position; every downstream decision — when an episode
+//! closes, which contexts its pairs sample, which negatives each pair
+//! draws, how rows initialize — is a pure function of that journaled
+//! state and the log bytes, so the replayed run is bit-identical to an
+//! uninterrupted one. Batch boundaries may fall differently on replay;
+//! the state after consuming any given record does not.
+//!
+//! # Supervision
+//!
+//! Each stage has a restart budget. A panicked trainer is rebuilt from
+//! the journal (with a *fresh* tailer channel, so half-applied in-flight
+//! batches are discarded rather than double-applied); a dead tailer is
+//! respawned at the trainer's committed position; a dead publisher is
+//! respawned and at most the single in-flight snapshot is lost (counted
+//! as skipped). Exhausting a budget escalates to
+//! [`PipelineError::StageFailed`].
+
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use inf2vec_diffusion::{Episode, ItemId};
+use inf2vec_embed::{EmbeddingStore, OnlineSgns};
+use inf2vec_graph::{DiGraph, NodeId};
+use inf2vec_ingest::{LogTail, TailItem, TailPosition};
+use inf2vec_obs::Event;
+use inf2vec_serve::store_checksum;
+use inf2vec_util::error::{Inf2vecError, PipelineError};
+use inf2vec_util::{system_clock, FxHashMap, SharedClock};
+
+use crate::config::PipelineConfig;
+use crate::faults::FaultPlan;
+use crate::journal::{self, check_shape, Journal, JournalState, OpenItemState};
+use crate::publish::{publish_with_retry, PublishCounters, PublishSink, Snapshot};
+
+/// What the tailer sends the trainer.
+enum TailMsg {
+    /// New terminated lines, plus the position after consuming them.
+    Batch {
+        /// Classified items in log order.
+        items: Vec<TailItem>,
+        /// The committed position once every item is applied.
+        pos_after: TailPosition,
+    },
+    /// The log had nothing new this poll.
+    Idle,
+}
+
+/// A running tailer thread plus its channel. Dropping the handle stops
+/// and joins the thread (in-flight batches are discarded — the next
+/// tailer re-reads them from the trainer's committed position).
+struct TailerHandle {
+    rx: Receiver<TailMsg>,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl Drop for TailerHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            // The tailer may be blocked in a send on a full channel;
+            // drain until it observes the stop flag and exits.
+            while !t.is_finished() {
+                let _ = self.rx.try_recv();
+                std::thread::yield_now();
+            }
+            let _ = t.join();
+        }
+    }
+}
+
+/// A running publisher thread. Dropping closes the channel and joins:
+/// the publisher finishes (or abandons, per retry budget) what it holds.
+struct PublisherHandle {
+    tx: Option<SyncSender<Snapshot>>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl Drop for PublisherHandle {
+    fn drop(&mut self) {
+        self.tx.take();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// One still-assembling episode.
+#[derive(Debug, Default)]
+struct OpenItem {
+    /// Per-user earliest activation `(time, arrival seq)`.
+    users: FxHashMap<u32, (u64, u64)>,
+    /// Accepted-record sequence of the most recent activity.
+    last_seq: u64,
+    /// Accepted records folded in (retired together when the item closes).
+    folded: u64,
+}
+
+/// The trainer stage: episode assembly + online SGNS + counters. All of
+/// its state round-trips through [`JournalState`].
+struct Trainer {
+    online: OnlineSgns,
+    open: BTreeMap<u32, OpenItem>,
+    pos: TailPosition,
+    records_seen: u64,
+    records_applied: u64,
+    quarantined: u64,
+}
+
+impl Trainer {
+    /// Rebuilds a trainer from a journal snapshot (or fresh when `None`).
+    /// Returns the trainer and the next journal round.
+    fn from_journal(
+        loaded: Option<JournalState>,
+        cfg: &PipelineConfig,
+        n: usize,
+        k: usize,
+    ) -> Result<(Self, u64), Inf2vecError> {
+        match loaded {
+            None => Ok((
+                Self {
+                    online: OnlineSgns::new(n, k, cfg.online.clone(), cfg.seed()),
+                    open: BTreeMap::new(),
+                    pos: TailPosition::default(),
+                    records_seen: 0,
+                    records_applied: 0,
+                    quarantined: 0,
+                },
+                0,
+            )),
+            Some(s) => {
+                check_shape(&s, n, k)?;
+                let online = OnlineSgns::from_state(s.online, cfg.online.clone(), cfg.seed())
+                    .map_err(|e| {
+                        Inf2vecError::from(PipelineError::JournalMismatch {
+                            detail: e.to_string(),
+                        })
+                    })?;
+                let open = s
+                    .open
+                    .into_iter()
+                    .map(|it| {
+                        (
+                            it.item,
+                            OpenItem {
+                                users: it.users.iter().map(|&(u, t, q)| (u, (t, q))).collect(),
+                                last_seq: it.last_seq,
+                                folded: it.folded,
+                            },
+                        )
+                    })
+                    .collect();
+                Ok((
+                    Self {
+                        online,
+                        open,
+                        pos: s.pos,
+                        records_seen: s.records_seen,
+                        records_applied: s.records_applied,
+                        quarantined: s.quarantined,
+                    },
+                    s.round + 1,
+                ))
+            }
+        }
+    }
+
+    /// The persistable snapshot for journal round `round`.
+    fn to_state(&self, round: u64) -> JournalState {
+        let open = self
+            .open
+            .iter()
+            .map(|(&item, it)| {
+                let mut users: Vec<(u32, u64, u64)> =
+                    it.users.iter().map(|(&u, &(t, q))| (u, t, q)).collect();
+                users.sort_unstable();
+                OpenItemState {
+                    item,
+                    last_seq: it.last_seq,
+                    folded: it.folded,
+                    users,
+                }
+            })
+            .collect();
+        JournalState {
+            round,
+            pos: self.pos,
+            records_seen: self.records_seen,
+            records_applied: self.records_applied,
+            quarantined: self.quarantined,
+            open,
+            online: self.online.state().clone(),
+        }
+    }
+
+    /// Applies one tailed batch: fold records, quarantine defects, close
+    /// episodes that went quiet, commit the new position.
+    fn apply_batch(
+        &mut self,
+        items: Vec<TailItem>,
+        pos_after: TailPosition,
+        cfg: &PipelineConfig,
+        graph: &DiGraph,
+        faults: &FaultPlan,
+    ) {
+        for item in items {
+            match item {
+                TailItem::Record(r) => {
+                    self.records_seen += 1;
+                    let seq = self.records_seen;
+                    let entry = self.open.entry(r.item).or_default();
+                    // Earliest activation per user wins; ties keep the
+                    // first arrival (same semantics as batch assembly).
+                    let slot = entry.users.entry(r.user).or_insert((r.time, seq));
+                    if r.time < slot.0 {
+                        *slot = (r.time, seq);
+                    }
+                    entry.folded += 1;
+                    entry.last_seq = seq;
+                    self.close_due(cfg, graph, faults);
+                }
+                TailItem::Defect { kind, line_no, .. } => {
+                    self.quarantined += 1;
+                    cfg.telemetry.count_with(
+                        "inf2vec_pipeline_quarantined_total",
+                        &[("kind", kind.name())],
+                        1,
+                    );
+                    cfg.telemetry.emit(
+                        Event::new("pipeline.quarantine")
+                            .u64("line", line_no)
+                            .str("kind", kind.name()),
+                    );
+                }
+            }
+        }
+        self.pos = pos_after;
+    }
+
+    /// Closes (in ascending item order, so replay closes identically)
+    /// every open episode whose last activity is `close_after` accepted
+    /// records in the past.
+    fn close_due(&mut self, cfg: &PipelineConfig, graph: &DiGraph, faults: &FaultPlan) {
+        let close_after = cfg.close_after.max(1);
+        let due: Vec<u32> = self
+            .open
+            .iter()
+            .filter(|(_, it)| self.records_seen - it.last_seq >= close_after)
+            .map(|(&item, _)| item)
+            .collect();
+        for item in due {
+            let it = self.open.remove(&item).expect("due item is open");
+            self.close_item(item, it, cfg, graph, faults);
+        }
+    }
+
+    /// Closes all open episodes immediately (used for final drain when
+    /// the log is known complete, e.g. end of a soak).
+    fn close_all(&mut self, cfg: &PipelineConfig, graph: &DiGraph, faults: &FaultPlan) {
+        while let Some((&item, _)) = self.open.iter().next() {
+            let it = self.open.remove(&item).expect("item is open");
+            self.close_item(item, it, cfg, graph, faults);
+        }
+    }
+
+    fn close_item(
+        &mut self,
+        item: u32,
+        it: OpenItem,
+        cfg: &PipelineConfig,
+        graph: &DiGraph,
+        faults: &FaultPlan,
+    ) {
+        // The injected panic fires *before* the model mutates: the
+        // journal still describes the pre-episode state, and replay
+        // closes this episode again, this time applying it.
+        if faults.tick_trainer_episode() {
+            panic!("injected trainer panic at episode close (item {item})");
+        }
+        let mut acts: Vec<(u64, u64, u32)> =
+            it.users.iter().map(|(&u, &(t, q))| (t, q, u)).collect();
+        acts.sort_unstable();
+        let episode = Episode::new(
+            ItemId(item),
+            acts.iter().map(|&(t, _, u)| (NodeId(u), t)).collect(),
+        );
+        let episode_seq = self.online.episodes_applied();
+        let (pairs, stats) = inf2vec_core::episode_pairs(graph, &episode, &cfg.inf2vec, episode_seq);
+        let loss = self.online.apply_episode(episode_seq, &pairs);
+        self.records_applied += it.folded;
+        cfg.telemetry.count("inf2vec_pipeline_episodes_total", 1);
+        cfg.telemetry
+            .count("inf2vec_pipeline_pairs_total", pairs.len() as u64);
+        if !pairs.is_empty() {
+            cfg.telemetry.observe("inf2vec_pipeline_episode_loss", loss);
+        }
+        cfg.telemetry.emit(
+            Event::new("pipeline.episode")
+                .u64("item", item as u64)
+                .u64("seq", episode_seq)
+                .u64("users", episode.len() as u64)
+                .u64("pairs", pairs.len() as u64)
+                .u64("local", stats.local)
+                .u64("global", stats.global)
+                .f64("loss", loss),
+        );
+    }
+}
+
+/// End-of-run accounting: every consumed record lands in exactly one of
+/// `applied` / `quarantined` / `pending`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reconciliation {
+    /// Well-formed records consumed from the log.
+    pub records_seen: u64,
+    /// Records whose episode closed and trained the model.
+    pub records_applied: u64,
+    /// Defective records quarantined.
+    pub records_quarantined: u64,
+    /// Records folded into episodes still open (awaiting quiet).
+    pub records_pending: u64,
+    /// Episodes applied to the model.
+    pub episodes_applied: u64,
+    /// Training pairs applied.
+    pub pairs_applied: u64,
+    /// Snapshots successfully published.
+    pub publishes_ok: u64,
+    /// Snapshots abandoned after exhausting retries.
+    pub publishes_failed: u64,
+    /// Snapshot offers dropped (publisher busy or restarting).
+    pub publishes_skipped: u64,
+    /// Stage restarts consumed: (tailer, trainer, publisher).
+    pub restarts: (u32, u32, u32),
+    /// [`store_checksum`] of the current model (bit-identity witness).
+    pub store_checksum: u64,
+}
+
+impl Reconciliation {
+    /// The exactly-once ledger: `applied + pending == seen` and every
+    /// seen/quarantined record matches what the writer produced.
+    pub fn balances(&self, written_good: u64, written_bad: u64) -> bool {
+        self.records_applied + self.records_pending == self.records_seen
+            && self.records_seen == written_good
+            && self.records_quarantined == written_bad
+    }
+}
+
+/// The crash-recoverable continuous-learning pipeline.
+pub struct Pipeline {
+    cfg: PipelineConfig,
+    clock: SharedClock,
+    faults: Arc<FaultPlan>,
+    graph: Arc<DiGraph>,
+    sink: Arc<dyn PublishSink>,
+    log_path: PathBuf,
+    journal: Journal,
+    trainer: Trainer,
+    round: u64,
+    tailer: Option<TailerHandle>,
+    publisher: Option<PublisherHandle>,
+    counters: Arc<PublishCounters>,
+    snapshots_offered: u64,
+    batches_since_journal: u32,
+    last_publish_episode: u64,
+    tailer_restarts: u32,
+    trainer_restarts: u32,
+    publisher_restarts: u32,
+}
+
+impl Pipeline {
+    /// Opens a pipeline over `log_path`, recovering from any journal in
+    /// `journal_dir` (fresh start when none is readable).
+    pub fn open(
+        cfg: PipelineConfig,
+        log_path: impl Into<PathBuf>,
+        journal_dir: impl Into<PathBuf>,
+        graph: Arc<DiGraph>,
+        sink: Arc<dyn PublishSink>,
+    ) -> Result<Self, Inf2vecError> {
+        Self::with_runtime(
+            cfg,
+            log_path,
+            journal_dir,
+            graph,
+            sink,
+            system_clock(),
+            Arc::new(FaultPlan::none()),
+        )
+    }
+
+    /// [`Pipeline::open`] with an explicit clock and fault plan (tests,
+    /// soak harness).
+    pub fn with_runtime(
+        cfg: PipelineConfig,
+        log_path: impl Into<PathBuf>,
+        journal_dir: impl Into<PathBuf>,
+        graph: Arc<DiGraph>,
+        sink: Arc<dyn PublishSink>,
+        clock: SharedClock,
+        faults: Arc<FaultPlan>,
+    ) -> Result<Self, Inf2vecError> {
+        cfg.inf2vec.validate()?;
+        let journal = Journal::new(journal_dir)?;
+        let n = graph.node_count() as usize;
+        let k = cfg.inf2vec.k;
+        let loaded = journal.load_latest()?;
+        let recovered = loaded.is_some();
+        let (trainer, round) = Trainer::from_journal(loaded, &cfg, n, k)?;
+        cfg.telemetry.emit(
+            Event::new("pipeline.open")
+                .u64("recovered", recovered as u64)
+                .u64("round", round)
+                .u64("offset", trainer.pos.offset)
+                .u64("episodes", trainer.online.episodes_applied()),
+        );
+        let last_publish_episode = trainer.online.episodes_applied();
+        Ok(Self {
+            cfg,
+            clock,
+            faults,
+            graph,
+            sink,
+            log_path: log_path.into(),
+            journal,
+            trainer,
+            round,
+            tailer: None,
+            publisher: None,
+            counters: Arc::new(PublishCounters::default()),
+            snapshots_offered: 0,
+            batches_since_journal: 0,
+            last_publish_episode,
+            tailer_restarts: 0,
+            trainer_restarts: 0,
+            publisher_restarts: 0,
+        })
+    }
+
+    /// Consumes the log until `idle_polls` consecutive empty polls, then
+    /// journals. Supervises all stages while running.
+    pub fn run_until_idle(&mut self) -> Result<(), Inf2vecError> {
+        self.ensure_tailer();
+        self.ensure_publisher();
+        let mut idle = 0u32;
+        while idle < self.cfg.idle_polls.max(1) {
+            let msg = self.tailer.as_ref().expect("tailer running").rx.recv();
+            match msg {
+                Ok(TailMsg::Idle) => idle += 1,
+                Ok(TailMsg::Batch { items, pos_after }) => {
+                    idle = 0;
+                    self.handle_batch(items, pos_after)?;
+                }
+                Err(_) => {
+                    // The tailer died (injected or real panic): respawn
+                    // it at the trainer's committed position.
+                    idle = 0;
+                    self.restart_tailer()?;
+                }
+            }
+        }
+        self.write_journal()
+    }
+
+    fn handle_batch(
+        &mut self,
+        items: Vec<TailItem>,
+        pos_after: TailPosition,
+    ) -> Result<(), Inf2vecError> {
+        let trainer = &mut self.trainer;
+        let (cfg, graph, faults) = (&self.cfg, &self.graph, &self.faults);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            trainer.apply_batch(items, pos_after, cfg, graph, faults)
+        }));
+        match result {
+            Ok(()) => {
+                self.batches_since_journal += 1;
+                if self.batches_since_journal >= self.cfg.journal_every_batches.max(1) {
+                    self.write_journal()?;
+                }
+                self.maybe_publish()
+            }
+            Err(payload) => self.recover_trainer(panic_message(payload)),
+        }
+    }
+
+    /// Trainer panicked mid-batch: its in-memory state is suspect, so
+    /// rebuild it from the journal and give it a fresh tailer channel
+    /// (discarding in-flight batches the journaled position will re-read).
+    fn recover_trainer(&mut self, message: String) -> Result<(), Inf2vecError> {
+        self.trainer_restarts += 1;
+        self.cfg.telemetry.count_with(
+            "inf2vec_pipeline_stage_restarts_total",
+            &[("stage", "train")],
+            1,
+        );
+        self.cfg.telemetry.emit(
+            Event::new("pipeline.stage_restart")
+                .str("stage", "train")
+                .u64("restarts", self.trainer_restarts as u64)
+                .str("panic", message.clone()),
+        );
+        if self.trainer_restarts > self.cfg.restart_budget {
+            return Err(PipelineError::StageFailed {
+                stage: "train",
+                restarts: self.trainer_restarts,
+                message,
+            }
+            .into());
+        }
+        let loaded = self.journal.load_latest()?;
+        let n = self.graph.node_count() as usize;
+        let (trainer, round) = Trainer::from_journal(loaded, &self.cfg, n, self.cfg.inf2vec.k)?;
+        self.trainer = trainer;
+        self.round = round;
+        self.batches_since_journal = 0;
+        self.last_publish_episode = self.trainer.online.episodes_applied();
+        self.tailer = None; // join the old tailer, discard its channel
+        self.ensure_tailer();
+        Ok(())
+    }
+
+    fn restart_tailer(&mut self) -> Result<(), Inf2vecError> {
+        self.tailer_restarts += 1;
+        self.cfg.telemetry.count_with(
+            "inf2vec_pipeline_stage_restarts_total",
+            &[("stage", "tail")],
+            1,
+        );
+        if self.tailer_restarts > self.cfg.restart_budget {
+            return Err(PipelineError::StageFailed {
+                stage: "tail",
+                restarts: self.tailer_restarts,
+                message: "tailer thread died".into(),
+            }
+            .into());
+        }
+        self.tailer = None;
+        self.ensure_tailer();
+        Ok(())
+    }
+
+    fn restart_publisher(&mut self) -> Result<(), Inf2vecError> {
+        self.publisher_restarts += 1;
+        self.cfg.telemetry.count_with(
+            "inf2vec_pipeline_stage_restarts_total",
+            &[("stage", "publish")],
+            1,
+        );
+        if self.publisher_restarts > self.cfg.restart_budget {
+            return Err(PipelineError::StageFailed {
+                stage: "publish",
+                restarts: self.publisher_restarts,
+                message: "publisher thread died".into(),
+            }
+            .into());
+        }
+        self.publisher = None;
+        self.ensure_publisher();
+        Ok(())
+    }
+
+    fn maybe_publish(&mut self) -> Result<(), Inf2vecError> {
+        let episodes = self.trainer.online.episodes_applied();
+        if episodes < self.last_publish_episode + self.cfg.publish_every_episodes.max(1) {
+            return Ok(());
+        }
+        self.last_publish_episode = episodes;
+        let store = self.trainer.online.store().clone();
+        let snap = Snapshot {
+            checksum: store_checksum(&store),
+            store,
+            label: format!("pipeline-e{episodes}"),
+            episodes,
+        };
+        self.snapshots_offered += 1;
+        let tx = self
+            .publisher
+            .as_ref()
+            .and_then(|p| p.tx.clone())
+            .expect("publisher running");
+        match tx.try_send(snap) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(_)) => {
+                // Publisher busy: drop the offer, training never waits.
+                self.cfg
+                    .telemetry
+                    .count("inf2vec_pipeline_publish_skipped_total", 1);
+                Ok(())
+            }
+            Err(TrySendError::Disconnected(snap)) => {
+                self.restart_publisher()?;
+                let tx = self
+                    .publisher
+                    .as_ref()
+                    .and_then(|p| p.tx.clone())
+                    .expect("publisher running");
+                if tx.try_send(snap).is_err() {
+                    self.cfg
+                        .telemetry
+                        .count("inf2vec_pipeline_publish_skipped_total", 1);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn write_journal(&mut self) -> Result<(), Inf2vecError> {
+        let state = self.trainer.to_state(self.round);
+        let path = self.journal.write(&state)?;
+        self.round += 1;
+        self.batches_since_journal = 0;
+        self.cfg
+            .telemetry
+            .count("inf2vec_pipeline_journal_writes_total", 1);
+        if self.faults.tick_journal_write() {
+            // Torn-write injection: shear the tail off the slot that was
+            // just written; recovery must fall back to the other slot.
+            journal::truncate_tail(&path, 32).ok();
+            self.cfg
+                .telemetry
+                .emit(Event::new("pipeline.injected_torn_journal").str(
+                    "slot",
+                    path.file_name().unwrap_or_default().to_string_lossy(),
+                ));
+        }
+        Ok(())
+    }
+
+    fn ensure_tailer(&mut self) {
+        if self.tailer.is_some() {
+            return;
+        }
+        let (tx, rx) = sync_channel(self.cfg.channel_capacity.max(1));
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let path = self.log_path.clone();
+        let num_users = self.graph.node_count();
+        let pos = self.trainer.pos;
+        let batch_max = self.cfg.batch_max.max(1);
+        let poll_interval = self.cfg.poll_interval;
+        let clock = self.clock.clone();
+        let faults = Arc::clone(&self.faults);
+        let telemetry = self.cfg.telemetry.clone();
+        let thread = std::thread::Builder::new()
+            .name("inf2vec-tail".into())
+            .spawn(move || {
+                let mut tail = LogTail::resume(path, num_users, pos);
+                while !stop_flag.load(Ordering::SeqCst) {
+                    let items = match tail.poll(batch_max) {
+                        Ok(v) => v,
+                        Err(e) => {
+                            telemetry.count("inf2vec_pipeline_tail_io_errors_total", 1);
+                            telemetry
+                                .emit(Event::new("pipeline.tail_error").str("error", e.to_string()));
+                            clock.sleep(poll_interval);
+                            continue;
+                        }
+                    };
+                    if items.is_empty() {
+                        if tx.send(TailMsg::Idle).is_err() {
+                            break;
+                        }
+                        clock.sleep(poll_interval);
+                        continue;
+                    }
+                    // Fires before the send: a panicked tailer never
+                    // delivered the batch, so the respawn re-reads it.
+                    if faults.tick_tailer_items(items.len() as u64) {
+                        panic!("injected tailer panic");
+                    }
+                    let pos_after = tail.position();
+                    if tx.send(TailMsg::Batch { items, pos_after }).is_err() {
+                        break;
+                    }
+                }
+            })
+            .expect("spawn tailer thread");
+        self.tailer = Some(TailerHandle {
+            rx,
+            stop,
+            thread: Some(thread),
+        });
+    }
+
+    fn ensure_publisher(&mut self) {
+        if self.publisher.is_some() {
+            return;
+        }
+        let (tx, rx) = sync_channel::<Snapshot>(1);
+        let cfg = self.cfg.clone();
+        let clock = self.clock.clone();
+        let faults = Arc::clone(&self.faults);
+        let sink = Arc::clone(&self.sink);
+        let counters = Arc::clone(&self.counters);
+        let thread = std::thread::Builder::new()
+            .name("inf2vec-publish".into())
+            .spawn(move || {
+                for snap in rx.iter() {
+                    publish_with_retry(sink.as_ref(), &snap, &cfg, &clock, &faults, &counters);
+                    // Fires after the snapshot settled (counted ok or
+                    // failed); only the thread dies, not the accounting.
+                    if faults.tick_publisher_snapshot() {
+                        panic!("injected publisher panic");
+                    }
+                }
+            })
+            .expect("spawn publisher thread");
+        self.publisher = Some(PublisherHandle {
+            tx: Some(tx),
+            thread: Some(thread),
+        });
+    }
+
+    /// Closes every still-open episode immediately. Only meaningful when
+    /// the log is known complete (final drain); supervises trainer panics
+    /// like any other application.
+    pub fn drain_open_episodes(&mut self) -> Result<(), Inf2vecError> {
+        loop {
+            let trainer = &mut self.trainer;
+            let (cfg, graph, faults) = (&self.cfg, &self.graph, &self.faults);
+            let result =
+                catch_unwind(AssertUnwindSafe(|| trainer.close_all(cfg, graph, faults)));
+            match result {
+                Ok(()) => {
+                    self.write_journal()?;
+                    return Ok(());
+                }
+                // Recovery replays the tail of the log; the caller's next
+                // run_until_idle + drain applies what is still open.
+                Err(payload) => self.recover_trainer(panic_message(payload))?,
+            }
+        }
+    }
+
+    /// Graceful stop: stages joined, final journal written. The pipeline
+    /// remains readable (reconciliation, store) afterwards. Dropping the
+    /// pipeline *without* calling this simulates a crash: no final
+    /// journal, recovery replays from the last batch-boundary commit.
+    pub fn shutdown(&mut self) -> Result<(), Inf2vecError> {
+        self.tailer = None;
+        self.publisher = None;
+        self.write_journal()
+    }
+
+    /// Simulated hard crash: stops the stage threads (joining them, so
+    /// publish accounting settles and [`reconciliation`](Self::reconciliation)
+    /// is exact) but — unlike [`shutdown`](Self::shutdown) — commits no
+    /// final journal. Recovery must replay everything after the last
+    /// batch-boundary commit. Dropping the pipeline without calling this
+    /// is the same crash with unsettled counters.
+    pub fn crash(&mut self) {
+        self.tailer = None;
+        self.publisher = None;
+    }
+
+    /// The end-of-run ledger; also exports it as obs gauges.
+    pub fn reconciliation(&self) -> Reconciliation {
+        let ok = self.counters.ok.load(Ordering::SeqCst);
+        let failed = self.counters.failed.load(Ordering::SeqCst);
+        let r = Reconciliation {
+            records_seen: self.trainer.records_seen,
+            records_applied: self.trainer.records_applied,
+            records_quarantined: self.trainer.quarantined,
+            records_pending: self.trainer.open.values().map(|it| it.folded).sum(),
+            episodes_applied: self.trainer.online.episodes_applied(),
+            pairs_applied: self.trainer.online.pairs_applied(),
+            publishes_ok: ok,
+            publishes_failed: failed,
+            publishes_skipped: self.snapshots_offered.saturating_sub(ok + failed),
+            restarts: (
+                self.tailer_restarts,
+                self.trainer_restarts,
+                self.publisher_restarts,
+            ),
+            store_checksum: store_checksum(self.trainer.online.store()),
+        };
+        let t = &self.cfg.telemetry;
+        t.gauge_set("inf2vec_pipeline_records_seen", r.records_seen as f64);
+        t.gauge_set("inf2vec_pipeline_records_applied", r.records_applied as f64);
+        t.gauge_set(
+            "inf2vec_pipeline_records_quarantined",
+            r.records_quarantined as f64,
+        );
+        t.gauge_set("inf2vec_pipeline_records_pending", r.records_pending as f64);
+        t.gauge_set("inf2vec_pipeline_episodes_applied", r.episodes_applied as f64);
+        t.gauge_set("inf2vec_pipeline_publishes_ok", r.publishes_ok as f64);
+        t.gauge_set("inf2vec_pipeline_publishes_failed", r.publishes_failed as f64);
+        t.gauge_set("inf2vec_pipeline_publishes_skipped", r.publishes_skipped as f64);
+        r
+    }
+
+    /// The current model parameters.
+    pub fn store(&self) -> &EmbeddingStore {
+        self.trainer.online.store()
+    }
+
+    /// The committed tail position.
+    pub fn position(&self) -> TailPosition {
+        self.trainer.pos
+    }
+
+    /// Episodes applied to the model so far.
+    pub fn episodes_applied(&self) -> u64 {
+        self.trainer.online.episodes_applied()
+    }
+
+    /// Stage restarts consumed so far: (tailer, trainer, publisher).
+    pub fn restarts(&self) -> (u32, u32, u32) {
+        (
+            self.tailer_restarts,
+            self.trainer_restarts,
+            self.publisher_restarts,
+        )
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::publish::CountingSink;
+    use crate::testutil::tmp_dir;
+    use inf2vec_graph::GraphBuilder;
+    use std::io::Write;
+
+    fn ring_graph(n: u32) -> Arc<DiGraph> {
+        let mut b = GraphBuilder::with_nodes(n);
+        for i in 0..n {
+            b.add_edge(NodeId(i), NodeId((i + 1) % n));
+            b.add_edge(NodeId(i), NodeId((i + 2) % n));
+        }
+        Arc::new(b.build())
+    }
+
+    fn small_cfg() -> PipelineConfig {
+        PipelineConfig {
+            close_after: 4,
+            batch_max: 8,
+            idle_polls: 2,
+            publish_every_episodes: 2,
+            poll_interval: std::time::Duration::from_millis(1),
+            inf2vec: inf2vec_core::Inf2vecConfig {
+                k: 4,
+                l: 6,
+                seed: 11,
+                ..inf2vec_core::Inf2vecConfig::default()
+            },
+            ..PipelineConfig::default()
+        }
+    }
+
+    /// Writes `episodes` interleaved item cascades plus a defective line.
+    fn write_log(path: &std::path::Path, items: u32, users: u32) -> (u64, u64) {
+        let mut f = std::fs::File::create(path).unwrap();
+        let (mut good, mut bad) = (0u64, 0u64);
+        for item in 0..items {
+            for u in 0..users {
+                writeln!(f, "{} {} {}", (u + item) % users, 100 + item, u as u64 + 1).unwrap();
+                good += 1;
+            }
+        }
+        writeln!(f, "totally not a record").unwrap();
+        bad += 1;
+        // Trailing chatter so earlier items pass the quiet threshold.
+        for u in 0..users {
+            writeln!(f, "{u} 999 50").unwrap();
+            good += 1;
+        }
+        (good, bad)
+    }
+
+    fn run_once(
+        dir: &std::path::Path,
+        log: &std::path::Path,
+        faults: Arc<FaultPlan>,
+    ) -> (Reconciliation, u64) {
+        let sink = Arc::new(CountingSink::new());
+        let mut p = Pipeline::with_runtime(
+            small_cfg(),
+            log,
+            dir.join("journal"),
+            ring_graph(6),
+            sink,
+            system_clock(),
+            faults,
+        )
+        .unwrap();
+        p.run_until_idle().unwrap();
+        p.drain_open_episodes().unwrap();
+        p.shutdown().unwrap();
+        let r = p.reconciliation();
+        let sum = r.store_checksum;
+        (r, sum)
+    }
+
+    #[test]
+    fn consumes_a_log_and_reconciles() {
+        let dir = tmp_dir("runner-basic");
+        let log = dir.join("actions.log");
+        let (good, bad) = write_log(&log, 4, 6);
+        let (r, _) = run_once(&dir, &log, Arc::new(FaultPlan::none()));
+        assert!(r.balances(good, bad), "ledger must balance: {r:?}");
+        assert_eq!(r.records_pending, 0, "drain closed everything");
+        assert!(r.episodes_applied >= 4, "every item closed: {r:?}");
+        assert!(r.publishes_ok >= 1, "at least one snapshot published");
+    }
+
+    #[test]
+    fn injected_stage_panics_do_not_change_the_model() {
+        let dir_a = tmp_dir("runner-faulty");
+        let log_a = dir_a.join("actions.log");
+        let (good, bad) = write_log(&log_a, 4, 6);
+        let faults = Arc::new(FaultPlan::none().with_tailer_panics(vec![5]).with_trainer_panics(vec![1, 3]).with_journal_truncations(vec![2]));
+        let (r, sum_faulty) = run_once(&dir_a, &log_a, faults);
+        assert!(r.balances(good, bad), "faulty run still balances: {r:?}");
+        assert!(r.restarts.0 >= 1 && r.restarts.1 >= 1, "faults fired: {r:?}");
+
+        let dir_b = tmp_dir("runner-clean");
+        let log_b = dir_b.join("actions.log");
+        write_log(&log_b, 4, 6);
+        let (_, sum_clean) = run_once(&dir_b, &log_b, Arc::new(FaultPlan::none()));
+        assert_eq!(
+            sum_faulty, sum_clean,
+            "crash/replay must be bit-identical to the uninterrupted run"
+        );
+    }
+
+    #[test]
+    fn crash_drop_then_reopen_resumes_exactly() {
+        let dir = tmp_dir("runner-resume");
+        let log = dir.join("actions.log");
+        let (good, bad) = write_log(&log, 4, 6);
+        {
+            // First incarnation: consume everything, then "crash" (drop
+            // without shutdown — the last journal is a batch-boundary
+            // commit, not the final state).
+            let mut p = Pipeline::with_runtime(
+                small_cfg(),
+                &log,
+                dir.join("journal"),
+                ring_graph(6),
+                Arc::new(CountingSink::new()),
+                system_clock(),
+                Arc::new(FaultPlan::none()),
+            )
+            .unwrap();
+            p.run_until_idle().unwrap();
+        }
+        // Second incarnation recovers and finishes the job.
+        let mut p = Pipeline::with_runtime(
+            small_cfg(),
+            &log,
+            dir.join("journal"),
+            ring_graph(6),
+            Arc::new(CountingSink::new()),
+            system_clock(),
+            Arc::new(FaultPlan::none()),
+        )
+        .unwrap();
+        p.run_until_idle().unwrap();
+        p.drain_open_episodes().unwrap();
+        p.shutdown().unwrap();
+        let r = p.reconciliation();
+        assert!(r.balances(good, bad), "resumed ledger balances: {r:?}");
+
+        let dir_c = tmp_dir("runner-oneshot");
+        let log_c = dir_c.join("actions.log");
+        write_log(&log_c, 4, 6);
+        let (_, sum_clean) = run_once(&dir_c, &log_c, Arc::new(FaultPlan::none()));
+        assert_eq!(r.store_checksum, sum_clean, "resume is bit-identical");
+    }
+
+    #[test]
+    fn trainer_budget_exhaustion_is_typed() {
+        let dir = tmp_dir("runner-budget");
+        let log = dir.join("actions.log");
+        write_log(&log, 4, 6);
+        let cfg = PipelineConfig {
+            restart_budget: 1,
+            ..small_cfg()
+        };
+        let faults = Arc::new(FaultPlan::none().with_trainer_panics(vec![1, 2, 3, 4, 5, 6, 7, 8]));
+        let mut p = Pipeline::with_runtime(
+            cfg,
+            &log,
+            dir.join("journal"),
+            ring_graph(6),
+            Arc::new(CountingSink::new()),
+            system_clock(),
+            faults,
+        )
+        .unwrap();
+        let err = p
+            .run_until_idle()
+            .and_then(|()| p.drain_open_episodes())
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                Inf2vecError::Pipeline(PipelineError::StageFailed { stage: "train", .. })
+            ),
+            "got {err:?}"
+        );
+    }
+}

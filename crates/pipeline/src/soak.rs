@@ -1,0 +1,447 @@
+//! Fault-injection soak: crash cycles, torn tails, exact reconciliation.
+//!
+//! The harness plays both sides of the pipeline's contract:
+//!
+//! 1. a deterministic **traffic writer** appends chunks of synthetic
+//!    action records to the log — including scheduled garbage lines and
+//!    *partial* lines (a torn producer) completed by the next chunk;
+//! 2. between chunks the pipeline is **crashed** (dropped without a
+//!    graceful shutdown) and reopened from its journal, while a per-cycle
+//!    [`FaultPlan`] panics stages, fails/slows publishes, and shears
+//!    journal slots mid-run;
+//! 3. at the end, every written record must sit in exactly one of
+//!    {applied, quarantined, pending} — checked against the writer's own
+//!    ledger *and* against the obs gauges — and an uninterrupted
+//!    fresh-journal run over the same log must produce a bit-identical
+//!    model ([`inf2vec_serve::store_checksum`]).
+
+use std::io::Write;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
+
+use inf2vec_graph::{DiGraph, GraphBuilder, NodeId};
+use inf2vec_obs::SampleValue;
+use inf2vec_serve::ModelRegistry;
+use inf2vec_util::error::Inf2vecError;
+use inf2vec_util::rng::Xoshiro256pp;
+use inf2vec_util::{split_seed, system_clock};
+
+use crate::config::PipelineConfig;
+use crate::faults::FaultPlan;
+use crate::publish::RegistrySink;
+use crate::runner::{Pipeline, Reconciliation};
+
+/// Soak shape. Defaults give a few seconds of work — CI-sized.
+#[derive(Debug, Clone)]
+pub struct SoakConfig {
+    /// Users in the social graph (ring-with-shortcuts).
+    pub users: u32,
+    /// Records per cascade: each item stays active for roughly this many
+    /// log lines, then goes quiet (and so eventually closes). Adjacent
+    /// cascades overlap, keeping a couple of episodes open at all times.
+    pub cascade_len: u32,
+    /// Crash/recover cycles (one traffic chunk each). Minimum 3 for the
+    /// robustness guarantee the crate advertises.
+    pub cycles: u32,
+    /// Records appended per chunk.
+    pub records_per_chunk: u32,
+    /// Every Nth line is garbage (quarantine traffic); 0 disables.
+    pub defect_every: u32,
+    /// Master seed for traffic and training.
+    pub seed: u64,
+    /// Pipeline knobs (the harness overrides seed/telemetry coherently).
+    pub pipeline: PipelineConfig,
+}
+
+impl Default for SoakConfig {
+    fn default() -> Self {
+        Self {
+            users: 24,
+            cascade_len: 20,
+            cycles: 4,
+            records_per_chunk: 160,
+            defect_every: 13,
+            seed: 42,
+            pipeline: PipelineConfig {
+                close_after: 24,
+                batch_max: 32,
+                publish_every_episodes: 2,
+                publish_backoff: Duration::from_millis(1),
+                publish_backoff_cap: Duration::from_millis(4),
+                inf2vec: inf2vec_core::Inf2vecConfig {
+                    k: 8,
+                    l: 8,
+                    ..inf2vec_core::Inf2vecConfig::default()
+                },
+                ..PipelineConfig::default()
+            },
+        }
+    }
+}
+
+/// What the soak proved (serializable for CI artifacts).
+#[derive(Debug, Clone)]
+pub struct SoakReport {
+    /// Well-formed records the writer produced.
+    pub written_good: u64,
+    /// Garbage lines the writer produced.
+    pub written_bad: u64,
+    /// Crash/recover cycles driven.
+    pub cycles: u32,
+    /// Stage restarts across all incarnations (tailer, trainer, publisher).
+    pub restarts: (u32, u32, u32),
+    /// Publishes across all incarnations (ok, failed, skipped).
+    pub publishes: (u64, u64, u64),
+    /// Model versions actually installed in the registry.
+    pub versions_installed: u64,
+    /// The final incarnation's ledger.
+    pub reconciliation: Reconciliation,
+    /// `applied + pending == written_good` and `quarantined == written_bad`.
+    pub balanced: bool,
+    /// The obs gauges agree with the ledger.
+    pub gauges_consistent: bool,
+    /// An uninterrupted fresh run over the same log produced the same
+    /// [`inf2vec_serve::store_checksum`].
+    pub bit_identical: bool,
+}
+
+impl SoakReport {
+    /// Every invariant the soak exists to prove.
+    pub fn passed(&self) -> bool {
+        self.balanced && self.gauges_consistent && self.bit_identical
+    }
+
+    /// One-object JSON rendering (CI artifact).
+    pub fn to_json(&self) -> String {
+        let r = &self.reconciliation;
+        format!(
+            concat!(
+                "{{\"written_good\":{},\"written_bad\":{},\"cycles\":{},",
+                "\"restarts\":{{\"tail\":{},\"train\":{},\"publish\":{}}},",
+                "\"publishes\":{{\"ok\":{},\"failed\":{},\"skipped\":{}}},",
+                "\"versions_installed\":{},",
+                "\"records\":{{\"seen\":{},\"applied\":{},\"quarantined\":{},\"pending\":{}}},",
+                "\"episodes_applied\":{},\"pairs_applied\":{},",
+                "\"store_checksum\":\"{:016x}\",",
+                "\"balanced\":{},\"gauges_consistent\":{},\"bit_identical\":{},\"passed\":{}}}"
+            ),
+            self.written_good,
+            self.written_bad,
+            self.cycles,
+            self.restarts.0,
+            self.restarts.1,
+            self.restarts.2,
+            self.publishes.0,
+            self.publishes.1,
+            self.publishes.2,
+            self.versions_installed,
+            r.records_seen,
+            r.records_applied,
+            r.records_quarantined,
+            r.records_pending,
+            r.episodes_applied,
+            r.pairs_applied,
+            r.store_checksum,
+            self.balanced,
+            self.gauges_consistent,
+            self.bit_identical,
+            self.passed(),
+        )
+    }
+}
+
+/// Deterministic traffic: interleaved cascades over a small item pool,
+/// garbage lines on a schedule, and torn (partial) lines at chunk seams.
+struct TrafficWriter {
+    rng: Xoshiro256pp,
+    users: u32,
+    cascade_len: u32,
+    defect_every: u32,
+    time: u64,
+    lines: u64,
+    good: u64,
+    bad: u64,
+    /// A partial line is pending completion: (tail to write, is_good).
+    partial: Option<(String, bool)>,
+}
+
+impl TrafficWriter {
+    fn new(cfg: &SoakConfig) -> Self {
+        Self {
+            rng: Xoshiro256pp::new(split_seed(cfg.seed, 0x50AC)),
+            users: cfg.users,
+            cascade_len: cfg.cascade_len.max(1),
+            defect_every: cfg.defect_every,
+            time: 0,
+            lines: 0,
+            good: 0,
+            bad: 0,
+            partial: None,
+        }
+    }
+
+    fn append_chunk(
+        &mut self,
+        log: &Path,
+        records: u32,
+        tear_tail: bool,
+    ) -> std::io::Result<()> {
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(log)?;
+        if let Some((tail, good)) = self.partial.take() {
+            // Complete the line the previous chunk tore; only now does it
+            // become a record (or a quarantined defect).
+            writeln!(f, "{tail}")?;
+            if good {
+                self.good += 1;
+            } else {
+                self.bad += 1;
+            }
+        }
+        for i in 0..records {
+            self.lines += 1;
+            self.time += 1;
+            let torn = tear_tail && i + 1 == records;
+            if self.defect_every > 0 && self.lines % self.defect_every as u64 == 0 {
+                // Garbage on schedule: torn garbage stays garbage once
+                // completed, so the ledger is decided at completion time.
+                if torn {
+                    write!(f, "corrupt")?;
+                    self.partial = Some(("ed tail <<>>".into(), false));
+                } else {
+                    writeln!(f, "garbage line {}", self.lines)?;
+                    self.bad += 1;
+                }
+                continue;
+            }
+            // Cascades: each item spans ~cascade_len lines, with a ±1
+            // group jitter so two cascades interleave; once the line
+            // counter moves past an item's span it goes quiet and the
+            // pipeline's close_after threshold can retire it.
+            let user = self.rng.below(self.users as u64) as u32;
+            let group = self.lines / self.cascade_len as u64;
+            let item = (group + self.rng.below(2)) as u32;
+            if torn {
+                write!(f, "{user} {item}")?;
+                self.partial = Some((format!(" {}", self.time), true));
+            } else {
+                writeln!(f, "{user} {item} {}", self.time)?;
+                self.good += 1;
+            }
+        }
+        f.flush()
+    }
+
+    /// Completes any pending partial line (end of traffic).
+    fn finish(&mut self, log: &Path) -> std::io::Result<()> {
+        self.append_chunk(log, 0, false)
+    }
+}
+
+/// Ring-with-shortcuts social graph: every user influences the next two.
+fn soak_graph(users: u32) -> Arc<DiGraph> {
+    let mut b = GraphBuilder::with_nodes(users);
+    for i in 0..users {
+        b.add_edge(NodeId(i), NodeId((i + 1) % users));
+        b.add_edge(NodeId(i), NodeId((i + 3) % users));
+    }
+    Arc::new(b.build())
+}
+
+/// The per-cycle fault schedule: early cycles exercise every fault class,
+/// later cycles run clean so the pipeline also proves it can catch up.
+fn fault_plan_for(cycle: u32) -> Arc<FaultPlan> {
+    Arc::new(match cycle {
+        // Exhausting the first snapshot's whole retry chain (default
+        // publish_max_attempts = 4) proves graceful degradation.
+        0 => FaultPlan::none()
+            .with_tailer_panics(vec![20])
+            .with_publish_failures(vec![1, 2, 3, 4]),
+        1 => FaultPlan::none()
+            .with_trainer_panics(vec![1, 3])
+            .with_journal_truncations(vec![2]),
+        2 => FaultPlan::none()
+            .with_publisher_panics(vec![1])
+            .with_publish_delay(Duration::from_millis(2))
+            .with_tailer_panics(vec![40]),
+        _ => FaultPlan::none(),
+    })
+}
+
+fn gauge(snapshot: &inf2vec_obs::Snapshot, name: &str) -> Option<u64> {
+    match snapshot.get(name)?.value {
+        SampleValue::Gauge(v) => Some(v as u64),
+        _ => None,
+    }
+}
+
+/// Runs the full soak in `workdir` (created if missing; the log, both
+/// journal directories, and nothing else live there).
+pub fn run_soak(cfg: &SoakConfig, workdir: &Path) -> Result<SoakReport, Inf2vecError> {
+    std::fs::create_dir_all(workdir)?;
+    let log = workdir.join("actions.log");
+    let journal_dir = workdir.join("journal");
+    // A stale workdir would double-count traffic: start clean.
+    let _ = std::fs::remove_file(&log);
+    let _ = std::fs::remove_dir_all(&journal_dir);
+    let _ = std::fs::remove_dir_all(workdir.join("journal-verify"));
+
+    let mut pipe_cfg = cfg.pipeline.clone();
+    pipe_cfg.inf2vec.seed = cfg.seed;
+    let telemetry = pipe_cfg.telemetry.clone();
+    let graph = soak_graph(cfg.users);
+    let registry = Arc::new(ModelRegistry::new(Some(pipe_cfg.inf2vec.k)));
+    let sink = Arc::new(RegistrySink::new(Arc::clone(&registry)));
+
+    let mut writer = TrafficWriter::new(cfg);
+    let cycles = cfg.cycles.max(3);
+    let mut restarts = (0u32, 0u32, 0u32);
+    let mut publishes = (0u64, 0u64, 0u64);
+    let mut track = |r: &Reconciliation| {
+        restarts.0 += r.restarts.0;
+        restarts.1 += r.restarts.1;
+        restarts.2 += r.restarts.2;
+        publishes.0 += r.publishes_ok;
+        publishes.1 += r.publishes_failed;
+        publishes.2 += r.publishes_skipped;
+    };
+
+    for cycle in 0..cycles {
+        writer.append_chunk(&log, cfg.records_per_chunk, cycle % 2 == 0)?;
+        let mut p = Pipeline::with_runtime(
+            pipe_cfg.clone(),
+            &log,
+            &journal_dir,
+            Arc::clone(&graph),
+            Arc::clone(&sink) as Arc<dyn crate::publish::PublishSink>,
+            system_clock(),
+            fault_plan_for(cycle),
+        )?;
+        p.run_until_idle()?;
+        // Simulated hard crash: stop the stages without a final journal
+        // commit (recovery replays from the last batch boundary). The
+        // join settles in-flight publish accounting before we read it.
+        p.crash();
+        track(&p.reconciliation());
+        telemetry.emit(
+            inf2vec_obs::Event::new("soak.cycle")
+                .u64("cycle", cycle as u64)
+                .u64("episodes", p.episodes_applied())
+                .u64("offset", p.position().offset),
+        );
+        drop(p);
+    }
+
+    // Final incarnation: complete torn traffic, drain, stop gracefully.
+    writer.finish(&log)?;
+    let mut p = Pipeline::with_runtime(
+        pipe_cfg.clone(),
+        &log,
+        &journal_dir,
+        Arc::clone(&graph),
+        Arc::clone(&sink) as Arc<dyn crate::publish::PublishSink>,
+        system_clock(),
+        Arc::new(FaultPlan::none()),
+    )?;
+    p.run_until_idle()?;
+    p.drain_open_episodes()?;
+    p.shutdown()?;
+    let recon = p.reconciliation();
+    track(&recon);
+    let balanced = recon.balances(writer.good, writer.bad);
+
+    // Cross-check the ledger against the exported gauges.
+    let snap = telemetry.snapshot();
+    let gauges_consistent = !telemetry.enabled()
+        || (gauge(&snap, "inf2vec_pipeline_records_applied") == Some(recon.records_applied)
+            && gauge(&snap, "inf2vec_pipeline_records_quarantined")
+                == Some(recon.records_quarantined)
+            && gauge(&snap, "inf2vec_pipeline_records_pending") == Some(recon.records_pending));
+
+    // Bit-identity witness: a fresh, uninterrupted, fault-free run over
+    // the same bytes must land on the same checksum.
+    let verify_registry = Arc::new(ModelRegistry::new(Some(pipe_cfg.inf2vec.k)));
+    let mut verify_cfg = pipe_cfg.clone();
+    verify_cfg.telemetry = inf2vec_obs::Telemetry::disabled();
+    let mut q = Pipeline::with_runtime(
+        verify_cfg,
+        &log,
+        workdir.join("journal-verify"),
+        Arc::clone(&graph),
+        Arc::new(RegistrySink::new(verify_registry)) as Arc<dyn crate::publish::PublishSink>,
+        system_clock(),
+        Arc::new(FaultPlan::none()),
+    )?;
+    q.run_until_idle()?;
+    q.drain_open_episodes()?;
+    q.shutdown()?;
+    let bit_identical = q.reconciliation().store_checksum == recon.store_checksum;
+
+    Ok(SoakReport {
+        written_good: writer.good,
+        written_bad: writer.bad,
+        cycles,
+        restarts,
+        publishes,
+        versions_installed: registry.installed_count(),
+        reconciliation: recon,
+        balanced,
+        gauges_consistent,
+        bit_identical,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::tmp_dir;
+
+    #[test]
+    fn soak_reconciles_exactly_and_replays_bit_identically() {
+        let dir = tmp_dir("soak");
+        let cfg = SoakConfig {
+            pipeline: PipelineConfig {
+                telemetry: inf2vec_obs::Telemetry::with_registry(),
+                ..SoakConfig::default().pipeline
+            },
+            ..SoakConfig::default()
+        };
+        let report = run_soak(&cfg, &dir).unwrap();
+        assert!(
+            report.balanced,
+            "every record in exactly one bucket: {}",
+            report.to_json()
+        );
+        assert!(report.gauges_consistent, "{}", report.to_json());
+        assert!(report.bit_identical, "{}", report.to_json());
+        assert!(
+            report.restarts.0 + report.restarts.1 + report.restarts.2 >= 3,
+            "the fault schedule must actually fire: {}",
+            report.to_json()
+        );
+        assert!(report.publishes.1 >= 1, "a publish retry chain must exhaust");
+        assert!(report.versions_installed >= 1, "live registry took installs");
+        assert!(report.written_bad > 0, "defect traffic present");
+        assert!(report.passed());
+    }
+
+    #[test]
+    fn report_json_is_well_formed_enough() {
+        let dir = tmp_dir("soak-json");
+        let report = run_soak(
+            &SoakConfig {
+                cycles: 3,
+                records_per_chunk: 60,
+                ..SoakConfig::default()
+            },
+            &dir,
+        )
+        .unwrap();
+        let json = report.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"bit_identical\":true"), "{json}");
+    }
+}

@@ -21,9 +21,10 @@
 
 use std::collections::{HashSet, VecDeque};
 use std::sync::{Condvar, Mutex};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use inf2vec_util::error::ServeError;
+use inf2vec_util::{system_clock, SharedClock};
 
 /// What happens to arrivals when the wait queue is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,17 +73,26 @@ impl std::fmt::Display for OverloadPolicy {
 /// `budget: None` means unbounded. Checks are cooperative — the scoring
 /// loops call [`Deadline::check`] at loop boundaries rather than being
 /// preempted, so a miss is detected within one check interval.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct Deadline {
-    start: Instant,
+    clock: SharedClock,
+    start: Duration,
     budget: Option<Duration>,
 }
 
 impl Deadline {
     /// Starts the clock now with the given budget.
     pub fn start(budget: Option<Duration>) -> Self {
+        Self::start_with_clock(budget, system_clock())
+    }
+
+    /// Starts a deadline that reads time through `clock` (tests use
+    /// [`inf2vec_util::ManualClock`] to expire deadlines without waiting).
+    pub fn start_with_clock(budget: Option<Duration>, clock: SharedClock) -> Self {
+        let start = clock.now();
         Self {
-            start: Instant::now(),
+            clock,
+            start,
             budget,
         }
     }
@@ -94,25 +104,24 @@ impl Deadline {
 
     /// Time since the request arrived.
     pub fn elapsed(&self) -> Duration {
-        self.start.elapsed()
+        self.clock.now().saturating_sub(self.start)
     }
 
     /// Remaining budget: `None` when unbounded, `Some(ZERO)` when spent.
     pub fn remaining(&self) -> Option<Duration> {
-        self.budget
-            .map(|b| b.saturating_sub(self.start.elapsed()))
+        self.budget.map(|b| b.saturating_sub(self.elapsed()))
     }
 
     /// True once the budget is spent (a zero budget is spent on arrival).
     pub fn expired(&self) -> bool {
-        matches!(self.budget, Some(b) if self.start.elapsed() >= b)
+        matches!(self.budget, Some(b) if self.elapsed() >= b)
     }
 
     /// Errors with [`ServeError::DeadlineExceeded`] once expired.
     pub fn check(&self) -> Result<(), ServeError> {
         if self.expired() {
             Err(ServeError::DeadlineExceeded {
-                elapsed_ms: self.start.elapsed().as_millis() as u64,
+                elapsed_ms: self.elapsed().as_millis() as u64,
                 budget_ms: self.budget.unwrap_or(Duration::ZERO).as_millis() as u64,
             })
         } else {
@@ -318,6 +327,26 @@ mod tests {
         ));
         assert!(!Deadline::unbounded().expired());
         assert_eq!(d.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn deadline_expires_deterministically_under_manual_clock() {
+        let (clock, handle) = inf2vec_util::ManualClock::shared();
+        let d = Deadline::start_with_clock(Some(Duration::from_millis(100)), clock);
+        assert!(!d.expired());
+        assert_eq!(d.remaining(), Some(Duration::from_millis(100)));
+        handle.advance(Duration::from_millis(60));
+        assert_eq!(d.elapsed(), Duration::from_millis(60));
+        assert_eq!(d.remaining(), Some(Duration::from_millis(40)));
+        handle.advance(Duration::from_millis(40));
+        assert!(d.expired());
+        assert!(matches!(
+            d.check(),
+            Err(ServeError::DeadlineExceeded {
+                elapsed_ms: 100,
+                budget_ms: 100,
+            })
+        ));
     }
 
     #[test]

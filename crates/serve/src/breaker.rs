@@ -8,7 +8,9 @@
 //! from burning load bandwidth while the last-good model keeps serving.
 
 use std::sync::Mutex;
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+use inf2vec_util::{system_clock, SharedClock};
 
 /// Breaker configuration.
 #[derive(Debug, Clone, Copy)]
@@ -65,7 +67,7 @@ impl BreakerState {
 #[derive(Debug)]
 enum Phase {
     Closed { consecutive_failures: u32 },
-    Open { until: Instant, trips: u32 },
+    Open { until: Duration, trips: u32 },
     HalfOpen { trips: u32 },
 }
 
@@ -89,18 +91,27 @@ pub enum Transition {
 #[derive(Debug)]
 pub struct CircuitBreaker {
     cfg: BreakerConfig,
+    clock: SharedClock,
     phase: Mutex<Phase>,
 }
 
 impl CircuitBreaker {
-    /// A closed breaker. `failure_threshold` is clamped to at least 1.
+    /// A closed breaker on the system clock. `failure_threshold` is
+    /// clamped to at least 1.
     pub fn new(cfg: BreakerConfig) -> Self {
+        Self::with_clock(cfg, system_clock())
+    }
+
+    /// A closed breaker reading time through `clock` (tests use
+    /// [`inf2vec_util::ManualClock`] so backoffs elapse without sleeping).
+    pub fn with_clock(cfg: BreakerConfig, clock: SharedClock) -> Self {
         let cfg = BreakerConfig {
             failure_threshold: cfg.failure_threshold.max(1),
             ..cfg
         };
         Self {
             cfg,
+            clock,
             phase: Mutex::new(Phase::Closed {
                 consecutive_failures: 0,
             }),
@@ -129,7 +140,7 @@ impl CircuitBreaker {
         match *phase {
             Phase::Closed { .. } | Phase::HalfOpen { .. } => Ok(None),
             Phase::Open { until, trips } => {
-                let now = Instant::now();
+                let now = self.clock.now();
                 if now >= until {
                     *phase = Phase::HalfOpen { trips };
                     Ok(Some(Transition::Probing))
@@ -164,7 +175,7 @@ impl CircuitBreaker {
                     let trips = 1;
                     let backoff = self.backoff(trips);
                     *phase = Phase::Open {
-                        until: Instant::now() + backoff,
+                        until: self.clock.now() + backoff,
                         trips,
                     };
                     Some(Transition::Opened { backoff, trips })
@@ -179,7 +190,7 @@ impl CircuitBreaker {
                 let trips = trips + 1;
                 let backoff = self.backoff(trips);
                 *phase = Phase::Open {
-                    until: Instant::now() + backoff,
+                    until: self.clock.now() + backoff,
                     trips,
                 };
                 Some(Transition::Opened { backoff, trips })
@@ -202,18 +213,25 @@ impl CircuitBreaker {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use inf2vec_util::ManualClock;
+    use std::sync::Arc;
 
-    fn breaker(threshold: u32, base_ms: u64, max_ms: u64) -> CircuitBreaker {
-        CircuitBreaker::new(BreakerConfig {
-            failure_threshold: threshold,
-            base_backoff: Duration::from_millis(base_ms),
-            max_backoff: Duration::from_millis(max_ms),
-        })
+    fn breaker(threshold: u32, base_ms: u64, max_ms: u64) -> (CircuitBreaker, Arc<ManualClock>) {
+        let (clock, handle) = ManualClock::shared();
+        let b = CircuitBreaker::with_clock(
+            BreakerConfig {
+                failure_threshold: threshold,
+                base_backoff: Duration::from_millis(base_ms),
+                max_backoff: Duration::from_millis(max_ms),
+            },
+            clock,
+        );
+        (b, handle)
     }
 
     #[test]
     fn trips_after_threshold_consecutive_failures() {
-        let b = breaker(3, 20, 1000);
+        let (b, _clock) = breaker(3, 20, 1000);
         assert!(b.on_failure().is_none());
         assert!(b.on_failure().is_none());
         let t = b.on_failure().unwrap();
@@ -226,7 +244,7 @@ mod tests {
 
     #[test]
     fn success_resets_the_failure_streak() {
-        let b = breaker(2, 20, 1000);
+        let (b, _clock) = breaker(2, 20, 1000);
         assert!(b.on_failure().is_none());
         assert!(b.on_success().is_none()); // closed -> closed: no transition
         assert!(b.on_failure().is_none()); // streak restarted
@@ -235,9 +253,9 @@ mod tests {
 
     #[test]
     fn half_open_probe_closes_on_success() {
-        let b = breaker(1, 10, 1000);
+        let (b, clock) = breaker(1, 10, 1000);
         b.on_failure().unwrap();
-        std::thread::sleep(Duration::from_millis(15));
+        clock.advance(Duration::from_millis(15));
         assert_eq!(b.try_acquire().unwrap(), Some(Transition::Probing));
         assert_eq!(b.state(), BreakerState::HalfOpen);
         // A second acquirer during the probe is allowed (no probe quota).
@@ -248,13 +266,13 @@ mod tests {
 
     #[test]
     fn reopening_doubles_backoff_up_to_cap() {
-        let b = breaker(1, 10, 25);
+        let (b, clock) = breaker(1, 10, 25);
         b.on_failure().unwrap(); // trip 1: 10ms
-        std::thread::sleep(Duration::from_millis(15));
+        clock.advance(Duration::from_millis(15));
         b.try_acquire().unwrap();
         let t = b.on_failure().unwrap(); // trip 2: 20ms
         assert!(matches!(t, Transition::Opened { trips: 2, backoff } if backoff == Duration::from_millis(20)));
-        std::thread::sleep(Duration::from_millis(25));
+        clock.advance(Duration::from_millis(25));
         b.try_acquire().unwrap();
         let t = b.on_failure().unwrap(); // trip 3: 40ms capped to 25ms
         assert!(matches!(t, Transition::Opened { trips: 3, backoff } if backoff == Duration::from_millis(25)));
@@ -262,11 +280,12 @@ mod tests {
 
     #[test]
     fn refused_acquire_reports_remaining_backoff() {
-        let b = breaker(1, 500, 1000);
+        let (b, clock) = breaker(1, 500, 1000);
         b.on_failure().unwrap();
-        let retry_in = b.try_acquire().unwrap_err();
-        assert!(retry_in <= Duration::from_millis(500));
-        assert!(retry_in > Duration::from_millis(100));
+        // Under a manual clock the remaining backoff is exact.
+        assert_eq!(b.try_acquire().unwrap_err(), Duration::from_millis(500));
+        clock.advance(Duration::from_millis(200));
+        assert_eq!(b.try_acquire().unwrap_err(), Duration::from_millis(300));
         // Failure while already open keeps the backoff (no new transition).
         assert!(b.on_failure().is_none());
     }

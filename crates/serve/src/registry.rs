@@ -209,13 +209,20 @@ pub fn read_checksum_sidecar(snapshot_path: &Path) -> Result<Option<u64>, Inf2ve
 
 /// Writes the `<path>.sum` sidecar next to a snapshot so later loads can
 /// verify integrity. Returns the checksum it wrote.
+///
+/// The write is atomic (temp sibling + fsync + rename, same semantics as
+/// checkpoints): a crash mid-publish leaves either the previous sidecar
+/// or the new one, never a torn file that would fail a valid snapshot.
 pub fn write_checksum_sidecar(
     snapshot_path: &Path,
     store: &EmbeddingStore,
 ) -> Result<u64, Inf2vecError> {
     let sum = store_checksum(store);
-    std::fs::write(sidecar_path(snapshot_path), format!("{sum:016x}\n"))
-        .map_err(Inf2vecError::Io)?;
+    inf2vec_util::atomic_write(&sidecar_path(snapshot_path), |w| {
+        use std::io::Write;
+        writeln!(w, "{sum:016x}")
+    })
+    .map_err(Inf2vecError::Io)?;
     Ok(sum)
 }
 

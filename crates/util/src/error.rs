@@ -421,6 +421,61 @@ impl fmt::Display for ServeError {
 
 impl std::error::Error for ServeError {}
 
+/// A failure of the continuous-learning pipeline runtime.
+///
+/// The pipeline's whole point is that individual faults — a corrupted log
+/// tail, a panicking stage, a failing publish — are absorbed: quarantined,
+/// restarted from the journal, or retried against the last good snapshot.
+/// These variants are what escapes when absorption runs out: they mean the
+/// supervisor gave up, not that a single record was bad.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// A stage kept panicking past its restart budget.
+    StageFailed {
+        /// The stage that died (`"tail"`, `"train"`, `"publish"`).
+        stage: &'static str,
+        /// Restarts consumed before escalation.
+        restarts: u32,
+        /// The final panic payload, stringified.
+        message: String,
+    },
+    /// No journal slot parsed and verified; recovery has nothing to
+    /// resume from (a fresh start would violate exactly-once application).
+    JournalUnreadable {
+        /// Per-slot failure detail.
+        detail: String,
+    },
+    /// The journal parsed but disagrees with the pipeline's configuration
+    /// (node count, dimension, or seed), so resuming would corrupt state.
+    JournalMismatch {
+        /// What disagreed.
+        detail: String,
+    },
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::StageFailed {
+                stage,
+                restarts,
+                message,
+            } => write!(
+                f,
+                "pipeline stage `{stage}` failed after {restarts} restarts: {message}"
+            ),
+            PipelineError::JournalUnreadable { detail } => {
+                write!(f, "no readable pipeline journal: {detail}")
+            }
+            PipelineError::JournalMismatch { detail } => {
+                write!(f, "pipeline journal mismatch: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
 /// The workspace-wide error type: every fallible public API returns this
 /// or one of its payload types.
 #[derive(Debug)]
@@ -438,6 +493,9 @@ pub enum Inf2vecError {
     Ingest(IngestError),
     /// Online-serving failure (overload, deadline, model unavailable).
     Serve(ServeError),
+    /// Continuous-learning pipeline failure (restart budget exhausted,
+    /// unrecoverable journal).
+    Pipeline(PipelineError),
 }
 
 impl fmt::Display for Inf2vecError {
@@ -449,6 +507,7 @@ impl fmt::Display for Inf2vecError {
             Inf2vecError::Data(e) => write!(f, "{e}"),
             Inf2vecError::Ingest(e) => write!(f, "{e}"),
             Inf2vecError::Serve(e) => write!(f, "{e}"),
+            Inf2vecError::Pipeline(e) => write!(f, "{e}"),
         }
     }
 }
@@ -462,6 +521,7 @@ impl std::error::Error for Inf2vecError {
             Inf2vecError::Data(e) => Some(e),
             Inf2vecError::Ingest(e) => Some(e),
             Inf2vecError::Serve(e) => Some(e),
+            Inf2vecError::Pipeline(e) => Some(e),
         }
     }
 }
@@ -499,6 +559,12 @@ impl From<IngestError> for Inf2vecError {
 impl From<ServeError> for Inf2vecError {
     fn from(e: ServeError) -> Self {
         Inf2vecError::Serve(e)
+    }
+}
+
+impl From<PipelineError> for Inf2vecError {
+    fn from(e: PipelineError) -> Self {
+        Inf2vecError::Pipeline(e)
     }
 }
 

@@ -35,6 +35,7 @@
 
 pub mod alias;
 pub mod ascii;
+pub mod clock;
 pub mod error;
 pub mod faultinject;
 pub mod fsio;
@@ -47,8 +48,10 @@ pub mod table;
 pub mod topk;
 
 pub use alias::AliasTable;
+pub use clock::{system_clock, Clock, ManualClock, SharedClock, SystemClock};
 pub use error::{
-    ConfigError, DataError, DefectKind, Inf2vecError, IngestError, ServeError, TrainError,
+    ConfigError, DataError, DefectKind, Inf2vecError, IngestError, PipelineError, ServeError,
+    TrainError,
 };
 pub use fsio::atomic_write;
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};

@@ -40,6 +40,7 @@
 //! | [`baselines`] | `inf2vec-baselines` | DE, ST, IC-EM, Emb-IC, MF-BPR, node2vec |
 //! | [`eval`] | `inf2vec-eval` | activation/diffusion prediction tasks, AUC/MAP/P@N, aggregators |
 //! | [`serve`] | `inf2vec-serve` | resilient scoring service: versioned hot-swap registry, bounded admission, deadlines, circuit breaker, degraded fallback, chaos harness |
+//! | [`pipeline`] | `inf2vec-pipeline` | crash-recoverable continuous learning: journaled log tailing, online SGNS, retried live publish, fault-injection soak |
 //! | [`obs`] | `inf2vec-obs` | zero-dependency telemetry: metrics registry, spans, JSONL events, Prometheus exposition |
 //! | [`tsne`] | `inf2vec-tsne` | exact t-SNE + PCA for embedding visualization |
 //! | [`util`] | `inf2vec-util` | hashing, deterministic RNG, alias sampling, stats, text tables/plots |
@@ -55,6 +56,7 @@ pub use inf2vec_eval as eval;
 pub use inf2vec_graph as graph;
 pub use inf2vec_ingest as ingest;
 pub use inf2vec_obs as obs;
+pub use inf2vec_pipeline as pipeline;
 pub use inf2vec_serve as serve;
 pub use inf2vec_tsne as tsne;
 pub use inf2vec_util as util;
