@@ -200,6 +200,63 @@ fn bench_obs_overhead(c: &mut Criterion) {
     }
 }
 
+fn bench_trace_flight(c: &mut Criterion) {
+    use inf2vec_obs::{Event, TraceCtx};
+
+    // Deriving + stamping a causal trace context onto an event: the
+    // per-record cost the pipeline pays on its accept path when a
+    // recorder is attached.
+    c.bench_function("obs/trace_stamp_x1000", |b| {
+        b.iter(|| {
+            for seq in 0..1000u64 {
+                let e = TraceCtx::for_record(black_box(42), black_box(seq)).stamp(
+                    Event::new("trace.accept")
+                        .u64("seq", seq)
+                        .u64("user", seq % 64)
+                        .u64("item", seq % 8),
+                );
+                black_box(e);
+            }
+        })
+    });
+
+    // Pushing events through an enabled handle: clone into the flight
+    // ring plus a no-op recorder call (with_registry has both).
+    let live = Telemetry::with_registry();
+    c.bench_function("obs/flight_ring_push_x1000", |b| {
+        b.iter(|| {
+            for seq in 0..1000u64 {
+                live.emit_with(|| {
+                    TraceCtx::for_record(42, seq).stamp(
+                        Event::new("trace.accept")
+                            .u64("seq", seq)
+                            .u64("user", seq % 64)
+                            .u64("item", seq % 8),
+                    )
+                });
+            }
+        })
+    });
+
+    // The same emit sites with tracing off: emit_with must not build the
+    // event at all — one branch per call.
+    let disabled = Telemetry::disabled();
+    c.bench_function("obs/trace_emit_disabled_x1000", |b| {
+        b.iter(|| {
+            for seq in 0..1000u64 {
+                disabled.emit_with(|| {
+                    TraceCtx::for_record(42, seq).stamp(
+                        Event::new("trace.accept")
+                            .u64("seq", seq)
+                            .u64("user", seq % 64)
+                            .u64("item", seq % 8),
+                    )
+                });
+            }
+        })
+    });
+}
+
 fn bench_monte_carlo(c: &mut Criterion) {
     let s = setup();
     let probs = ic::EdgeProbs::weighted_cascade(&s.dataset.graph);
@@ -245,6 +302,7 @@ criterion_group!(
     bench_corpus_generation,
     bench_checkpoint_write,
     bench_obs_overhead,
+    bench_trace_flight,
     bench_monte_carlo,
     bench_em_iteration,
 );

@@ -70,6 +70,14 @@ pub struct Opts {
     pub soak_records: Option<u32>,
     /// Destination for the soak report JSON (`--soak-report`).
     pub soak_report: Option<PathBuf>,
+    /// Bind address for the live introspection endpoint during `soak` and
+    /// `serve` (`--introspect`), e.g. `127.0.0.1:9600`.
+    pub introspect: Option<String>,
+    /// Trace-stamped JSONL file for the `trace` command (`--trace-jsonl`).
+    pub trace_jsonl: Option<PathBuf>,
+    /// Record sequence number to narrate in the `trace` command
+    /// (`--trace-record`); omitted = fate summary of every record.
+    pub trace_record: Option<u64>,
 }
 
 impl Default for Opts {
@@ -96,6 +104,9 @@ impl Default for Opts {
             soak_cycles: None,
             soak_records: None,
             soak_report: None,
+            introspect: None,
+            trace_jsonl: None,
+            trace_record: None,
         }
     }
 }

@@ -15,6 +15,8 @@
 //!   soak           run the crash/recover pipeline soak with fault
 //!                  injection and reconcile every record, writing
 //!                  --soak-report JSON
+//!   trace          reconstruct causal record → episode → publish
+//!                  chains offline from a --trace-jsonl event file
 //!   all            every table and figure in order
 //!   ablate         every ablation
 //!
@@ -43,6 +45,7 @@ mod oracle;
 mod serve;
 mod soak;
 mod tables;
+mod trace;
 
 use std::sync::Arc;
 
@@ -150,6 +153,19 @@ fn main() {
             "--soak-report" => {
                 opts.soak_report = Some(take_value(&mut i).into());
             }
+            "--introspect" => {
+                opts.introspect = Some(take_value(&mut i));
+            }
+            "--trace-jsonl" => {
+                opts.trace_jsonl = Some(take_value(&mut i).into());
+            }
+            "--trace-record" => {
+                opts.trace_record = Some(
+                    take_value(&mut i)
+                        .parse()
+                        .unwrap_or_else(|_| die("--trace-record expects an integer")),
+                );
+            }
             "--epochs" => {
                 opts.epochs_override = Some(
                     take_value(&mut i)
@@ -216,6 +232,7 @@ fn run_command(cmd: &str, opts: &Opts) {
         "ingest" => ingest::ingest(opts),
         "serve" => serve::serve(opts),
         "soak" => soak::soak(opts),
+        "trace" => trace::trace(opts),
         "ablate-alpha" => ablate::ablate_alpha(opts),
         "ablate-bias" => ablate::ablate_bias(opts),
         "ablate-restart" => ablate::ablate_restart(opts),
@@ -258,7 +275,14 @@ fn print_help() {
                    [--soak-report FILE]  crash and recover the\n\
                    continuous-learning pipeline under injected faults,\n\
                    then reconcile every record and prove replay\n\
-                   bit-identity"
+                   bit-identity\n\n\
+         trace:    repro trace --trace-jsonl FILE [--trace-record SEQ]\n\
+                   [--seed S]  reconstruct record -> episode -> publish\n\
+                   chains offline from a trace-stamped event log; with\n\
+                   --trace-record, narrate one record's end-to-end path\n\n\
+         introspection: soak and serve accept --introspect ADDR (e.g.\n\
+                   127.0.0.1:9600) to expose /metrics, /healthz, and\n\
+                   /debug/flight over HTTP for the duration of the run"
     );
 }
 

@@ -4,18 +4,38 @@
 //!
 //! ```text
 //! repro serve [--serve-workers N] [--serve-policy reject|shed|block] \
-//!     [--serve-report FILE] [--telemetry-jsonl FILE]
+//!     [--serve-report FILE] [--telemetry-jsonl FILE] [--introspect ADDR]
 //! ```
 //!
 //! Exits non-zero when any tally fails to reconcile, any request hangs
 //! without an outcome, or any NaN escapes — this is the CI gate for the
 //! serving layer.
 
-use inf2vec_obs::Telemetry;
+use inf2vec_obs::{HealthPolicy, IntrospectServer, Rule, Telemetry};
 use inf2vec_serve::chaos::{run_chaos, ChaosConfig};
 
 use crate::common::Opts;
 use crate::die;
+
+/// Health rules for the serving plane: sustained shedding degrades, a
+/// mostly-shed window fails; any model quarantine is worth flagging.
+fn serve_health_policy() -> HealthPolicy {
+    HealthPolicy::new()
+        .rule(Rule::ratio(
+            "shed_ratio",
+            "inf2vec_serve_shed_total",
+            "inf2vec_serve_requests_total",
+            0.10,
+            0.50,
+        ))
+        .rule(Rule::ratio(
+            "quarantine_ratio",
+            "inf2vec_serve_model_quarantined_total",
+            "inf2vec_serve_swap_total",
+            0.01,
+            0.50,
+        ))
+}
 
 /// Runs the serve chaos command from the harness options.
 pub fn serve(opts: &Opts) {
@@ -26,10 +46,23 @@ pub fn serve(opts: &Opts) {
     } else {
         Telemetry::with_registry()
     };
+    let _introspect = opts.introspect.as_ref().map(|addr| {
+        let server = IntrospectServer::start(addr, telemetry.clone(), serve_health_policy())
+            .unwrap_or_else(|e| die(&format!("cannot bind --introspect {addr}: {e}")));
+        opts.note(&format!(
+            "[serve] introspection at http://{}/ (/metrics /healthz /debug/flight)",
+            server.local_addr()
+        ));
+        server
+    });
+    if let Err(e) = std::fs::create_dir_all(&opts.out) {
+        die(&format!("cannot create {}: {e}", opts.out.display()));
+    }
     let cfg = ChaosConfig {
         seed: opts.seed,
         workers: opts.serve_workers,
         policy: opts.serve_policy,
+        flight_dump: Some(opts.out.join("serve_flight.jsonl")),
         ..ChaosConfig::default()
     };
     let report = run_chaos(&cfg, telemetry);

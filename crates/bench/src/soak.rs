@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! repro soak [--soak-cycles N] [--soak-records N] \
-//!     [--soak-report FILE] [--telemetry-jsonl FILE]
+//!     [--soak-report FILE] [--telemetry-jsonl FILE] [--introspect ADDR]
 //! ```
 //!
 //! Drives synthetic action-log traffic through repeated crash/recover
@@ -13,8 +13,8 @@
 //! disagree, or an uninterrupted replay is not bit-identical — this is
 //! the CI gate for the continuous-learning pipeline.
 
-use inf2vec_obs::Telemetry;
-use inf2vec_pipeline::{run_soak, SoakConfig};
+use inf2vec_obs::{IntrospectServer, Telemetry};
+use inf2vec_pipeline::{pipeline_health_policy, run_soak, SoakConfig};
 
 use crate::common::Opts;
 use crate::die;
@@ -28,6 +28,18 @@ pub fn soak(opts: &Opts) {
     } else {
         Telemetry::with_registry()
     };
+    // The soak forks this handle (same registry + flight ring, teed
+    // recorder), so the endpoint sees the pipeline's live metrics.
+    let _introspect = opts.introspect.as_ref().map(|addr| {
+        let server =
+            IntrospectServer::start(addr, telemetry.clone(), pipeline_health_policy())
+                .unwrap_or_else(|e| die(&format!("cannot bind --introspect {addr}: {e}")));
+        opts.note(&format!(
+            "[soak] introspection at http://{}/ (/metrics /healthz /debug/flight)",
+            server.local_addr()
+        ));
+        server
+    });
     let mut cfg = SoakConfig {
         seed: opts.seed,
         ..SoakConfig::default()
@@ -68,8 +80,12 @@ pub fn soak(opts: &Opts) {
         report.versions_installed,
     ));
     opts.say(&format!(
-        "[soak] balanced={} gauges_consistent={} bit_identical={} checksum={:016x}",
-        report.balanced, report.gauges_consistent, report.bit_identical, r.store_checksum
+        "[soak] balanced={} gauges_consistent={} bit_identical={} trace_complete={} checksum={:016x}",
+        report.balanced,
+        report.gauges_consistent,
+        report.bit_identical,
+        report.trace_complete,
+        r.store_checksum
     ));
 
     if let Some(path) = &opts.soak_report {

@@ -1,0 +1,78 @@
+//! The `trace` subcommand: offline causal-trace reconstruction.
+//!
+//! ```text
+//! repro trace --trace-jsonl FILE [--trace-record SEQ] [--seed S]
+//! ```
+//!
+//! Reads a trace-stamped telemetry JSONL file (as written by
+//! `--telemetry-jsonl` during a pipeline run, or dumped from the flight
+//! recorder) and replays it into record → episode → publish chains.
+//! With `--trace-record SEQ` it narrates that one record's end-to-end
+//! path and latency; without it, it prints the fate ledger and verifies
+//! every chain's trace ids against the seed derivation.
+
+use inf2vec_pipeline::{RecordFate, TraceIndex};
+
+use crate::common::Opts;
+use crate::die;
+
+/// Runs the trace command from the harness options.
+pub fn trace(opts: &Opts) {
+    let path = opts
+        .trace_jsonl
+        .as_ref()
+        .unwrap_or_else(|| die("trace needs --trace-jsonl FILE"));
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| die(&format!("cannot read {}: {e}", path.display())));
+    let idx = TraceIndex::from_jsonl(&text);
+    let (total, applied, pending, quarantined) = idx.counts();
+    if total == 0 && quarantined == 0 {
+        die(&format!(
+            "{} contains no trace-stamped pipeline events",
+            path.display()
+        ));
+    }
+
+    if let Some(seq) = opts.trace_record {
+        match idx.describe(seq) {
+            Some(text) => opts.say_raw(&text),
+            None => die(&format!(
+                "record seq={seq} was never accepted (ledger has {total} records, seqs are 1-based)"
+            )),
+        }
+        return;
+    }
+
+    opts.say(&format!(
+        "[trace] {} records indexed from {}: {} applied + {} pending; {} lines quarantined",
+        total,
+        path.display(),
+        applied,
+        pending,
+        quarantined
+    ));
+    let published = idx
+        .records()
+        .filter(|r| matches!(r.fate, RecordFate::Applied { published: Some(_), .. }))
+        .count();
+    opts.say(&format!(
+        "[trace] {published} of {applied} applied records covered by a published snapshot"
+    ));
+    for q in idx.quarantines() {
+        opts.say(&format!(
+            "[trace] quarantined line {} ({})",
+            q.line, q.kind
+        ));
+    }
+    match idx.chain_complete(opts.seed) {
+        Ok(n) => opts.say(&format!(
+            "[trace] chain check: all {n} records verified against seed {}",
+            opts.seed
+        )),
+        Err(seq) => die(&format!(
+            "chain check failed at record seq={seq} for seed {} \
+             (wrong --seed, or a gap in the event stream?)",
+            opts.seed
+        )),
+    }
+}

@@ -18,6 +18,7 @@
 use std::io::{self, BufReader, Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
 
+use inf2vec_obs::{Event, Telemetry};
 use inf2vec_util::error::DefectKind;
 
 use crate::lines::LineStream;
@@ -70,6 +71,7 @@ pub struct LogTail {
     path: PathBuf,
     num_users: u32,
     pos: TailPosition,
+    telemetry: Telemetry,
 }
 
 impl LogTail {
@@ -86,7 +88,16 @@ impl LogTail {
             path: path.into(),
             num_users,
             pos,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle: each non-empty poll then counts its
+    /// lines/records/defects and emits one `tail.batch` event. Disabled
+    /// telemetry (the default) costs one branch per poll.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// The position the next poll starts from (persist this to resume).
@@ -132,6 +143,24 @@ impl LogTail {
             }
         }
         self.pos.offset += committed;
+        if !out.is_empty() {
+            let records = out
+                .iter()
+                .filter(|i| matches!(i, TailItem::Record(_)))
+                .count() as u64;
+            let defects = out.len() as u64 - records;
+            self.telemetry
+                .count("inf2vec_ingest_tail_records_total", records);
+            self.telemetry
+                .count("inf2vec_ingest_tail_defects_total", defects);
+            self.telemetry.emit_with(|| {
+                Event::new("tail.batch")
+                    .u64("records", records)
+                    .u64("defects", defects)
+                    .u64("offset", self.pos.offset)
+                    .u64("line", self.pos.line_no)
+            });
+        }
         Ok(out)
     }
 
@@ -299,6 +328,44 @@ mod tests {
         let mut tail = LogTail::new(&path, 10);
         assert_eq!(tail.poll(2).unwrap().len(), 2);
         assert_eq!(tail.poll(2).unwrap(), vec![rec(3, 2, 0, 3)]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn telemetry_counts_records_and_defects_per_poll() {
+        use inf2vec_obs::{MemorySink, SampleValue, Telemetry};
+        use std::sync::Arc;
+
+        let path = tmp("telemetry.log");
+        std::fs::remove_file(&path).ok();
+        append(&path, b"0 0 1\ngarbage\n1 0 2\n");
+        let sink = Arc::new(MemorySink::new());
+        let telemetry = Telemetry::new(Arc::clone(&sink) as Arc<dyn inf2vec_obs::Recorder>);
+        let mut tail = LogTail::new(&path, 10).with_telemetry(telemetry.clone());
+        assert_eq!(tail.poll(100).unwrap().len(), 3);
+
+        let snap = telemetry.snapshot();
+        let counter = |name: &str| match snap.get(name).map(|s| &s.value) {
+            Some(SampleValue::Counter(v)) => *v,
+            _ => 0,
+        };
+        assert_eq!(counter("inf2vec_ingest_tail_records_total"), 2);
+        assert_eq!(counter("inf2vec_ingest_tail_defects_total"), 1);
+
+        let events = sink.events();
+        let batch = events.iter().find(|e| e.kind() == "tail.batch").unwrap();
+        assert_eq!(batch.get("records").and_then(|v| v.as_u64()), Some(2));
+        assert_eq!(batch.get("defects").and_then(|v| v.as_u64()), Some(1));
+
+        // An empty poll is silent — no event, no counter bumps.
+        assert!(tail.poll(100).unwrap().is_empty());
+        assert_eq!(
+            sink.events()
+                .iter()
+                .filter(|e| e.kind() == "tail.batch")
+                .count(),
+            1
+        );
         std::fs::remove_file(&path).ok();
     }
 

@@ -183,7 +183,7 @@ impl Event {
 }
 
 /// Escapes and appends `s` as a JSON string literal.
-fn write_json_string(out: &mut String, s: &str) {
+pub(crate) fn write_json_string(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {

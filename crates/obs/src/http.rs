@@ -1,0 +1,266 @@
+//! Live introspection: a zero-dependency `std::net` HTTP/1.1 endpoint.
+//!
+//! [`IntrospectServer::start`] binds a listener and serves three routes
+//! from a background thread:
+//!
+//! - `GET /metrics` — the Prometheus text exposition of the handle's
+//!   registry (content type `text/plain; version=0.0.4`).
+//! - `GET /healthz` — evaluates the configured [`HealthPolicy`] against a
+//!   fresh snapshot and returns the JSON [`HealthReport`]; HTTP 200 for
+//!   `ok`/`degraded`, 503 for `failing`.
+//! - `GET /debug/flight` — the flight-recorder ring contents as JSONL,
+//!   oldest first.
+//!
+//! The listener is non-blocking and polled, so [`IntrospectServer::stop`]
+//! (or drop) shuts the thread down promptly without needing a wake-up
+//! connection. One request per connection (`Connection: close`) keeps the
+//! loop single-threaded and allocation-light — this is a diagnostics
+//! surface, not a serving plane.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::health::{HealthEvaluator, HealthPolicy, HealthState};
+use crate::Telemetry;
+
+/// A running introspection endpoint; stops on [`stop`](Self::stop) or drop.
+pub struct IntrospectServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for IntrospectServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IntrospectServer")
+            .field("addr", &self.addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl IntrospectServer {
+    /// Binds `addr` (e.g. `127.0.0.1:9600`, or port 0 for an ephemeral
+    /// port) and serves `telemetry`'s metrics, health, and flight ring.
+    pub fn start(
+        addr: &str,
+        telemetry: Telemetry,
+        policy: HealthPolicy,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let evaluator = HealthEvaluator::new(policy, telemetry.clock());
+        let thread = std::thread::Builder::new()
+            .name("inf2vec-introspect".to_string())
+            .spawn(move || serve_loop(listener, telemetry, evaluator, stop2))?;
+        Ok(Self {
+            addr: local,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signals the serving thread to exit and joins it.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for IntrospectServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn serve_loop(
+    listener: TcpListener,
+    telemetry: Telemetry,
+    evaluator: HealthEvaluator,
+    stop: Arc<AtomicBool>,
+) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Diagnostics endpoint: serve inline, one request at a time.
+                let _ = handle_connection(stream, &telemetry, &evaluator);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    telemetry: &Telemetry,
+    evaluator: &HealthEvaluator,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let path = match read_request_path(&mut stream) {
+        Some(p) => p,
+        None => return Ok(()),
+    };
+    let (status, content_type, body) = route(&path, telemetry, evaluator);
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Reads the request head far enough to extract the path of the request
+/// line; tolerates clients that send the head in several packets.
+fn read_request_path(stream: &mut TcpStream) -> Option<String> {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if buf.windows(2).any(|w| w == b"\r\n") || buf.contains(&b'\n') {
+                    break;
+                }
+                if buf.len() > 8192 {
+                    return None;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let line = head.lines().next()?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next()?;
+    let path = parts.next()?;
+    if method != "GET" {
+        return Some(format!("!{method}"));
+    }
+    Some(path.to_string())
+}
+
+fn route(
+    path: &str,
+    telemetry: &Telemetry,
+    evaluator: &HealthEvaluator,
+) -> (&'static str, &'static str, String) {
+    if let Some(method) = path.strip_prefix('!') {
+        return (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            format!("method {method} not allowed; this endpoint is GET-only\n"),
+        );
+    }
+    match path {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            telemetry.prometheus(),
+        ),
+        "/healthz" => {
+            let report = evaluator.evaluate(telemetry.snapshot());
+            let status = match report.state {
+                HealthState::Failing => "503 Service Unavailable",
+                _ => "200 OK",
+            };
+            (status, "application/json; charset=utf-8", report.to_json())
+        }
+        "/debug/flight" => {
+            let mut body = String::new();
+            for e in telemetry.flight_events() {
+                body.push_str(&e.to_json());
+                body.push('\n');
+            }
+            ("200 OK", "application/x-ndjson; charset=utf-8", body)
+        }
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found; routes: /metrics /healthz /debug/flight\n".to_string(),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Event, Rule};
+
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        let (head, body) = out.split_once("\r\n\r\n").unwrap();
+        let status = head.lines().next().unwrap().to_string();
+        (status, body.to_string())
+    }
+
+    #[test]
+    fn serves_metrics_health_and_flight() {
+        let t = Telemetry::with_registry();
+        t.count("demo_total", 3);
+        t.emit(Event::new("boot").u64("n", 1));
+        let policy = HealthPolicy::new().rule(Rule::gauge_above("lag", "lag", 4.0, 16.0));
+        let server = IntrospectServer::start("127.0.0.1:0", t.clone(), policy).unwrap();
+        let addr = server.local_addr();
+
+        let (status, body) = get(addr, "/metrics");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert!(body.contains("demo_total 3"), "{body}");
+
+        let (status, body) = get(addr, "/healthz");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert!(body.contains("\"state\":\"ok\""), "{body}");
+
+        t.gauge_set("lag", 100.0);
+        let (status, body) = get(addr, "/healthz");
+        assert_eq!(status, "HTTP/1.1 503 Service Unavailable");
+        assert!(body.contains("\"state\":\"failing\""), "{body}");
+
+        let (status, body) = get(addr, "/debug/flight");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        let first = body.lines().next().unwrap();
+        assert_eq!(Event::from_json(first).unwrap().kind(), "boot");
+
+        let (status, _) = get(addr, "/nope");
+        assert_eq!(status, "HTTP/1.1 404 Not Found");
+
+        server.stop();
+    }
+
+    #[test]
+    fn non_get_is_rejected() {
+        let t = Telemetry::with_registry();
+        let server =
+            IntrospectServer::start("127.0.0.1:0", t, HealthPolicy::new()).unwrap();
+        let addr = server.local_addr();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 405"), "{out}");
+    }
+}

@@ -96,6 +96,7 @@ pub struct Histogram {
     buckets: Box<[AtomicU64]>,
     count: AtomicU64,
     sum_bits: AtomicU64,
+    dropped: AtomicU64,
 }
 
 impl Histogram {
@@ -116,6 +117,7 @@ impl Histogram {
             buckets,
             count: AtomicU64::new(0),
             sum_bits: AtomicU64::new(0.0f64.to_bits()),
+            dropped: AtomicU64::new(0),
         }
     }
 
@@ -140,6 +142,9 @@ impl Histogram {
     /// Records one observation.
     pub fn observe(&self, v: f64) {
         if !v.is_finite() {
+            // Not silently: dropped observations are counted and surfaced
+            // by the registry as `inf2vec_obs_dropped_observations_total`.
+            self.dropped.fetch_add(1, Ordering::Relaxed);
             return;
         }
         // First bucket whose inclusive upper edge holds v; the slice is
@@ -172,6 +177,12 @@ impl Histogram {
     #[inline]
     pub fn sum(&self) -> f64 {
         f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// How many non-finite observations were rejected.
+    #[inline]
+    pub fn dropped_count(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
     }
 
     /// The bucket upper edges (without the implicit `+Inf`).
@@ -289,6 +300,10 @@ mod tests {
         h.observe(f64::NAN);
         h.observe(f64::INFINITY);
         assert_eq!(h.count(), 0);
+        assert_eq!(h.dropped_count(), 2);
+        h.observe(0.5);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.dropped_count(), 2);
     }
 
     #[test]

@@ -39,12 +39,26 @@ enum Metric {
 #[derive(Debug, Default)]
 pub struct Registry {
     inner: Mutex<BTreeMap<MetricId, Metric>>,
+    help: Mutex<BTreeMap<String, String>>,
 }
+
+/// Name of the synthetic counter summing non-finite observations dropped
+/// by every histogram in a registry (emitted only when nonzero).
+pub const DROPPED_OBSERVATIONS_METRIC: &str = "inf2vec_obs_dropped_observations_total";
 
 impl Registry {
     /// An empty registry.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Registers `# HELP` text for the metric family `name`, rendered by
+    /// [`Snapshot::to_prometheus`] with text-format escaping.
+    pub fn describe(&self, name: &str, help: &str) {
+        self.help
+            .lock()
+            .expect("registry poisoned")
+            .insert(name.to_string(), help.to_string());
     }
 
     fn id(name: &str, labels: &[(&str, &str)]) -> MetricId {
@@ -110,8 +124,13 @@ impl Registry {
     }
 
     /// Freezes the current value of every registered metric.
+    ///
+    /// When any histogram has rejected non-finite observations, the total
+    /// appears as the synthetic counter [`DROPPED_OBSERVATIONS_METRIC`] so
+    /// silent data loss is visible on every scrape.
     pub fn snapshot(&self) -> Snapshot {
         let map = self.inner.lock().expect("registry poisoned");
+        let mut dropped = 0u64;
         let samples = map
             .iter()
             .map(|(id, metric)| MetricSample {
@@ -120,16 +139,32 @@ impl Registry {
                 value: match metric {
                     Metric::Counter(c) => SampleValue::Counter(c.get()),
                     Metric::Gauge(g) => SampleValue::Gauge(g.get()),
-                    Metric::Histogram(h) => SampleValue::Histogram {
-                        bounds: h.bounds().to_vec(),
-                        counts: h.bucket_counts(),
-                        sum: h.sum(),
-                        count: h.count(),
-                    },
+                    Metric::Histogram(h) => {
+                        dropped += h.dropped_count();
+                        SampleValue::Histogram {
+                            bounds: h.bounds().to_vec(),
+                            counts: h.bucket_counts(),
+                            sum: h.sum(),
+                            count: h.count(),
+                        }
+                    }
                 },
             })
             .collect();
-        Snapshot { samples }
+        drop(map);
+        let help = self.help.lock().expect("registry poisoned").clone();
+        let mut snap = Snapshot { samples, help };
+        if dropped > 0 {
+            snap.insert_sorted(MetricSample {
+                name: DROPPED_OBSERVATIONS_METRIC.to_string(),
+                labels: Vec::new(),
+                value: SampleValue::Counter(dropped),
+            });
+            snap.help.entry(DROPPED_OBSERVATIONS_METRIC.to_string()).or_insert_with(|| {
+                "Non-finite histogram observations rejected across all histograms".to_string()
+            });
+        }
+        snap
     }
 }
 
@@ -170,9 +205,21 @@ pub enum SampleValue {
 pub struct Snapshot {
     /// The frozen samples, sorted by name then labels.
     pub samples: Vec<MetricSample>,
+    /// Per-family `# HELP` text registered via [`Registry::describe`].
+    pub help: BTreeMap<String, String>,
 }
 
 impl Snapshot {
+    /// Inserts `sample` at its (name, labels) sort position, keeping the
+    /// snapshot's deterministic ordering. Used for synthetic samples
+    /// (dropped observations, recorder errors).
+    pub fn insert_sorted(&mut self, sample: MetricSample) {
+        let pos = self
+            .samples
+            .partition_point(|s| (&s.name, &s.labels) < (&sample.name, &sample.labels));
+        self.samples.insert(pos, sample);
+    }
+
     /// The sample with the given name and no labels.
     pub fn get(&self, name: &str) -> Option<&MetricSample> {
         self.samples
@@ -207,7 +254,8 @@ impl Snapshot {
     ///
     /// Output is deterministic: samples appear in name order, histogram
     /// buckets cumulative with a final `le="+Inf"`, every family preceded by
-    /// a `# TYPE` line.
+    /// a `# TYPE` line (and a `# HELP` line when registered, escaped per
+    /// the text-format spec: `\` as `\\`, line feed as `\n`).
     pub fn to_prometheus(&self) -> String {
         let mut out = String::new();
         let mut last_family: Option<&str> = None;
@@ -218,6 +266,9 @@ impl Snapshot {
                 SampleValue::Histogram { .. } => "histogram",
             };
             if last_family != Some(s.name.as_str()) {
+                if let Some(help) = self.help.get(&s.name) {
+                    let _ = writeln!(out, "# HELP {} {}", s.name, escape_help(help));
+                }
                 let _ = writeln!(out, "# TYPE {} {}", s.name, type_name);
                 last_family = Some(s.name.as_str());
             }
@@ -273,6 +324,20 @@ impl Snapshot {
         }
         out
     }
+}
+
+/// Escapes `# HELP` text per the Prometheus text-format spec: backslash
+/// and line feed only (quotes are legal in help text).
+fn escape_help(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Renders a `{k="v",...}` label block (empty string when no labels).
@@ -432,5 +497,72 @@ inf2vec_worker_pairs_total{worker=\"1\"} 600
         r.counter("c_total", &[("path", "a\"b\\c\nd")]).inc();
         let text = r.snapshot().to_prometheus();
         assert!(text.contains(r#"path="a\"b\\c\nd""#), "got: {text}");
+    }
+
+    #[test]
+    fn help_lines_are_emitted_once_and_escaped() {
+        let r = Registry::new();
+        r.describe("req_total", "Requests seen.\nSecond line with a \\ and a \"quote\".");
+        r.counter("req_total", &[("w", "0")]).inc();
+        r.counter("req_total", &[("w", "1")]).inc();
+        r.counter("undocumented_total", &[]).inc();
+        let text = r.snapshot().to_prometheus();
+        // HELP precedes TYPE, appears once per family, escapes \ and
+        // newline but leaves quotes alone (per the text-format spec).
+        let help_line =
+            "# HELP req_total Requests seen.\\nSecond line with a \\\\ and a \"quote\".";
+        assert_eq!(text.matches(help_line).count(), 1, "got: {text}");
+        let help_pos = text.find("# HELP req_total").unwrap();
+        let type_pos = text.find("# TYPE req_total").unwrap();
+        assert!(help_pos < type_pos);
+        assert!(!text.contains("# HELP undocumented_total"));
+        // Every emitted line is single-line: no raw newline survives
+        // inside a HELP or label value.
+        for line in text.lines() {
+            assert!(!line.is_empty());
+        }
+    }
+
+    #[test]
+    fn newline_bearing_labels_round_trip_with_help() {
+        let r = Registry::new();
+        r.describe("path_total", "Paths with\nodd characters");
+        r.counter("path_total", &[("p", "line1\nline2\\end\"q")]).add(2);
+        let text = r.snapshot().to_prometheus();
+        assert!(
+            text.contains("# HELP path_total Paths with\\nodd characters"),
+            "got: {text}"
+        );
+        assert!(
+            text.contains(r#"path_total{p="line1\nline2\\end\"q"} 2"#),
+            "got: {text}"
+        );
+        // The exposition stays parseable line-by-line: exactly 3 lines.
+        assert_eq!(text.lines().count(), 3, "got: {text}");
+    }
+
+    #[test]
+    fn dropped_observations_surface_as_synthetic_counter() {
+        let r = Registry::new();
+        r.counter("a_total", &[]).inc();
+        r.counter("zz_total", &[]).inc();
+        // No drops: no synthetic sample, exact-format output unchanged.
+        assert!(r.snapshot().get(DROPPED_OBSERVATIONS_METRIC).is_none());
+
+        r.histogram("lat_seconds", &[]).observe(f64::NAN);
+        r.histogram("lat_seconds", &[("k", "x")]).observe(f64::INFINITY);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter_value(DROPPED_OBSERVATIONS_METRIC, &[]), 2);
+        // Inserted in sorted position, so the exposition stays ordered.
+        let names: Vec<&str> = snap.samples.iter().map(|s| s.name.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+        let text = snap.to_prometheus();
+        assert!(
+            text.contains("# HELP inf2vec_obs_dropped_observations_total"),
+            "{text}"
+        );
+        assert!(text.contains("inf2vec_obs_dropped_observations_total 2"), "{text}");
     }
 }

@@ -1,0 +1,188 @@
+//! The flight recorder: a fixed-capacity ring of recent events.
+//!
+//! A [`FlightRecorder`] keeps the last `capacity` telemetry events (plus
+//! span completions) in memory at all times, so that when a stage panics
+//! the supervisor can dump a "what was the process doing just before the
+//! crash" postmortem next to the journal — even when no JSONL sink was
+//! configured.
+//!
+//! # Overwrite semantics
+//!
+//! Writers claim a slot with one `fetch_add` on the head counter and then
+//! take that slot's own mutex only long enough to store the event, so
+//! pushes never contend on a global lock and never block each other unless
+//! the ring has wrapped all the way around within one store. Once the ring
+//! is full every push overwrites the oldest slot; [`recent`] returns the
+//! surviving events in push order (oldest first) by sorting on the
+//! monotonically increasing sequence number stamped into each slot.
+//!
+//! The recorder must stay usable *during a panic*: every lock acquisition
+//! tolerates poisoning (`into_inner`), so a crash while a writer held a
+//! slot lock cannot make the postmortem dump itself panic.
+
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::event::Event;
+
+/// One ring slot: `(sequence, event)`, `None` until first written.
+type Slot = Mutex<Option<(u64, Event)>>;
+
+/// A lock-free-claim, fixed-capacity ring buffer of recent [`Event`]s.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    slots: Box<[Slot]>,
+    /// Total number of pushes ever; `head % capacity` is the next slot.
+    head: AtomicU64,
+}
+
+/// Default ring capacity: enough for the last few seconds of a busy
+/// pipeline without holding more than ~256 small events alive.
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 256;
+
+impl FlightRecorder {
+    /// A ring holding at most `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            head: AtomicU64::new(0),
+        }
+    }
+
+    /// The fixed slot count.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total events ever pushed (including overwritten ones).
+    pub fn pushed(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Appends one event, overwriting the oldest when full.
+    pub fn push(&self, event: Event) {
+        let seq = self.head.fetch_add(1, Ordering::Relaxed);
+        let idx = (seq % self.slots.len() as u64) as usize;
+        let mut slot = self.slots[idx]
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        *slot = Some((seq, event));
+    }
+
+    /// The surviving events, oldest first.
+    pub fn recent(&self) -> Vec<Event> {
+        let mut entries: Vec<(u64, Event)> = Vec::with_capacity(self.slots.len());
+        for slot in self.slots.iter() {
+            let guard = slot
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            if let Some((seq, event)) = guard.as_ref() {
+                entries.push((*seq, event.clone()));
+            }
+        }
+        entries.sort_by_key(|(seq, _)| *seq);
+        entries.into_iter().map(|(_, e)| e).collect()
+    }
+
+    /// Atomically writes the ring contents as JSON Lines to `path`
+    /// (temp + fsync + rename, so a crash mid-dump never leaves a torn
+    /// postmortem). Oldest event first; one JSON object per line.
+    pub fn dump_jsonl(&self, path: &Path) -> std::io::Result<()> {
+        let events = self.recent();
+        inf2vec_util::atomic_write(path, |f| {
+            for e in &events {
+                writeln!(f, "{}", e.to_json())?;
+            }
+            Ok(())
+        })
+    }
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        Self::new(DEFAULT_FLIGHT_CAPACITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn kinds(ring: &FlightRecorder) -> Vec<String> {
+        ring.recent().iter().map(|e| e.kind().to_string()).collect()
+    }
+
+    #[test]
+    fn push_and_recent_preserve_order() {
+        let ring = FlightRecorder::new(8);
+        for i in 0..5 {
+            ring.push(Event::new(format!("e{i}")));
+        }
+        assert_eq!(kinds(&ring), vec!["e0", "e1", "e2", "e3", "e4"]);
+        assert_eq!(ring.pushed(), 5);
+    }
+
+    #[test]
+    fn wraparound_keeps_newest() {
+        let ring = FlightRecorder::new(4);
+        for i in 0..10 {
+            ring.push(Event::new(format!("e{i}")));
+        }
+        assert_eq!(kinds(&ring), vec!["e6", "e7", "e8", "e9"]);
+        assert_eq!(ring.pushed(), 10);
+        assert_eq!(ring.capacity(), 4);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let ring = FlightRecorder::new(0);
+        ring.push(Event::new("a"));
+        ring.push(Event::new("b"));
+        assert_eq!(kinds(&ring), vec!["b"]);
+    }
+
+    #[test]
+    fn concurrent_pushes_lose_nothing_modulo_capacity() {
+        let ring = Arc::new(FlightRecorder::new(1024));
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let ring = Arc::clone(&ring);
+                s.spawn(move || {
+                    for i in 0..100u64 {
+                        ring.push(Event::new("e").u64("t", t).u64("i", i));
+                    }
+                });
+            }
+        });
+        assert_eq!(ring.pushed(), 800);
+        assert_eq!(ring.recent().len(), 800);
+    }
+
+    #[test]
+    fn dump_writes_parsable_jsonl() {
+        let dir = std::env::temp_dir().join(format!(
+            "obs_ring_test_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("flight.jsonl");
+        let ring = FlightRecorder::new(16);
+        ring.push(Event::new("a").u64("n", 1));
+        ring.push(Event::new("b").str("s", "x\"y"));
+        ring.dump_jsonl(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(Event::from_json(lines[0]).unwrap().kind(), "a");
+        assert_eq!(
+            Event::from_json(lines[1]).unwrap().get("s").unwrap().as_str(),
+            Some("x\"y")
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

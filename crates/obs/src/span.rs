@@ -1,30 +1,40 @@
 //! Phase/span timing.
 //!
-//! A [`Span`] measures wall-clock from creation to [`finish`](Span::finish)
+//! A [`Span`] measures elapsed time from creation to [`finish`](Span::finish)
 //! (or drop) and records the duration into the histogram
 //! `<name>_seconds` of the owning [`Telemetry`](crate::Telemetry) handle.
-//! On a disabled handle a span is inert: no clock read beyond creation, no
-//! allocation, nothing recorded.
+//! Time comes from the handle's [`inf2vec_util::Clock`], so span durations
+//! are deterministic under a `ManualClock` in tests; a disabled handle
+//! falls back to the system clock so the returned figure is still real.
+//! Completed spans also leave a `span` event in the flight ring, giving
+//! postmortem dumps a record of the phases that finished just before a
+//! crash.
 
-use std::time::Instant;
+use std::time::Duration;
 
-use crate::Telemetry;
+use inf2vec_util::SharedClock;
+
+use crate::{Event, Telemetry};
 
 /// An in-flight timed phase. Records on `finish()` or drop.
 #[derive(Debug)]
 pub struct Span {
     telemetry: Telemetry,
+    clock: SharedClock,
     name: &'static str,
-    start: Instant,
+    start: Duration,
     done: bool,
 }
 
 impl Span {
     pub(crate) fn start(telemetry: Telemetry, name: &'static str) -> Self {
+        let clock = telemetry.clock();
+        let start = clock.now();
         Self {
             telemetry,
+            clock,
             name,
-            start: Instant::now(),
+            start,
             done: false,
         }
     }
@@ -34,9 +44,13 @@ impl Span {
     /// reuse the figure).
     pub fn finish(mut self) -> f64 {
         self.done = true;
-        let secs = self.start.elapsed().as_secs_f64();
+        let secs = self.elapsed_secs();
         self.record(secs);
         secs
+    }
+
+    fn elapsed_secs(&self) -> f64 {
+        self.clock.now().saturating_sub(self.start).as_secs_f64()
     }
 
     fn record(&self, secs: f64) {
@@ -45,6 +59,8 @@ impl Span {
             // suffix, no label on the phase itself.
             let name = format!("{}_seconds", self.name);
             self.telemetry.observe(&name, secs);
+            self.telemetry
+                .flight_note(Event::new("span").str("name", self.name).f64("secs", secs));
         }
     }
 }
@@ -52,7 +68,7 @@ impl Span {
 impl Drop for Span {
     fn drop(&mut self) {
         if !self.done {
-            self.record(self.start.elapsed().as_secs_f64());
+            self.record(self.elapsed_secs());
         }
     }
 }
@@ -60,6 +76,9 @@ impl Drop for Span {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::NoopRecorder;
+    use inf2vec_util::ManualClock;
+    use std::sync::Arc;
 
     #[test]
     fn finish_records_into_named_histogram() {
@@ -97,4 +116,34 @@ mod tests {
         assert!(t.snapshot().samples.is_empty());
     }
 
+    #[test]
+    fn manual_clock_makes_durations_exact() {
+        let (clock, handle) = ManualClock::shared();
+        let t = Telemetry::with_clock(Arc::new(NoopRecorder), clock);
+        let span = t.span("clocked_phase");
+        handle.advance(std::time::Duration::from_millis(750));
+        let secs = span.finish();
+        assert_eq!(secs, 0.75);
+        let snap = t.snapshot();
+        match &snap.get("clocked_phase_seconds").unwrap().value {
+            crate::registry::SampleValue::Histogram { sum, count, .. } => {
+                assert_eq!(*count, 1);
+                assert_eq!(*sum, 0.75);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn completed_spans_leave_flight_notes() {
+        let t = Telemetry::with_registry();
+        t.span("noted_phase").finish();
+        let events = t.flight_events();
+        let note = events
+            .iter()
+            .find(|e| e.kind() == "span")
+            .expect("span completion in flight ring");
+        assert_eq!(note.get("name").and_then(|v| v.as_str()), Some("noted_phase"));
+        assert!(note.get("secs").and_then(|v| v.as_f64()).is_some());
+    }
 }

@@ -82,3 +82,43 @@ impl PipelineConfig {
         self.inf2vec.seed
     }
 }
+
+/// The standard health policy for a running pipeline, evaluated by the
+/// introspection endpoint's `/healthz`:
+///
+/// - **quarantine ratio** — quarantined vs. accepted records over the
+///   scrape window; a defect storm degrades at 5% and fails at 25%;
+/// - **publish lag** — episodes applied beyond the newest publish *this
+///   process has observed*; the served model growing stale degrades at
+///   16 episodes and fails at 128. After a crash the counter restarts
+///   at zero, so a freshly recovered pipeline reports failing until its
+///   first publish lands — deliberate pessimism: the process cannot
+///   vouch for a snapshot it never published;
+/// - **loss divergence** — the episode-loss EMA. The gauge is the mean
+///   per-pair SGNS loss *including the negative terms*, so with the
+///   default 5 negatives a freshly initialized model sits near
+///   `6·ln 2 ≈ 4.2` and falls from there; an EMA above 6 means the
+///   objective is moving the wrong way (degraded), above 20 it is
+///   blowing up (failing).
+pub fn pipeline_health_policy() -> inf2vec_obs::HealthPolicy {
+    inf2vec_obs::HealthPolicy::new()
+        .rule(inf2vec_obs::Rule::ratio(
+            "quarantine_ratio",
+            "inf2vec_pipeline_quarantined_total",
+            "inf2vec_pipeline_records_total",
+            0.05,
+            0.25,
+        ))
+        .rule(inf2vec_obs::Rule::gauge_above(
+            "publish_lag",
+            "inf2vec_pipeline_publish_lag_episodes",
+            16.0,
+            128.0,
+        ))
+        .rule(inf2vec_obs::Rule::gauge_above(
+            "loss_divergence",
+            "inf2vec_pipeline_loss_ema",
+            6.0,
+            20.0,
+        ))
+}

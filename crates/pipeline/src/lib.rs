@@ -31,6 +31,10 @@
 //!   traffic through repeated crash/recover cycles, then reconciles
 //!   every written record against exactly one of
 //!   {applied, quarantined, pending} and proves replay bit-identity.
+//! - [`trace`]: offline causal-trace reconstruction — replays the
+//!   trace-stamped event stream back into record → episode → publish
+//!   chains (what `repro trace` renders, and what the soak harness
+//!   checks for completeness).
 
 pub mod config;
 pub mod faults;
@@ -38,13 +42,15 @@ pub mod journal;
 pub mod publish;
 pub mod runner;
 pub mod soak;
+pub mod trace;
 
-pub use config::PipelineConfig;
+pub use config::{pipeline_health_policy, PipelineConfig};
 pub use faults::FaultPlan;
 pub use journal::{Journal, JournalState, OpenItemState};
 pub use publish::{CountingSink, PublishSink, RegistrySink, Snapshot};
 pub use runner::{Pipeline, Reconciliation};
 pub use soak::{run_soak, SoakConfig, SoakReport};
+pub use trace::{RecordFate, RecordTrace, TraceIndex};
 
 #[cfg(test)]
 pub(crate) mod testutil {

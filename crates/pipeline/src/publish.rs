@@ -97,6 +97,10 @@ pub struct PublishCounters {
     pub failed: AtomicU64,
     /// Snapshot offers dropped because the publisher was busy.
     pub skipped: AtomicU64,
+    /// Episode count of the newest successfully published snapshot
+    /// (monotone via `fetch_max`) — the supervisor derives the publish-lag
+    /// gauge from it.
+    pub last_episodes: AtomicU64,
 }
 
 /// Publishes one snapshot with retry + capped exponential backoff.
@@ -126,23 +130,31 @@ pub fn publish_with_retry(
         match result {
             Ok(version) => {
                 counters.ok.fetch_add(1, Ordering::SeqCst);
+                counters
+                    .last_episodes
+                    .fetch_max(snap.episodes, Ordering::SeqCst);
                 cfg.telemetry.count("inf2vec_pipeline_publish_ok_total", 1);
-                cfg.telemetry.emit(
-                    inf2vec_obs::Event::new("pipeline.publish")
-                        .u64("version", version)
-                        .u64("episodes", snap.episodes)
-                        .u64("attempt", attempt as u64),
-                );
+                cfg.telemetry.emit_with(|| {
+                    inf2vec_obs::TraceCtx::for_publish(cfg.seed(), snap.episodes).stamp(
+                        inf2vec_obs::Event::new("pipeline.publish")
+                            .u64("version", version)
+                            .u64("episodes", snap.episodes)
+                            .u64("attempt", attempt as u64),
+                    )
+                });
                 return true;
             }
             Err(e) => {
                 cfg.telemetry
                     .count("inf2vec_pipeline_publish_retry_total", 1);
-                cfg.telemetry.emit(
-                    inf2vec_obs::Event::new("pipeline.publish_error")
-                        .u64("attempt", attempt as u64)
-                        .str("error", e.to_string()),
-                );
+                cfg.telemetry.emit_with(|| {
+                    inf2vec_obs::TraceCtx::for_publish(cfg.seed(), snap.episodes).stamp(
+                        inf2vec_obs::Event::new("pipeline.publish_error")
+                            .u64("attempt", attempt as u64)
+                            .u64("episodes", snap.episodes)
+                            .str("error", e.to_string()),
+                    )
+                });
                 if attempt < cfg.publish_max_attempts.max(1) {
                     clock.sleep(backoff);
                     backoff = (backoff * 2).min(cfg.publish_backoff_cap);

@@ -46,7 +46,7 @@ use inf2vec_diffusion::{Episode, ItemId};
 use inf2vec_embed::{EmbeddingStore, OnlineSgns};
 use inf2vec_graph::{DiGraph, NodeId};
 use inf2vec_ingest::{LogTail, TailItem, TailPosition};
-use inf2vec_obs::Event;
+use inf2vec_obs::{Event, TraceCtx};
 use inf2vec_serve::store_checksum;
 use inf2vec_util::error::{Inf2vecError, PipelineError};
 use inf2vec_util::{system_clock, FxHashMap, SharedClock};
@@ -129,6 +129,10 @@ struct Trainer {
     records_seen: u64,
     records_applied: u64,
     quarantined: u64,
+    /// Exponential moving average of episode loss. Observability only —
+    /// deliberately *not* journaled, so it never feeds back into training
+    /// and a post-recovery reset is harmless.
+    loss_ema: Option<f64>,
 }
 
 impl Trainer {
@@ -149,6 +153,7 @@ impl Trainer {
                     records_seen: 0,
                     records_applied: 0,
                     quarantined: 0,
+                    loss_ema: None,
                 },
                 0,
             )),
@@ -182,6 +187,7 @@ impl Trainer {
                         records_seen: s.records_seen,
                         records_applied: s.records_applied,
                         quarantined: s.quarantined,
+                        loss_ema: None,
                     },
                     s.round + 1,
                 ))
@@ -232,6 +238,20 @@ impl Trainer {
                 TailItem::Record(r) => {
                     self.records_seen += 1;
                     let seq = self.records_seen;
+                    cfg.telemetry.count("inf2vec_pipeline_records_total", 1);
+                    // Root span of this record's causal chain. The id is a
+                    // pure function of (seed, seq) and seq is journaled, so
+                    // a post-crash replay re-stamps identical ids.
+                    cfg.telemetry.emit_with(|| {
+                        TraceCtx::for_record(cfg.seed(), seq).stamp(
+                            Event::new("trace.accept")
+                                .u64("seq", seq)
+                                .u64("line", r.line_no)
+                                .u64("user", r.user as u64)
+                                .u64("item", r.item as u64)
+                                .u64("time", r.time),
+                        )
+                    });
                     let entry = self.open.entry(r.item).or_default();
                     // Earliest activation per user wins; ties keep the
                     // first arrival (same semantics as batch assembly).
@@ -250,11 +270,13 @@ impl Trainer {
                         &[("kind", kind.name())],
                         1,
                     );
-                    cfg.telemetry.emit(
-                        Event::new("pipeline.quarantine")
-                            .u64("line", line_no)
-                            .str("kind", kind.name()),
-                    );
+                    cfg.telemetry.emit_with(|| {
+                        TraceCtx::for_defect(cfg.seed(), line_no).stamp(
+                            Event::new("pipeline.quarantine")
+                                .u64("line", line_no)
+                                .str("kind", kind.name()),
+                        )
+                    });
                 }
             }
         }
@@ -317,17 +339,25 @@ impl Trainer {
             .count("inf2vec_pipeline_pairs_total", pairs.len() as u64);
         if !pairs.is_empty() {
             cfg.telemetry.observe("inf2vec_pipeline_episode_loss", loss);
+            let ema = match self.loss_ema {
+                None => loss,
+                Some(prev) => 0.9 * prev + 0.1 * loss,
+            };
+            self.loss_ema = Some(ema);
+            cfg.telemetry.gauge_set("inf2vec_pipeline_loss_ema", ema);
         }
-        cfg.telemetry.emit(
-            Event::new("pipeline.episode")
-                .u64("item", item as u64)
-                .u64("seq", episode_seq)
-                .u64("users", episode.len() as u64)
-                .u64("pairs", pairs.len() as u64)
-                .u64("local", stats.local)
-                .u64("global", stats.global)
-                .f64("loss", loss),
-        );
+        cfg.telemetry.emit_with(|| {
+            TraceCtx::for_episode(cfg.seed(), episode_seq).stamp(
+                Event::new("pipeline.episode")
+                    .u64("item", item as u64)
+                    .u64("seq", episode_seq)
+                    .u64("users", episode.len() as u64)
+                    .u64("pairs", pairs.len() as u64)
+                    .u64("local", stats.local)
+                    .u64("global", stats.global)
+                    .f64("loss", loss),
+            )
+        });
     }
 }
 
@@ -377,6 +407,9 @@ pub struct Pipeline {
     graph: Arc<DiGraph>,
     sink: Arc<dyn PublishSink>,
     log_path: PathBuf,
+    /// Where the flight recorder dumps on stage panics (`flight.jsonl`
+    /// beside the journal slots).
+    flight_path: PathBuf,
     journal: Journal,
     trainer: Trainer,
     round: u64,
@@ -424,6 +457,8 @@ impl Pipeline {
         faults: Arc<FaultPlan>,
     ) -> Result<Self, Inf2vecError> {
         cfg.inf2vec.validate()?;
+        let journal_dir = journal_dir.into();
+        let flight_path = journal_dir.join("flight.jsonl");
         let journal = Journal::new(journal_dir)?;
         let n = graph.node_count() as usize;
         let k = cfg.inf2vec.k;
@@ -435,6 +470,7 @@ impl Pipeline {
                 .u64("recovered", recovered as u64)
                 .u64("round", round)
                 .u64("offset", trainer.pos.offset)
+                .u64("records", trainer.records_seen)
                 .u64("episodes", trainer.online.episodes_applied()),
         );
         let last_publish_episode = trainer.online.episodes_applied();
@@ -445,6 +481,7 @@ impl Pipeline {
             graph,
             sink,
             log_path: log_path.into(),
+            flight_path,
             journal,
             trainer,
             round,
@@ -511,6 +548,9 @@ impl Pipeline {
     /// rebuild it from the journal and give it a fresh tailer channel
     /// (discarding in-flight batches the journaled position will re-read).
     fn recover_trainer(&mut self, message: String) -> Result<(), Inf2vecError> {
+        // Dump *before* emitting the restart event: the last line of the
+        // flight file must be an event that preceded the panic site.
+        self.dump_flight_postmortem("trainer_panic");
         self.trainer_restarts += 1;
         self.cfg.telemetry.count_with(
             "inf2vec_pipeline_stage_restarts_total",
@@ -544,6 +584,7 @@ impl Pipeline {
     }
 
     fn restart_tailer(&mut self) -> Result<(), Inf2vecError> {
+        self.dump_flight_postmortem("tailer_death");
         self.tailer_restarts += 1;
         self.cfg.telemetry.count_with(
             "inf2vec_pipeline_stage_restarts_total",
@@ -564,6 +605,7 @@ impl Pipeline {
     }
 
     fn restart_publisher(&mut self) -> Result<(), Inf2vecError> {
+        self.dump_flight_postmortem("publisher_death");
         self.publisher_restarts += 1;
         self.cfg.telemetry.count_with(
             "inf2vec_pipeline_stage_restarts_total",
@@ -585,6 +627,10 @@ impl Pipeline {
 
     fn maybe_publish(&mut self) -> Result<(), Inf2vecError> {
         let episodes = self.trainer.online.episodes_applied();
+        self.cfg.telemetry.gauge_set(
+            "inf2vec_pipeline_publish_lag_episodes",
+            episodes.saturating_sub(self.counters.last_episodes.load(Ordering::SeqCst)) as f64,
+        );
         if episodes < self.last_publish_episode + self.cfg.publish_every_episodes.max(1) {
             return Ok(());
         }
@@ -668,7 +714,7 @@ impl Pipeline {
         let thread = std::thread::Builder::new()
             .name("inf2vec-tail".into())
             .spawn(move || {
-                let mut tail = LogTail::resume(path, num_users, pos);
+                let mut tail = LogTail::resume(path, num_users, pos).with_telemetry(telemetry.clone());
                 while !stop_flag.load(Ordering::SeqCst) {
                     let items = match tail.poll(batch_max) {
                         Ok(v) => v,
@@ -773,8 +819,36 @@ impl Pipeline {
     /// batch-boundary commit. Dropping the pipeline without calling this
     /// is the same crash with unsettled counters.
     pub fn crash(&mut self) {
+        self.dump_flight_postmortem("simulated_crash");
         self.tailer = None;
         self.publisher = None;
+    }
+
+    /// Best-effort atomic dump of the flight ring to
+    /// [`flight.jsonl`](Self::flight_path). Never fails the pipeline: a
+    /// postmortem that cannot be written is counted, not propagated.
+    fn dump_flight_postmortem(&self, reason: &str) {
+        match self.cfg.telemetry.dump_flight(&self.flight_path) {
+            Ok(true) => {
+                self.cfg.telemetry.count_with(
+                    "inf2vec_pipeline_flight_dumps_total",
+                    &[("reason", reason)],
+                    1,
+                );
+            }
+            Ok(false) => {} // telemetry disabled: nothing to dump
+            Err(_) => {
+                self.cfg
+                    .telemetry
+                    .count("inf2vec_pipeline_flight_dump_errors_total", 1);
+            }
+        }
+    }
+
+    /// Where postmortem flight dumps land (`flight.jsonl` in the journal
+    /// directory).
+    pub fn flight_path(&self) -> &std::path::Path {
+        &self.flight_path
     }
 
     /// The end-of-run ledger; also exports it as obs gauges.
@@ -810,6 +884,12 @@ impl Pipeline {
         t.gauge_set("inf2vec_pipeline_publishes_ok", r.publishes_ok as f64);
         t.gauge_set("inf2vec_pipeline_publishes_failed", r.publishes_failed as f64);
         t.gauge_set("inf2vec_pipeline_publishes_skipped", r.publishes_skipped as f64);
+        t.gauge_set(
+            "inf2vec_pipeline_publish_lag_episodes",
+            r.episodes_applied
+                .saturating_sub(self.counters.last_episodes.load(Ordering::SeqCst))
+                as f64,
+        );
         r
     }
 

@@ -104,12 +104,15 @@ pub struct SoakReport {
     /// An uninterrupted fresh run over the same log produced the same
     /// [`inf2vec_serve::store_checksum`].
     pub bit_identical: bool,
+    /// Every accepted record reconstructed to a complete causal chain
+    /// (valid deterministic trace ids, fate agreeing with the ledger).
+    pub trace_complete: bool,
 }
 
 impl SoakReport {
     /// Every invariant the soak exists to prove.
     pub fn passed(&self) -> bool {
-        self.balanced && self.gauges_consistent && self.bit_identical
+        self.balanced && self.gauges_consistent && self.bit_identical && self.trace_complete
     }
 
     /// One-object JSON rendering (CI artifact).
@@ -124,7 +127,8 @@ impl SoakReport {
                 "\"records\":{{\"seen\":{},\"applied\":{},\"quarantined\":{},\"pending\":{}}},",
                 "\"episodes_applied\":{},\"pairs_applied\":{},",
                 "\"store_checksum\":\"{:016x}\",",
-                "\"balanced\":{},\"gauges_consistent\":{},\"bit_identical\":{},\"passed\":{}}}"
+                "\"balanced\":{},\"gauges_consistent\":{},\"bit_identical\":{},",
+                "\"trace_complete\":{},\"passed\":{}}}"
             ),
             self.written_good,
             self.written_bad,
@@ -146,6 +150,7 @@ impl SoakReport {
             self.balanced,
             self.gauges_consistent,
             self.bit_identical,
+            self.trace_complete,
             self.passed(),
         )
     }
@@ -291,6 +296,24 @@ pub fn run_soak(cfg: &SoakConfig, workdir: &Path) -> Result<SoakReport, Inf2vecE
 
     let mut pipe_cfg = cfg.pipeline.clone();
     pipe_cfg.inf2vec.seed = cfg.seed;
+    // Tee the pipeline's event stream into a memory sink so the harness
+    // can reconstruct causal traces afterwards — without stealing the
+    // stream from whatever recorder the caller configured. The crash
+    // cycles always run with telemetry on; the bit-identity verify run
+    // below runs with it off, so the soak also proves tracing does not
+    // perturb training.
+    let mem = Arc::new(inf2vec_obs::MemorySink::new());
+    let recorder: Arc<dyn inf2vec_obs::Recorder> = match pipe_cfg.telemetry.recorder() {
+        Some(r) => Arc::new(inf2vec_obs::TeeRecorder::new(
+            r,
+            Arc::clone(&mem) as Arc<dyn inf2vec_obs::Recorder>,
+        )),
+        None => Arc::clone(&mem) as Arc<dyn inf2vec_obs::Recorder>,
+    };
+    // `fork_recorder` keeps the caller's registry (and flight ring) live,
+    // so an introspection endpoint started on the caller's handle keeps
+    // seeing the pipeline's metrics while the soak runs.
+    pipe_cfg.telemetry = pipe_cfg.telemetry.fork_recorder(recorder);
     let telemetry = pipe_cfg.telemetry.clone();
     let graph = soak_graph(cfg.users);
     let registry = Arc::new(ModelRegistry::new(Some(pipe_cfg.inf2vec.k)));
@@ -361,6 +384,18 @@ pub fn run_soak(cfg: &SoakConfig, workdir: &Path) -> Result<SoakReport, Inf2vecE
                 == Some(recon.records_quarantined)
             && gauge(&snap, "inf2vec_pipeline_records_pending") == Some(recon.records_pending));
 
+    // Causal-trace completeness: replay the teed event stream into a
+    // TraceIndex and require every accepted record to reconstruct with
+    // valid deterministic ids and a fate agreeing with the ledger.
+    let events = mem.events();
+    let idx = crate::trace::TraceIndex::from_events(&events);
+    let (indexed, applied, pending, quarantined) = idx.counts();
+    let trace_complete = idx.chain_complete(cfg.seed).is_ok()
+        && indexed == recon.records_seen
+        && applied == recon.records_applied
+        && pending == recon.records_pending
+        && quarantined == recon.records_quarantined;
+
     // Bit-identity witness: a fresh, uninterrupted, fault-free run over
     // the same bytes must land on the same checksum.
     let verify_registry = Arc::new(ModelRegistry::new(Some(pipe_cfg.inf2vec.k)));
@@ -391,6 +426,7 @@ pub fn run_soak(cfg: &SoakConfig, workdir: &Path) -> Result<SoakReport, Inf2vecE
         balanced,
         gauges_consistent,
         bit_identical,
+        trace_complete,
     })
 }
 
@@ -417,6 +453,11 @@ mod tests {
         );
         assert!(report.gauges_consistent, "{}", report.to_json());
         assert!(report.bit_identical, "{}", report.to_json());
+        assert!(
+            report.trace_complete,
+            "every applied record needs a complete trace chain: {}",
+            report.to_json()
+        );
         assert!(
             report.restarts.0 + report.restarts.1 + report.restarts.2 >= 3,
             "the fault schedule must actually fire: {}",

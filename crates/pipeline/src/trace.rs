@@ -1,0 +1,498 @@
+//! Offline causal-trace reconstruction from the pipeline's event stream.
+//!
+//! The pipeline stamps four event kinds with deterministic trace ids
+//! (`trace.accept`, `pipeline.quarantine`, `pipeline.episode`,
+//! `pipeline.publish`). Record→episode membership is *not* carried on the
+//! events — it is recovered here by replaying the accept stream through
+//! the same open-episode discipline the trainer uses: an accepted record
+//! joins its item's open episode and is retired by the next
+//! `pipeline.episode` event for that item. Because every id and every
+//! close decision is a pure function of journaled state, a JSONL file
+//! that interleaves pre-crash and replayed events still reconstructs to
+//! one consistent history (duplicate events are idempotent).
+//!
+//! [`TraceIndex`] is the queryable result; `repro trace` renders one
+//! record's chain with [`TraceIndex::describe`], and the soak harness
+//! checks [`TraceIndex::chain_complete`] over every applied record.
+
+use std::collections::BTreeMap;
+
+use inf2vec_obs::{Event, TraceCtx};
+use inf2vec_util::FxHashMap;
+
+/// What ultimately happened to one accepted record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecordFate {
+    /// Still folded into an open episode at the end of the stream.
+    Pending,
+    /// Applied to the model as part of episode `episode`.
+    Applied {
+        /// The `episodes_applied` sequence of the closing episode.
+        episode: u64,
+        /// Version of the first successful publish covering the episode
+        /// (`None` while the record's training is not yet live).
+        published: Option<u64>,
+    },
+}
+
+/// One accepted record's reconstructed history.
+#[derive(Debug, Clone)]
+pub struct RecordTrace {
+    /// Accepted-record sequence (1-based `records_seen`).
+    pub seq: u64,
+    /// Log line number the record came from.
+    pub line: u64,
+    /// Acting user.
+    pub user: u64,
+    /// Item (cascade) acted on.
+    pub item: u64,
+    /// Action timestamp from the log.
+    pub time: u64,
+    /// Trace id stamped on the accept event (parsed from hex).
+    pub trace: Option<u64>,
+    /// `t_ms` of the accept event, when the sink stamped one.
+    pub accept_t_ms: Option<u64>,
+    /// Where the record ended up.
+    pub fate: RecordFate,
+}
+
+/// One applied episode, keyed by its `episodes_applied` sequence.
+#[derive(Debug, Clone)]
+pub struct EpisodeTrace {
+    /// Item whose episode closed.
+    pub item: u64,
+    /// Distinct users in the episode.
+    pub users: u64,
+    /// Training pairs the episode produced.
+    pub pairs: u64,
+    /// Trace id stamped on the episode event.
+    pub trace: Option<u64>,
+    /// `t_ms` of the episode event.
+    pub t_ms: Option<u64>,
+}
+
+/// One successful snapshot publish.
+#[derive(Debug, Clone)]
+pub struct PublishTrace {
+    /// Registry version installed.
+    pub version: u64,
+    /// Episodes applied when the snapshot was captured: the publish
+    /// covers episode sequences `0..episodes`.
+    pub episodes: u64,
+    /// Trace id stamped on the publish event.
+    pub trace: Option<u64>,
+    /// `t_ms` of the publish event.
+    pub t_ms: Option<u64>,
+}
+
+/// One quarantined line.
+#[derive(Debug, Clone)]
+pub struct QuarantineTrace {
+    /// Log line number of the defect.
+    pub line: u64,
+    /// Defect classification.
+    pub kind: String,
+    /// Trace id stamped on the quarantine event.
+    pub trace: Option<u64>,
+}
+
+/// The reconstructed causal index over one pipeline event stream.
+#[derive(Debug, Default)]
+pub struct TraceIndex {
+    records: BTreeMap<u64, RecordTrace>,
+    episodes: BTreeMap<u64, EpisodeTrace>,
+    publishes: BTreeMap<u64, PublishTrace>,
+    quarantines: BTreeMap<u64, QuarantineTrace>,
+}
+
+fn hex_field(e: &Event, name: &str) -> Option<u64> {
+    e.get(name).and_then(|v| v.as_str()).and_then(TraceCtx::parse_hex)
+}
+
+fn u64_field(e: &Event, name: &str) -> Option<u64> {
+    e.get(name).and_then(|v| v.as_u64())
+}
+
+impl TraceIndex {
+    /// Replays an event stream (log order) into a queryable index.
+    /// Unknown event kinds are skipped; duplicate events from journal
+    /// replay are idempotent (ids and membership are deterministic).
+    pub fn from_events<'a>(events: impl IntoIterator<Item = &'a Event>) -> Self {
+        let mut idx = Self::default();
+        // Open-episode simulation: seqs currently folded into each item.
+        let mut open: FxHashMap<u64, Vec<u64>> = FxHashMap::default();
+        for e in events {
+            match e.kind() {
+                "trace.accept" => {
+                    let (Some(seq), Some(item)) = (u64_field(e, "seq"), u64_field(e, "item"))
+                    else {
+                        continue;
+                    };
+                    let members = open.entry(item).or_default();
+                    if !members.contains(&seq) {
+                        members.push(seq);
+                    }
+                    idx.records.insert(
+                        seq,
+                        RecordTrace {
+                            seq,
+                            line: u64_field(e, "line").unwrap_or(0),
+                            user: u64_field(e, "user").unwrap_or(0),
+                            item,
+                            time: u64_field(e, "time").unwrap_or(0),
+                            trace: hex_field(e, "trace"),
+                            accept_t_ms: u64_field(e, "t_ms"),
+                            fate: RecordFate::Pending,
+                        },
+                    );
+                }
+                "pipeline.episode" => {
+                    let (Some(ep), Some(item)) = (u64_field(e, "seq"), u64_field(e, "item"))
+                    else {
+                        continue;
+                    };
+                    idx.episodes.insert(
+                        ep,
+                        EpisodeTrace {
+                            item,
+                            users: u64_field(e, "users").unwrap_or(0),
+                            pairs: u64_field(e, "pairs").unwrap_or(0),
+                            trace: hex_field(e, "trace"),
+                            t_ms: u64_field(e, "t_ms"),
+                        },
+                    );
+                    // Retire everything open for this item into episode ep.
+                    for seq in open.remove(&item).unwrap_or_default() {
+                        if let Some(r) = idx.records.get_mut(&seq) {
+                            r.fate = RecordFate::Applied {
+                                episode: ep,
+                                published: None,
+                            };
+                        }
+                    }
+                }
+                "pipeline.publish" => {
+                    let (Some(version), Some(episodes)) =
+                        (u64_field(e, "version"), u64_field(e, "episodes"))
+                    else {
+                        continue;
+                    };
+                    idx.publishes.insert(
+                        version,
+                        PublishTrace {
+                            version,
+                            episodes,
+                            trace: hex_field(e, "trace"),
+                            t_ms: u64_field(e, "t_ms"),
+                        },
+                    );
+                }
+                "pipeline.quarantine" => {
+                    let Some(line) = u64_field(e, "line") else {
+                        continue;
+                    };
+                    idx.quarantines.insert(
+                        line,
+                        QuarantineTrace {
+                            line,
+                            kind: e
+                                .get("kind")
+                                .and_then(|v| v.as_str())
+                                .unwrap_or("unknown")
+                                .to_string(),
+                            trace: hex_field(e, "trace"),
+                        },
+                    );
+                }
+                _ => {}
+            }
+        }
+        // Resolve publication: a record applied in episode `ep` is live
+        // once the first successful publish covers episodes 0..=ep.
+        let publishes: Vec<(u64, u64)> = idx
+            .publishes
+            .values()
+            .map(|p| (p.version, p.episodes))
+            .collect();
+        for r in idx.records.values_mut() {
+            if let RecordFate::Applied { episode, published } = &mut r.fate {
+                *published = publishes
+                    .iter()
+                    .find(|&&(_, eps)| eps > *episode)
+                    .map(|&(v, _)| v);
+            }
+        }
+        idx
+    }
+
+    /// Parses a JSONL event file and reconstructs the index. Lines that
+    /// are not valid events are skipped (a flight dump or a sink shared
+    /// with other subsystems may interleave foreign lines).
+    pub fn from_jsonl(text: &str) -> Self {
+        let events: Vec<Event> = text.lines().filter_map(|l| Event::from_json(l).ok()).collect();
+        Self::from_events(&events)
+    }
+
+    /// The reconstructed record with accepted-record sequence `seq`.
+    pub fn record(&self, seq: u64) -> Option<&RecordTrace> {
+        self.records.get(&seq)
+    }
+
+    /// The reconstructed episode with sequence `seq`.
+    pub fn episode(&self, seq: u64) -> Option<&EpisodeTrace> {
+        self.episodes.get(&seq)
+    }
+
+    /// All reconstructed records (ascending seq).
+    pub fn records(&self) -> impl Iterator<Item = &RecordTrace> {
+        self.records.values()
+    }
+
+    /// All quarantined lines (ascending line number).
+    pub fn quarantines(&self) -> impl Iterator<Item = &QuarantineTrace> {
+        self.quarantines.values()
+    }
+
+    /// Counts: (records indexed, applied, pending, quarantined lines).
+    pub fn counts(&self) -> (u64, u64, u64, u64) {
+        let applied = self
+            .records
+            .values()
+            .filter(|r| matches!(r.fate, RecordFate::Applied { .. }))
+            .count() as u64;
+        let total = self.records.len() as u64;
+        (
+            total,
+            applied,
+            total - applied,
+            self.quarantines.len() as u64,
+        )
+    }
+
+    /// Verifies the causal chain of every indexed record against the
+    /// deterministic id derivation for `seed`:
+    ///
+    /// - every accept event's trace id equals `TraceCtx::for_record`,
+    /// - every applied record's episode event exists and its trace id
+    ///   equals `TraceCtx::for_episode`,
+    /// - every published record's publish event's id checks out too.
+    ///
+    /// Returns the number of records checked, or `Err` with the first
+    /// offending seq.
+    pub fn chain_complete(&self, seed: u64) -> Result<u64, u64> {
+        for r in self.records.values() {
+            if r.trace != Some(TraceCtx::for_record(seed, r.seq).trace) {
+                return Err(r.seq);
+            }
+            if let RecordFate::Applied { episode, published } = &r.fate {
+                let ok = self.episodes.get(episode).is_some_and(|ep| {
+                    ep.trace == Some(TraceCtx::for_episode(seed, *episode).trace)
+                });
+                if !ok {
+                    return Err(r.seq);
+                }
+                if let Some(version) = published {
+                    let ok = self.publishes.get(version).is_some_and(|p| {
+                        p.trace == Some(TraceCtx::for_publish(seed, p.episodes).trace)
+                    });
+                    if !ok {
+                        return Err(r.seq);
+                    }
+                }
+            }
+        }
+        Ok(self.records.len() as u64)
+    }
+
+    /// Renders one record's end-to-end chain as human-readable lines
+    /// (the `repro trace` output). `None` when `seq` was never accepted.
+    pub fn describe(&self, seq: u64) -> Option<String> {
+        let r = self.record(seq)?;
+        let mut out = String::new();
+        let hex = |t: Option<u64>| match t {
+            Some(v) => format!("{v:016x}"),
+            None => "-".into(),
+        };
+        let at = |t: Option<u64>| match t {
+            Some(ms) => format!("t=+{ms}ms"),
+            None => "t=?".into(),
+        };
+        out.push_str(&format!(
+            "record seq={} user={} item={} line={} time={} trace={} {}\n",
+            r.seq,
+            r.user,
+            r.item,
+            r.line,
+            r.time,
+            hex(r.trace),
+            at(r.accept_t_ms),
+        ));
+        match &r.fate {
+            RecordFate::Pending => {
+                out.push_str("  fate: pending (episode still open at end of stream)\n");
+            }
+            RecordFate::Applied { episode, published } => {
+                if let Some(ep) = self.episode(*episode) {
+                    out.push_str(&format!(
+                        "  episode seq={} item={} users={} pairs={} trace={} {}\n",
+                        episode,
+                        ep.item,
+                        ep.users,
+                        ep.pairs,
+                        hex(ep.trace),
+                        at(ep.t_ms),
+                    ));
+                }
+                match published {
+                    None => out.push_str(&format!(
+                        "  fate: applied (episode {episode}), not yet published\n"
+                    )),
+                    Some(version) => {
+                        if let Some(p) = self.publishes.get(version) {
+                            out.push_str(&format!(
+                                "  publish version={} episodes={} trace={} {}\n",
+                                p.version,
+                                p.episodes,
+                                hex(p.trace),
+                                at(p.t_ms),
+                            ));
+                            if let (Some(a), Some(b)) = (r.accept_t_ms, p.t_ms) {
+                                out.push_str(&format!(
+                                    "  fate: applied+published, end-to-end {}ms\n",
+                                    b.saturating_sub(a)
+                                ));
+                            } else {
+                                out.push_str("  fate: applied+published\n");
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn accept(seed: u64, seq: u64, item: u64) -> Event {
+        TraceCtx::for_record(seed, seq).stamp(
+            Event::new("trace.accept")
+                .u64("seq", seq)
+                .u64("line", seq)
+                .u64("user", seq % 5)
+                .u64("item", item)
+                .u64("time", seq),
+        )
+    }
+
+    fn episode(seed: u64, seq: u64, item: u64) -> Event {
+        TraceCtx::for_episode(seed, seq).stamp(
+            Event::new("pipeline.episode")
+                .u64("item", item)
+                .u64("seq", seq)
+                .u64("users", 2)
+                .u64("pairs", 4),
+        )
+    }
+
+    fn publish(seed: u64, version: u64, episodes: u64) -> Event {
+        TraceCtx::for_publish(seed, episodes).stamp(
+            Event::new("pipeline.publish")
+                .u64("version", version)
+                .u64("episodes", episodes)
+                .u64("attempt", 1),
+        )
+    }
+
+    #[test]
+    fn reconstructs_record_to_publish_chain() {
+        let seed = 7;
+        let events = vec![
+            accept(seed, 1, 10),
+            accept(seed, 2, 10),
+            accept(seed, 3, 11),
+            episode(seed, 0, 10), // retires seqs 1, 2
+            publish(seed, 1, 1),  // covers episode 0
+        ];
+        let idx = TraceIndex::from_events(&events);
+        let r1 = idx.record(1).unwrap();
+        assert_eq!(
+            r1.fate,
+            RecordFate::Applied {
+                episode: 0,
+                published: Some(1)
+            }
+        );
+        assert_eq!(idx.record(3).unwrap().fate, RecordFate::Pending);
+        assert_eq!(idx.counts(), (3, 2, 1, 0));
+        assert_eq!(idx.chain_complete(seed), Ok(3));
+        let text = idx.describe(1).unwrap();
+        assert!(text.contains("applied+published"), "{text}");
+    }
+
+    #[test]
+    fn replayed_duplicates_are_idempotent() {
+        let seed = 9;
+        // Crash after episode 0 closed but before the journal committed:
+        // the replay re-emits accepts 1-2 and the episode close.
+        let events = vec![
+            accept(seed, 1, 5),
+            accept(seed, 2, 5),
+            episode(seed, 0, 5),
+            // --- crash, replay ---
+            accept(seed, 1, 5),
+            accept(seed, 2, 5),
+            episode(seed, 0, 5),
+            publish(seed, 1, 1),
+        ];
+        let idx = TraceIndex::from_events(&events);
+        assert_eq!(idx.counts(), (2, 2, 0, 0));
+        assert_eq!(
+            idx.record(2).unwrap().fate,
+            RecordFate::Applied {
+                episode: 0,
+                published: Some(1)
+            }
+        );
+        assert_eq!(idx.chain_complete(seed), Ok(2));
+    }
+
+    #[test]
+    fn chain_verification_catches_wrong_seed() {
+        let events = vec![accept(3, 1, 0)];
+        let idx = TraceIndex::from_events(&events);
+        assert_eq!(idx.chain_complete(3), Ok(1));
+        assert_eq!(idx.chain_complete(4), Err(1));
+    }
+
+    #[test]
+    fn quarantines_index_by_line() {
+        let e = TraceCtx::for_defect(1, 17).stamp(
+            Event::new("pipeline.quarantine")
+                .u64("line", 17)
+                .str("kind", "malformed"),
+        );
+        let idx = TraceIndex::from_events(&[e]);
+        let q = idx.quarantines().next().unwrap();
+        assert_eq!((q.line, q.kind.as_str()), (17, "malformed"));
+        assert_eq!(idx.counts().3, 1);
+    }
+
+    #[test]
+    fn jsonl_round_trip_skips_foreign_lines() {
+        let seed = 2;
+        let mut text = String::new();
+        text.push_str(&accept(seed, 1, 3).u64("t_ms", 10).to_json());
+        text.push('\n');
+        text.push_str("not json at all\n");
+        text.push_str(&episode(seed, 0, 3).u64("t_ms", 25).to_json());
+        text.push('\n');
+        let idx = TraceIndex::from_jsonl(&text);
+        let r = idx.record(1).unwrap();
+        assert_eq!(r.accept_t_ms, Some(10));
+        assert!(matches!(r.fate, RecordFate::Applied { episode: 0, .. }));
+    }
+}

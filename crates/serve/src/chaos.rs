@@ -43,7 +43,7 @@ use crate::registry::store_checksum;
 use crate::service::{metrics, Request, ScoringService, ServeConfig, OUTCOMES};
 
 /// Chaos run configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ChaosConfig {
     /// Query worker threads.
     pub workers: usize,
@@ -68,6 +68,10 @@ pub struct ChaosConfig {
     pub strict_every: usize,
     /// Driver pause between script steps.
     pub driver_pause_ms: u64,
+    /// Dump the telemetry flight ring here (JSONL) at run end — the same
+    /// postmortem artifact the pipeline writes on a stage panic. `None`
+    /// skips the dump.
+    pub flight_dump: Option<std::path::PathBuf>,
 }
 
 impl Default for ChaosConfig {
@@ -86,6 +90,7 @@ impl Default for ChaosConfig {
             tight_deadline_every: 17,
             strict_every: 13,
             driver_pause_ms: 2,
+            flight_dump: None,
         }
     }
 }
@@ -216,7 +221,7 @@ pub fn run_chaos(cfg: &ChaosConfig, telemetry: Telemetry) -> ChaosReport {
         workers: cfg.workers.max(1),
         n_nodes: cfg.n_nodes.max(4),
         k: cfg.k.max(1),
-        ..*cfg
+        ..cfg.clone()
     };
     let breaker = BreakerConfig {
         failure_threshold: 3,
@@ -441,6 +446,14 @@ pub fn run_chaos(cfg: &ChaosConfig, telemetry: Telemetry) -> ChaosReport {
             schedule.consumed(),
             schedule.len()
         ));
+    }
+
+    // Postmortem artifact: the most recent events (swaps, failures,
+    // breaker transitions) as the flight ring saw them.
+    if let Some(path) = &cfg.flight_dump {
+        if let Err(e) = svc.telemetry().dump_flight(path) {
+            mismatches.push(format!("flight dump to {} failed: {e}", path.display()));
+        }
     }
 
     ChaosReport {
