@@ -68,8 +68,17 @@ pub struct Opts {
     pub soak_cycles: Option<u32>,
     /// Records per traffic chunk for the `soak` command (`--soak-records`).
     pub soak_records: Option<u32>,
+    /// Run the long-soak preset (`--long`): more users, more cycles,
+    /// several times the traffic, a tighter relative disk budget.
+    pub soak_long: bool,
+    /// Live-log compaction budget override in bytes for the `soak`
+    /// command (`--soak-budget-bytes`; 0 disables compaction).
+    pub soak_budget_bytes: Option<u64>,
     /// Destination for the soak report JSON (`--soak-report`).
     pub soak_report: Option<PathBuf>,
+    /// Destination for the pipeline perf-trajectory JSON
+    /// (`--soak-bench`): records/sec, publish latency, peak RSS.
+    pub soak_bench: Option<PathBuf>,
     /// Bind address for the live introspection endpoint during `soak` and
     /// `serve` (`--introspect`), e.g. `127.0.0.1:9600`.
     pub introspect: Option<String>,
@@ -103,7 +112,10 @@ impl Default for Opts {
             serve_report: None,
             soak_cycles: None,
             soak_records: None,
+            soak_long: false,
+            soak_budget_bytes: None,
             soak_report: None,
+            soak_bench: None,
             introspect: None,
             trace_jsonl: None,
             trace_record: None,

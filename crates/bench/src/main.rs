@@ -150,8 +150,21 @@ fn main() {
                         .unwrap_or_else(|_| die("--soak-records expects an integer")),
                 );
             }
+            "--long" => {
+                opts.soak_long = true;
+            }
+            "--soak-budget-bytes" => {
+                opts.soak_budget_bytes = Some(
+                    take_value(&mut i)
+                        .parse()
+                        .unwrap_or_else(|_| die("--soak-budget-bytes expects an integer")),
+                );
+            }
             "--soak-report" => {
                 opts.soak_report = Some(take_value(&mut i).into());
+            }
+            "--soak-bench" => {
+                opts.soak_bench = Some(take_value(&mut i).into());
             }
             "--introspect" => {
                 opts.introspect = Some(take_value(&mut i));
@@ -271,11 +284,16 @@ fn print_help() {
                    [--serve-policy reject|shed|block] [--serve-report FILE]\n\
                    hammer the resilient scoring service with scripted\n\
                    snapshot faults and reconcile every outcome tally\n\n\
-         soak:     repro soak [--soak-cycles N] [--soak-records N]\n\
-                   [--soak-report FILE]  crash and recover the\n\
-                   continuous-learning pipeline under injected faults,\n\
+         soak:     repro soak [--long] [--soak-cycles N] [--soak-records N]\n\
+                   [--soak-budget-bytes N] [--soak-report FILE]\n\
+                   [--soak-bench FILE]  crash and recover the\n\
+                   continuous-learning pipeline under injected faults\n\
+                   (stage panics, torn journals, disk-write failures, a\n\
+                   poisoned snapshot), compacting the log under the byte\n\
+                   budget and growing the model for mid-stream users,\n\
                    then reconcile every record and prove replay\n\
-                   bit-identity\n\n\
+                   bit-identity; --long runs the hours-equivalent preset\n\
+                   and --soak-bench writes the perf-trajectory JSON\n\n\
          trace:    repro trace --trace-jsonl FILE [--trace-record SEQ]\n\
                    [--seed S]  reconstruct record -> episode -> publish\n\
                    chains offline from a trace-stamped event log; with\n\

@@ -2,18 +2,29 @@
 //! reconcile every written record against the pipeline's ledger.
 //!
 //! ```text
-//! repro soak [--soak-cycles N] [--soak-records N] \
-//!     [--soak-report FILE] [--telemetry-jsonl FILE] [--introspect ADDR]
+//! repro soak [--long] [--soak-cycles N] [--soak-records N] \
+//!     [--soak-budget-bytes N] [--soak-report FILE] [--soak-bench FILE] \
+//!     [--telemetry-jsonl FILE] [--introspect ADDR]
 //! ```
 //!
 //! Drives synthetic action-log traffic through repeated crash/recover
 //! cycles while a scripted fault plan panics stages, fails and slows
-//! publishes, and tears journal slots. Exits non-zero when any record
-//! escapes the {applied, quarantined, pending} ledger, the obs gauges
-//! disagree, or an uninterrupted replay is not bit-identical — this is
-//! the CI gate for the continuous-learning pipeline.
+//! publishes, tears journal slots, injects ENOSPC-style faults into
+//! journal/compaction/snapshot writes, and poisons one snapshot the
+//! quality gate must withhold — all while the live log is compacted
+//! under a byte budget and mid-stream users grow the model. Exits
+//! non-zero when any record escapes the {applied, quarantined, pending}
+//! ledger, the obs gauges disagree, an uninterrupted replay is not
+//! bit-identical, the disk strays past its budget, growth fails, or a
+//! poisoned model reaches the serving path — this is the CI gate for
+//! the continuous-learning pipeline.
+//!
+//! `--long` selects the hours-equivalent preset
+//! ([`SoakConfig::long`]); `--soak-bench FILE` writes the pipeline
+//! perf-trajectory JSON (records/sec, mean publish latency, peak RSS)
+//! that `BENCH_pipeline.json` tracks across commits.
 
-use inf2vec_obs::{IntrospectServer, Telemetry};
+use inf2vec_obs::{IntrospectServer, SampleValue, Telemetry};
 use inf2vec_pipeline::{pipeline_health_policy, run_soak, SoakConfig};
 
 use crate::common::Opts;
@@ -40,13 +51,18 @@ pub fn soak(opts: &Opts) {
         ));
         server
     });
+    let base = if opts.soak_long {
+        SoakConfig::long()
+    } else {
+        SoakConfig::default()
+    };
     let mut cfg = SoakConfig {
         seed: opts.seed,
-        ..SoakConfig::default()
+        ..base
     };
-    cfg.pipeline.telemetry = telemetry;
+    cfg.pipeline.telemetry = telemetry.clone();
     if opts.quick {
-        cfg.cycles = 3;
+        cfg.cycles = 4;
         cfg.records_per_chunk = 80;
     }
     if let Some(cycles) = opts.soak_cycles {
@@ -55,29 +71,54 @@ pub fn soak(opts: &Opts) {
     if let Some(records) = opts.soak_records {
         cfg.records_per_chunk = records;
     }
+    if let Some(budget) = opts.soak_budget_bytes {
+        cfg.log_budget_bytes = budget;
+    }
 
     let workdir = opts.out.join("soak");
+    let started = std::time::Instant::now();
     let report = run_soak(&cfg, &workdir)
         .unwrap_or_else(|e| die(&format!("soak run failed: {e}")));
+    let wall_secs = started.elapsed().as_secs_f64();
 
     let r = &report.reconciliation;
     opts.say(&format!(
-        "[soak] {} cycles, {} good + {} garbage records written",
-        report.cycles, report.written_good, report.written_bad
+        "[soak] {} cycles, {} good + {} garbage records written ({}{})",
+        report.cycles,
+        report.written_good,
+        report.written_bad,
+        if opts.soak_long { "long preset, " } else { "" },
+        format_args!("{wall_secs:.1}s wall"),
     ));
     opts.say(&format!(
         "[soak] ledger: {} applied + {} pending = {} seen; {} quarantined",
         r.records_applied, r.records_pending, r.records_seen, r.records_quarantined
     ));
     opts.say(&format!(
-        "[soak] restarts tail/train/publish: {}/{}/{}  publishes ok/failed/skipped: {}/{}/{}  versions installed: {}",
+        "[soak] restarts tail/train/publish: {}/{}/{}  publishes ok/failed/withheld/skipped: {}/{}/{}/{}  versions installed: {}",
         report.restarts.0,
         report.restarts.1,
         report.restarts.2,
         report.publishes.0,
         report.publishes.1,
         report.publishes.2,
+        report.publishes.3,
         report.versions_installed,
+    ));
+    opts.say(&format!(
+        "[soak] disk: {} compactions, live log peaked at {} B under a {} B budget (bounded={})",
+        report.compactions,
+        report.max_live_log_bytes,
+        report.log_budget_bytes,
+        report.disk_bounded,
+    ));
+    opts.say(&format!(
+        "[soak] growth: {}/{} users first seen mid-stream, final model rows {} (growth_ok={})",
+        report.users_midstream, report.universe, report.final_rows, report.growth_ok,
+    ));
+    opts.say(&format!(
+        "[soak] quality gate: {} withheld, poisoned model never served (held={})",
+        report.publishes.2, report.quality_gate_held,
     ));
     opts.say(&format!(
         "[soak] balanced={} gauges_consistent={} bit_identical={} trace_complete={} checksum={:016x}",
@@ -94,7 +135,101 @@ pub fn soak(opts: &Opts) {
             Err(e) => die(&format!("cannot write {}: {e}", path.display())),
         }
     }
+    if let Some(path) = &opts.soak_bench {
+        let bench = bench_json(&report, &telemetry, wall_secs);
+        match std::fs::write(path, &bench) {
+            Ok(()) => opts.note(&format!("[soak] perf trajectory written to {}", path.display())),
+            Err(e) => die(&format!("cannot write {}: {e}", path.display())),
+        }
+    }
     if !report.passed() {
         die("pipeline soak failed to reconcile (see report above)");
     }
+}
+
+/// Mean of the `inf2vec_pipeline_publish_seconds` histogram, when the
+/// run recorded any successful installs.
+fn publish_latency_secs(telemetry: &Telemetry) -> Option<f64> {
+    let snap = telemetry.snapshot();
+    match &snap.get("inf2vec_pipeline_publish_seconds")?.value {
+        SampleValue::Histogram { sum, count, .. } if *count > 0 => {
+            Some(sum / *count as f64)
+        }
+        _ => None,
+    }
+}
+
+/// Peak resident set size in kilobytes, from `/proc/self/status` VmHWM.
+/// Linux-only; other platforms report 0 (the trajectory file notes it).
+fn peak_rss_kb() -> u64 {
+    if !cfg!(target_os = "linux") {
+        return 0;
+    }
+    let status = match std::fs::read_to_string("/proc/self/status") {
+        Ok(s) => s,
+        Err(_) => return 0,
+    };
+    status
+        .lines()
+        .find(|l| l.starts_with("VmHWM:"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// The pipeline perf-trajectory JSON (`BENCH_pipeline.json` shape):
+/// throughput, publish latency, peak RSS, and the invariant flags the
+/// numbers are only meaningful under.
+fn bench_json(
+    report: &inf2vec_pipeline::SoakReport,
+    telemetry: &Telemetry,
+    wall_secs: f64,
+) -> String {
+    let records = report.written_good + report.written_bad;
+    let records_per_sec = if wall_secs > 0.0 {
+        records as f64 / wall_secs
+    } else {
+        0.0
+    };
+    let publish_ms = publish_latency_secs(telemetry)
+        .map(|s| s * 1e3)
+        .unwrap_or(0.0);
+    format!(
+        concat!(
+            "{{\n",
+            "  \"note\": \"Continuous-learning pipeline perf trajectory from `repro soak",
+            " --soak-bench`. Wall clock covers the crash cycles plus the bit-identity",
+            " verify replay; publish latency is the mean successful install (sink call",
+            " only, no backoff); peak RSS is /proc VmHWM (0 off-Linux). Absolute numbers",
+            " are host-dependent; the invariant flags must all be true for the numbers",
+            " to count.\",\n",
+            "  \"records_processed\": {},\n",
+            "  \"wall_clock_secs\": {:.3},\n",
+            "  \"records_per_sec\": {:.1},\n",
+            "  \"publish_latency_ms_mean\": {:.4},\n",
+            "  \"peak_rss_kb\": {},\n",
+            "  \"compactions\": {},\n",
+            "  \"max_live_log_bytes\": {},\n",
+            "  \"publishes_withheld\": {},\n",
+            "  \"final_rows\": {},\n",
+            "  \"invariants\": {{\"balanced\": {}, \"bit_identical\": {}, \"disk_bounded\": {},",
+            " \"growth_ok\": {}, \"quality_gate_held\": {}, \"passed\": {}}}\n",
+            "}}\n"
+        ),
+        records,
+        wall_secs,
+        records_per_sec,
+        publish_ms,
+        peak_rss_kb(),
+        report.compactions,
+        report.max_live_log_bytes,
+        report.publishes.2,
+        report.final_rows,
+        report.balanced,
+        report.bit_identical,
+        report.disk_bounded,
+        report.growth_ok,
+        report.quality_gate_held,
+        report.passed(),
+    )
 }

@@ -45,6 +45,13 @@ impl PropagationNetwork {
         let mut parents: Vec<Vec<u32>> = vec![Vec::new(); acts.len()];
         let mut edge_count = 0usize;
         for (vi, &(v, tv)) in acts.iter().enumerate() {
+            // Activations beyond the graph's node space (users that joined
+            // after the graph was built) still occupy propagation-network
+            // slots — they participate in co-activation (global) contexts —
+            // but contribute no graph edges.
+            if v.0 >= graph.node_count() {
+                continue;
+            }
             for &u in graph.in_neighbors(v) {
                 if let Some(&ui) = local.get(&u) {
                     // Strict time order; Episode sorts stably by time, so an
@@ -208,6 +215,28 @@ mod tests {
             episode_pairs(&g, &e).into_iter().map(|(a, b)| (a.0, b.0)).collect();
         expect.sort_unstable();
         assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn activations_beyond_the_graph_are_edgeless_members() {
+        // Users 7 and 9 joined after the 6-node graph was built: they hold
+        // propnet slots (so co-activation contexts can reach them) but
+        // contribute no influence edges, and the build must not panic.
+        let (g, _) = figure5();
+        let e = Episode::new(
+            ItemId(1),
+            vec![(n(4), 0), (n(7), 1), (n(2), 2), (n(9), 3)],
+        );
+        let net = PropagationNetwork::build(&g, &e);
+        assert_eq!(net.len(), 4);
+        for (u, v) in net.edges() {
+            assert!(net.global(u).0 < g.node_count());
+            assert!(net.global(v).0 < g.node_count());
+        }
+        let i7 = (0..net.len() as u32)
+            .find(|&i| net.global(i).0 == 7)
+            .unwrap();
+        assert!(net.parents(i7).is_empty());
     }
 
     #[test]

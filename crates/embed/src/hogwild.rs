@@ -126,6 +126,20 @@ impl HogwildMatrix {
         assert_eq!(flat.len(), self.rows * self.cols, "shape mismatch");
         self.data.get_mut().copy_from_slice(flat);
     }
+
+    /// Grows the matrix to `rows` rows, the new rows zero-filled. Takes
+    /// `&mut self`, so no concurrent reader can observe the reallocation —
+    /// growth happens at single-threaded control points (episode
+    /// boundaries), never mid-training. A no-op when `rows` is not larger.
+    pub fn grow_rows(&mut self, rows: usize) {
+        if rows <= self.rows {
+            return;
+        }
+        let mut data = std::mem::take(self.data.get_mut()).into_vec();
+        data.resize(rows * self.cols, 0.0);
+        *self.data.get_mut() = data.into_boxed_slice();
+        self.rows = rows;
+    }
 }
 
 impl Clone for HogwildMatrix {

@@ -91,6 +91,19 @@ impl OnlineState {
             pairs_applied: 0,
         }
     }
+
+    /// Grows the row space to `n` users: new rows are zeroed/uninitialized,
+    /// exactly as if the state had been `fresh(n, k)` and those users never
+    /// touched. A no-op when `n` is not larger.
+    pub fn grow(&mut self, n: usize) {
+        if n <= self.store.len() {
+            return;
+        }
+        self.store.grow(n);
+        self.update_counts.resize(n, 0);
+        self.ctx_counts.resize(n, 0);
+        self.initialized.resize(n, false);
+    }
 }
 
 /// The online trainer. Single-threaded over its store.
@@ -173,7 +186,20 @@ impl OnlineSgns {
     /// same `(episode_seq, pairs)` to the same prior state is
     /// bit-identical. Returns the mean SGNS loss over the pairs (0 for an
     /// empty pair set).
+    ///
+    /// Pairs naming users beyond the current row space **grow** it first
+    /// (see [`OnlineState::grow`]): the stream may introduce users the
+    /// pipeline's social graph never enumerated. Because growth is driven
+    /// by the deterministic episode application order — never by wall
+    /// clock or batching — a crash replay grows at exactly the same
+    /// episode boundaries and stays bit-identical.
     pub fn apply_episode(&mut self, episode_seq: u64, pairs: &[(u32, u32)]) -> f64 {
+        // Growth must precede the sampler build below: the negative table
+        // ranges over the post-growth row space, and that choice has to be
+        // a pure function of the (deterministic) pair stream.
+        if let Some(max_id) = pairs.iter().map(|&(u, v)| u.max(v)).max() {
+            self.state.grow(max_id as usize + 1);
+        }
         // The sampler is a pure function of the pre-episode context
         // counts, so recovery rebuilds exactly this table from the
         // journal. O(n) per episode; the online n is the population the
@@ -377,6 +403,44 @@ mod tests {
         t.apply_episode(0, &[(0, 1); 50]);
         assert!(t.adaptive_lr(0) < lr0, "node 0 must anneal after updates");
         assert_eq!(t.adaptive_lr(2), lr0, "untouched node keeps the base lr");
+    }
+
+    #[test]
+    fn unseen_user_ids_grow_the_row_space_deterministically() {
+        let mut a = OnlineSgns::new(4, 4, OnlineConfig::default(), 9);
+        a.apply_episode(0, &pairs_for(0));
+        // Mid-stream arrival: user 9 shows up, the model grows to hold it.
+        a.apply_episode(1, &[(9, 0), (0, 9), (2, 7)]);
+        assert_eq!(a.store().len(), 10);
+        assert!(a.state().initialized[9]);
+
+        // Journal round-trip mid-growth, then keep growing: replay must be
+        // bit-identical including the growth points.
+        let snapshot = a.state().clone();
+        let mut b = OnlineSgns::from_state(snapshot, OnlineConfig::default(), 9).unwrap();
+        let la = a.apply_episode(2, &[(11, 3), (3, 11)]);
+        let lb = b.apply_episode(2, &[(11, 3), (3, 11)]);
+        assert_eq!(la, lb);
+        assert_eq!(a.store().len(), 12);
+        assert_eq!(b.store().len(), 12);
+        assert_eq!(a.store().source.to_vec(), b.store().source.to_vec());
+        assert_eq!(a.store().target.to_vec(), b.store().target.to_vec());
+        assert_eq!(a.state().update_counts, b.state().update_counts);
+    }
+
+    #[test]
+    fn grow_is_a_noop_at_or_below_current_size() {
+        let mut s = OnlineState::fresh(5, 3);
+        s.grow(3);
+        assert_eq!(s.store.len(), 5);
+        s.grow(5);
+        assert_eq!(s.store.len(), 5);
+        s.grow(8);
+        assert_eq!(s.store.len(), 8);
+        assert_eq!(s.update_counts.len(), 8);
+        assert_eq!(s.ctx_counts.len(), 8);
+        assert_eq!(s.initialized.len(), 8);
+        assert!(s.store.s(7).iter().all(|&x| x == 0.0));
     }
 
     #[test]

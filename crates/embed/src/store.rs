@@ -76,6 +76,19 @@ impl EmbeddingStore {
         }
     }
 
+    /// Grows the store to `n` rows, the new rows zeroed (they initialize
+    /// lazily on first touch like any other row — [`init_row`](Self::init_row)
+    /// keys on `(seed, u)`, so a row's values do not depend on *when* the
+    /// store grew). Requires `&mut self`: growth is a single-threaded
+    /// control-point operation, never concurrent with training or serving.
+    /// A no-op when `n` is not larger than the current row count.
+    pub fn grow(&mut self, n: usize) {
+        self.source.grow_rows(n);
+        self.target.grow_rows(n);
+        self.bias_src.grow_rows(n);
+        self.bias_tgt.grow_rows(n);
+    }
+
     /// Initializes node `u`'s vectors from `U[-1/K, 1/K]` (biases stay 0)
     /// using a per-row random stream split from `seed` — the result
     /// depends only on `(seed, u)`, never on the order rows are touched,

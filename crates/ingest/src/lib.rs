@@ -69,7 +69,10 @@ mod validated;
 pub use idmap::IdMap;
 pub use policy::{ErrorPolicy, IdMode, IngestConfig, RATIO_MIN_RECORDS};
 pub use report::{DefectSample, Disposition, IngestReport, SAMPLE_MAX_CHARS};
-pub use tail::{ActionRecord, LogTail, TailItem, TailPosition};
+pub use tail::{
+    compact_to, compact_to_with, sentinel_base, ActionRecord, CompactionStats, LogTail, TailItem,
+    TailPosition,
+};
 pub use validated::{Ingestor, ValidatedDataset};
 
 // The taxonomy and error type live in the workspace error hierarchy

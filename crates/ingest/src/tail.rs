@@ -1,4 +1,5 @@
-//! Resumable tailing of an append-only `user item time` action log.
+//! Resumable tailing of an append-only `user item time` action log, with
+//! rotation-aware compaction.
 //!
 //! A [`LogTail`] polls the log file for *complete* lines past a committed
 //! byte offset. A trailing line without its `\n` terminator is presumed to
@@ -14,17 +15,240 @@
 //! or — for blanks and `#` comments — nothing at all. Corrupted tails
 //! (torn writes, flipped bytes) therefore surface as `MalformedLine` /
 //! `DanglingNode` / timestamp defects instead of derailing the stream.
+//!
+//! # Rotation, compaction, and logical offsets
+//!
+//! An immortal log file grows without bound, so long-running pipelines
+//! periodically rotate the fully-consumed prefix away with [`compact_to`].
+//! The compacted file opens with a **sentinel header line**
+//!
+//! ```text
+//! #inf2vec-log v1 base <offset> lines <count>
+//! ```
+//!
+//! recording how many logical bytes/lines of stream history precede the
+//! file's first payload byte. [`TailPosition::offset`] is always a
+//! *logical* offset — bytes since the origin of the stream, not since the
+//! start of the current file — so journaled positions survive any number
+//! of rotations unchanged. The sentinel starts with `#`, so readers that
+//! ignore rotation (the batch loader) still parse the file: they simply
+//! see a comment.
+//!
+//! A poll that cannot honor its committed position fails **typed** instead
+//! of silently yielding nothing:
+//!
+//! - file shorter than the committed offset with no sentinel explaining it
+//!   → [`IngestError::LogTruncated`] (a torn rotation or external
+//!   truncation destroyed unread data);
+//! - sentinel base beyond the committed offset →
+//!   [`IngestError::LogRotated`] (the resume point was compacted away —
+//!   only possible when compaction outruns the journal, which the
+//!   pipeline's min-committed-across-slots rule prevents).
 
-use std::io::{self, BufReader, Read, Seek, SeekFrom};
+use std::fs;
+use std::io::{self, BufReader, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 use inf2vec_obs::{Event, Telemetry};
-use inf2vec_util::error::DefectKind;
+use inf2vec_util::atomic_write;
+use inf2vec_util::error::{DefectKind, IngestError};
 
 use crate::lines::LineStream;
 use crate::parse::{parse_id, parse_time, TimeParse};
 use crate::policy::IdMode;
 use crate::report::SAMPLE_MAX_CHARS;
+
+/// Magic prefix of the rotation sentinel header line.
+const SENTINEL_MAGIC: &str = "#inf2vec-log v1";
+
+/// Parsed rotation sentinel: the logical stream history that precedes the
+/// live file's first payload byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct LogHeader {
+    /// Logical byte offset of the first payload byte.
+    base: u64,
+    /// Logical lines consumed before the first payload line.
+    lines: u64,
+    /// Physical bytes the sentinel line itself occupies (0 = no sentinel).
+    header_len: u64,
+}
+
+fn render_sentinel(pos: TailPosition) -> String {
+    format!("{SENTINEL_MAGIC} base {} lines {}\n", pos.offset, pos.line_no)
+}
+
+fn parse_sentinel(line: &str) -> Option<(u64, u64)> {
+    let rest = line.strip_prefix(SENTINEL_MAGIC)?;
+    let mut it = rest.split_ascii_whitespace();
+    let (base, lines) = match (it.next()?, it.next()?, it.next()?, it.next()?) {
+        ("base", b, "lines", l) => (b.parse().ok()?, l.parse().ok()?),
+        _ => return None,
+    };
+    it.next().is_none().then_some((base, lines))
+}
+
+/// Reads the (optional) sentinel header from an open log file. The file's
+/// read position afterwards is unspecified; callers must seek.
+fn read_header(file: &mut fs::File) -> io::Result<LogHeader> {
+    // A sentinel is a short first line; 128 bytes is comfortably enough
+    // for two u64s and the magic.
+    let mut buf = [0u8; 128];
+    file.seek(SeekFrom::Start(0))?;
+    let mut got = 0;
+    while got < buf.len() {
+        match file.read(&mut buf[got..])? {
+            0 => break,
+            n => got += n,
+        }
+    }
+    let head = &buf[..got];
+    if !head.starts_with(SENTINEL_MAGIC.as_bytes()) {
+        return Ok(LogHeader::default());
+    }
+    let Some(nl) = head.iter().position(|&b| b == b'\n') else {
+        // Starts like a sentinel but the line is not terminated within the
+        // probe window. Compaction writes sentinels atomically, so this is
+        // a foreign or torn file; treat it as payload.
+        return Ok(LogHeader::default());
+    };
+    let line = std::str::from_utf8(&head[..nl]).ok().map(str::trim_end);
+    match line.and_then(parse_sentinel) {
+        Some((base, lines)) => Ok(LogHeader {
+            base,
+            lines,
+            header_len: nl as u64 + 1,
+        }),
+        None => Ok(LogHeader::default()),
+    }
+}
+
+/// Returns the rotation sentinel of `path` as `(logical base offset,
+/// logical lines before the file)`, `(0, 0)` when the file has none, and
+/// `None` when the file does not exist.
+pub fn sentinel_base(path: &Path) -> io::Result<Option<(u64, u64)>> {
+    let mut file = match fs::File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    let h = read_header(&mut file)?;
+    Ok(Some((h.base, h.lines)))
+}
+
+/// What one [`compact_to`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CompactionStats {
+    /// Physical payload bytes rotated out of the live file.
+    pub dropped_bytes: u64,
+    /// Physical bytes the live file holds afterwards (sentinel included).
+    pub live_bytes: u64,
+    /// The live file's logical base offset afterwards.
+    pub base: u64,
+}
+
+/// Rotates every payload byte below the logical position `pos` out of the
+/// log at `path`, atomically rewriting the file as a sentinel header plus
+/// the surviving suffix. When `archive` is given, the dropped bytes are
+/// appended there first (so `archive ++ live payload` reconstructs the
+/// full logical stream, e.g. for a bit-identity replay).
+///
+/// `pos` must be a committed [`TailPosition`] (it always falls on a line
+/// boundary) that every consumer has both applied *and* durably journaled:
+/// after compaction, no resume point below `pos.offset` is servable.
+/// Concurrent *readers* are safe (the rewrite is an atomic rename; a
+/// reader holding the old file sees a consistent old snapshot). Concurrent
+/// appenders are not — the producer must reopen the path per append and be
+/// quiescent across this call, or its in-flight appends are lost.
+///
+/// Compacting at or below the current base is a no-op.
+pub fn compact_to(
+    path: &Path,
+    pos: TailPosition,
+    archive: Option<&Path>,
+) -> io::Result<CompactionStats> {
+    compact_to_with(path, pos, archive, None)
+}
+
+/// [`compact_to`] with an injected disk fault: when `fail_after_bytes` is
+/// `Some(limit)`, the atomic rewrite accepts `limit` bytes and then fails
+/// like a full disk — the destination is left untouched (and the call is
+/// safe to retry: the archive append is idempotent, tracking how many
+/// logical bytes it already holds).
+pub fn compact_to_with(
+    path: &Path,
+    pos: TailPosition,
+    archive: Option<&Path>,
+    fail_after_bytes: Option<usize>,
+) -> io::Result<CompactionStats> {
+    let bytes = fs::read(path)?;
+    let header = {
+        let mut f = fs::File::open(path)?;
+        read_header(&mut f)?
+    };
+    if pos.offset <= header.base {
+        return Ok(CompactionStats {
+            dropped_bytes: 0,
+            live_bytes: bytes.len() as u64,
+            base: header.base,
+        });
+    }
+    let drop = pos.offset - header.base;
+    let payload = &bytes[header.header_len as usize..];
+    if drop > payload.len() as u64 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!(
+                "compact_to offset {} is past the log's logical end {}",
+                pos.offset,
+                header.base + payload.len() as u64
+            ),
+        ));
+    }
+    let (dropped, kept) = payload.split_at(drop as usize);
+    if let Some(archive) = archive {
+        // The archive invariantly holds logical bytes `[0, len)`. A prior
+        // compaction attempt that archived and then failed the rewrite
+        // left `len > header.base`; skip what it already wrote so retries
+        // never duplicate bytes.
+        let archived = fs::metadata(archive).map(|m| m.len()).unwrap_or(0);
+        if archived < header.base {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "archive {} holds {archived} logical bytes but the live log \
+                     already starts at base {}: the stream prefix is unrecoverable",
+                    archive.display(),
+                    header.base
+                ),
+            ));
+        }
+        let skip = (archived - header.base).min(drop) as usize;
+        if skip < dropped.len() {
+            let mut f = fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(archive)?;
+            f.write_all(&dropped[skip..])?;
+            f.sync_all()?;
+        }
+    }
+    let sentinel = render_sentinel(pos);
+    atomic_write(path, |f| {
+        let mut w: Box<dyn Write> = match fail_after_bytes {
+            Some(limit) => {
+                Box::new(inf2vec_util::faultinject::FailingWriter::new(&mut *f, limit))
+            }
+            None => Box::new(&mut *f),
+        };
+        w.write_all(sentinel.as_bytes())?;
+        w.write_all(kept)
+    })?;
+    Ok(CompactionStats {
+        dropped_bytes: drop,
+        live_bytes: sentinel.len() as u64 + kept.len() as u64,
+        base: pos.offset,
+    })
+}
 
 /// One parsed action: `user` activated on `item` at `time`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -114,15 +338,37 @@ impl LogTail {
     /// an empty vec when nothing new is terminated yet (including when the
     /// log file does not exist yet). The committed position only advances
     /// past lines whose terminator has been seen.
-    pub fn poll(&mut self, max: usize) -> io::Result<Vec<TailItem>> {
+    ///
+    /// The committed offset is *logical* (see the module docs): a rotation
+    /// sentinel at the head of the file maps it onto the live file. A poll
+    /// that cannot honor the committed position — the file shrank below
+    /// it, or compaction rotated it away — fails with the corresponding
+    /// typed [`IngestError`] instead of silently reading nothing.
+    pub fn poll(&mut self, max: usize) -> Result<Vec<TailItem>, IngestError> {
         let mut file = match std::fs::File::open(&self.path) {
             Ok(f) => f,
             Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
-            Err(e) => return Err(e),
+            Err(e) => return Err(e.into()),
         };
-        file.seek(SeekFrom::Start(self.pos.offset))?;
+        let header = read_header(&mut file)?;
+        if self.pos.offset < header.base {
+            return Err(IngestError::LogRotated {
+                committed: self.pos.offset,
+                base: header.base,
+            });
+        }
+        let file_len = file.metadata()?.len();
+        let logical_len = header.base + file_len.saturating_sub(header.header_len);
+        if self.pos.offset > logical_len {
+            return Err(IngestError::LogTruncated {
+                committed: self.pos.offset,
+                len: logical_len,
+            });
+        }
+        let physical = header.header_len + (self.pos.offset - header.base);
+        file.seek(SeekFrom::Start(physical))?;
         let reader = BufReader::new(file.take(u64::MAX));
-        let mut stream = LineStream::with_bom_strip(reader, self.pos.offset == 0);
+        let mut stream = LineStream::with_bom_strip(reader, physical == 0 && self.pos.offset == 0);
         let mut out = Vec::new();
         let mut committed = 0u64;
         while out.len() < max {
@@ -367,6 +613,105 @@ mod tests {
             1
         );
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn shrunk_file_is_a_typed_truncation_not_silence() {
+        // Torn-rotation fixture: an external actor truncates the log below
+        // the committed offset without leaving a sentinel. The old tail
+        // would seek past EOF and return empty forever; it must error.
+        let path = tmp("shrunk.log");
+        std::fs::remove_file(&path).ok();
+        append(&path, b"0 0 1\n1 0 2\n2 0 3\n");
+        let mut tail = LogTail::new(&path, 10);
+        assert_eq!(tail.poll(100).unwrap().len(), 3);
+        let committed = tail.position().offset;
+        std::fs::write(&path, b"0 0 1\n").unwrap(); // shrink below offset
+        let err = tail.poll(100).unwrap_err();
+        match err {
+            IngestError::LogTruncated {
+                committed: c,
+                len,
+            } => {
+                assert_eq!(c, committed);
+                assert_eq!(len, 6);
+            }
+            other => panic!("expected LogTruncated, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn compaction_rewrites_prefix_and_resume_continues_identically() {
+        let path = tmp("compact.log");
+        let archive = tmp("compact.archive");
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&archive).ok();
+        append(&path, b"0 0 1\n1 0 2\n2 0 3\n");
+        let mut tail = LogTail::new(&path, 10);
+        assert_eq!(tail.poll(2).unwrap().len(), 2);
+        let pos = tail.position();
+
+        let stats = compact_to(&path, pos, Some(&archive)).unwrap();
+        assert_eq!(stats.dropped_bytes, pos.offset);
+        assert_eq!(stats.base, pos.offset);
+        assert_eq!(sentinel_base(&path).unwrap(), Some((pos.offset, pos.line_no)));
+        // Archive holds exactly the rotated payload bytes.
+        assert_eq!(std::fs::read(&archive).unwrap(), b"0 0 1\n1 0 2\n");
+
+        // The same tail keeps polling across the rotation...
+        assert_eq!(tail.poll(100).unwrap(), vec![rec(3, 2, 0, 3)]);
+        // ...and a journal-resumed tail lands on the same stream.
+        append(&path, b"3 0 4\n");
+        let mut resumed = LogTail::resume(&path, 10, tail.position());
+        assert_eq!(resumed.poll(100).unwrap(), vec![rec(4, 3, 0, 4)]);
+
+        // Compacting again at or below the base is a no-op.
+        let again = compact_to(&path, pos, None).unwrap();
+        assert_eq!(again.dropped_bytes, 0);
+        assert_eq!(again.base, pos.offset);
+
+        // A fresh tail at offset 0 cannot be served: the prefix is gone.
+        let mut fresh = LogTail::new(&path, 10);
+        match fresh.poll(100).unwrap_err() {
+            IngestError::LogRotated { committed: 0, base } => {
+                assert_eq!(base, pos.offset)
+            }
+            other => panic!("expected LogRotated, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&archive).ok();
+    }
+
+    #[test]
+    fn repeated_compaction_composes_logical_offsets() {
+        let path = tmp("recompact.log");
+        std::fs::remove_file(&path).ok();
+        append(&path, b"0 0 1\n1 0 2\n");
+        let mut tail = LogTail::new(&path, 10);
+        assert_eq!(tail.poll(1).unwrap().len(), 1);
+        compact_to(&path, tail.position(), None).unwrap();
+        append(&path, b"2 0 3\n3 0 4\n");
+        assert_eq!(tail.poll(2).unwrap().len(), 2);
+        compact_to(&path, tail.position(), None).unwrap();
+        assert_eq!(
+            sentinel_base(&path).unwrap(),
+            Some((tail.position().offset, tail.position().line_no))
+        );
+        append(&path, b"4 0 5\n");
+        assert_eq!(
+            tail.poll(100).unwrap(),
+            vec![rec(4, 3, 0, 4), rec(5, 4, 0, 5)]
+        );
+        assert_eq!(tail.position().offset, 30, "logical offsets keep counting");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sentinel_on_missing_file_is_none() {
+        let path = tmp("no-such.log");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(sentinel_base(&path).unwrap(), None);
     }
 
     #[test]

@@ -43,6 +43,37 @@ pub struct PipelineConfig {
     /// Per-stage restarts tolerated before the pipeline escalates to
     /// [`PipelineError::StageFailed`](inf2vec_util::PipelineError::StageFailed).
     pub restart_budget: u32,
+    /// Upper bound on the user-id space the pipeline accepts from the
+    /// log (ids at or beyond it quarantine as defects). `0` pins the
+    /// space to the social graph's node count — no row-space growth.
+    /// When larger than the graph, the model's row space grows on demand
+    /// as unseen ids arrive; growth is driven by the deterministic
+    /// episode stream, so replay reproduces it bit-identically.
+    pub user_capacity: usize,
+    /// Compact the action log once its physical size exceeds this many
+    /// bytes (`0` disables compaction). Compaction only ever drops bytes
+    /// below the *older* of the two journal slots' committed offsets, so
+    /// any recoverable journal can still resume.
+    pub log_budget_bytes: u64,
+    /// Append each compacted prefix to `<log>.archive`, so
+    /// `archive ++ live payload` reconstructs the full logical stream
+    /// (what a from-scratch bit-identity replay needs).
+    pub archive_compacted: bool,
+    /// Bounded attempts for journal/compaction/snapshot disk writes
+    /// before that write degrades (training continues, the write is
+    /// skipped until the next boundary).
+    pub disk_max_attempts: u32,
+    /// Backoff between disk-write retry attempts; doubles per attempt.
+    pub disk_retry_backoff: Duration,
+    /// Export every successfully published snapshot to this directory
+    /// (atomic write + checksum sidecar). `None` disables export.
+    pub snapshot_dir: Option<std::path::PathBuf>,
+    /// Probe triples for the quality gate (`0` disables the gate and
+    /// publishes on checksum alone).
+    pub probe_pairs: usize,
+    /// Allowed probe-score regression below the best ever published;
+    /// a candidate scoring below `best - quality_budget` is withheld.
+    pub quality_budget: f64,
     /// Online SGNS hyper-parameters.
     pub online: OnlineConfig,
     /// Context generation (Algorithm 1) parameters; `inf2vec.seed` is the
@@ -66,6 +97,14 @@ impl Default for PipelineConfig {
             publish_backoff: Duration::from_millis(10),
             publish_backoff_cap: Duration::from_millis(500),
             restart_budget: 5,
+            user_capacity: 0,
+            log_budget_bytes: 0,
+            archive_compacted: false,
+            disk_max_attempts: 3,
+            disk_retry_backoff: Duration::from_millis(2),
+            snapshot_dir: None,
+            probe_pairs: 0,
+            quality_budget: 0.05,
             online: OnlineConfig::default(),
             inf2vec: Inf2vecConfig {
                 l: 10,
@@ -99,7 +138,14 @@ impl PipelineConfig {
 ///   default 5 negatives a freshly initialized model sits near
 ///   `6·ln 2 ≈ 4.2` and falls from there; an EMA above 6 means the
 ///   objective is moving the wrong way (degraded), above 20 it is
-///   blowing up (failing).
+///   blowing up (failing);
+/// - **quality regression** — how far the newest candidate snapshot's
+///   held-out probe score sits below the best score ever published
+///   (`inf2vec_pipeline_quality_regression = best - latest`, clamped at
+///   zero). The gate withholds such snapshots from the registry; the
+///   rule makes the withholding visible: a regression beyond the usual
+///   publish budget degrades at 0.05 and fails at 0.25 (a model that
+///   lost a quarter of its probe wins is not quietly recoverable).
 pub fn pipeline_health_policy() -> inf2vec_obs::HealthPolicy {
     inf2vec_obs::HealthPolicy::new()
         .rule(inf2vec_obs::Rule::ratio(
@@ -120,5 +166,11 @@ pub fn pipeline_health_policy() -> inf2vec_obs::HealthPolicy {
             "inf2vec_pipeline_loss_ema",
             6.0,
             20.0,
+        ))
+        .rule(inf2vec_obs::Rule::gauge_above(
+            "quality_regression",
+            "inf2vec_pipeline_quality_regression",
+            0.05,
+            0.25,
         ))
 }

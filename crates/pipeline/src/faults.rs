@@ -29,6 +29,21 @@ pub struct FaultPlan {
     /// was just written (a torn write the next recovery must survive via
     /// the other slot).
     pub truncate_journal_after_writes: Vec<u64>,
+    /// Fail these 1-based journal *write attempts* ENOSPC-style: the
+    /// write accepts a few bytes then errors, the slot is left untouched
+    /// (unlike a torn truncation, which corrupts it after the fact).
+    /// Consecutive ordinals exhaust a retry chain.
+    pub journal_write_fail_attempts: Vec<u64>,
+    /// Fail these 1-based log-compaction attempts (the atomic rewrite
+    /// dies mid-write; the live log and its archive stay consistent and
+    /// the next journal boundary retries).
+    pub compaction_fail_attempts: Vec<u64>,
+    /// Fail these 1-based snapshot-export write attempts.
+    pub snapshot_write_fail_attempts: Vec<u64>,
+    /// Poison these 1-based publisher-received snapshots: the parameter
+    /// bits are mangled *and the checksum recomputed*, so only a
+    /// semantic quality gate — not an integrity check — can catch it.
+    pub poison_snapshots: Vec<u64>,
     /// Extra delay injected into every publish (a slow registry).
     pub publish_delay: Option<Duration>,
 
@@ -41,6 +56,10 @@ pub struct FaultPlan {
     snapshots_idx: AtomicUsize,
     journal_writes: AtomicU64,
     writes_idx: AtomicUsize,
+    journal_attempts: AtomicU64,
+    compaction_attempts: AtomicU64,
+    snapshot_writes: AtomicU64,
+    received: AtomicU64,
 }
 
 /// Advances `counter` by `n` and reports whether any threshold in
@@ -100,6 +119,30 @@ impl FaultPlan {
         self
     }
 
+    /// Fails the given 1-based journal write attempts ENOSPC-style.
+    pub fn with_journal_write_failures(mut self, attempts: Vec<u64>) -> Self {
+        self.journal_write_fail_attempts = attempts;
+        self
+    }
+
+    /// Fails the given 1-based log-compaction attempts.
+    pub fn with_compaction_failures(mut self, attempts: Vec<u64>) -> Self {
+        self.compaction_fail_attempts = attempts;
+        self
+    }
+
+    /// Fails the given 1-based snapshot-export write attempts.
+    pub fn with_snapshot_write_failures(mut self, attempts: Vec<u64>) -> Self {
+        self.snapshot_write_fail_attempts = attempts;
+        self
+    }
+
+    /// Poisons the given 1-based publisher-received snapshots.
+    pub fn with_poisoned_snapshots(mut self, ordinals: Vec<u64>) -> Self {
+        self.poison_snapshots = ordinals;
+        self
+    }
+
     /// Injects a fixed delay into every publish.
     pub fn with_publish_delay(mut self, delay: Duration) -> Self {
         self.publish_delay = Some(delay);
@@ -150,6 +193,34 @@ impl FaultPlan {
             &self.truncate_journal_after_writes,
             1,
         )
+    }
+
+    /// Trainer is attempting one more journal write; true = this attempt
+    /// gets a failing writer (the slot is left untouched).
+    pub fn tick_journal_attempt(&self) -> bool {
+        let attempt = self.journal_attempts.fetch_add(1, Ordering::SeqCst) + 1;
+        self.journal_write_fail_attempts.contains(&attempt)
+    }
+
+    /// Trainer is attempting one more log compaction; true = the rewrite
+    /// fails mid-write.
+    pub fn tick_compaction_attempt(&self) -> bool {
+        let attempt = self.compaction_attempts.fetch_add(1, Ordering::SeqCst) + 1;
+        self.compaction_fail_attempts.contains(&attempt)
+    }
+
+    /// Publisher is attempting one more snapshot export; true = the
+    /// write fails mid-stream.
+    pub fn tick_snapshot_write(&self) -> bool {
+        let attempt = self.snapshot_writes.fetch_add(1, Ordering::SeqCst) + 1;
+        self.snapshot_write_fail_attempts.contains(&attempt)
+    }
+
+    /// Publisher received one more snapshot; true = poison its bits
+    /// before any further handling.
+    pub fn tick_snapshot_poison(&self) -> bool {
+        let ordinal = self.received.fetch_add(1, Ordering::SeqCst) + 1;
+        self.poison_snapshots.contains(&ordinal)
     }
 }
 

@@ -32,8 +32,17 @@ use inf2vec_ingest::TailPosition;
 use inf2vec_util::atomic_write;
 use inf2vec_util::error::{Inf2vecError, PipelineError};
 
-/// Journal format tag; bump on any incompatible layout change.
-const HEADER: &str = "inf2vec-journal v1";
+/// Journal format magic (version-independent prefix).
+const MAGIC: &str = "inf2vec-journal";
+
+/// Schema version this build writes and reads; bump on any incompatible
+/// layout change. A slot with intact checksum but a different version
+/// fails as [`PipelineError::JournalMismatch`] naming found/expected —
+/// never as a checksum-shaped mystery.
+pub const SCHEMA_VERSION: u32 = 2;
+
+/// Journal format tag; bump [`SCHEMA_VERSION`] on any incompatible change.
+const HEADER: &str = "inf2vec-journal v2";
 
 /// One open (still-assembling) episode, in persistable form.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -109,14 +118,36 @@ impl Journal {
     /// Atomically writes `state` into its slot. Returns the slot path
     /// (fault injection truncates it to simulate torn writes).
     pub fn write(&self, state: &JournalState) -> Result<PathBuf, Inf2vecError> {
+        self.write_with(state, None)
+    }
+
+    /// [`Journal::write`] with an optional injected disk fault: when
+    /// `fail_after_bytes` is set, the slot write accepts that many bytes
+    /// and then errors (an ENOSPC/EIO-shaped partial write). The
+    /// [`atomic_write`] temp-file discipline guarantees the destination
+    /// slot is untouched when this returns an error.
+    pub fn write_with(
+        &self,
+        state: &JournalState,
+        fail_after_bytes: Option<usize>,
+    ) -> Result<PathBuf, Inf2vecError> {
         let mut body = Vec::new();
         serialize(state, &mut body)?;
         let sum = fnv1a(&body);
         let path = self.slot_path(state.round);
         atomic_write(&path, |f| {
             use std::io::Write;
-            f.write_all(&body)?;
-            writeln!(f, "checksum {sum:016x}")
+            match fail_after_bytes {
+                Some(limit) => {
+                    let mut w = inf2vec_util::faultinject::FailingWriter::new(&mut *f, limit);
+                    w.write_all(&body)?;
+                    writeln!(w, "checksum {sum:016x}")
+                }
+                None => {
+                    f.write_all(&body)?;
+                    writeln!(f, "checksum {sum:016x}")
+                }
+            }
         })?;
         Ok(path)
     }
@@ -124,8 +155,9 @@ impl Journal {
     /// Loads the newest valid snapshot, or `None` for a fresh start.
     ///
     /// Corrupt/truncated slots are skipped (that is the double-slot
-    /// design working, not an error); an unreadable directory or a slot
-    /// that is valid but shaped for a different pipeline is an error.
+    /// design working, not an error); an unreadable directory, a slot
+    /// written by a different schema version, or a slot that is valid but
+    /// shaped for a different pipeline is an error.
     pub fn load_latest(&self) -> Result<Option<JournalState>, PipelineError> {
         let mut best: Option<JournalState> = None;
         for name in ["journal.a", "journal.b"] {
@@ -135,23 +167,49 @@ impl Journal {
                 Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
                 Err(e) => return Err(unreadable(format!("read {path:?}: {e}"))),
             };
-            let Some(state) = parse_slot(&bytes) else {
-                continue; // torn write: the other slot carries the state
-            };
-            if best.as_ref().map_or(true, |b| state.round > b.round) {
-                best = Some(state);
+            match parse_slot(&bytes) {
+                SlotParse::Valid(state) => {
+                    if best.as_ref().map_or(true, |b| state.round > b.round) {
+                        best = Some(*state);
+                    }
+                }
+                // Torn write: the other slot carries the state.
+                SlotParse::Corrupt => continue,
+                // The bytes are *intact* (checksum passed) but written by
+                // an incompatible build: silently retraining from scratch
+                // would discard a perfectly good snapshot. Fail typed.
+                SlotParse::VersionMismatch { found } => {
+                    return Err(PipelineError::JournalMismatch {
+                        detail: format!(
+                            "journal slot {name} was written by schema \
+                             {found:?}, this build reads v{SCHEMA_VERSION}"
+                        ),
+                    });
+                }
             }
         }
         Ok(best)
     }
 }
 
-/// Checks a parsed snapshot against the pipeline's fixed shape.
-pub fn check_shape(state: &JournalState, n: usize, k: usize) -> Result<(), PipelineError> {
+/// Checks a parsed snapshot against the pipeline's shape envelope: the
+/// dimension `k` must match exactly, and the row count must lie within
+/// `[base_n, universe]` — at least the social graph's population, at most
+/// the configured user capacity (the stream grows the model between the
+/// two; see [`inf2vec_embed::OnlineSgns::apply_episode`]).
+pub fn check_shape(
+    state: &JournalState,
+    base_n: usize,
+    universe: usize,
+    k: usize,
+) -> Result<(), PipelineError> {
     let (jn, jk) = (state.online.store.len(), state.online.store.k());
-    if (jn, jk) != (n, k) {
+    if jk != k || jn < base_n || jn > universe {
         return Err(PipelineError::JournalMismatch {
-            detail: format!("journal holds a {jn}x{jk} model, pipeline expects {n}x{k}"),
+            detail: format!(
+                "journal holds a {jn}x{jk} model, pipeline expects \
+                 {base_n}..={universe} users at dimension {k}"
+            ),
         });
     }
     Ok(())
@@ -203,8 +261,32 @@ fn write_u64s(out: &mut Vec<u8>, tag: &str, vals: &[u64]) -> io::Result<()> {
     writeln!(out)
 }
 
-/// Parses one slot; `None` on any structural or checksum defect.
-fn parse_slot(bytes: &[u8]) -> Option<JournalState> {
+/// How one slot's bytes classified.
+#[derive(Debug)]
+enum SlotParse {
+    /// Intact and readable by this build (boxed: the state dwarfs the
+    /// other variants).
+    Valid(Box<JournalState>),
+    /// Checksum or structure failed: a torn/corrupted write.
+    Corrupt,
+    /// Checksum passed but the header names a different schema version.
+    VersionMismatch {
+        /// The version tag the slot's header carries.
+        found: String,
+    },
+}
+
+/// Parses one slot. The checksum is validated *first*, so corruption is
+/// always reported as [`SlotParse::Corrupt`] — a bit-flipped version line
+/// must not masquerade as a version mismatch.
+fn parse_slot(bytes: &[u8]) -> SlotParse {
+    match parse_slot_inner(bytes) {
+        Some(r) => r,
+        None => SlotParse::Corrupt,
+    }
+}
+
+fn parse_slot_inner(bytes: &[u8]) -> Option<SlotParse> {
     let text = std::str::from_utf8(bytes).ok()?;
     // The checksum covers every byte before its own line.
     let body_end = text.trim_end_matches('\n').rfind('\n')? + 1;
@@ -215,8 +297,16 @@ fn parse_slot(bytes: &[u8]) -> Option<JournalState> {
     }
 
     let mut lines = text[..body_end].lines();
-    if lines.next()? != HEADER {
-        return None;
+    let header = lines.next()?;
+    if header != HEADER {
+        // Intact bytes, wrong version tag (or a foreign file that happens
+        // to checksum — report whatever its first line says it is).
+        let found = header
+            .strip_prefix(MAGIC)
+            .map(str::trim)
+            .unwrap_or(header)
+            .to_string();
+        return Some(SlotParse::VersionMismatch { found });
     }
     let round: u64 = field(lines.next()?, "round")?.parse().ok()?;
     let pos = fields(lines.next()?, "pos", 2)?;
@@ -263,7 +353,7 @@ fn parse_slot(bytes: &[u8]) -> Option<JournalState> {
     if update_counts.len() != n || ctx_counts.len() != n || initialized.len() != n {
         return None;
     }
-    Some(JournalState {
+    Some(SlotParse::Valid(Box::new(JournalState {
         round,
         pos,
         records_seen: c[0],
@@ -278,7 +368,7 @@ fn parse_slot(bytes: &[u8]) -> Option<JournalState> {
             episodes_applied: c[3],
             pairs_applied: c[4],
         },
-    })
+    })))
 }
 
 fn field<'a>(line: &'a str, tag: &str) -> Option<&'a str> {
@@ -416,9 +506,134 @@ mod tests {
 
     #[test]
     fn shape_mismatch_is_typed() {
-        let state = sample(0);
-        assert!(check_shape(&state, 4, 3).is_ok());
-        let err = check_shape(&state, 8, 3).unwrap_err();
+        let state = sample(0); // 4 users, k = 3
+        assert!(check_shape(&state, 4, 4, 3).is_ok());
+        // Growth window: journal may hold more rows than the graph, up to
+        // the configured universe.
+        assert!(check_shape(&state, 2, 8, 3).is_ok());
+        let err = check_shape(&state, 8, 8, 3).unwrap_err();
         assert!(matches!(err, PipelineError::JournalMismatch { .. }));
+        let err = check_shape(&state, 2, 3, 3).unwrap_err();
+        assert!(matches!(err, PipelineError::JournalMismatch { .. }));
+        let err = check_shape(&state, 4, 4, 5).unwrap_err();
+        assert!(matches!(err, PipelineError::JournalMismatch { .. }));
+    }
+
+    #[test]
+    fn foreign_schema_version_fails_typed_with_found_and_expected() {
+        let tmp = tmp_dir("journal-schema");
+        let j = Journal::new(&tmp).unwrap();
+        let path = j.write(&sample(4)).unwrap();
+        // Rewrite the slot as a future schema: bump the header version and
+        // re-checksum so the bytes are *intact*, just incompatible.
+        let text = String::from_utf8(fs::read(&path).unwrap()).unwrap();
+        let body_end = text.trim_end_matches('\n').rfind('\n').unwrap() + 1;
+        let body = text[..body_end].replacen("inf2vec-journal v2", "inf2vec-journal v9", 1);
+        let rewritten = format!("{body}checksum {:016x}\n", fnv1a(body.as_bytes()));
+        fs::write(&path, rewritten).unwrap();
+
+        let err = j.load_latest().unwrap_err();
+        match err {
+            PipelineError::JournalMismatch { detail } => {
+                assert!(detail.contains("v9"), "found version named: {detail}");
+                assert!(detail.contains("v2"), "expected version named: {detail}");
+            }
+            other => panic!("expected JournalMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn injected_write_fault_leaves_the_slot_untouched() {
+        let tmp = tmp_dir("journal-enospc");
+        let j = Journal::new(&tmp).unwrap();
+        let good = j.write(&sample(4)).unwrap();
+        let before = fs::read(&good).unwrap();
+        // Round 6 targets the same slot (a). The injected partial write
+        // must fail the call and leave the previous round's bytes intact.
+        let err = j.write_with(&sample(6), Some(64));
+        assert!(err.is_err(), "partial write must surface as an error");
+        assert_eq!(fs::read(&good).unwrap(), before, "slot bytes unchanged");
+        assert_eq!(j.load_latest().unwrap().unwrap().round, 4);
+        // No temp litter left behind.
+        let litter: Vec<_> = fs::read_dir(&tmp)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains("tmp"))
+            .collect();
+        assert!(litter.is_empty(), "temp files cleaned: {litter:?}");
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Arbitrary mangling of one or both slots never panics and
+            /// never loses the recovery guarantee: either a valid slot
+            /// survives (round ≤ newest written) or the journal reports a
+            /// fresh start — unless the mangled bytes still checksum with
+            /// a foreign version header, which must fail typed.
+            #[test]
+            fn mangled_slots_recover_or_fresh_start(
+                cut_a in 0usize..4096,
+                cut_b in 0usize..4096,
+                raw_flip_a in 0usize..2049,
+                raw_flip_b in 0usize..2049,
+            ) {
+                // 2048 is the "don't flip" sentinel (the vendored proptest
+                // has no Option strategy).
+                let flip_a = (raw_flip_a < 2048).then_some(raw_flip_a);
+                let flip_b = (raw_flip_b < 2048).then_some(raw_flip_b);
+                let tmp = tmp_dir(&format!(
+                    "journal-prop-{cut_a}-{cut_b}-{raw_flip_a}-{raw_flip_b}"
+                ));
+                let j = Journal::new(&tmp).unwrap();
+                j.write(&sample(4)).unwrap();
+                j.write(&sample(5)).unwrap();
+                for (name, cut, flip) in
+                    [("journal.a", cut_a, flip_a), ("journal.b", cut_b, flip_b)]
+                {
+                    let path = tmp.join(name);
+                    let mut bytes = fs::read(&path).unwrap();
+                    bytes.truncate(bytes.len().saturating_sub(cut));
+                    if let (Some(i), false) = (flip, bytes.is_empty()) {
+                        let at = i % bytes.len();
+                        bytes[at] ^= 0x41;
+                    }
+                    fs::write(&path, bytes).unwrap();
+                }
+                match j.load_latest() {
+                    Ok(Some(state)) => prop_assert!(state.round == 4 || state.round == 5),
+                    Ok(None) => {} // both slots gone: fresh start is legal
+                    Err(PipelineError::JournalMismatch { .. }) => {} // mangled into a "foreign version" that still checksums
+                    Err(e) => {
+                        return Err(proptest::TestCaseError(format!("unexpected error: {e}")))
+                    }
+                }
+                let _ = fs::remove_dir_all(&tmp);
+            }
+
+            /// A slot rewritten with a foreign version header (re-checksummed,
+            /// so the bytes are intact) must fail typed, for any version tag.
+            #[test]
+            fn any_foreign_version_is_a_typed_mismatch(v in 3u32..999) {
+                let tmp = tmp_dir(&format!("journal-prop-v{v}"));
+                let j = Journal::new(&tmp).unwrap();
+                let path = j.write(&sample(4)).unwrap();
+                let text = String::from_utf8(fs::read(&path).unwrap()).unwrap();
+                let body_end = text.trim_end_matches('\n').rfind('\n').unwrap() + 1;
+                let body = text[..body_end]
+                    .replacen("inf2vec-journal v2", &format!("inf2vec-journal v{v}"), 1);
+                let rewritten =
+                    format!("{body}checksum {:016x}\n", fnv1a(body.as_bytes()));
+                fs::write(&path, rewritten).unwrap();
+                prop_assert!(matches!(
+                    j.load_latest(),
+                    Err(PipelineError::JournalMismatch { .. })
+                ));
+                let _ = fs::remove_dir_all(&tmp);
+            }
+        }
     }
 }

@@ -25,8 +25,14 @@
 //!   capped exponential backoff; a failing or slow registry never stalls
 //!   training (snapshots are skipped, training continues against the last
 //!   good version).
+//! - [`quality`]: the held-out probe task and quality gate — candidate
+//!   snapshots whose probe score regresses past a budget are *withheld*
+//!   (counted, health-evented) and the registry keeps serving the last
+//!   good version; checksum verification alone cannot catch a poisoned
+//!   model whose bits are internally consistent.
 //! - [`faults`]: deterministic fault schedules (stage panics, publish
-//!   failures, torn journal writes) for the soak harness.
+//!   failures, torn journal writes, ENOSPC-style disk faults, poisoned
+//!   snapshots) for the soak harness.
 //! - [`soak`]: the fault-injection soak harness — drives synthetic
 //!   traffic through repeated crash/recover cycles, then reconciles
 //!   every written record against exactly one of
@@ -40,6 +46,7 @@ pub mod config;
 pub mod faults;
 pub mod journal;
 pub mod publish;
+pub mod quality;
 pub mod runner;
 pub mod soak;
 pub mod trace;
@@ -48,7 +55,8 @@ pub use config::{pipeline_health_policy, PipelineConfig};
 pub use faults::FaultPlan;
 pub use journal::{Journal, JournalState, OpenItemState};
 pub use publish::{CountingSink, PublishSink, RegistrySink, Snapshot};
-pub use runner::{Pipeline, Reconciliation};
+pub use quality::{ProbeSet, QualityGate};
+pub use runner::{archive_path, Pipeline, Reconciliation};
 pub use soak::{run_soak, SoakConfig, SoakReport};
 pub use trace::{RecordFate, RecordTrace, TraceIndex};
 

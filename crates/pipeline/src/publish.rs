@@ -8,6 +8,7 @@
 //! exponential backoff; exhausting the attempts abandons that snapshot
 //! (the registry keeps serving the last good version).
 
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -95,6 +96,9 @@ pub struct PublishCounters {
     pub ok: AtomicU64,
     /// Snapshots abandoned after exhausting retries.
     pub failed: AtomicU64,
+    /// Snapshots withheld by the quality gate (probe-score regression):
+    /// never offered to the sink, last good version keeps serving.
+    pub withheld: AtomicU64,
     /// Snapshot offers dropped because the publisher was busy.
     pub skipped: AtomicU64,
     /// Episode count of the newest successfully published snapshot
@@ -119,6 +123,7 @@ pub fn publish_with_retry(
     }
     let mut backoff = cfg.publish_backoff;
     for attempt in 1..=cfg.publish_max_attempts.max(1) {
+        let started = std::time::Instant::now();
         let injected = faults.tick_publish_attempt();
         let result = if injected {
             Err(Inf2vecError::Data(inf2vec_util::error::DataError::Invalid {
@@ -129,6 +134,13 @@ pub fn publish_with_retry(
         };
         match result {
             Ok(version) => {
+                // Successful-install latency (the sink call alone, no
+                // backoff sleeps): the perf-trajectory file tracks its
+                // mean.
+                cfg.telemetry.observe(
+                    "inf2vec_pipeline_publish_seconds",
+                    started.elapsed().as_secs_f64(),
+                );
                 counters.ok.fetch_add(1, Ordering::SeqCst);
                 counters
                     .last_episodes
@@ -165,6 +177,59 @@ pub fn publish_with_retry(
     counters.failed.fetch_add(1, Ordering::SeqCst);
     cfg.telemetry.count("inf2vec_pipeline_publish_failed_total", 1);
     false
+}
+
+/// Mangles a snapshot's parameters and **recomputes its checksum**, so
+/// integrity verification still passes and only a semantic quality check
+/// can reject it. Used by the fault plan's poisoned-snapshot schedule:
+/// every source row is negated, which flips the sign of every
+/// `S_u · T_v` pair score — a model that ranked true influence targets
+/// above random negatives now ranks them below.
+pub fn poison_snapshot(snap: &mut Snapshot) {
+    let store = &snap.store;
+    for u in 0..store.len() {
+        // Safety: the publisher owns this clone exclusively; nothing
+        // reads it concurrently.
+        unsafe {
+            for v in store.source.row_mut(u) {
+                *v = -*v;
+            }
+            // Also invert target popularity, so even a model that leans
+            // on biases rather than embeddings ranks upside down.
+            for b in store.bias_tgt.row_mut(u) {
+                *b = -*b;
+            }
+        }
+    }
+    snap.checksum = inf2vec_serve::store_checksum(&snap.store);
+    snap.label.push_str("-poisoned");
+}
+
+/// Exports a snapshot to `dir/model-e<episodes>.txt` (atomic write) with
+/// a `.sum` checksum sidecar, so a cold restart can reload the last
+/// published model from disk. `fail_after_bytes` threads an injected
+/// disk fault into the model write; a failed export leaves no partial
+/// file behind (the sidecar is only written after the model lands).
+pub fn export_snapshot(
+    dir: &Path,
+    snap: &Snapshot,
+    fail_after_bytes: Option<usize>,
+) -> Result<PathBuf, Inf2vecError> {
+    std::fs::create_dir_all(dir).map_err(Inf2vecError::Io)?;
+    let path = dir.join(format!("model-e{}.txt", snap.episodes));
+    inf2vec_util::atomic_write(&path, |f| {
+        use std::io::Write;
+        let mut w: Box<dyn Write> = match fail_after_bytes {
+            Some(limit) => {
+                Box::new(inf2vec_util::faultinject::FailingWriter::new(&mut *f, limit))
+            }
+            None => Box::new(&mut *f),
+        };
+        snap.store.save(&mut w)
+    })
+    .map_err(Inf2vecError::Io)?;
+    inf2vec_serve::write_checksum_sidecar(&path, &snap.store)?;
+    Ok(path)
 }
 
 /// Capped exponential backoff schedule (exposed for tests).

@@ -1,0 +1,250 @@
+//! Quality-gated publish: a held-out probe task scored before install.
+//!
+//! Checksum verification at install time proves the snapshot's *bits*
+//! survived the channel crossing — it cannot catch a model whose bits are
+//! intact but whose quality regressed (a poisoned store with a correctly
+//! recomputed checksum, a diverged optimizer, a corrupted-but-parseable
+//! recovery). The [`QualityGate`] closes that hole with a semantic check:
+//! every candidate snapshot is scored on a deterministic **probe set**
+//! built from the social graph — for each sampled edge `(u, v)` the model
+//! must rank the true influence target `v` above a matched random
+//! non-neighbor `w` — and a candidate whose probe score falls more than a
+//! configured budget below the best score ever published is **withheld**:
+//! counted, surfaced as a health event, and never installed, so the
+//! registry keeps serving the last good version.
+//!
+//! The probe set is a pure function of `(seed, graph)`, so every pipeline
+//! incarnation (and the bit-identity verify run) builds the same probes,
+//! and probe ids are always below the base graph size — row-space growth
+//! never invalidates a probe. The high-water "best" is seeded at pipeline
+//! open from the *recovered* trainer state, so a poisoned first snapshot
+//! after a crash is still caught.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use inf2vec_embed::EmbeddingStore;
+use inf2vec_graph::{DiGraph, NodeId};
+use inf2vec_util::rng::Xoshiro256pp;
+use inf2vec_util::split_seed;
+
+/// RNG stream tag for probe sampling (disjoint from traffic/training).
+const PROBE_STREAM: u64 = 0x9A7E_0BE5;
+
+/// A deterministic held-out link-ranking probe: `(source, positive
+/// target, negative target)` triples sampled from the graph's edges.
+#[derive(Debug, Clone)]
+pub struct ProbeSet {
+    triples: Vec<(u32, u32, u32)>,
+}
+
+impl ProbeSet {
+    /// Samples up to `max_probes` edge triples from `graph`,
+    /// deterministically from `seed`. Each triple pairs a real edge
+    /// `(u, v)` with a random non-neighbor `w` of `u` (`w != u`, no edge
+    /// `u -> w`); edges whose source influences almost everyone may fail
+    /// to find a negative and are skipped.
+    pub fn build(graph: &DiGraph, seed: u64, max_probes: usize) -> Self {
+        let n = graph.node_count() as u64;
+        let mut rng = Xoshiro256pp::new(split_seed(seed, PROBE_STREAM));
+        let edges: Vec<(u32, u32)> = graph.edges().map(|(u, v)| (u.0, v.0)).collect();
+        let mut triples = Vec::with_capacity(max_probes.min(edges.len()));
+        if n < 2 || edges.is_empty() || max_probes == 0 {
+            return Self { triples };
+        }
+        // Evenly strided edge sample so probes cover the whole id range
+        // instead of the lowest ids; stride is deterministic in the sizes.
+        let stride = (edges.len() / max_probes).max(1);
+        for (u, v) in edges.iter().step_by(stride).take(max_probes).copied() {
+            let mut negative = None;
+            for _ in 0..16 {
+                let w = rng.below(n) as u32;
+                if w != u && w != v && !graph.has_edge(NodeId(u), NodeId(w)) {
+                    negative = Some(w);
+                    break;
+                }
+            }
+            if let Some(w) = negative {
+                triples.push((u, v, w));
+            }
+        }
+        Self { triples }
+    }
+
+    /// Number of probe triples.
+    pub fn len(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// True when no probes could be sampled (gate then admits everything).
+    pub fn is_empty(&self) -> bool {
+        self.triples.is_empty()
+    }
+
+    /// Fraction of probes where the model ranks the true target above the
+    /// random negative (ties count half) — an AUC-style score in `[0, 1]`.
+    /// An empty probe set scores a neutral `0.5`.
+    pub fn score(&self, store: &EmbeddingStore) -> f64 {
+        if self.triples.is_empty() {
+            return 0.5;
+        }
+        let mut won = 0.0f64;
+        for &(u, v, w) in &self.triples {
+            let pos = store.score(u, v);
+            let neg = store.score(u, w);
+            if pos > neg {
+                won += 1.0;
+            } else if pos == neg {
+                won += 0.5;
+            }
+            // A NaN comparison falls through both arms: a non-finite
+            // model loses every affected probe, which is exactly right.
+        }
+        won / self.triples.len() as f64
+    }
+}
+
+/// The admission gate: monotone high-water best score plus a regression
+/// budget. Shared between the supervisor (seeding, gauges) and the
+/// publisher thread (admission), so it is atomic throughout.
+#[derive(Debug)]
+pub struct QualityGate {
+    probe: ProbeSet,
+    budget: f64,
+    /// High-water probe score, stored as `f64::to_bits`. Probe scores are
+    /// in `[0, 1]`, where IEEE-754 bit order agrees with numeric order,
+    /// so `fetch_max` on the bits is a monotone max on the score.
+    best: AtomicU64,
+}
+
+impl QualityGate {
+    /// A gate over `probe` admitting scores down to `best - budget`.
+    pub fn new(probe: ProbeSet, budget: f64) -> Self {
+        Self {
+            probe,
+            budget: budget.max(0.0),
+            best: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// Raises the high-water mark to `store`'s probe score (never lowers
+    /// it). Called at pipeline open with the recovered trainer state, and
+    /// after every successful publish.
+    pub fn observe(&self, store: &EmbeddingStore) -> f64 {
+        let score = self.probe.score(store);
+        self.best.fetch_max(score.to_bits(), Ordering::SeqCst);
+        score
+    }
+
+    /// Scores `store` and decides admission: `(score, admitted)`. Does
+    /// **not** move the high-water mark — only a successful publish does,
+    /// via [`QualityGate::observe`].
+    pub fn admit(&self, store: &EmbeddingStore) -> (f64, bool) {
+        let score = self.probe.score(store);
+        (score, score + self.budget >= self.best())
+    }
+
+    /// The high-water probe score published (or recovered) so far.
+    pub fn best(&self) -> f64 {
+        f64::from_bits(self.best.load(Ordering::SeqCst))
+    }
+
+    /// The regression budget.
+    pub fn budget(&self) -> f64 {
+        self.budget
+    }
+
+    /// Number of probe triples backing the gate.
+    pub fn probes(&self) -> usize {
+        self.probe.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inf2vec_graph::GraphBuilder;
+
+    fn ring(n: u32) -> DiGraph {
+        let mut b = GraphBuilder::with_nodes(n);
+        for i in 0..n {
+            b.add_edge(NodeId(i), NodeId((i + 1) % n));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn probe_set_is_deterministic_and_valid() {
+        let g = ring(16);
+        let a = ProbeSet::build(&g, 7, 12);
+        let b = ProbeSet::build(&g, 7, 12);
+        assert_eq!(a.triples, b.triples, "same (seed, graph) → same probes");
+        assert!(!a.is_empty());
+        for &(u, v, w) in &a.triples {
+            assert!(g.has_edge(NodeId(u), NodeId(v)), "positive is a real edge");
+            assert!(!g.has_edge(NodeId(u), NodeId(w)), "negative is a non-edge");
+            assert_ne!(u, w);
+        }
+        let c = ProbeSet::build(&g, 8, 12);
+        assert_ne!(a.triples, c.triples, "seed moves the negatives");
+    }
+
+    #[test]
+    fn score_separates_good_from_poisoned() {
+        let g = ring(12);
+        let probe = ProbeSet::build(&g, 3, 12);
+        let good = EmbeddingStore::zeroed(12, 2);
+        assert_eq!(probe.score(&good), 0.5, "all-zero model is neutral");
+
+        // An edge-aligned store: one-hot rows arranged so that
+        // `score(u, v) = 1` exactly when `v = u + 1 (mod 12)` — the ring
+        // edges — and 0 everywhere else.
+        let trained = EmbeddingStore::zeroed(12, 12);
+        for u in 0..12u32 {
+            unsafe {
+                trained.source.row_mut(u as usize)[u as usize] = 1.0;
+                trained.target.row_mut(((u + 1) % 12) as usize)[u as usize] = 1.0;
+            }
+        }
+        // Now score(u, v) = 1 iff v = u + 1 (mod 12): exactly the edges.
+        let s = probe.score(&trained);
+        assert_eq!(s, 1.0, "edge-aligned model wins every probe: {s}");
+
+        let gate = QualityGate::new(probe.clone(), 0.05);
+        gate.observe(&trained);
+        assert_eq!(gate.best(), 1.0);
+        let (score, ok) = gate.admit(&trained);
+        assert!(ok && score == 1.0);
+
+        // Poison: negate the alignment — every probe now loses or ties.
+        let poisoned = EmbeddingStore::zeroed(12, 12);
+        for u in 0..12u32 {
+            unsafe {
+                poisoned.source.row_mut(u as usize)[u as usize] = -1.0;
+                poisoned.target.row_mut(((u + 1) % 12) as usize)[u as usize] = 1.0;
+            }
+        }
+        let (score, ok) = gate.admit(&poisoned);
+        assert!(!ok && score < 0.5, "poisoned model is withheld: {score}");
+        assert_eq!(gate.best(), 1.0, "a withheld candidate never moves best");
+    }
+
+    #[test]
+    fn non_finite_candidates_lose_their_probes() {
+        let g = ring(8);
+        let probe = ProbeSet::build(&g, 1, 8);
+        let nan = EmbeddingStore::zeroed(8, 2);
+        unsafe { nan.source.row_mut(0)[0] = f32::NAN };
+        assert!(probe.score(&nan) < 1.0);
+    }
+
+    #[test]
+    fn empty_probe_set_admits_everything() {
+        let g = GraphBuilder::with_nodes(1).build(); // no edges
+        let probe = ProbeSet::build(&g, 1, 8);
+        assert!(probe.is_empty());
+        let gate = QualityGate::new(probe, 0.0);
+        let (score, ok) = gate.admit(&EmbeddingStore::zeroed(1, 2));
+        assert!(ok);
+        assert_eq!(score, 0.5);
+    }
+}

@@ -45,16 +45,19 @@ use std::thread::JoinHandle;
 use inf2vec_diffusion::{Episode, ItemId};
 use inf2vec_embed::{EmbeddingStore, OnlineSgns};
 use inf2vec_graph::{DiGraph, NodeId};
-use inf2vec_ingest::{LogTail, TailItem, TailPosition};
+use inf2vec_ingest::{compact_to_with, sentinel_base, LogTail, TailItem, TailPosition};
 use inf2vec_obs::{Event, TraceCtx};
 use inf2vec_serve::store_checksum;
-use inf2vec_util::error::{Inf2vecError, PipelineError};
+use inf2vec_util::error::{Inf2vecError, IngestError, PipelineError};
 use inf2vec_util::{system_clock, FxHashMap, SharedClock};
 
 use crate::config::PipelineConfig;
 use crate::faults::FaultPlan;
 use crate::journal::{self, check_shape, Journal, JournalState, OpenItemState};
-use crate::publish::{publish_with_retry, PublishCounters, PublishSink, Snapshot};
+use crate::publish::{
+    export_snapshot, poison_snapshot, publish_with_retry, PublishCounters, PublishSink, Snapshot,
+};
+use crate::quality::{ProbeSet, QualityGate};
 
 /// What the tailer sends the trainer.
 enum TailMsg {
@@ -137,11 +140,14 @@ struct Trainer {
 
 impl Trainer {
     /// Rebuilds a trainer from a journal snapshot (or fresh when `None`).
-    /// Returns the trainer and the next journal round.
+    /// Returns the trainer and the next journal round. `n` is the base
+    /// row count (the social graph); a journal may hold anywhere in
+    /// `[n, universe]` rows — the row space it had grown to when written.
     fn from_journal(
         loaded: Option<JournalState>,
         cfg: &PipelineConfig,
         n: usize,
+        universe: usize,
         k: usize,
     ) -> Result<(Self, u64), Inf2vecError> {
         match loaded {
@@ -158,7 +164,7 @@ impl Trainer {
                 0,
             )),
             Some(s) => {
-                check_shape(&s, n, k)?;
+                check_shape(&s, n, universe, k)?;
                 let online = OnlineSgns::from_state(s.online, cfg.online.clone(), cfg.seed())
                     .map_err(|e| {
                         Inf2vecError::from(PipelineError::JournalMismatch {
@@ -381,6 +387,8 @@ pub struct Reconciliation {
     pub publishes_ok: u64,
     /// Snapshots abandoned after exhausting retries.
     pub publishes_failed: u64,
+    /// Snapshots withheld by the quality gate (probe regression).
+    pub publishes_withheld: u64,
     /// Snapshot offers dropped (publisher busy or restarting).
     pub publishes_skipped: u64,
     /// Stage restarts consumed: (tailer, trainer, publisher).
@@ -413,6 +421,17 @@ pub struct Pipeline {
     journal: Journal,
     trainer: Trainer,
     round: u64,
+    /// The user-id space the tailer accepts and the row space may grow
+    /// to: `max(graph nodes, cfg.user_capacity)`.
+    universe: usize,
+    /// Quality gate (`None` when `cfg.probe_pairs == 0`).
+    gate: Option<Arc<QualityGate>>,
+    /// The position committed by the *previous* successful journal write
+    /// in this incarnation — the newest point both slots are guaranteed
+    /// to be at or past, and therefore the compaction bound.
+    prev_commit: Option<TailPosition>,
+    /// Compactions performed by this incarnation.
+    compactions: u64,
     tailer: Option<TailerHandle>,
     publisher: Option<PublisherHandle>,
     counters: Arc<PublishCounters>,
@@ -458,20 +477,49 @@ impl Pipeline {
     ) -> Result<Self, Inf2vecError> {
         cfg.inf2vec.validate()?;
         let journal_dir = journal_dir.into();
+        let log_path: PathBuf = log_path.into();
         let flight_path = journal_dir.join("flight.jsonl");
         let journal = Journal::new(journal_dir)?;
         let n = graph.node_count() as usize;
+        let universe = if cfg.user_capacity == 0 {
+            n
+        } else {
+            cfg.user_capacity.max(n)
+        };
         let k = cfg.inf2vec.k;
         let loaded = journal.load_latest()?;
         let recovered = loaded.is_some();
-        let (trainer, round) = Trainer::from_journal(loaded, &cfg, n, k)?;
+        if !recovered {
+            // A fresh start over a compacted log cannot replay the
+            // rotated-away prefix: fail typed instead of silently
+            // training on a truncated stream.
+            if let Some((base, _)) = sentinel_base(&log_path).map_err(Inf2vecError::Io)? {
+                if base > 0 {
+                    return Err(IngestError::LogRotated { committed: 0, base }.into());
+                }
+            }
+        }
+        let (trainer, round) = Trainer::from_journal(loaded, &cfg, n, universe, k)?;
+        let gate = (cfg.probe_pairs > 0).then(|| {
+            let gate = QualityGate::new(
+                ProbeSet::build(&graph, cfg.seed(), cfg.probe_pairs),
+                cfg.quality_budget,
+            );
+            // Seed the high-water mark from the *recovered* model, so a
+            // poisoned first snapshot after a crash is still caught.
+            let best = gate.observe(trainer.online.store());
+            cfg.telemetry.gauge_set("inf2vec_pipeline_quality_probe", best);
+            Arc::new(gate)
+        });
         cfg.telemetry.emit(
             Event::new("pipeline.open")
                 .u64("recovered", recovered as u64)
                 .u64("round", round)
                 .u64("offset", trainer.pos.offset)
                 .u64("records", trainer.records_seen)
-                .u64("episodes", trainer.online.episodes_applied()),
+                .u64("episodes", trainer.online.episodes_applied())
+                .u64("rows", trainer.online.store().len() as u64)
+                .u64("universe", universe as u64),
         );
         let last_publish_episode = trainer.online.episodes_applied();
         Ok(Self {
@@ -480,11 +528,15 @@ impl Pipeline {
             faults,
             graph,
             sink,
-            log_path: log_path.into(),
+            log_path,
             flight_path,
             journal,
             trainer,
             round,
+            universe,
+            gate,
+            prev_commit: None,
+            compactions: 0,
             tailer: None,
             publisher: None,
             counters: Arc::new(PublishCounters::default()),
@@ -573,7 +625,8 @@ impl Pipeline {
         }
         let loaded = self.journal.load_latest()?;
         let n = self.graph.node_count() as usize;
-        let (trainer, round) = Trainer::from_journal(loaded, &self.cfg, n, self.cfg.inf2vec.k)?;
+        let (trainer, round) =
+            Trainer::from_journal(loaded, &self.cfg, n, self.universe, self.cfg.inf2vec.k)?;
         self.trainer = trainer;
         self.round = round;
         self.batches_since_journal = 0;
@@ -674,9 +727,50 @@ impl Pipeline {
         }
     }
 
+    /// Writes the journal with bounded retry against disk faults. An
+    /// exhausted retry chain **degrades instead of failing**: training
+    /// continues uncommitted (a wider replay window after the next crash,
+    /// never lost records), a flight postmortem is dumped, and the next
+    /// batch boundary tries again. Schema/shape errors still propagate —
+    /// only disk-level write failures degrade.
     fn write_journal(&mut self) -> Result<(), Inf2vecError> {
         let state = self.trainer.to_state(self.round);
-        let path = self.journal.write(&state)?;
+        let max_attempts = self.cfg.disk_max_attempts.max(1);
+        let mut backoff = self.cfg.disk_retry_backoff;
+        let mut written = None;
+        for attempt in 1..=max_attempts {
+            let inject = self.faults.tick_journal_attempt().then_some(64);
+            match self.journal.write_with(&state, inject) {
+                Ok(path) => {
+                    written = Some(path);
+                    break;
+                }
+                Err(e) => {
+                    self.cfg
+                        .telemetry
+                        .count("inf2vec_pipeline_journal_write_errors_total", 1);
+                    self.cfg.telemetry.emit(
+                        Event::new("pipeline.journal_write_error")
+                            .u64("round", state.round)
+                            .u64("attempt", attempt as u64)
+                            .str("error", e.to_string()),
+                    );
+                    if attempt < max_attempts {
+                        self.clock.sleep(backoff);
+                        backoff *= 2;
+                    }
+                }
+            }
+        }
+        let Some(path) = written else {
+            // All attempts failed: skip this commit, keep training.
+            self.dump_flight_postmortem("journal_write_failed");
+            self.cfg
+                .telemetry
+                .count("inf2vec_pipeline_journal_writes_skipped_total", 1);
+            self.batches_since_journal = 0;
+            return Ok(());
+        };
         self.round += 1;
         self.batches_since_journal = 0;
         self.cfg
@@ -693,7 +787,65 @@ impl Pipeline {
                     path.file_name().unwrap_or_default().to_string_lossy(),
                 ));
         }
+        self.maybe_compact();
+        self.prev_commit = Some(state.pos);
         Ok(())
+    }
+
+    /// Compacts the action log when it has outgrown the configured
+    /// budget, rotating away only bytes below [`Self::prev_commit`] —
+    /// the point both journal slots have durably passed, so any
+    /// recoverable journal can still resume. Failures degrade: counted,
+    /// flight-dumped, retried at the next journal boundary.
+    fn maybe_compact(&mut self) {
+        let budget = self.cfg.log_budget_bytes;
+        if budget == 0 {
+            return;
+        }
+        let Some(compact_to) = self.prev_commit else {
+            // First write of this incarnation: the other slot's position
+            // is unknown, so no safe compaction point exists yet.
+            return;
+        };
+        let live = std::fs::metadata(&self.log_path).map(|m| m.len()).unwrap_or(0);
+        self.cfg
+            .telemetry
+            .gauge_set("inf2vec_pipeline_log_bytes", live as f64);
+        if live <= budget {
+            return;
+        }
+        let archive = self
+            .cfg
+            .archive_compacted
+            .then(|| archive_path(&self.log_path));
+        let inject = self.faults.tick_compaction_attempt().then_some(48);
+        match compact_to_with(&self.log_path, compact_to, archive.as_deref(), inject) {
+            Ok(stats) => {
+                self.compactions += 1;
+                self.cfg
+                    .telemetry
+                    .count("inf2vec_pipeline_compactions_total", 1);
+                self.cfg
+                    .telemetry
+                    .gauge_set("inf2vec_pipeline_log_bytes", stats.live_bytes as f64);
+                self.cfg.telemetry.emit(
+                    Event::new("pipeline.compaction")
+                        .u64("base", stats.base)
+                        .u64("dropped", stats.dropped_bytes)
+                        .u64("live", stats.live_bytes),
+                );
+            }
+            Err(e) => {
+                self.cfg
+                    .telemetry
+                    .count("inf2vec_pipeline_compaction_errors_total", 1);
+                self.cfg.telemetry.emit(
+                    Event::new("pipeline.compaction_error")
+                        .u64("offset", compact_to.offset)
+                        .str("error", e.to_string()),
+                );
+            }
+        }
     }
 
     fn ensure_tailer(&mut self) {
@@ -704,7 +856,10 @@ impl Pipeline {
         let stop = Arc::new(AtomicBool::new(false));
         let stop_flag = Arc::clone(&stop);
         let path = self.log_path.clone();
-        let num_users = self.graph.node_count();
+        // Accept the whole configured universe, not just the graph: ids
+        // beyond the graph are real (late-joining) users whose rows the
+        // model grows on demand.
+        let num_users = self.universe as u32;
         let pos = self.trainer.pos;
         let batch_max = self.cfg.batch_max.max(1);
         let poll_interval = self.cfg.poll_interval;
@@ -719,9 +874,26 @@ impl Pipeline {
                     let items = match tail.poll(batch_max) {
                         Ok(v) => v,
                         Err(e) => {
-                            telemetry.count("inf2vec_pipeline_tail_io_errors_total", 1);
-                            telemetry
-                                .emit(Event::new("pipeline.tail_error").str("error", e.to_string()));
+                            // Truncation/rotation are typed, not generic
+                            // I/O: the committed position is unservable
+                            // and retrying cannot fix it — surface the
+                            // kind so operators see *which* contract the
+                            // log's producer broke.
+                            let kind = match &e {
+                                IngestError::LogTruncated { .. } => "truncated",
+                                IngestError::LogRotated { .. } => "rotated",
+                                _ => "io",
+                            };
+                            telemetry.count_with(
+                                "inf2vec_pipeline_tail_io_errors_total",
+                                &[("kind", kind)],
+                                1,
+                            );
+                            telemetry.emit(
+                                Event::new("pipeline.tail_error")
+                                    .str("kind", kind)
+                                    .str("error", e.to_string()),
+                            );
                             clock.sleep(poll_interval);
                             continue;
                         }
@@ -762,13 +934,43 @@ impl Pipeline {
         let faults = Arc::clone(&self.faults);
         let sink = Arc::clone(&self.sink);
         let counters = Arc::clone(&self.counters);
+        let gate = self.gate.clone();
         let thread = std::thread::Builder::new()
             .name("inf2vec-publish".into())
             .spawn(move || {
-                for snap in rx.iter() {
-                    publish_with_retry(sink.as_ref(), &snap, &cfg, &clock, &faults, &counters);
-                    // Fires after the snapshot settled (counted ok or
-                    // failed); only the thread dies, not the accounting.
+                for mut snap in rx.iter() {
+                    if faults.tick_snapshot_poison() {
+                        // Bits mangled, checksum recomputed: integrity
+                        // verification passes, only the gate can catch it.
+                        poison_snapshot(&mut snap);
+                        cfg.telemetry.emit(
+                            Event::new("pipeline.injected_poison")
+                                .u64("episodes", snap.episodes),
+                        );
+                    }
+                    if publish_admitted(&gate, &snap, &cfg, &counters) {
+                        let ok = publish_with_retry(
+                            sink.as_ref(),
+                            &snap,
+                            &cfg,
+                            &clock,
+                            &faults,
+                            &counters,
+                        );
+                        if ok {
+                            if let Some(g) = gate.as_deref() {
+                                // Only an *installed* snapshot raises the
+                                // high-water mark future candidates must meet.
+                                let score = g.observe(&snap.store);
+                                cfg.telemetry
+                                    .gauge_set("inf2vec_pipeline_quality_probe", score);
+                            }
+                            maybe_export(&snap, &cfg, &clock, &faults);
+                        }
+                    }
+                    // Fires after the snapshot settled (counted ok,
+                    // failed, or withheld); only the thread dies, not the
+                    // accounting.
                     if faults.tick_publisher_snapshot() {
                         panic!("injected publisher panic");
                     }
@@ -855,6 +1057,7 @@ impl Pipeline {
     pub fn reconciliation(&self) -> Reconciliation {
         let ok = self.counters.ok.load(Ordering::SeqCst);
         let failed = self.counters.failed.load(Ordering::SeqCst);
+        let withheld = self.counters.withheld.load(Ordering::SeqCst);
         let r = Reconciliation {
             records_seen: self.trainer.records_seen,
             records_applied: self.trainer.records_applied,
@@ -864,7 +1067,8 @@ impl Pipeline {
             pairs_applied: self.trainer.online.pairs_applied(),
             publishes_ok: ok,
             publishes_failed: failed,
-            publishes_skipped: self.snapshots_offered.saturating_sub(ok + failed),
+            publishes_withheld: withheld,
+            publishes_skipped: self.snapshots_offered.saturating_sub(ok + failed + withheld),
             restarts: (
                 self.tailer_restarts,
                 self.trainer_restarts,
@@ -883,6 +1087,10 @@ impl Pipeline {
         t.gauge_set("inf2vec_pipeline_episodes_applied", r.episodes_applied as f64);
         t.gauge_set("inf2vec_pipeline_publishes_ok", r.publishes_ok as f64);
         t.gauge_set("inf2vec_pipeline_publishes_failed", r.publishes_failed as f64);
+        t.gauge_set(
+            "inf2vec_pipeline_publishes_withheld",
+            r.publishes_withheld as f64,
+        );
         t.gauge_set("inf2vec_pipeline_publishes_skipped", r.publishes_skipped as f64);
         t.gauge_set(
             "inf2vec_pipeline_publish_lag_episodes",
@@ -915,6 +1123,106 @@ impl Pipeline {
             self.trainer_restarts,
             self.publisher_restarts,
         )
+    }
+
+    /// Log compactions this incarnation performed.
+    pub fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
+    /// The user-id space in effect: `max(graph nodes, user_capacity)`.
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// The quality gate's `(best score, budget)`, when the gate is on.
+    pub fn quality(&self) -> Option<(f64, f64)> {
+        self.gate.as_deref().map(|g| (g.best(), g.budget()))
+    }
+
+    /// Rows the model currently holds — the base graph size plus any
+    /// growth driven by unseen user ids in the stream.
+    pub fn model_rows(&self) -> usize {
+        self.trainer.online.store().len()
+    }
+}
+
+/// `<log>.archive` beside the live log — where compaction appends the
+/// rotated-away prefix when [`PipelineConfig::archive_compacted`] is set.
+pub fn archive_path(log_path: &std::path::Path) -> PathBuf {
+    let mut os = log_path.as_os_str().to_os_string();
+    os.push(".archive");
+    PathBuf::from(os)
+}
+
+/// Quality-gate admission (publisher thread). Returns `true` when the
+/// snapshot may be offered to the sink; a withheld snapshot is counted,
+/// gauged, and trace-stamped, and the registry keeps serving the last
+/// good version.
+fn publish_admitted(
+    gate: &Option<Arc<QualityGate>>,
+    snap: &Snapshot,
+    cfg: &PipelineConfig,
+    counters: &PublishCounters,
+) -> bool {
+    let Some(g) = gate.as_deref() else {
+        return true;
+    };
+    let (score, admitted) = g.admit(&snap.store);
+    cfg.telemetry
+        .gauge_set("inf2vec_pipeline_quality_probe", score);
+    cfg.telemetry.gauge_set(
+        "inf2vec_pipeline_quality_regression",
+        (g.best() - score).max(0.0),
+    );
+    if !admitted {
+        counters.withheld.fetch_add(1, Ordering::SeqCst);
+        cfg.telemetry
+            .count("inf2vec_pipeline_publish_withheld_total", 1);
+        cfg.telemetry.emit_with(|| {
+            TraceCtx::for_publish(cfg.seed(), snap.episodes).stamp(
+                Event::new("pipeline.publish_withheld")
+                    .u64("episodes", snap.episodes)
+                    .f64("score", score)
+                    .f64("best", g.best())
+                    .f64("budget", g.budget()),
+            )
+        });
+    }
+    admitted
+}
+
+/// Post-publish snapshot export with bounded retry (publisher thread).
+/// Export failures degrade — the registry already holds the model; only
+/// the on-disk copy is stale until the next publish.
+fn maybe_export(snap: &Snapshot, cfg: &PipelineConfig, clock: &SharedClock, faults: &FaultPlan) {
+    let Some(dir) = cfg.snapshot_dir.as_deref() else {
+        return;
+    };
+    let mut backoff = cfg.disk_retry_backoff;
+    for attempt in 1..=cfg.disk_max_attempts.max(1) {
+        let inject = faults.tick_snapshot_write().then_some(48);
+        match export_snapshot(dir, snap, inject) {
+            Ok(_) => {
+                cfg.telemetry
+                    .count("inf2vec_pipeline_snapshot_exports_total", 1);
+                return;
+            }
+            Err(e) => {
+                cfg.telemetry
+                    .count("inf2vec_pipeline_snapshot_export_errors_total", 1);
+                cfg.telemetry.emit(
+                    Event::new("pipeline.snapshot_export_error")
+                        .u64("episodes", snap.episodes)
+                        .u64("attempt", attempt as u64)
+                        .str("error", e.to_string()),
+                );
+                if attempt < cfg.disk_max_attempts.max(1) {
+                    clock.sleep(backoff);
+                    backoff *= 2;
+                }
+            }
+        }
     }
 }
 

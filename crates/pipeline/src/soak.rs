@@ -3,17 +3,25 @@
 //! The harness plays both sides of the pipeline's contract:
 //!
 //! 1. a deterministic **traffic writer** appends chunks of synthetic
-//!    action records to the log — including scheduled garbage lines and
-//!    *partial* lines (a torn producer) completed by the next chunk;
+//!    action records to the log — including scheduled garbage lines,
+//!    *partial* lines (a torn producer) completed by the next chunk, and
+//!    (from the second cycle on) records naming users the social graph
+//!    never enumerated, so the model's row space must grow mid-stream;
 //! 2. between chunks the pipeline is **crashed** (dropped without a
 //!    graceful shutdown) and reopened from its journal, while a per-cycle
-//!    [`FaultPlan`] panics stages, fails/slows publishes, and shears
-//!    journal slots mid-run;
-//! 3. at the end, every written record must sit in exactly one of
+//!    [`FaultPlan`] panics stages, fails/slows publishes, shears journal
+//!    slots mid-run, injects ENOSPC-style faults into journal, compaction
+//!    and snapshot-export writes, and poisons one snapshot (intact bits,
+//!    inverted semantics) that the quality gate must withhold;
+//! 3. the live log is held under a byte budget by journal-coordinated
+//!    **compaction** throughout, so the end-state checks also have to
+//!    survive the consumed prefix being rotated into the archive;
+//! 4. at the end, every written record must sit in exactly one of
 //!    {applied, quarantined, pending} — checked against the writer's own
 //!    ledger *and* against the obs gauges — and an uninterrupted
-//!    fresh-journal run over the same log must produce a bit-identical
-//!    model ([`inf2vec_serve::store_checksum`]).
+//!    fresh-journal run over the **reconstructed** full stream (archive
+//!    bytes + live suffix) must produce a bit-identical model
+//!    ([`inf2vec_serve::store_checksum`]).
 
 use std::io::Write;
 use std::path::Path;
@@ -30,27 +38,39 @@ use inf2vec_util::{split_seed, system_clock};
 use crate::config::PipelineConfig;
 use crate::faults::FaultPlan;
 use crate::publish::RegistrySink;
-use crate::runner::{Pipeline, Reconciliation};
+use crate::runner::{archive_path, Pipeline, Reconciliation};
 
 /// Soak shape. Defaults give a few seconds of work — CI-sized.
 #[derive(Debug, Clone)]
 pub struct SoakConfig {
     /// Users in the social graph (ring-with-shortcuts).
     pub users: u32,
+    /// Users beyond the graph that start appearing from the second cycle
+    /// on: they force mid-stream row-space growth (the pipeline runs with
+    /// `user_capacity = users + extra_users`).
+    pub extra_users: u32,
     /// Records per cascade: each item stays active for roughly this many
     /// log lines, then goes quiet (and so eventually closes). Adjacent
     /// cascades overlap, keeping a couple of episodes open at all times.
     pub cascade_len: u32,
-    /// Crash/recover cycles (one traffic chunk each). Minimum 3 for the
-    /// robustness guarantee the crate advertises.
+    /// Crash/recover cycles (one traffic chunk each). Minimum 4, so the
+    /// schedule can fit every fault class including the poisoned
+    /// snapshot.
     pub cycles: u32,
     /// Records appended per chunk.
     pub records_per_chunk: u32,
     /// Every Nth line is garbage (quarantine traffic); 0 disables.
     pub defect_every: u32,
+    /// Live-log byte budget driving compaction (0 disables — the soak
+    /// then cannot prove disk boundedness).
+    pub log_budget_bytes: u64,
+    /// Held-out probe triples backing the quality gate (0 disables — the
+    /// soak then cannot prove the poisoned snapshot is withheld).
+    pub probe_pairs: usize,
     /// Master seed for traffic and training.
     pub seed: u64,
-    /// Pipeline knobs (the harness overrides seed/telemetry coherently).
+    /// Pipeline knobs (the harness overrides seed/telemetry/capacity/
+    /// budget/probe/snapshot-dir coherently).
     pub pipeline: PipelineConfig,
 }
 
@@ -58,10 +78,13 @@ impl Default for SoakConfig {
     fn default() -> Self {
         Self {
             users: 24,
+            extra_users: 8,
             cascade_len: 20,
             cycles: 4,
             records_per_chunk: 160,
             defect_every: 13,
+            log_budget_bytes: 2048,
+            probe_pairs: 48,
             seed: 42,
             pipeline: PipelineConfig {
                 close_after: 24,
@@ -80,6 +103,31 @@ impl Default for SoakConfig {
     }
 }
 
+impl SoakConfig {
+    /// The long-soak preset (`repro soak --long`): more users, more
+    /// cycles, several times the traffic, a tighter relative disk budget.
+    /// Minutes of work rather than seconds — the overnight/CI-nightly
+    /// shape.
+    pub fn long() -> Self {
+        let base = Self::default();
+        Self {
+            users: 48,
+            extra_users: 16,
+            cascade_len: 24,
+            cycles: 8,
+            records_per_chunk: 400,
+            log_budget_bytes: 4096,
+            probe_pairs: 64,
+            pipeline: PipelineConfig {
+                close_after: 32,
+                batch_max: 48,
+                ..base.pipeline
+            },
+            ..base
+        }
+    }
+}
+
 /// What the soak proved (serializable for CI artifacts).
 #[derive(Debug, Clone)]
 pub struct SoakReport {
@@ -91,18 +139,41 @@ pub struct SoakReport {
     pub cycles: u32,
     /// Stage restarts across all incarnations (tailer, trainer, publisher).
     pub restarts: (u32, u32, u32),
-    /// Publishes across all incarnations (ok, failed, skipped).
-    pub publishes: (u64, u64, u64),
+    /// Publishes across all incarnations (ok, failed, withheld, skipped).
+    pub publishes: (u64, u64, u64, u64),
     /// Model versions actually installed in the registry.
     pub versions_installed: u64,
+    /// Log compactions across all incarnations.
+    pub compactions: u64,
+    /// Largest live-log size observed at any cycle boundary.
+    pub max_live_log_bytes: u64,
+    /// The compaction budget the soak ran under.
+    pub log_budget_bytes: u64,
+    /// The live log never strayed past twice the budget — the disk
+    /// stayed bounded while traffic kept growing. (The default combined
+    /// scenario additionally asserts `compactions >= 3`, but a
+    /// scaled-down run can be bounded with fewer.)
+    pub disk_bounded: bool,
+    /// The user-id universe (`users + extra_users`).
+    pub universe: u32,
+    /// Users whose first record arrived after the first cycle.
+    pub users_midstream: u32,
+    /// Rows the final model holds (> `users` proves growth).
+    pub final_rows: usize,
+    /// ≥ 20% of the universe appeared mid-stream and the model grew past
+    /// the base graph.
+    pub growth_ok: bool,
+    /// The poisoned snapshot was withheld and no poisoned version was
+    /// ever observed serving.
+    pub quality_gate_held: bool,
     /// The final incarnation's ledger.
     pub reconciliation: Reconciliation,
     /// `applied + pending == written_good` and `quarantined == written_bad`.
     pub balanced: bool,
     /// The obs gauges agree with the ledger.
     pub gauges_consistent: bool,
-    /// An uninterrupted fresh run over the same log produced the same
-    /// [`inf2vec_serve::store_checksum`].
+    /// An uninterrupted fresh run over the reconstructed full stream
+    /// produced the same [`inf2vec_serve::store_checksum`].
     pub bit_identical: bool,
     /// Every accepted record reconstructed to a complete causal chain
     /// (valid deterministic trace ids, fate agreeing with the ledger).
@@ -112,7 +183,13 @@ pub struct SoakReport {
 impl SoakReport {
     /// Every invariant the soak exists to prove.
     pub fn passed(&self) -> bool {
-        self.balanced && self.gauges_consistent && self.bit_identical && self.trace_complete
+        self.balanced
+            && self.gauges_consistent
+            && self.bit_identical
+            && self.trace_complete
+            && self.disk_bounded
+            && self.growth_ok
+            && self.quality_gate_held
     }
 
     /// One-object JSON rendering (CI artifact).
@@ -122,8 +199,12 @@ impl SoakReport {
             concat!(
                 "{{\"written_good\":{},\"written_bad\":{},\"cycles\":{},",
                 "\"restarts\":{{\"tail\":{},\"train\":{},\"publish\":{}}},",
-                "\"publishes\":{{\"ok\":{},\"failed\":{},\"skipped\":{}}},",
+                "\"publishes\":{{\"ok\":{},\"failed\":{},\"withheld\":{},\"skipped\":{}}},",
                 "\"versions_installed\":{},",
+                "\"compactions\":{},\"max_live_log_bytes\":{},\"log_budget_bytes\":{},",
+                "\"disk_bounded\":{},",
+                "\"universe\":{},\"users_midstream\":{},\"final_rows\":{},\"growth_ok\":{},",
+                "\"quality_gate_held\":{},",
                 "\"records\":{{\"seen\":{},\"applied\":{},\"quarantined\":{},\"pending\":{}}},",
                 "\"episodes_applied\":{},\"pairs_applied\":{},",
                 "\"store_checksum\":\"{:016x}\",",
@@ -139,7 +220,17 @@ impl SoakReport {
             self.publishes.0,
             self.publishes.1,
             self.publishes.2,
+            self.publishes.3,
             self.versions_installed,
+            self.compactions,
+            self.max_live_log_bytes,
+            self.log_budget_bytes,
+            self.disk_bounded,
+            self.universe,
+            self.users_midstream,
+            self.final_rows,
+            self.growth_ok,
+            self.quality_gate_held,
             r.records_seen,
             r.records_applied,
             r.records_quarantined,
@@ -157,32 +248,63 @@ impl SoakReport {
 }
 
 /// Deterministic traffic: interleaved cascades over a small item pool,
-/// garbage lines on a schedule, and torn (partial) lines at chunk seams.
+/// garbage lines on a schedule, torn (partial) lines at chunk seams, and
+/// a user population that widens mid-stream once unlocked.
 struct TrafficWriter {
     rng: Xoshiro256pp,
-    users: u32,
+    /// Users currently eligible to appear (starts at the graph size).
+    active_users: u32,
+    /// The full id space (`users + extra_users`).
+    universe: u32,
     cascade_len: u32,
     defect_every: u32,
     time: u64,
     lines: u64,
     good: u64,
     bad: u64,
+    /// Per-user: has any record named this id yet?
+    seen: Vec<bool>,
+    /// The population has been widened to the full universe.
+    unlocked: bool,
+    /// Users whose first record arrived after the widening.
+    midstream: u32,
     /// A partial line is pending completion: (tail to write, is_good).
     partial: Option<(String, bool)>,
 }
 
 impl TrafficWriter {
     fn new(cfg: &SoakConfig) -> Self {
+        let universe = cfg.users + cfg.extra_users;
         Self {
             rng: Xoshiro256pp::new(split_seed(cfg.seed, 0x50AC)),
-            users: cfg.users,
+            active_users: cfg.users,
+            universe,
             cascade_len: cfg.cascade_len.max(1),
             defect_every: cfg.defect_every,
             time: 0,
             lines: 0,
             good: 0,
             bad: 0,
+            seen: vec![false; universe as usize],
+            unlocked: false,
+            midstream: 0,
             partial: None,
+        }
+    }
+
+    /// Widens the user population to the full universe; users first seen
+    /// from here on count as mid-stream arrivals (the growth axis).
+    fn unlock_users(&mut self) {
+        self.active_users = self.universe;
+        self.unlocked = true;
+    }
+
+    fn mark_user(&mut self, user: u32) {
+        if !self.seen[user as usize] {
+            self.seen[user as usize] = true;
+            if self.unlocked {
+                self.midstream += 1;
+            }
         }
     }
 
@@ -226,7 +348,8 @@ impl TrafficWriter {
             // group jitter so two cascades interleave; once the line
             // counter moves past an item's span it goes quiet and the
             // pipeline's close_after threshold can retire it.
-            let user = self.rng.below(self.users as u64) as u32;
+            let user = self.rng.below(self.active_users as u64) as u32;
+            self.mark_user(user);
             let group = self.lines / self.cascade_len as u64;
             let item = (group + self.rng.below(2)) as u32;
             if torn {
@@ -265,13 +388,29 @@ fn fault_plan_for(cycle: u32) -> Arc<FaultPlan> {
         0 => FaultPlan::none()
             .with_tailer_panics(vec![20])
             .with_publish_failures(vec![1, 2, 3, 4]),
+        // A transient journal disk fault (attempt 3 fails, the in-place
+        // retry succeeds) on top of trainer panics and a torn slot.
         1 => FaultPlan::none()
             .with_trainer_panics(vec![1, 3])
-            .with_journal_truncations(vec![2]),
+            .with_journal_truncations(vec![2])
+            .with_journal_write_failures(vec![3]),
+        // Disk faults on the maintenance paths: the first compaction
+        // attempt and the first snapshot-export attempt both fail and
+        // must be retried, while the publisher also panics and slows.
         2 => FaultPlan::none()
             .with_publisher_panics(vec![1])
             .with_publish_delay(Duration::from_millis(2))
-            .with_tailer_panics(vec![40]),
+            .with_tailer_panics(vec![40])
+            .with_compaction_failures(vec![1])
+            .with_snapshot_write_failures(vec![1]),
+        // The semantic attack: the first snapshot of this incarnation has
+        // intact bits but inverted rankings — only the quality gate can
+        // catch it. Plus one journal write whose whole retry chain
+        // (disk_max_attempts = 3 → attempts 4,5,6) exhausts: the commit
+        // is skipped and training must continue on a wider replay window.
+        3 => FaultPlan::none()
+            .with_poisoned_snapshots(vec![1])
+            .with_journal_write_failures(vec![4, 5, 6]),
         _ => FaultPlan::none(),
     })
 }
@@ -283,19 +422,52 @@ fn gauge(snapshot: &inf2vec_obs::Snapshot, name: &str) -> Option<u64> {
     }
 }
 
-/// Runs the full soak in `workdir` (created if missing; the log, both
-/// journal directories, and nothing else live there).
+fn log_len(log: &Path) -> u64 {
+    std::fs::metadata(log).map(|m| m.len()).unwrap_or(0)
+}
+
+/// Rebuilds the complete byte stream the writer produced: the archived
+/// (compacted-away) prefix followed by the live file's payload with the
+/// compaction sentinel line stripped. With compaction disabled this is
+/// just a copy of the live log.
+fn reconstruct_stream(log: &Path, out: &Path) -> std::io::Result<()> {
+    let mut full = std::fs::read(archive_path(log)).unwrap_or_default();
+    let live = std::fs::read(log)?;
+    let payload: &[u8] = if live.starts_with(b"#inf2vec-log") {
+        match live.iter().position(|&b| b == b'\n') {
+            Some(i) => &live[i + 1..],
+            None => &[],
+        }
+    } else {
+        &live
+    };
+    full.extend_from_slice(payload);
+    std::fs::write(out, full)
+}
+
+/// Runs the full soak in `workdir` (created if missing; the log + archive,
+/// both journal directories, the snapshot-export directory, and the
+/// reconstructed verify log live there).
 pub fn run_soak(cfg: &SoakConfig, workdir: &Path) -> Result<SoakReport, Inf2vecError> {
     std::fs::create_dir_all(workdir)?;
     let log = workdir.join("actions.log");
     let journal_dir = workdir.join("journal");
     // A stale workdir would double-count traffic: start clean.
     let _ = std::fs::remove_file(&log);
+    let _ = std::fs::remove_file(archive_path(&log));
+    let _ = std::fs::remove_file(workdir.join("verify.log"));
     let _ = std::fs::remove_dir_all(&journal_dir);
     let _ = std::fs::remove_dir_all(workdir.join("journal-verify"));
+    let _ = std::fs::remove_dir_all(workdir.join("snapshots"));
 
+    let universe = cfg.users + cfg.extra_users;
     let mut pipe_cfg = cfg.pipeline.clone();
     pipe_cfg.inf2vec.seed = cfg.seed;
+    pipe_cfg.user_capacity = universe as usize;
+    pipe_cfg.log_budget_bytes = cfg.log_budget_bytes;
+    pipe_cfg.archive_compacted = true;
+    pipe_cfg.probe_pairs = cfg.probe_pairs;
+    pipe_cfg.snapshot_dir = Some(workdir.join("snapshots"));
     // Tee the pipeline's event stream into a memory sink so the harness
     // can reconstruct causal traces afterwards — without stealing the
     // stream from whatever recorder the caller configured. The crash
@@ -320,19 +492,28 @@ pub fn run_soak(cfg: &SoakConfig, workdir: &Path) -> Result<SoakReport, Inf2vecE
     let sink = Arc::new(RegistrySink::new(Arc::clone(&registry)));
 
     let mut writer = TrafficWriter::new(cfg);
-    let cycles = cfg.cycles.max(3);
+    let cycles = cfg.cycles.max(4);
     let mut restarts = (0u32, 0u32, 0u32);
-    let mut publishes = (0u64, 0u64, 0u64);
+    let mut publishes = (0u64, 0u64, 0u64, 0u64);
+    let mut compactions = 0u64;
+    let mut max_live = 0u64;
+    let mut poisoned_served = false;
     let mut track = |r: &Reconciliation| {
         restarts.0 += r.restarts.0;
         restarts.1 += r.restarts.1;
         restarts.2 += r.restarts.2;
         publishes.0 += r.publishes_ok;
         publishes.1 += r.publishes_failed;
-        publishes.2 += r.publishes_skipped;
+        publishes.2 += r.publishes_withheld;
+        publishes.3 += r.publishes_skipped;
     };
 
     for cycle in 0..cycles {
+        if cycle == 1 {
+            // Users beyond the graph start arriving from the second chunk:
+            // the model's row space must grow mid-stream, across crashes.
+            writer.unlock_users();
+        }
         writer.append_chunk(&log, cfg.records_per_chunk, cycle % 2 == 0)?;
         let mut p = Pipeline::with_runtime(
             pipe_cfg.clone(),
@@ -349,6 +530,12 @@ pub fn run_soak(cfg: &SoakConfig, workdir: &Path) -> Result<SoakReport, Inf2vecE
         // join settles in-flight publish accounting before we read it.
         p.crash();
         track(&p.reconciliation());
+        compactions += p.compactions();
+        max_live = max_live.max(log_len(&log));
+        if let Some(v) = registry.current() {
+            // A poisoned snapshot must never reach the serving path.
+            poisoned_served |= v.label().ends_with("-poisoned");
+        }
         telemetry.emit(
             inf2vec_obs::Event::new("soak.cycle")
                 .u64("cycle", cycle as u64)
@@ -374,7 +561,31 @@ pub fn run_soak(cfg: &SoakConfig, workdir: &Path) -> Result<SoakReport, Inf2vecE
     p.shutdown()?;
     let recon = p.reconciliation();
     track(&recon);
+    compactions += p.compactions();
+    max_live = max_live.max(log_len(&log));
+    let final_rows = p.model_rows();
+    if let Some(v) = registry.current() {
+        poisoned_served |= v.label().ends_with("-poisoned");
+    }
     let balanced = recon.balances(writer.good, writer.bad);
+
+    // Disk boundedness: the live log never strayed past twice the budget
+    // (one uncompacted in-flight chunk of slack). Whether compaction
+    // fired *often enough* is scenario-dependent — the default combined
+    // scenario asserts `compactions >= 3` on top of this.
+    let disk_bounded =
+        cfg.log_budget_bytes == 0 || max_live <= cfg.log_budget_bytes.saturating_mul(2);
+
+    // Growth: a fifth of the universe arrived mid-stream and the model's
+    // row space followed them past the base graph.
+    let growth_ok = cfg.extra_users == 0
+        || (u64::from(writer.midstream) * 5 >= u64::from(universe)
+            && final_rows > cfg.users as usize);
+
+    // Quality gate: the poisoned snapshot was withheld, nothing poisoned
+    // was ever observed serving, and a model is still being served.
+    let quality_gate_held = cfg.probe_pairs == 0
+        || (publishes.2 >= 1 && !poisoned_served && registry.current().is_some());
 
     // Cross-check the ledger against the exported gauges.
     let snap = telemetry.snapshot();
@@ -396,14 +607,21 @@ pub fn run_soak(cfg: &SoakConfig, workdir: &Path) -> Result<SoakReport, Inf2vecE
         && pending == recon.records_pending
         && quarantined == recon.records_quarantined;
 
-    // Bit-identity witness: a fresh, uninterrupted, fault-free run over
-    // the same bytes must land on the same checksum.
+    // Bit-identity witness: compaction rotated the consumed prefix into
+    // the archive, so first reconstruct the complete stream, then a
+    // fresh, uninterrupted, fault-free run over it must land on the same
+    // checksum.
+    let verify_log = workdir.join("verify.log");
+    reconstruct_stream(&log, &verify_log)?;
     let verify_registry = Arc::new(ModelRegistry::new(Some(pipe_cfg.inf2vec.k)));
     let mut verify_cfg = pipe_cfg.clone();
     verify_cfg.telemetry = inf2vec_obs::Telemetry::disabled();
+    verify_cfg.log_budget_bytes = 0;
+    verify_cfg.probe_pairs = 0;
+    verify_cfg.snapshot_dir = None;
     let mut q = Pipeline::with_runtime(
         verify_cfg,
-        &log,
+        &verify_log,
         workdir.join("journal-verify"),
         Arc::clone(&graph),
         Arc::new(RegistrySink::new(verify_registry)) as Arc<dyn crate::publish::PublishSink>,
@@ -413,7 +631,8 @@ pub fn run_soak(cfg: &SoakConfig, workdir: &Path) -> Result<SoakReport, Inf2vecE
     q.run_until_idle()?;
     q.drain_open_episodes()?;
     q.shutdown()?;
-    let bit_identical = q.reconciliation().store_checksum == recon.store_checksum;
+    let bit_identical = q.reconciliation().store_checksum == recon.store_checksum
+        && q.model_rows() == final_rows;
 
     Ok(SoakReport {
         written_good: writer.good,
@@ -422,6 +641,15 @@ pub fn run_soak(cfg: &SoakConfig, workdir: &Path) -> Result<SoakReport, Inf2vecE
         restarts,
         publishes,
         versions_installed: registry.installed_count(),
+        compactions,
+        max_live_log_bytes: max_live,
+        log_budget_bytes: cfg.log_budget_bytes,
+        disk_bounded,
+        universe,
+        users_midstream: writer.midstream,
+        final_rows,
+        growth_ok,
+        quality_gate_held,
         reconciliation: recon,
         balanced,
         gauges_consistent,
@@ -466,6 +694,21 @@ mod tests {
         assert!(report.publishes.1 >= 1, "a publish retry chain must exhaust");
         assert!(report.versions_installed >= 1, "live registry took installs");
         assert!(report.written_bad > 0, "defect traffic present");
+        assert!(
+            report.compactions >= 3 && report.disk_bounded,
+            "the live log must stay under budget via compaction: {}",
+            report.to_json()
+        );
+        assert!(
+            report.growth_ok && report.final_rows > cfg.users as usize,
+            "mid-stream users must grow the model: {}",
+            report.to_json()
+        );
+        assert!(
+            report.publishes.2 >= 1 && report.quality_gate_held,
+            "the poisoned snapshot must be withheld: {}",
+            report.to_json()
+        );
         assert!(report.passed());
     }
 
@@ -474,7 +717,7 @@ mod tests {
         let dir = tmp_dir("soak-json");
         let report = run_soak(
             &SoakConfig {
-                cycles: 3,
+                cycles: 4,
                 records_per_chunk: 60,
                 ..SoakConfig::default()
             },
@@ -484,5 +727,7 @@ mod tests {
         let json = report.to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"bit_identical\":true"), "{json}");
+        assert!(json.contains("\"compactions\":"), "{json}");
+        assert!(json.contains("\"withheld\":"), "{json}");
     }
 }

@@ -10,7 +10,7 @@ use std::sync::Arc;
 use inf2vec_graph::{DiGraph, GraphBuilder, NodeId};
 use inf2vec_obs::{Event, MemorySink, Telemetry};
 use inf2vec_pipeline::publish::CountingSink;
-use inf2vec_pipeline::{FaultPlan, Pipeline, PipelineConfig, TraceIndex};
+use inf2vec_pipeline::{run_soak, FaultPlan, Pipeline, PipelineConfig, SoakConfig, TraceIndex};
 use inf2vec_util::system_clock;
 
 fn tmp_dir(tag: &str) -> PathBuf {
@@ -120,6 +120,53 @@ fn trainer_panic_leaves_a_flight_dump_ending_before_the_panic_site() {
         "unexpected last flight event: {}",
         last.to_json()
     );
+}
+
+#[test]
+fn soak_metrics_round_trip_through_prometheus_exposition() {
+    let dir = tmp_dir("prom");
+    let telemetry = Telemetry::with_registry();
+    let cfg = SoakConfig {
+        cycles: 4,
+        records_per_chunk: 60,
+        pipeline: PipelineConfig {
+            telemetry: telemetry.clone(),
+            ..SoakConfig::default().pipeline
+        },
+        ..SoakConfig::default()
+    };
+    let report = run_soak(&cfg, &dir).unwrap();
+    assert!(report.passed(), "{}", report.to_json());
+
+    // The new disk/growth/quality series must survive the registry →
+    // snapshot → text exposition round trip alongside the existing
+    // pipeline counters.
+    let text = telemetry.prometheus();
+    for series in [
+        "inf2vec_pipeline_compactions_total",
+        "inf2vec_pipeline_publish_withheld_total",
+        "inf2vec_pipeline_quality_probe",
+        "inf2vec_pipeline_publish_seconds",
+    ] {
+        assert!(
+            text.contains(series),
+            "exposition is missing {series}:\n{text}"
+        );
+    }
+    // Counters carry the TYPE header and a non-zero value — the soak is
+    // guaranteed to compact at least once and withhold the poisoned
+    // snapshot at this scale.
+    assert!(text.contains("# TYPE inf2vec_pipeline_compactions_total counter"));
+    assert!(text.contains("# TYPE inf2vec_pipeline_quality_probe gauge"));
+    for line in text.lines() {
+        if line.starts_with("inf2vec_pipeline_compactions_total ")
+            || line.starts_with("inf2vec_pipeline_publish_withheld_total ")
+        {
+            let v: f64 = line.split_whitespace().nth(1).unwrap().parse().unwrap();
+            assert!(v >= 1.0, "counter must be non-zero: {line}");
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 /// Collects per-seq accept trace ids from a telemetry stream.

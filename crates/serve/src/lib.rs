@@ -51,7 +51,10 @@ pub mod service;
 pub use admission::{Admission, AdmissionConfig, Deadline, OverloadPolicy};
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use chaos::{ChaosConfig, ChaosReport};
-pub use registry::{BiasFallback, ModelRegistry, ModelVersion, store_checksum};
+pub use registry::{
+    read_checksum_sidecar, store_checksum, write_checksum_sidecar, BiasFallback, ModelRegistry,
+    ModelVersion,
+};
 pub use service::{Ranked, Request, Scored, ScoringService, ServeConfig, OUTCOMES};
 
 // Re-exported so downstream callers can name the store without a direct

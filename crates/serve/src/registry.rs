@@ -468,6 +468,88 @@ mod tests {
     }
 
     #[test]
+    fn cross_version_row_growth_under_concurrent_readers() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        // The registry pins k only — n is allowed to differ across
+        // versions, because the continuous-learning pipeline grows the
+        // model's row space when the stream introduces unseen user ids.
+        let reg = Arc::new(ModelRegistry::new(Some(4)));
+        reg.install_checked(store(8, 4, 1), "base-n8", None).unwrap();
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let reg = Arc::clone(&reg);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut rounds = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        // A pinned version is immutable for the whole
+                        // request: same pair, same answer, no tear, even
+                        // while a larger-n install swaps underneath.
+                        let cur = reg.current().expect("a model is always serving");
+                        assert!(cur.n() >= 8 && cur.k() == 4);
+                        for u in 0..8u32 {
+                            let a = cur.store().score(u, (u + 1) % 8);
+                            assert!(a.is_finite(), "pre-growth id scores sanely");
+                            assert_eq!(a, cur.store().score(u, (u + 1) % 8));
+                        }
+                        // The whole row space this version advertises is
+                        // addressable — n() and the store agree.
+                        let hi = (cur.n() - 1) as u32;
+                        assert!(cur.store().score(hi, 0).is_finite());
+                        // The bias fallback is distilled *before* the
+                        // current pointer swaps, so a reader never sees a
+                        // current version newer than its fallback.
+                        let fb = reg.fallback().expect("fallback distilled");
+                        assert!(
+                            fb.version() >= cur.version(),
+                            "fallback {} lags current {}",
+                            fb.version(),
+                            cur.version()
+                        );
+                        assert!(fb.score(0, 1).is_finite());
+                        rounds += 1;
+                    }
+                    rounds
+                })
+            })
+            .collect();
+
+        // Writer: a sequence of strictly growing row spaces.
+        let mut pinned_early = reg.current().unwrap();
+        for (i, n) in [10usize, 12, 14, 16].into_iter().enumerate() {
+            let s = store(n, 4, 10 + i as u64);
+            let sum = store_checksum(&s);
+            reg.install_checked(s, &format!("grown-n{n}"), Some(sum)).unwrap();
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            pinned_early = reg.current().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            assert!(r.join().unwrap() > 0, "readers actually overlapped installs");
+        }
+
+        let cur = reg.current().unwrap();
+        assert_eq!(cur.n(), 16, "the largest install serves");
+        assert_eq!(cur.version(), pinned_early.version());
+        // Fallback refreshed to the grown row space.
+        let fb = reg.fallback().unwrap();
+        assert_eq!(fb.version(), cur.version());
+        assert_eq!(fb.len(), 16);
+        // Pre-growth ids keep sane scores on both the full scorer and
+        // the degraded bias path; post-growth rows are addressable too.
+        for u in 0..8u32 {
+            assert!(cur.store().score(u, (u + 1) % 8).is_finite());
+            assert!(fb.score(u, (u + 1) % 8).is_finite());
+        }
+        assert!(cur.store().score(15, 3).is_finite());
+        assert!(fb.score(15, 3).is_finite());
+    }
+
+    #[test]
     fn sidecar_roundtrip_and_eviction() {
         let dir = std::env::temp_dir().join(format!("inf2vec_serve_reg_{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();

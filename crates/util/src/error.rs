@@ -280,6 +280,23 @@ pub enum IngestError {
         /// Human-readable description.
         message: String,
     },
+    /// The tailed log shrank below the committed offset without a valid
+    /// rotation sentinel — the tail would otherwise silently read nothing
+    /// forever. The stream cannot be resumed from this position.
+    LogTruncated {
+        /// The committed logical offset the caller asked to resume from.
+        committed: u64,
+        /// The logical length the file actually holds.
+        len: u64,
+    },
+    /// The log was compacted (rotated) past the committed offset: the
+    /// prefix this resume point needs no longer exists in the live file.
+    LogRotated {
+        /// The committed logical offset the caller asked to resume from.
+        committed: u64,
+        /// The logical base offset of the live (compacted) file.
+        base: u64,
+    },
 }
 
 impl fmt::Display for IngestError {
@@ -304,6 +321,16 @@ impl fmt::Display for IngestError {
             IngestError::Invalid { message } => {
                 write!(f, "ingested dataset invalid: {message}")
             }
+            IngestError::LogTruncated { committed, len } => write!(
+                f,
+                "action log truncated: committed offset {committed} is past the \
+                 log's logical length {len} and no rotation sentinel explains it"
+            ),
+            IngestError::LogRotated { committed, base } => write!(
+                f,
+                "action log rotated past the committed offset: resume needs \
+                 offset {committed} but the live file starts at logical base {base}"
+            ),
         }
     }
 }

@@ -7,7 +7,9 @@
 //! updates, and publishes snapshots into a live model registry. Between
 //! chunks the pipeline is hard-crashed (dropped without writing a final
 //! journal) and a scripted fault plan panics stages, fails and slows
-//! publishes, and tears journal slots mid-run. At the end:
+//! publishes, tears journal slots, injects disk-write faults, and
+//! poisons one snapshot mid-run — while the live log is compacted under
+//! a byte budget and users unseen at startup grow the model. At the end:
 //!
 //! 1. every written record sits in exactly one of
 //!    {applied, quarantined, pending} — checked against the writer's own
@@ -68,14 +70,25 @@ fn main() {
         r.records_applied, r.records_pending, r.records_seen, r.records_quarantined
     );
     println!(
-        "[pipeline_soak] restarts tail/train/publish: {}/{}/{}  publishes ok/failed/skipped: {}/{}/{}  versions: {}",
+        "[pipeline_soak] restarts tail/train/publish: {}/{}/{}  publishes ok/failed/withheld/skipped: {}/{}/{}/{}  versions: {}",
         report.restarts.0,
         report.restarts.1,
         report.restarts.2,
         report.publishes.0,
         report.publishes.1,
         report.publishes.2,
+        report.publishes.3,
         report.versions_installed,
+    );
+    println!(
+        "[pipeline_soak] disk: {} compactions, live log peaked at {} B (budget {} B); growth: {}/{} users mid-stream, {} rows; quality gate withheld {}",
+        report.compactions,
+        report.max_live_log_bytes,
+        report.log_budget_bytes,
+        report.users_midstream,
+        report.universe,
+        report.final_rows,
+        report.publishes.2,
     );
 
     if let Some(path) = &report_path {
@@ -94,8 +107,13 @@ fn main() {
 
     if !report.passed() {
         eprintln!(
-            "FAILED: balanced={} gauges_consistent={} bit_identical={}",
-            report.balanced, report.gauges_consistent, report.bit_identical
+            "FAILED: balanced={} gauges_consistent={} bit_identical={} disk_bounded={} growth_ok={} quality_gate_held={}",
+            report.balanced,
+            report.gauges_consistent,
+            report.bit_identical,
+            report.disk_bounded,
+            report.growth_ok,
+            report.quality_gate_held,
         );
         exit(1);
     }
