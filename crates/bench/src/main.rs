@@ -11,7 +11,11 @@
 //!                  --on-error policy, writing --ingest-report JSON
 //!   serve          run the scoring-service chaos scenario and
 //!                  reconcile outcome tallies against the metrics,
-//!                  writing --serve-report JSON
+//!                  writing --serve-report JSON; with --listen ADDR,
+//!                  run the long-lived HTTP scoring server instead
+//!   serve-load     closed-loop HTTP load run against a self-hosted
+//!                  front-end under the chaos schedule, reconciling
+//!                  every wire outcome and writing --serve-bench JSON
 //!   soak           run the crash/recover pipeline soak with fault
 //!                  injection and reconcile every record, writing
 //!                  --soak-report JSON
@@ -41,6 +45,7 @@ mod ablate;
 mod common;
 mod figures;
 mod ingest;
+mod load;
 mod oracle;
 mod serve;
 mod soak;
@@ -169,6 +174,27 @@ fn main() {
             "--introspect" => {
                 opts.introspect = Some(take_value(&mut i));
             }
+            "--listen" => {
+                opts.listen = Some(take_value(&mut i));
+            }
+            "--load-conns" => {
+                opts.load_conns = take_value(&mut i)
+                    .parse()
+                    .unwrap_or_else(|_| die("--load-conns expects an integer"));
+            }
+            "--load-seconds" => {
+                opts.load_seconds = Some(
+                    take_value(&mut i)
+                        .parse()
+                        .unwrap_or_else(|_| die("--load-seconds expects a number")),
+                );
+            }
+            "--load-report" => {
+                opts.load_report = Some(take_value(&mut i).into());
+            }
+            "--serve-bench" => {
+                opts.serve_bench = Some(take_value(&mut i).into());
+            }
             "--trace-jsonl" => {
                 opts.trace_jsonl = Some(take_value(&mut i).into());
             }
@@ -244,6 +270,7 @@ fn run_command(cmd: &str, opts: &Opts) {
         "oracle" => oracle::oracle(opts),
         "ingest" => ingest::ingest(opts),
         "serve" => serve::serve(opts),
+        "serve-load" => load::serve_load(opts),
         "soak" => soak::soak(opts),
         "trace" => trace::trace(opts),
         "ablate-alpha" => ablate::ablate_alpha(opts),
@@ -275,7 +302,7 @@ fn print_help() {
          commands: table1 table2 table3 table4 table5 table6\n\
                    fig1 fig2 fig3 fig6 fig7 fig8 fig9\n\
                    ablate-alpha ablate-bias ablate-restart ablate-regen ablate\n\
-                   oracle ingest serve soak all\n\n\
+                   oracle ingest serve serve-load soak all\n\n\
          ingest:   repro ingest --edges FILE --actions FILE\n\
                    [--on-error strict|skip|repair] [--max-errors N]\n\
                    [--ingest-report FILE]  load a real dataset through the\n\
@@ -283,7 +310,19 @@ fn print_help() {
          serve:    repro serve [--serve-workers N]\n\
                    [--serve-policy reject|shed|block] [--serve-report FILE]\n\
                    hammer the resilient scoring service with scripted\n\
-                   snapshot faults and reconcile every outcome tally\n\n\
+                   snapshot faults and reconcile every outcome tally;\n\
+                   with --listen ADDR (e.g. 127.0.0.1:7878), run the\n\
+                   HTTP/1.1 scoring front-end instead — POST /v1/rank\n\
+                   /v1/score /v1/score_active, GET /metrics /healthz —\n\
+                   until killed (or for --load-seconds S)\n\n\
+         serve-load: repro serve-load [--load-conns N] [--load-seconds S]\n\
+                   [--serve-workers N] [--serve-policy P]\n\
+                   [--load-report FILE] [--serve-bench FILE]\n\
+                   drive closed-loop keep-alive HTTP load against a\n\
+                   self-hosted front-end while the chaos schedule\n\
+                   hot-swaps and breaks the model underneath; every\n\
+                   wire outcome must reconcile exactly against the\n\
+                   metrics; --serve-bench writes BENCH_serve.json\n\n\
          soak:     repro soak [--long] [--soak-cycles N] [--soak-records N]\n\
                    [--soak-budget-bytes N] [--soak-report FILE]\n\
                    [--soak-bench FILE]  crash and recover the\n\

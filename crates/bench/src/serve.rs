@@ -37,8 +37,13 @@ fn serve_health_policy() -> HealthPolicy {
         ))
 }
 
-/// Runs the serve chaos command from the harness options.
+/// Runs the serve chaos command from the harness options; with
+/// `--listen ADDR`, runs the long-lived network front-end instead.
 pub fn serve(opts: &Opts) {
+    if let Some(listen) = &opts.listen {
+        crate::load::serve_listen(opts, listen);
+        return;
+    }
     // Reconciliation reads counters back, so the run needs a registry
     // even when no --telemetry-jsonl sink was requested.
     let telemetry = if opts.telemetry.enabled() {

@@ -11,19 +11,24 @@
 //! - `GET /debug/flight` — the flight-recorder ring contents as JSONL,
 //!   oldest first.
 //!
-//! The listener is non-blocking and polled, so [`IntrospectServer::stop`]
+//! The listener is non-blocking and polled with an exponential
+//! [`IdleBackoff`](crate::http1::IdleBackoff), so [`IntrospectServer::stop`]
 //! (or drop) shuts the thread down promptly without needing a wake-up
-//! connection. One request per connection (`Connection: close`) keeps the
+//! connection while an idle endpoint costs only a few wake-ups per
+//! second. One request per connection (`Connection: close`) keeps the
 //! loop single-threaded and allocation-light — this is a diagnostics
-//! surface, not a serving plane.
+//! surface, not a serving plane. Request parsing and response writing
+//! live in the shared [`crate::http1`] module, which the scoring
+//! front-end in `inf2vec-serve` reuses.
 
-use std::io::{ErrorKind, Read, Write};
+use std::io::ErrorKind;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use crate::health::{HealthEvaluator, HealthPolicy, HealthState};
+use crate::http1::{Connection, Http1Config, IdleBackoff};
 use crate::Telemetry;
 
 /// A running introspection endpoint; stops on [`stop`](Self::stop) or drop.
@@ -95,70 +100,55 @@ fn serve_loop(
     evaluator: HealthEvaluator,
     stop: Arc<AtomicBool>,
 ) {
+    let mut backoff = IdleBackoff::for_accept_loop();
     while !stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
+                backoff.reset();
                 // Diagnostics endpoint: serve inline, one request at a time.
                 let _ = handle_connection(stream, &telemetry, &evaluator);
             }
-            Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(20));
-            }
-            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+            Err(e) if e.kind() == ErrorKind::WouldBlock => backoff.idle(),
+            Err(_) => backoff.idle(),
         }
     }
 }
 
 fn handle_connection(
-    mut stream: TcpStream,
+    stream: TcpStream,
     telemetry: &Telemetry,
     evaluator: &HealthEvaluator,
 ) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
-    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
-    let path = match read_request_path(&mut stream) {
-        Some(p) => p,
-        None => return Ok(()),
+    let cfg = Http1Config {
+        max_head_bytes: 8 * 1024,
+        max_body_bytes: 4 * 1024, // GET-only surface; bodies are ignored.
+        read_timeout: Duration::from_millis(500),
+        write_timeout: Duration::from_secs(2),
     };
-    let (status, content_type, body) = route(&path, telemetry, evaluator);
-    let response = format!(
-        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
-    );
-    stream.write_all(response.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
-    stream.flush()
-}
-
-/// Reads the request head far enough to extract the path of the request
-/// line; tolerates clients that send the head in several packets.
-fn read_request_path(stream: &mut TcpStream) -> Option<String> {
-    let mut buf = Vec::with_capacity(512);
-    let mut chunk = [0u8; 512];
-    loop {
-        match stream.read(&mut chunk) {
-            Ok(0) => break,
-            Ok(n) => {
-                buf.extend_from_slice(&chunk[..n]);
-                if buf.windows(2).any(|w| w == b"\r\n") || buf.contains(&b'\n') {
-                    break;
-                }
-                if buf.len() > 8192 {
-                    return None;
-                }
+    let mut conn = Connection::new(stream, cfg)?;
+    let request = match conn.read_request() {
+        Ok(r) => r,
+        Err(e) => {
+            if let Some(status) = e.status() {
+                let body = format!("{e}\n");
+                let _ = conn.respond(status, "text/plain; charset=utf-8", body.as_bytes(), false);
             }
-            Err(_) => break,
+            return Ok(());
         }
-    }
-    let head = String::from_utf8_lossy(&buf);
-    let line = head.lines().next()?;
-    let mut parts = line.split_whitespace();
-    let method = parts.next()?;
-    let path = parts.next()?;
-    if method != "GET" {
-        return Some(format!("!{method}"));
-    }
-    Some(path.to_string())
+    };
+    let (status, content_type, body) = if request.method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            format!(
+                "method {} not allowed; this endpoint is GET-only\n",
+                request.method
+            ),
+        )
+    } else {
+        route(&request.path, telemetry, evaluator)
+    };
+    conn.respond(status, content_type, body.as_bytes(), false)
 }
 
 fn route(
@@ -166,13 +156,6 @@ fn route(
     telemetry: &Telemetry,
     evaluator: &HealthEvaluator,
 ) -> (&'static str, &'static str, String) {
-    if let Some(method) = path.strip_prefix('!') {
-        return (
-            "405 Method Not Allowed",
-            "text/plain; charset=utf-8",
-            format!("method {method} not allowed; this endpoint is GET-only\n"),
-        );
-    }
     match path {
         "/metrics" => (
             "200 OK",
@@ -207,6 +190,7 @@ fn route(
 mod tests {
     use super::*;
     use crate::{Event, Rule};
+    use std::io::{Read, Write};
 
     fn get(addr: SocketAddr, path: &str) -> (String, String) {
         let mut stream = TcpStream::connect(addr).unwrap();

@@ -52,6 +52,7 @@
 mod event;
 pub mod health;
 pub mod http;
+pub mod http1;
 mod metrics;
 mod recorder;
 pub mod registry;
@@ -62,6 +63,7 @@ pub mod trace;
 pub use event::{Event, ParseError, Value};
 pub use health::{Check, HealthEvaluator, HealthPolicy, HealthReport, HealthState, Rule, Signal};
 pub use http::IntrospectServer;
+pub use http1::{Connection, Head, Http1Config, IdleBackoff, ReadError, Request};
 pub use metrics::{Counter, Gauge, Histogram};
 pub use recorder::{JsonlSink, MemorySink, NoopRecorder, Recorder, TeeRecorder};
 pub use registry::{MetricSample, Registry, SampleValue, Snapshot, DROPPED_OBSERVATIONS_METRIC};

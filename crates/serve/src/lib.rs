@@ -43,14 +43,18 @@
 #![warn(missing_docs)]
 
 pub mod admission;
+pub mod batch;
 pub mod breaker;
 pub mod chaos;
+pub mod frontend;
 pub mod registry;
 pub mod service;
 
 pub use admission::{Admission, AdmissionConfig, Deadline, OverloadPolicy};
+pub use batch::{BatchConfig, Batcher};
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use chaos::{ChaosConfig, ChaosReport};
+pub use frontend::{Frontend, FrontendConfig};
 pub use registry::{
     read_checksum_sidecar, store_checksum, write_checksum_sidecar, BiasFallback, ModelRegistry,
     ModelVersion,

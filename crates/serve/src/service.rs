@@ -167,7 +167,7 @@ pub struct Ranked {
     pub degraded: bool,
 }
 
-enum Resolved {
+pub(crate) enum Resolved {
     Full(Arc<ModelVersion>),
     Degraded(Arc<BiasFallback>),
 }
@@ -219,6 +219,13 @@ impl ScoringService {
     /// Current breaker state.
     pub fn breaker_state(&self) -> BreakerState {
         self.breaker.state()
+    }
+
+    /// The admission controller (the batcher admits on the caller's
+    /// thread before enqueueing, so overload policies and in-flight
+    /// accounting see batched and unbatched traffic identically).
+    pub(crate) fn admission(&self) -> &Admission {
+        &self.admission
     }
 
     // ----- model lifecycle -------------------------------------------------
@@ -516,11 +523,11 @@ impl ScoringService {
 
     // ----- plumbing --------------------------------------------------------
 
-    fn deadline(&self, req: &Request) -> Deadline {
+    pub(crate) fn deadline(&self, req: &Request) -> Deadline {
         Deadline::start(req.deadline.or(self.cfg.default_deadline))
     }
 
-    fn resolve(&self, req: &Request) -> Result<Resolved, ServeError> {
+    pub(crate) fn resolve(&self, req: &Request) -> Result<Resolved, ServeError> {
         if let Some(m) = self.registry.current() {
             return Ok(Resolved::Full(m));
         }
@@ -528,7 +535,7 @@ impl ScoringService {
             .map(Resolved::Degraded)
     }
 
-    fn fallback_for(
+    pub(crate) fn fallback_for(
         &self,
         req: &Request,
         reason: String,
@@ -547,7 +554,7 @@ impl ScoringService {
     /// Evicts a version caught emitting non-finite scores at runtime.
     /// Racing detectors are benign: only the first eviction counts, and
     /// the fallback keeps serving either way.
-    fn quarantine(&self, m: &ModelVersion, u: NodeId, v: NodeId) -> String {
+    pub(crate) fn quarantine(&self, m: &ModelVersion, u: NodeId, v: NodeId) -> String {
         let reason = format!(
             "model v{} emitted a non-finite score for pair ({}, {})",
             m.version(),
@@ -569,7 +576,7 @@ impl ScoringService {
 
     /// The single place an outcome is counted; external tallies reconcile
     /// against exactly these increments.
-    fn finish(&self, outcome: &'static str, deadline: &Deadline) {
+    pub(crate) fn finish(&self, outcome: &'static str, deadline: &Deadline) {
         self.telemetry
             .count_with(metrics::REQUESTS_TOTAL, &[("outcome", outcome)], 1);
         self.telemetry
@@ -596,7 +603,7 @@ fn scored_outcome(res: &Result<Scored, ServeError>) -> &'static str {
     }
 }
 
-fn check_ids(n: usize, ids: &[NodeId]) -> Result<(), ServeError> {
+pub(crate) fn check_ids(n: usize, ids: &[NodeId]) -> Result<(), ServeError> {
     for &id in ids {
         if id.0 as usize >= n {
             return Err(ServeError::BadRequest {
@@ -631,7 +638,7 @@ fn bias_active(
     })
 }
 
-fn rank_bias(
+pub(crate) fn rank_bias(
     fb: &BiasFallback,
     u: NodeId,
     candidates: &[NodeId],

@@ -1,5 +1,5 @@
-//! Minimal JSON string escaping shared by the workspace's hand-rolled
-//! JSON writers.
+//! Minimal JSON support shared by the workspace's hand-rolled JSON
+//! writers and the network front-end's request parser.
 //!
 //! Several subsystems emit JSON without a serialization dependency: the
 //! ingest quarantine report (`inf2vec-ingest`), the serving layer's chaos
@@ -8,6 +8,13 @@
 //! lives here once instead of being re-rolled (and re-bugged) per crate.
 //! (`inf2vec-obs` keeps a private copy by design: that crate is
 //! deliberately zero-dependency so it can be lifted out wholesale.)
+//!
+//! The reading side ([`Json::parse`]) exists for the serving front-end,
+//! which accepts request bodies from the network: it must turn *any*
+//! byte sequence into either a value or a typed [`JsonError`], never a
+//! panic, with recursion depth bounded so a `[[[[…` bomb cannot blow the
+//! stack. Numbers are carried as `f64` (ids in this workspace are `u32`,
+//! far inside the 2^53 exact-integer range).
 
 use std::fmt::Write as _;
 
@@ -47,6 +54,353 @@ pub fn json_string(s: &str) -> String {
     out
 }
 
+/// Maximum nesting depth [`Json::parse`] accepts before rejecting the
+/// document as a bomb.
+pub const MAX_JSON_DEPTH: usize = 32;
+
+/// A parsed JSON value.
+///
+/// Object members keep their document order in a `Vec` (the workspace
+/// never needs hash-map lookup on more than a handful of keys, and a
+/// `Vec` keeps this allocation-light and deterministic).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number; integers are exact up to 2^53.
+    Num(f64),
+    /// A string (escapes already decoded).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, members in document order.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Why a document was rejected; `offset` is the byte position (into the
+/// UTF-8 text) where parsing gave up.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the rejection point.
+    pub offset: usize,
+    /// What the parser expected or found.
+    pub message: String,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    /// Parses one complete JSON document; trailing non-whitespace is an
+    /// error. Depth is bounded by [`MAX_JSON_DEPTH`]; the input's size
+    /// must be bounded by the caller (the HTTP layer caps body bytes).
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after the document"));
+        }
+        Ok(value)
+    }
+
+    /// The value as a boolean, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative number with no
+    /// fractional part (within the `f64`-exact range).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= 9e15 => Some(*x as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Member `key` of an object (first occurrence), if present.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: impl Into<String>) -> JsonError {
+        JsonError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, lit: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected {lit:?}")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_JSON_DEPTH {
+            return Err(self.err(format!("nesting deeper than {MAX_JSON_DEPTH}")));
+        }
+        match self.peek() {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'n') => self.eat("null", Json::Null),
+            Some(b't') => self.eat("true", Json::Bool(true)),
+            Some(b'f') => self.eat("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(self.err(format!("unexpected byte 0x{c:02x}"))),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.pos += 1; // consume '['
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.pos += 1; // consume '{'
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err(self.err("expected a string key"));
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            if self.peek() != Some(b':') {
+                return Err(self.err("expected ':' after object key"));
+            }
+            self.pos += 1;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.pos += 1; // consume opening quote
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => out.push(self.unicode_escape()?),
+                        other => {
+                            self.pos -= 1;
+                            return Err(self.err(format!("bad escape \\{}", other as char)));
+                        }
+                    }
+                }
+                Some(c) if c < 0x20 => {
+                    return Err(self.err("raw control character in string"));
+                }
+                Some(_) => {
+                    // Copy one UTF-8 scalar (input is &str, so boundaries
+                    // are valid by construction).
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.pos < self.bytes.len() && (self.bytes[self.pos] & 0xc0) == 0x80 {
+                        self.pos += 1;
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                    out.push_str(s);
+                }
+            }
+        }
+    }
+
+    fn unicode_escape(&mut self) -> Result<char, JsonError> {
+        let unit = self.hex4()?;
+        // Surrogate pair handling: a high surrogate must be followed by
+        // an escaped low surrogate; lone surrogates are rejected.
+        if (0xd800..0xdc00).contains(&unit) {
+            if self.bytes[self.pos..].starts_with(b"\\u") {
+                self.pos += 2;
+                let low = self.hex4()?;
+                if (0xdc00..0xe000).contains(&low) {
+                    let c = 0x10000 + ((unit as u32 - 0xd800) << 10) + (low as u32 - 0xdc00);
+                    return char::from_u32(c).ok_or_else(|| self.err("bad surrogate pair"));
+                }
+            }
+            return Err(self.err("lone high surrogate"));
+        }
+        if (0xdc00..0xe000).contains(&unit) {
+            return Err(self.err("lone low surrogate"));
+        }
+        char::from_u32(unit as u32).ok_or_else(|| self.err("bad \\u escape"))
+    }
+
+    fn hex4(&mut self) -> Result<u16, JsonError> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .ok()
+            .and_then(|s| u16::from_str_radix(s, 16).ok())
+            .ok_or_else(|| self.err("\\u needs 4 hex digits"))?;
+        self.pos = end;
+        Ok(hex)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let digits_from = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == digits_from {
+            return Err(self.err("expected digits"));
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            let frac_from = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == frac_from {
+                return Err(self.err("expected digits after '.'"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let exp_from = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == exp_from {
+                return Err(self.err("expected digits in exponent"));
+            }
+        }
+        // The grammar above admits only what f64::from_str accepts, and
+        // overflow parses to ±inf — reject that rather than serve it.
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid UTF-8 in number"))?;
+        let x: f64 = text.parse().map_err(|_| self.err("unparseable number"))?;
+        if !x.is_finite() {
+            return Err(self.err("number overflows f64"));
+        }
+        Ok(Json::Num(x))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -79,5 +433,93 @@ mod tests {
         push_json_string(&mut s, "v\n");
         s.push('}');
         assert_eq!(s, "{\"k\":\"v\\n\"}");
+    }
+
+    #[test]
+    fn parse_scalars() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse("false").unwrap(), Json::Bool(false));
+        assert_eq!(Json::parse("42").unwrap(), Json::Num(42.0));
+        assert_eq!(Json::parse("-1.5e2").unwrap(), Json::Num(-150.0));
+        assert_eq!(Json::parse("\"hi\"").unwrap(), Json::Str("hi".into()));
+    }
+
+    #[test]
+    fn parse_request_shape() {
+        let doc = r#"{"u": 3, "candidates": [1, 2, 9], "top_n": 2,
+                      "deadline_ms": 50, "allow_degraded": false}"#;
+        let v = Json::parse(doc).unwrap();
+        assert_eq!(v.get("u").and_then(Json::as_u64), Some(3));
+        let cands: Vec<u64> = v
+            .get("candidates")
+            .and_then(Json::as_array)
+            .unwrap()
+            .iter()
+            .map(|c| c.as_u64().unwrap())
+            .collect();
+        assert_eq!(cands, [1, 2, 9]);
+        assert_eq!(v.get("top_n").and_then(Json::as_u64), Some(2));
+        assert_eq!(v.get("allow_degraded").and_then(Json::as_bool), Some(false));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn parse_decodes_escapes_round_trip() {
+        for original in ["a\"b\\c\n", "π é 日本", "\u{1}\u{1f}", "𝄞 clef"] {
+            let doc = json_string(original);
+            assert_eq!(
+                Json::parse(&doc).unwrap(),
+                Json::Str(original.to_string()),
+                "round-trip of {original:?}"
+            );
+        }
+        // Escapes the writer never produces still decode.
+        assert_eq!(Json::parse(r#""\u00e9\/\b\f""#).unwrap(), Json::Str("é/\u{8}\u{c}".into()));
+        assert_eq!(Json::parse(r#""\ud834\udd1e""#).unwrap(), Json::Str("𝄞".into()));
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        for bad in [
+            "", "   ", "{", "[", "\"", "{\"a\"}", "{\"a\":}", "[1,]", "{,}",
+            "nul", "tru", "01x", "-", "1.", "1e", "1e+", "\"\\q\"",
+            "\"\\u12\"", "\"\\ud800\"", "\"\\udc00 low first\"", "1 2",
+            "{\"a\":1,}", "[1 2]", "+1", "NaN", "inf", "1e999",
+            "\"raw \u{0} ctl\"",
+        ] {
+            let err = Json::parse(bad).unwrap_err();
+            assert!(!err.to_string().is_empty(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parse_depth_is_bounded() {
+        let deep_ok = format!("{}1{}", "[".repeat(MAX_JSON_DEPTH), "]".repeat(MAX_JSON_DEPTH));
+        assert!(Json::parse(&deep_ok).is_ok());
+        let bomb = "[".repeat(100_000);
+        let err = Json::parse(&bomb).unwrap_err();
+        assert!(err.message.contains("nesting"), "{err}");
+    }
+
+    #[test]
+    fn parse_u64_rejects_fractional_and_negative() {
+        assert_eq!(Json::parse("3.5").unwrap().as_u64(), None);
+        assert_eq!(Json::parse("-3").unwrap().as_u64(), None);
+        assert_eq!(Json::parse("3.0").unwrap().as_u64(), Some(3));
+        assert_eq!(Json::parse("0").unwrap().as_u64(), Some(0));
+    }
+
+    #[test]
+    fn parse_preserves_object_order_and_duplicate_first_wins() {
+        let v = Json::parse(r#"{"b":1,"a":2,"b":3}"#).unwrap();
+        match &v {
+            Json::Obj(members) => {
+                assert_eq!(members.len(), 3);
+                assert_eq!(members[0].0, "b");
+            }
+            other => panic!("expected object, got {other:?}"),
+        }
+        assert_eq!(v.get("b").and_then(Json::as_u64), Some(1), "first occurrence wins");
     }
 }

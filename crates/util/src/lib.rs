@@ -29,9 +29,10 @@
 //! - [`faultinject`]: fault-injection writers and readers (truncation,
 //!   corruption, slowness, forced I/O errors) plus scripted fault schedules
 //!   for robustness tests; not used on production paths.
-//! - [`json`]: the one shared JSON string-escaping helper behind every
+//! - [`json`]: the shared JSON string-escaping helper behind every
 //!   hand-rolled JSON writer in the workspace (ingest reports, serve chaos
-//!   reports).
+//!   reports), plus the recursive-descent [`json::Json`] parser the HTTP
+//!   front-end and event tooling read request bodies with.
 
 pub mod alias;
 pub mod ascii;

@@ -1,0 +1,156 @@
+//! Network-serving walkthrough: host the HTTP/1.1 scoring front-end on
+//! a real loopback socket and talk to it the way an operator's client
+//! would — no HTTP library on either side.
+//!
+//! 1. train-shaped setup: install a seeded [`EmbeddingStore`] into a
+//!    [`ScoringService`] behind a [`Batcher`] and a [`Frontend`],
+//! 2. POST a `/v1/rank` request over a raw `TcpStream` and verify the
+//!    top-ranked scores are bit-identical to the in-process
+//!    `ScoringService::rank_targets` answer,
+//! 3. POST `/v1/score` and `/v1/score_active` (Eq. 3 and Eq. 7 over the
+//!    wire),
+//! 4. GET `/metrics` and check the Prometheus exposition names every
+//!    serve/front-end series this run touched, and
+//! 5. GET `/healthz`, then shut the server down cleanly.
+//!
+//! ```sh
+//! cargo run --release --example serve_frontend
+//! ```
+//!
+//! Exits non-zero if any wire answer disagrees with the in-process one.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::process::exit;
+use std::sync::Arc;
+
+use inf2vec::embed::EmbeddingStore;
+use inf2vec::graph::NodeId;
+use inf2vec::obs::Telemetry;
+use inf2vec::serve::{
+    BatchConfig, Batcher, Frontend, FrontendConfig, Request, ScoringService, ServeConfig,
+};
+
+/// One serial HTTP/1.1 exchange over a fresh connection.
+fn http(addr: &std::net::SocketAddr, request: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to front-end");
+    stream.write_all(request.as_bytes()).expect("write request");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let text = String::from_utf8_lossy(&raw);
+    let status = text
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let body = text
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn post(addr: &std::net::SocketAddr, path: &str, body: &str) -> (u16, String) {
+    http(
+        addr,
+        &format!(
+            "POST {path} HTTP/1.1\r\nHost: demo\r\nConnection: close\r\n\
+             Content-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+fn get(addr: &std::net::SocketAddr, path: &str) -> (u16, String) {
+    http(
+        addr,
+        &format!("GET {path} HTTP/1.1\r\nHost: demo\r\nConnection: close\r\n\r\n"),
+    )
+}
+
+fn main() {
+    let mut failures = 0u32;
+    let mut check = |what: &str, ok: bool| {
+        println!("  [{}] {what}", if ok { "ok" } else { "FAIL" });
+        if !ok {
+            failures += 1;
+        }
+    };
+
+    // 1. The operator stack: service + batcher + front-end on port 0.
+    let svc = Arc::new(ScoringService::new(
+        ServeConfig::default(),
+        Telemetry::with_registry(),
+    ));
+    svc.install_store(EmbeddingStore::new(256, 16, 42), "demo-v1")
+        .expect("install model");
+    let batcher = Arc::new(Batcher::start(Arc::clone(&svc), BatchConfig::default()));
+    let frontend = Frontend::start("127.0.0.1:0", batcher, FrontendConfig::default())
+        .expect("bind front-end");
+    let addr = frontend.local_addr();
+    println!("front-end listening on http://{addr}/");
+
+    // 2. Rank over the wire vs. in process: bit-identical scores.
+    let (status, body) = post(
+        &addr,
+        "/v1/rank",
+        r#"{"u":7,"candidates":[1,2,3,4,5,6,8,9,10,11],"top_n":3}"#,
+    );
+    println!("POST /v1/rank -> {status} {body}");
+    check("rank returns 200", status == 200);
+    let candidates: Vec<NodeId> = [1u32, 2, 3, 4, 5, 6, 8, 9, 10, 11]
+        .iter()
+        .map(|&v| NodeId(v))
+        .collect();
+    let local = svc
+        .rank_targets(NodeId(7), &candidates, 3, &Request::new())
+        .expect("in-process rank");
+    let wire_match = local.items.iter().all(|(v, s)| {
+        body.contains(&format!("{{\"v\":{},\"score\":{}}}", v.0, s))
+    });
+    check("wire scores bit-identical to ScoringService::rank_targets", wire_match);
+
+    // 3. Pair and aggregate scores (Eq. 3, Eq. 7) over the wire.
+    let (status, body) = post(&addr, "/v1/score", r#"{"u":7,"v":3}"#);
+    println!("POST /v1/score -> {status} {body}");
+    check("score returns 200 with a finite value", status == 200 && !body.contains("null"));
+    let (status, body) = post(
+        &addr,
+        "/v1/score_active",
+        r#"{"v":9,"active":[1,7,12],"agg":"max"}"#,
+    );
+    println!("POST /v1/score_active -> {status} {body}");
+    check("score_active returns 200", status == 200);
+
+    // A deliberately bad request: documented 400 with a typed outcome.
+    let (status, body) = post(&addr, "/v1/rank", r#"{"u":7,"candidates":[1],"top_n":0}"#);
+    check(
+        "top_n=0 maps to 400 bad_request",
+        status == 400 && body.contains("\"outcome\":\"bad_request\""),
+    );
+
+    // 4. The Prometheus exposition names the series this run touched.
+    let (status, metrics) = get(&addr, "/metrics");
+    check("GET /metrics returns 200", status == 200);
+    for series in [
+        "inf2vec_serve_requests_total{outcome=\"ok\"}",
+        "inf2vec_serve_request_seconds",
+        "inf2vec_serve_batch_size",
+        "inf2vec_frontend_http_requests_total",
+        "inf2vec_frontend_connections_total",
+    ] {
+        check(&format!("exposition names {series}"), metrics.contains(series));
+    }
+
+    // 5. Health, then clean shutdown.
+    let (status, body) = get(&addr, "/healthz");
+    println!("GET /healthz -> {status} {body}");
+    check("healthz reports ok", status == 200 && body.contains("\"ok\""));
+    frontend.stop();
+
+    if failures > 0 {
+        eprintln!("FAILED: {failures} check(s) disagreed over the wire");
+        exit(1);
+    }
+    println!("OK: wire answers match the in-process service exactly");
+}
