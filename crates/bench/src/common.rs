@@ -74,6 +74,21 @@ pub struct Opts {
     /// Live-log compaction budget override in bytes for the `soak`
     /// command (`--soak-budget-bytes`; 0 disables compaction).
     pub soak_budget_bytes: Option<u64>,
+    /// Wall-clock soak duration in seconds (`--wall-clock`): keep
+    /// cycling crash/recover until this much real time has elapsed
+    /// instead of a fixed cycle count.
+    pub wall_clock: Option<f64>,
+    /// Action log whose archive the `restore` / `verify-archive`
+    /// commands operate on (`--archive-log`; default: the soak
+    /// workdir's `actions.log`).
+    pub archive_log: Option<PathBuf>,
+    /// Destination for the reconstructed stream written by `restore`
+    /// (`--restore-out`; default: `restored.log` next to the soak
+    /// workdir).
+    pub restore_out: Option<PathBuf>,
+    /// Destination for the `verify-archive` report JSON
+    /// (`--archive-report`).
+    pub archive_report: Option<PathBuf>,
     /// Destination for the soak report JSON (`--soak-report`).
     pub soak_report: Option<PathBuf>,
     /// Destination for the pipeline perf-trajectory JSON
@@ -127,6 +142,10 @@ impl Default for Opts {
             soak_records: None,
             soak_long: false,
             soak_budget_bytes: None,
+            wall_clock: None,
+            archive_log: None,
+            restore_out: None,
+            archive_report: None,
             soak_report: None,
             soak_bench: None,
             introspect: None,

@@ -18,7 +18,13 @@
 //!                  every wire outcome and writing --serve-bench JSON
 //!   soak           run the crash/recover pipeline soak with fault
 //!                  injection and reconcile every record, writing
-//!                  --soak-report JSON
+//!                  --soak-report JSON; --wall-clock S cycles against
+//!                  real time instead of a fixed cycle count
+//!   restore        rebuild the full logical action stream from the
+//!                  segmented archive plus the live log tail
+//!   verify-archive re-checksum every archive segment and check the
+//!                  chain against the live log, writing
+//!                  --archive-report JSON
 //!   trace          reconstruct causal record → episode → publish
 //!                  chains offline from a --trace-jsonl event file
 //!   all            every table and figure in order
@@ -47,6 +53,7 @@ mod figures;
 mod ingest;
 mod load;
 mod oracle;
+mod restore;
 mod serve;
 mod soak;
 mod tables;
@@ -165,6 +172,22 @@ fn main() {
                         .unwrap_or_else(|_| die("--soak-budget-bytes expects an integer")),
                 );
             }
+            "--wall-clock" => {
+                opts.wall_clock = Some(
+                    take_value(&mut i)
+                        .parse()
+                        .unwrap_or_else(|_| die("--wall-clock expects seconds")),
+                );
+            }
+            "--archive-log" => {
+                opts.archive_log = Some(take_value(&mut i).into());
+            }
+            "--restore-out" => {
+                opts.restore_out = Some(take_value(&mut i).into());
+            }
+            "--archive-report" => {
+                opts.archive_report = Some(take_value(&mut i).into());
+            }
             "--soak-report" => {
                 opts.soak_report = Some(take_value(&mut i).into());
             }
@@ -272,6 +295,8 @@ fn run_command(cmd: &str, opts: &Opts) {
         "serve" => serve::serve(opts),
         "serve-load" => load::serve_load(opts),
         "soak" => soak::soak(opts),
+        "restore" => restore::restore(opts),
+        "verify-archive" => restore::verify_archive(opts),
         "trace" => trace::trace(opts),
         "ablate-alpha" => ablate::ablate_alpha(opts),
         "ablate-bias" => ablate::ablate_bias(opts),
@@ -302,7 +327,7 @@ fn print_help() {
          commands: table1 table2 table3 table4 table5 table6\n\
                    fig1 fig2 fig3 fig6 fig7 fig8 fig9\n\
                    ablate-alpha ablate-bias ablate-restart ablate-regen ablate\n\
-                   oracle ingest serve serve-load soak all\n\n\
+                   oracle ingest serve serve-load soak restore verify-archive all\n\n\
          ingest:   repro ingest --edges FILE --actions FILE\n\
                    [--on-error strict|skip|repair] [--max-errors N]\n\
                    [--ingest-report FILE]  load a real dataset through the\n\
@@ -324,15 +349,26 @@ fn print_help() {
                    wire outcome must reconcile exactly against the\n\
                    metrics; --serve-bench writes BENCH_serve.json\n\n\
          soak:     repro soak [--long] [--soak-cycles N] [--soak-records N]\n\
-                   [--soak-budget-bytes N] [--soak-report FILE]\n\
-                   [--soak-bench FILE]  crash and recover the\n\
-                   continuous-learning pipeline under injected faults\n\
-                   (stage panics, torn journals, disk-write failures, a\n\
-                   poisoned snapshot), compacting the log under the byte\n\
-                   budget and growing the model for mid-stream users,\n\
-                   then reconcile every record and prove replay\n\
-                   bit-identity; --long runs the hours-equivalent preset\n\
-                   and --soak-bench writes the perf-trajectory JSON\n\n\
+                   [--soak-budget-bytes N] [--wall-clock S]\n\
+                   [--soak-report FILE] [--soak-bench FILE]\n\
+                   crash and recover the continuous-learning pipeline\n\
+                   under injected faults (stage panics, torn journals,\n\
+                   disk-write failures, a poisoned snapshot), compacting\n\
+                   the log under the byte budget, sealing prefixes into\n\
+                   the segmented archive with retention, and growing the\n\
+                   model for mid-stream users, then reconcile every\n\
+                   record and prove replay bit-identity; --long runs the\n\
+                   hours-equivalent preset, --wall-clock S keeps cycling\n\
+                   against real time, --soak-bench writes the\n\
+                   perf-trajectory JSON\n\n\
+         restore:  repro restore [--archive-log FILE] [--restore-out FILE]\n\
+                   rebuild the full logical action stream (archive\n\
+                   segments ++ live log payload) from a soak workdir's\n\
+                   log, verifying every segment checksum on the way\n\n\
+         verify-archive: repro verify-archive [--archive-log FILE]\n\
+                   [--archive-report FILE]  re-checksum every archive\n\
+                   segment, check the manifest chain, and confirm the\n\
+                   archive is contiguous with the live log\n\n\
          trace:    repro trace --trace-jsonl FILE [--trace-record SEQ]\n\
                    [--seed S]  reconstruct record -> episode -> publish\n\
                    chains offline from a trace-stamped event log; with\n\

@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! repro soak [--long] [--soak-cycles N] [--soak-records N] \
-//!     [--soak-budget-bytes N] [--soak-report FILE] [--soak-bench FILE] \
+//!     [--soak-budget-bytes N] [--wall-clock S] \
+//!     [--soak-report FILE] [--soak-bench FILE] \
 //!     [--telemetry-jsonl FILE] [--introspect ADDR]
 //! ```
 //!
@@ -12,17 +13,23 @@
 //! publishes, tears journal slots, injects ENOSPC-style faults into
 //! journal/compaction/snapshot writes, and poisons one snapshot the
 //! quality gate must withhold — all while the live log is compacted
-//! under a byte budget and mid-stream users grow the model. Exits
-//! non-zero when any record escapes the {applied, quarantined, pending}
-//! ledger, the obs gauges disagree, an uninterrupted replay is not
-//! bit-identical, the disk strays past its budget, growth fails, or a
-//! poisoned model reaches the serving path — this is the CI gate for
-//! the continuous-learning pipeline.
+//! under a byte budget, compacted prefixes are sealed into the
+//! segmented archive whose retention budgets force real expiries, and
+//! mid-stream users grow the model. Exits non-zero when any record
+//! escapes the {applied, quarantined, pending} ledger, the obs gauges
+//! disagree, an uninterrupted replay is not bit-identical, the disk
+//! strays past its budget, the archive overruns its segment budget,
+//! expiry loses or double-counts a byte, the restored stream diverges
+//! from the ground truth, growth fails, or a poisoned model reaches
+//! the serving path — this is the CI gate for the continuous-learning
+//! pipeline.
 //!
 //! `--long` selects the hours-equivalent preset
-//! ([`SoakConfig::long`]); `--soak-bench FILE` writes the pipeline
-//! perf-trajectory JSON (records/sec, mean publish latency, peak RSS)
-//! that `BENCH_pipeline.json` tracks across commits.
+//! ([`SoakConfig::long`]); `--wall-clock S` keeps cycling against real
+//! elapsed time instead of a fixed cycle count; `--soak-bench FILE`
+//! writes the pipeline perf-trajectory JSON (records/sec, mean publish
+//! latency, peak RSS, archive seal/expiry/restore stats) that
+//! `BENCH_pipeline.json` tracks across commits.
 
 use inf2vec_obs::{IntrospectServer, SampleValue, Telemetry};
 use inf2vec_pipeline::{pipeline_health_policy, run_soak, SoakConfig};
@@ -74,6 +81,12 @@ pub fn soak(opts: &Opts) {
     if let Some(budget) = opts.soak_budget_bytes {
         cfg.log_budget_bytes = budget;
     }
+    if let Some(secs) = opts.wall_clock {
+        if !secs.is_finite() || secs <= 0.0 {
+            die("--wall-clock expects a positive number of seconds");
+        }
+        cfg.wall_clock = Some(std::time::Duration::from_secs_f64(secs));
+    }
 
     let workdir = opts.out.join("soak");
     let started = std::time::Instant::now();
@@ -111,6 +124,21 @@ pub fn soak(opts: &Opts) {
         report.max_live_log_bytes,
         report.log_budget_bytes,
         report.disk_bounded,
+    ));
+    opts.say(&format!(
+        "[soak] archive: {} seals / {} expiries, {} B reclaimed, {} B dropped, {} segments retained (peak {} under a {}-segment budget, held={})",
+        report.segments_sealed,
+        report.segments_expired,
+        report.bytes_reclaimed,
+        report.bytes_dropped,
+        report.segments_final,
+        report.max_archive_segments,
+        report.archive_max_segments,
+        report.disk_budget_held,
+    ));
+    opts.say(&format!(
+        "[soak] restore: verify + full-stream rebuild in {:.3}s (restore_identical={} expiry_exact={})",
+        report.restore_verify_secs, report.restore_identical, report.expiry_exact,
     ));
     opts.say(&format!(
         "[soak] growth: {}/{} users first seen mid-stream, final model rows {} (growth_ok={})",
@@ -210,9 +238,16 @@ fn bench_json(
             "  \"peak_rss_kb\": {},\n",
             "  \"compactions\": {},\n",
             "  \"max_live_log_bytes\": {},\n",
+            "  \"archive_segments_sealed\": {},\n",
+            "  \"archive_segments_expired\": {},\n",
+            "  \"archive_bytes_reclaimed\": {},\n",
+            "  \"archive_bytes_dropped\": {},\n",
+            "  \"archive_segments_final\": {},\n",
+            "  \"restore_verify_secs\": {:.4},\n",
             "  \"publishes_withheld\": {},\n",
             "  \"final_rows\": {},\n",
             "  \"invariants\": {{\"balanced\": {}, \"bit_identical\": {}, \"disk_bounded\": {},",
+            " \"disk_budget_held\": {}, \"expiry_exact\": {}, \"restore_identical\": {},",
             " \"growth_ok\": {}, \"quality_gate_held\": {}, \"passed\": {}}}\n",
             "}}\n"
         ),
@@ -223,11 +258,20 @@ fn bench_json(
         peak_rss_kb(),
         report.compactions,
         report.max_live_log_bytes,
+        report.segments_sealed,
+        report.segments_expired,
+        report.bytes_reclaimed,
+        report.bytes_dropped,
+        report.segments_final,
+        report.restore_verify_secs,
         report.publishes.2,
         report.final_rows,
         report.balanced,
         report.bit_identical,
         report.disk_bounded,
+        report.disk_budget_held,
+        report.expiry_exact,
+        report.restore_identical,
         report.growth_ok,
         report.quality_gate_held,
         report.passed(),

@@ -56,6 +56,7 @@
 //! ```
 
 mod actions;
+mod archive;
 mod collect;
 mod edges;
 mod idmap;
@@ -66,6 +67,10 @@ mod report;
 mod tail;
 mod validated;
 
+pub use archive::{
+    archive_dir, legacy_archive_path, ArchiveStart, ArchiveStore, ExpiryStats, RestoreStats,
+    RetentionPolicy, SegmentMeta, VerifyReport, ARCHIVE_SCHEMA_VERSION,
+};
 pub use idmap::IdMap;
 pub use policy::{ErrorPolicy, IdMode, IngestConfig, RATIO_MIN_RECORDS};
 pub use report::{DefectSample, Disposition, IngestReport, SAMPLE_MAX_CHARS};

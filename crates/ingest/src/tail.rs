@@ -59,21 +59,21 @@ use crate::policy::IdMode;
 use crate::report::SAMPLE_MAX_CHARS;
 
 /// Magic prefix of the rotation sentinel header line.
-const SENTINEL_MAGIC: &str = "#inf2vec-log v1";
+pub(crate) const SENTINEL_MAGIC: &str = "#inf2vec-log v1";
 
 /// Parsed rotation sentinel: the logical stream history that precedes the
 /// live file's first payload byte.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-struct LogHeader {
+pub(crate) struct LogHeader {
     /// Logical byte offset of the first payload byte.
-    base: u64,
+    pub(crate) base: u64,
     /// Logical lines consumed before the first payload line.
-    lines: u64,
+    pub(crate) lines: u64,
     /// Physical bytes the sentinel line itself occupies (0 = no sentinel).
-    header_len: u64,
+    pub(crate) header_len: u64,
 }
 
-fn render_sentinel(pos: TailPosition) -> String {
+pub(crate) fn render_sentinel(pos: TailPosition) -> String {
     format!("{SENTINEL_MAGIC} base {} lines {}\n", pos.offset, pos.line_no)
 }
 
@@ -89,7 +89,7 @@ fn parse_sentinel(line: &str) -> Option<(u64, u64)> {
 
 /// Reads the (optional) sentinel header from an open log file. The file's
 /// read position afterwards is unspecified; callers must seek.
-fn read_header(file: &mut fs::File) -> io::Result<LogHeader> {
+pub(crate) fn read_header(file: &mut fs::File) -> io::Result<LogHeader> {
     // A sentinel is a short first line; 128 bytes is comfortably enough
     // for two u64s and the magic.
     let mut buf = [0u8; 128];

@@ -55,10 +55,24 @@ pub struct PipelineConfig {
     /// below the *older* of the two journal slots' committed offsets, so
     /// any recoverable journal can still resume.
     pub log_budget_bytes: u64,
-    /// Append each compacted prefix to `<log>.archive`, so
-    /// `archive ++ live payload` reconstructs the full logical stream
-    /// (what a from-scratch bit-identity replay needs).
+    /// Seal each compacted prefix into the segmented archive store
+    /// (`<log>.archive.d/`), so `archive ++ live payload` reconstructs
+    /// the full logical stream (what a from-scratch bit-identity replay
+    /// needs). A legacy monolithic `<log>.archive` file is imported as
+    /// segment 0 on first use.
     pub archive_compacted: bool,
+    /// Retained archive payload budget in bytes: expiry drops the oldest
+    /// segments while the retained total exceeds this (`0` = unlimited).
+    /// Segments inside the journal replay window are never expired.
+    pub archive_max_bytes: u64,
+    /// Maximum retained archive segments (`0` = unlimited).
+    pub archive_max_segments: usize,
+    /// Expire archive segments sealed longer ago than this, measured
+    /// against the pipeline clock that stamped them (`None` = no age
+    /// bound). Advisory next to the byte/segment budgets: seal stamps
+    /// are process-relative, so segments from an earlier process look
+    /// young (never spuriously old).
+    pub archive_max_age: Option<Duration>,
     /// Bounded attempts for journal/compaction/snapshot disk writes
     /// before that write degrades (training continues, the write is
     /// skipped until the next boundary).
@@ -100,6 +114,9 @@ impl Default for PipelineConfig {
             user_capacity: 0,
             log_budget_bytes: 0,
             archive_compacted: false,
+            archive_max_bytes: 0,
+            archive_max_segments: 0,
+            archive_max_age: None,
             disk_max_attempts: 3,
             disk_retry_backoff: Duration::from_millis(2),
             snapshot_dir: None,

@@ -40,6 +40,14 @@ pub struct FaultPlan {
     pub compaction_fail_attempts: Vec<u64>,
     /// Fail these 1-based snapshot-export write attempts.
     pub snapshot_write_fail_attempts: Vec<u64>,
+    /// Fail these 1-based archive segment-seal write attempts (the
+    /// atomic segment write dies mid-stream; the store is unchanged and
+    /// the bounded retry chain — or the next boundary — tries again).
+    pub archive_seal_fail_attempts: Vec<u64>,
+    /// Fail these 1-based archive-expiry manifest write attempts (the
+    /// manifest-before-delete commit dies mid-write; the old boundary
+    /// and every segment survive).
+    pub expiry_fail_attempts: Vec<u64>,
     /// Poison these 1-based publisher-received snapshots: the parameter
     /// bits are mangled *and the checksum recomputed*, so only a
     /// semantic quality gate — not an integrity check — can catch it.
@@ -59,6 +67,8 @@ pub struct FaultPlan {
     journal_attempts: AtomicU64,
     compaction_attempts: AtomicU64,
     snapshot_writes: AtomicU64,
+    archive_seals: AtomicU64,
+    expiries: AtomicU64,
     received: AtomicU64,
 }
 
@@ -134,6 +144,18 @@ impl FaultPlan {
     /// Fails the given 1-based snapshot-export write attempts.
     pub fn with_snapshot_write_failures(mut self, attempts: Vec<u64>) -> Self {
         self.snapshot_write_fail_attempts = attempts;
+        self
+    }
+
+    /// Fails the given 1-based archive segment-seal write attempts.
+    pub fn with_archive_seal_failures(mut self, attempts: Vec<u64>) -> Self {
+        self.archive_seal_fail_attempts = attempts;
+        self
+    }
+
+    /// Fails the given 1-based archive-expiry manifest write attempts.
+    pub fn with_expiry_failures(mut self, attempts: Vec<u64>) -> Self {
+        self.expiry_fail_attempts = attempts;
         self
     }
 
@@ -214,6 +236,20 @@ impl FaultPlan {
     pub fn tick_snapshot_write(&self) -> bool {
         let attempt = self.snapshot_writes.fetch_add(1, Ordering::SeqCst) + 1;
         self.snapshot_write_fail_attempts.contains(&attempt)
+    }
+
+    /// Trainer is attempting one more archive segment seal; true = the
+    /// segment write fails mid-stream.
+    pub fn tick_archive_seal_attempt(&self) -> bool {
+        let attempt = self.archive_seals.fetch_add(1, Ordering::SeqCst) + 1;
+        self.archive_seal_fail_attempts.contains(&attempt)
+    }
+
+    /// Trainer is attempting one more archive expiry; true = the
+    /// manifest commit fails mid-write.
+    pub fn tick_expiry_attempt(&self) -> bool {
+        let attempt = self.expiries.fetch_add(1, Ordering::SeqCst) + 1;
+        self.expiry_fail_attempts.contains(&attempt)
     }
 
     /// Publisher received one more snapshot; true = poison its bits

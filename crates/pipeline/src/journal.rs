@@ -29,8 +29,8 @@ use std::path::{Path, PathBuf};
 
 use inf2vec_embed::{EmbeddingStore, OnlineState};
 use inf2vec_ingest::TailPosition;
-use inf2vec_util::atomic_write;
 use inf2vec_util::error::{Inf2vecError, PipelineError};
+use inf2vec_util::{atomic_write, fnv1a};
 
 /// Journal format magic (version-independent prefix).
 const MAGIC: &str = "inf2vec-journal";
@@ -82,16 +82,6 @@ pub struct JournalState {
 #[derive(Debug, Clone)]
 pub struct Journal {
     dir: PathBuf,
-}
-
-/// FNV-1a (64-bit) over raw bytes.
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
 }
 
 fn unreadable(detail: impl std::fmt::Display) -> PipelineError {

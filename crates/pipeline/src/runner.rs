@@ -45,7 +45,9 @@ use std::thread::JoinHandle;
 use inf2vec_diffusion::{Episode, ItemId};
 use inf2vec_embed::{EmbeddingStore, OnlineSgns};
 use inf2vec_graph::{DiGraph, NodeId};
-use inf2vec_ingest::{compact_to_with, sentinel_base, LogTail, TailItem, TailPosition};
+use inf2vec_ingest::{
+    compact_to_with, sentinel_base, ArchiveStore, LogTail, RetentionPolicy, TailItem, TailPosition,
+};
 use inf2vec_obs::{Event, TraceCtx};
 use inf2vec_serve::store_checksum;
 use inf2vec_util::error::{Inf2vecError, IngestError, PipelineError};
@@ -407,6 +409,26 @@ impl Reconciliation {
     }
 }
 
+/// Per-incarnation archive accounting (see
+/// [`Pipeline::archive_counters`]). Every byte that leaves the
+/// retained-history window lands in exactly one of `bytes_reclaimed`
+/// (expired under the retention policy) or `bytes_dropped` (degraded
+/// past — seal retries exhausted, or archiving disabled), so summing
+/// both across incarnations equals the archive's expired-prefix offset.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArchiveCounters {
+    /// Segments sealed into the archive store.
+    pub segments_sealed: u64,
+    /// Segments expired under the retention policy.
+    pub segments_expired: u64,
+    /// Payload bytes sealed.
+    pub bytes_sealed: u64,
+    /// Payload bytes reclaimed by retention expiry.
+    pub bytes_reclaimed: u64,
+    /// Payload bytes compacted away *without* landing in the archive.
+    pub bytes_dropped: u64,
+}
+
 /// The crash-recoverable continuous-learning pipeline.
 pub struct Pipeline {
     cfg: PipelineConfig,
@@ -432,6 +454,12 @@ pub struct Pipeline {
     prev_commit: Option<TailPosition>,
     /// Compactions performed by this incarnation.
     compactions: u64,
+    /// The segmented archive store, opened lazily at the first
+    /// compaction that needs it (`archive_compacted` only). An open
+    /// failure degrades: counted, retried at the next boundary.
+    archive: Option<ArchiveStore>,
+    /// Per-incarnation archive accounting.
+    archive_counters: ArchiveCounters,
     tailer: Option<TailerHandle>,
     publisher: Option<PublisherHandle>,
     counters: Arc<PublishCounters>,
@@ -537,6 +565,8 @@ impl Pipeline {
             gate,
             prev_commit: None,
             compactions: 0,
+            archive: None,
+            archive_counters: ArchiveCounters::default(),
             tailer: None,
             publisher: None,
             counters: Arc::new(PublishCounters::default()),
@@ -797,6 +827,22 @@ impl Pipeline {
     /// the point both journal slots have durably passed, so any
     /// recoverable journal can still resume. Failures degrade: counted,
     /// flight-dumped, retried at the next journal boundary.
+    ///
+    /// With [`PipelineConfig::archive_compacted`] set, each boundary is
+    /// three steps in a crash-safe order:
+    ///
+    /// 1. **seal** the doomed prefix into the segmented archive store
+    ///    (idempotent, so a crash before step 2 re-seals nothing);
+    /// 2. **rewrite** the live log (the prefix now exists in exactly one
+    ///    or — transiently, under a crash — both places, never zero);
+    /// 3. **expire** archive segments over the retention budgets
+    ///    (manifest-before-delete, floored at the compaction bound so
+    ///    the journal replay window always stays restorable).
+    ///
+    /// A seal whose bounded retry chain exhausts degrades like the
+    /// `archive_compacted=false` path: the prefix is dropped, counted in
+    /// `inf2vec_pipeline_archive_dropped_bytes_total`, and the archive
+    /// rebases over the hole so the *suffix* stays restorable.
     fn maybe_compact(&mut self) {
         let budget = self.cfg.log_budget_bytes;
         if budget == 0 {
@@ -814,12 +860,9 @@ impl Pipeline {
         if live <= budget {
             return;
         }
-        let archive = self
-            .cfg
-            .archive_compacted
-            .then(|| archive_path(&self.log_path));
+        let sealed_ok = !self.cfg.archive_compacted || self.seal_archive(compact_to);
         let inject = self.faults.tick_compaction_attempt().then_some(48);
-        match compact_to_with(&self.log_path, compact_to, archive.as_deref(), inject) {
+        match compact_to_with(&self.log_path, compact_to, None, inject) {
             Ok(stats) => {
                 self.compactions += 1;
                 self.cfg
@@ -834,6 +877,24 @@ impl Pipeline {
                         .u64("dropped", stats.dropped_bytes)
                         .u64("live", stats.live_bytes),
                 );
+                if self.cfg.archive_compacted {
+                    if !sealed_ok {
+                        // The rewrite dropped bytes the archive never
+                        // got: rebase over the hole so the suffix stays
+                        // restorable, and account every lost byte.
+                        self.archive_gap(compact_to);
+                    }
+                    self.expire_archive(compact_to);
+                } else if stats.dropped_bytes > 0 {
+                    // Archiving off: the prefix is gone by design, but
+                    // never silently.
+                    self.archive_counters.bytes_dropped += stats.dropped_bytes;
+                    self.cfg.telemetry.count(
+                        "inf2vec_pipeline_archive_dropped_bytes_total",
+                        stats.dropped_bytes,
+                    );
+                }
+                self.publish_archive_gauges();
             }
             Err(e) => {
                 self.cfg
@@ -846,6 +907,226 @@ impl Pipeline {
                 );
             }
         }
+    }
+
+    /// Step 1 of an archiving compaction: open the store if needed and
+    /// seal the about-to-be-dropped prefix, with bounded disk-fault
+    /// retry. Returns `false` when the prefix could not be made durable
+    /// (the caller then degrades to drop-with-counter).
+    fn seal_archive(&mut self, upto: TailPosition) -> bool {
+        let now_ms = self.clock.now().as_millis() as u64;
+        if self.archive.is_none() {
+            match ArchiveStore::open_for_log(&self.log_path, now_ms) {
+                Ok(store) => self.archive = Some(store),
+                Err(e) => {
+                    self.cfg
+                        .telemetry
+                        .count("inf2vec_pipeline_archive_seal_errors_total", 1);
+                    self.cfg.telemetry.emit(
+                        Event::new("pipeline.archive_error")
+                            .str("op", "open")
+                            .str("error", e.to_string()),
+                    );
+                    return false;
+                }
+            }
+        }
+        let store = self.archive.as_mut().expect("store just opened");
+        // A previous incarnation degraded (dropped bytes unarchived) and
+        // died before rebasing: the live log starts past the archive
+        // end. Finish the rebase so this seal lands contiguously.
+        if let Ok(Some((base, lines))) = sentinel_base(&self.log_path) {
+            if base > store.end_offset() {
+                let lost = base - store.start().offset;
+                match store.rebase_to(
+                    TailPosition {
+                        offset: base,
+                        line_no: lines,
+                    },
+                    None,
+                ) {
+                    Ok(_) => {
+                        self.archive_counters.bytes_dropped += lost;
+                        self.cfg
+                            .telemetry
+                            .count("inf2vec_pipeline_archive_dropped_bytes_total", lost);
+                        self.cfg.telemetry.emit(
+                            Event::new("pipeline.archive_rebase")
+                                .u64("offset", base)
+                                .u64("lost", lost),
+                        );
+                    }
+                    Err(e) => {
+                        self.cfg
+                            .telemetry
+                            .count("inf2vec_pipeline_archive_seal_errors_total", 1);
+                        self.cfg.telemetry.emit(
+                            Event::new("pipeline.archive_error")
+                                .str("op", "rebase")
+                                .str("error", e.to_string()),
+                        );
+                        return false;
+                    }
+                }
+            }
+        }
+        let max_attempts = self.cfg.disk_max_attempts.max(1);
+        let mut backoff = self.cfg.disk_retry_backoff;
+        for attempt in 1..=max_attempts {
+            let inject = self.faults.tick_archive_seal_attempt().then_some(48);
+            match store.seal_from_log(&self.log_path, upto, now_ms, inject) {
+                Ok(0) => return true, // already durable (idempotent retry)
+                Ok(bytes) => {
+                    self.archive_counters.segments_sealed += 1;
+                    self.archive_counters.bytes_sealed += bytes;
+                    self.cfg
+                        .telemetry
+                        .count("inf2vec_pipeline_archive_seals_total", 1);
+                    self.cfg
+                        .telemetry
+                        .count("inf2vec_pipeline_archive_sealed_bytes_total", bytes);
+                    self.cfg.telemetry.emit(
+                        Event::new("pipeline.archive_seal")
+                            .u64("seq", store.segments().last().map_or(0, |s| s.seq))
+                            .u64("bytes", bytes)
+                            .u64("end", store.end_offset()),
+                    );
+                    return true;
+                }
+                Err(e) => {
+                    self.cfg
+                        .telemetry
+                        .count("inf2vec_pipeline_archive_seal_errors_total", 1);
+                    self.cfg.telemetry.emit(
+                        Event::new("pipeline.archive_error")
+                            .str("op", "seal")
+                            .u64("attempt", attempt as u64)
+                            .str("error", e.to_string()),
+                    );
+                    if attempt < max_attempts {
+                        self.clock.sleep(backoff);
+                        backoff *= 2;
+                    }
+                }
+            }
+        }
+        self.dump_flight_postmortem("archive_seal_failed");
+        false
+    }
+
+    /// Degrade path: the live rewrite dropped `[start, compact_to)` but
+    /// the seal never made it durable. Rebase the archive boundary to
+    /// the new live base and count every byte that left the
+    /// retained-history window.
+    fn archive_gap(&mut self, compact_to: TailPosition) {
+        let Some(store) = self.archive.as_mut() else {
+            return;
+        };
+        let lost = compact_to.offset.saturating_sub(store.start().offset);
+        match store.rebase_to(compact_to, None) {
+            Ok(_) => {
+                self.archive_counters.bytes_dropped += lost;
+                self.cfg
+                    .telemetry
+                    .count("inf2vec_pipeline_archive_dropped_bytes_total", lost);
+                self.cfg.telemetry.emit(
+                    Event::new("pipeline.archive_rebase")
+                        .u64("offset", compact_to.offset)
+                        .u64("lost", lost),
+                );
+            }
+            Err(e) => {
+                // Even the rebase manifest failed: leave the store as
+                // is; the next incarnation's open (or the next seal's
+                // pre-check) finishes the rebase.
+                self.cfg
+                    .telemetry
+                    .count("inf2vec_pipeline_archive_seal_errors_total", 1);
+                self.cfg.telemetry.emit(
+                    Event::new("pipeline.archive_error")
+                        .str("op", "rebase")
+                        .str("error", e.to_string()),
+                );
+            }
+        }
+    }
+
+    /// Step 3 of an archiving compaction: expire segments over the
+    /// retention budgets, floored at the compaction bound (nothing in
+    /// the journal replay window is deletable). Bounded retry against
+    /// manifest-write faults; exhaustion degrades — the segments stay,
+    /// the next boundary retries.
+    fn expire_archive(&mut self, floor: TailPosition) {
+        let policy = RetentionPolicy {
+            max_bytes: self.cfg.archive_max_bytes,
+            max_segments: self.cfg.archive_max_segments,
+            max_age: self.cfg.archive_max_age,
+        };
+        if policy.is_unbounded() {
+            return;
+        }
+        let Some(store) = self.archive.as_mut() else {
+            return;
+        };
+        let now_ms = self.clock.now().as_millis() as u64;
+        let max_attempts = self.cfg.disk_max_attempts.max(1);
+        let mut backoff = self.cfg.disk_retry_backoff;
+        for attempt in 1..=max_attempts {
+            let inject = self.faults.tick_expiry_attempt().then_some(48);
+            match store.expire(&policy, floor.offset, now_ms, inject) {
+                Ok(stats) => {
+                    if stats.segments > 0 {
+                        self.archive_counters.segments_expired += stats.segments;
+                        self.archive_counters.bytes_reclaimed += stats.bytes;
+                        self.cfg.telemetry.count(
+                            "inf2vec_pipeline_archive_expired_segments_total",
+                            stats.segments,
+                        );
+                        self.cfg.telemetry.count(
+                            "inf2vec_pipeline_archive_reclaimed_bytes_total",
+                            stats.bytes,
+                        );
+                        self.cfg.telemetry.emit(
+                            Event::new("pipeline.archive_expiry")
+                                .u64("segments", stats.segments)
+                                .u64("bytes", stats.bytes)
+                                .u64("start", store.start().offset),
+                        );
+                    }
+                    return;
+                }
+                Err(e) => {
+                    self.cfg
+                        .telemetry
+                        .count("inf2vec_pipeline_archive_expiry_errors_total", 1);
+                    self.cfg.telemetry.emit(
+                        Event::new("pipeline.archive_error")
+                            .str("op", "expire")
+                            .u64("attempt", attempt as u64)
+                            .str("error", e.to_string()),
+                    );
+                    if attempt < max_attempts {
+                        self.clock.sleep(backoff);
+                        backoff *= 2;
+                    }
+                }
+            }
+        }
+        self.dump_flight_postmortem("archive_expiry_failed");
+    }
+
+    /// Publishes the archive occupancy gauges (no-op before the store
+    /// first opens).
+    fn publish_archive_gauges(&self) {
+        let Some(store) = self.archive.as_ref() else {
+            return;
+        };
+        self.cfg
+            .telemetry
+            .gauge_set("inf2vec_pipeline_archive_segments", store.segments().len() as f64);
+        self.cfg
+            .telemetry
+            .gauge_set("inf2vec_pipeline_archive_bytes", store.payload_bytes() as f64);
     }
 
     fn ensure_tailer(&mut self) {
@@ -1130,6 +1411,17 @@ impl Pipeline {
         self.compactions
     }
 
+    /// Per-incarnation archive accounting (seals, expiries, drops).
+    pub fn archive_counters(&self) -> ArchiveCounters {
+        self.archive_counters
+    }
+
+    /// The segmented archive store, once a compaction has opened it
+    /// (`None` until then, and always under `archive_compacted=false`).
+    pub fn archive_store(&self) -> Option<&ArchiveStore> {
+        self.archive.as_ref()
+    }
+
     /// The user-id space in effect: `max(graph nodes, user_capacity)`.
     pub fn universe(&self) -> usize {
         self.universe
@@ -1147,8 +1439,10 @@ impl Pipeline {
     }
 }
 
-/// `<log>.archive` beside the live log — where compaction appends the
-/// rotated-away prefix when [`PipelineConfig::archive_compacted`] is set.
+/// `<log>.archive` beside the live log — the **legacy** monolithic
+/// archive file from before the segmented store. Compaction no longer
+/// writes it; [`ArchiveStore::open_for_log`] imports and removes one on
+/// first use. Kept for tooling that needs to name the legacy file.
 pub fn archive_path(log_path: &std::path::Path) -> PathBuf {
     let mut os = log_path.as_os_str().to_os_string();
     os.push(".archive");
@@ -1389,6 +1683,93 @@ mod tests {
         write_log(&log_c, 4, 6);
         let (_, sum_clean) = run_once(&dir_c, &log_c, Arc::new(FaultPlan::none()));
         assert_eq!(r.store_checksum, sum_clean, "resume is bit-identical");
+    }
+
+    /// Compaction with a tiny budget seals prefixes into the segmented
+    /// store, expiry holds the segment budget, and the retained
+    /// `archive ++ live` stream restores with verified contiguity.
+    #[test]
+    fn compaction_seals_expires_and_restores() {
+        let dir = tmp_dir("runner-archive");
+        let log = dir.join("actions.log");
+        let (good, bad) = write_log(&log, 6, 6);
+        let cfg = PipelineConfig {
+            log_budget_bytes: 256,
+            archive_compacted: true,
+            archive_max_segments: 2,
+            ..small_cfg()
+        };
+        let mut p = Pipeline::with_runtime(
+            cfg,
+            &log,
+            dir.join("journal"),
+            ring_graph(6),
+            Arc::new(CountingSink::new()),
+            system_clock(),
+            Arc::new(FaultPlan::none()),
+        )
+        .unwrap();
+        p.run_until_idle().unwrap();
+        p.drain_open_episodes().unwrap();
+        p.shutdown().unwrap();
+        let r = p.reconciliation();
+        assert!(r.balances(good, bad), "{r:?}");
+        assert!(p.compactions() >= 2, "budget forced compactions");
+        let c = p.archive_counters();
+        assert!(c.segments_sealed >= 2, "each compaction sealed: {c:?}");
+        assert_eq!(c.bytes_dropped, 0, "nothing degraded: {c:?}");
+        let store = p.archive_store().expect("store opened");
+        assert!(
+            store.segments().len() <= 2,
+            "segment budget held: {} live",
+            store.segments().len()
+        );
+        // Reclaimed + retained covers everything ever sealed.
+        assert_eq!(c.bytes_reclaimed + store.payload_bytes(), c.bytes_sealed);
+        assert_eq!(c.bytes_reclaimed, store.start().offset);
+        store.verify(Some(&log)).unwrap();
+        let out = dir.join("restored.log");
+        let stats = store.restore_to(&log, &out).unwrap();
+        assert_eq!(stats.start_offset, store.start().offset);
+    }
+
+    /// An exhausted seal retry chain degrades exactly like
+    /// `archive_compacted=false`: the prefix is dropped and counted, the
+    /// archive rebases over the hole, and the suffix stays restorable.
+    #[test]
+    fn seal_exhaustion_degrades_to_counted_drop() {
+        let dir = tmp_dir("runner-sealdrop");
+        let log = dir.join("actions.log");
+        write_log(&log, 6, 6);
+        let cfg = PipelineConfig {
+            log_budget_bytes: 256,
+            archive_compacted: true,
+            disk_max_attempts: 2,
+            ..small_cfg()
+        };
+        // Enough consecutive seal faults to exhaust the first boundary's
+        // whole retry chain; later boundaries seal normally.
+        let faults = Arc::new(FaultPlan::none().with_archive_seal_failures(vec![1, 2]));
+        let mut p = Pipeline::with_runtime(
+            cfg,
+            &log,
+            dir.join("journal"),
+            ring_graph(6),
+            Arc::new(CountingSink::new()),
+            system_clock(),
+            faults,
+        )
+        .unwrap();
+        p.run_until_idle().unwrap();
+        p.drain_open_episodes().unwrap();
+        p.shutdown().unwrap();
+        let c = p.archive_counters();
+        assert!(c.bytes_dropped > 0, "the degraded prefix was counted: {c:?}");
+        let store = p.archive_store().expect("store opened");
+        assert!(store.start().offset >= c.bytes_dropped, "rebased past the hole");
+        // The surviving suffix is still a verified, restorable stream.
+        store.verify(Some(&log)).unwrap();
+        store.restore_to(&log, &dir.join("restored.log")).unwrap();
     }
 
     #[test]

@@ -60,6 +60,11 @@ pub mod metrics {
     /// Histogram: wall-clock seconds per HTTP request, wire to wire
     /// (parse + scoring/batching + response write).
     pub const REQUEST_SECONDS: &str = "inf2vec_frontend_request_seconds";
+    /// Counter: shutdown drains that hit the hard deadline
+    /// (`write_timeout + idle_timeout`) with handler threads still
+    /// open. The drain stops waiting; the leftover threads still exit
+    /// on their own within a socket timeout.
+    pub const DRAIN_ABORTED_TOTAL: &str = "inf2vec_frontend_drain_aborted_total";
 }
 
 /// Front-end tuning.
@@ -104,6 +109,7 @@ pub struct Frontend {
     active: Arc<AtomicUsize>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
     batcher: Arc<Batcher>,
+    drain_deadline: Duration,
 }
 
 impl std::fmt::Debug for Frontend {
@@ -127,6 +133,11 @@ impl Frontend {
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let active = Arc::new(AtomicUsize::new(0));
+        // A handler thread noticing the stop flag needs at most one
+        // socket timeout to finish its current write plus the idle
+        // grace it grants quiet keep-alives; anything still open past
+        // that is wedged and not worth blocking shutdown on.
+        let drain_deadline = cfg.http.write_timeout + cfg.idle_timeout;
         let accept_thread = {
             let stop = Arc::clone(&stop);
             let active = Arc::clone(&active);
@@ -141,6 +152,7 @@ impl Frontend {
             active,
             accept_thread: Some(accept_thread),
             batcher,
+            drain_deadline,
         })
     }
 
@@ -155,20 +167,35 @@ impl Frontend {
     }
 
     /// Stops accepting, waits for open connections to drain, joins.
+    ///
+    /// The drain is bounded by a hard deadline of
+    /// `http.write_timeout + idle_timeout`; if handler threads are
+    /// still open past it, `inf2vec_frontend_drain_aborted_total` is
+    /// incremented and shutdown returns anyway.
     pub fn stop(mut self) {
         self.shutdown();
     }
 
     fn shutdown(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
+        if self.stop.swap(true, Ordering::SeqCst) && self.accept_thread.is_none() {
+            return; // already drained (stop() ran; this is the drop)
+        }
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
-        // Handler threads exit within one read timeout of the stop flag;
-        // wait for them so tests and shutdown don't race open sockets.
-        let deadline = Instant::now() + Duration::from_secs(5);
+        // Handler threads exit within one socket timeout of the stop
+        // flag; wait for them so tests and shutdown don't race open
+        // sockets — but never longer than the drain deadline, so one
+        // wedged connection can't hold shutdown hostage.
+        let deadline = Instant::now() + self.drain_deadline;
         while self.active.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
-            std::thread::sleep(Duration::from_millis(5));
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        if self.active.load(Ordering::SeqCst) > 0 {
+            self.batcher
+                .service()
+                .telemetry()
+                .count(metrics::DRAIN_ABORTED_TOTAL, 1);
         }
     }
 }

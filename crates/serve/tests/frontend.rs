@@ -307,3 +307,41 @@ fn fuzzed_bytes_never_panic_and_responses_stay_bounded() {
     assert_eq!(status, "HTTP/1.1 200 OK", "{body}");
     frontend.stop();
 }
+
+#[test]
+fn shutdown_drain_is_bounded_and_aborts_are_counted() {
+    // A connection whose handler is parked in a long socket read can't
+    // notice the stop flag before the drain deadline; stop() must give
+    // up at `write_timeout + idle_timeout` and count the abort instead
+    // of waiting out the read.
+    let cfg = FrontendConfig {
+        http: Http1Config {
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_millis(100),
+            ..Http1Config::default()
+        },
+        idle_timeout: Duration::from_millis(100),
+        ..FrontendConfig::default()
+    };
+    let (svc, frontend) = start_frontend(cfg);
+    let stream = TcpStream::connect(frontend.local_addr()).unwrap();
+    // Give the accept loop time to hand the connection to a handler
+    // thread (which then blocks in read_request for read_timeout).
+    std::thread::sleep(Duration::from_millis(300));
+
+    let started = std::time::Instant::now();
+    frontend.stop();
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(3),
+        "drain must abort at ~200ms, not wait out the 5s read: {elapsed:?}"
+    );
+    assert_eq!(
+        svc.telemetry()
+            .snapshot()
+            .counter_value("inf2vec_frontend_drain_aborted_total", &[]),
+        1,
+        "the aborted drain must be counted"
+    );
+    drop(stream);
+}

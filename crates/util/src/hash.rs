@@ -78,6 +78,19 @@ impl Hasher for FxHasher {
     }
 }
 
+/// FNV-1a (64-bit) over raw bytes: the stable *content* checksum used by
+/// the pipeline journal slots and the archive segment/manifest headers.
+/// Unlike [`FxHasher`] it is byte-order independent and trivially
+/// reimplementable by external tooling that wants to verify files.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// Convenience constructor: an empty `FxHashMap`.
 pub fn fx_hashmap<K, V>() -> FxHashMap<K, V> {
     FxHashMap::default()

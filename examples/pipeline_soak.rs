@@ -90,6 +90,15 @@ fn main() {
         report.final_rows,
         report.publishes.2,
     );
+    println!(
+        "[pipeline_soak] archive: {} seals / {} expiries, {} B reclaimed, {} B dropped, {} segments retained (budget {})",
+        report.segments_sealed,
+        report.segments_expired,
+        report.bytes_reclaimed,
+        report.bytes_dropped,
+        report.segments_final,
+        report.archive_max_segments,
+    );
 
     if let Some(path) = &report_path {
         if let Err(e) = std::fs::write(path, report.to_json()) {
@@ -107,11 +116,14 @@ fn main() {
 
     if !report.passed() {
         eprintln!(
-            "FAILED: balanced={} gauges_consistent={} bit_identical={} disk_bounded={} growth_ok={} quality_gate_held={}",
+            "FAILED: balanced={} gauges_consistent={} bit_identical={} disk_bounded={} disk_budget_held={} expiry_exact={} restore_identical={} growth_ok={} quality_gate_held={}",
             report.balanced,
             report.gauges_consistent,
             report.bit_identical,
             report.disk_bounded,
+            report.disk_budget_held,
+            report.expiry_exact,
+            report.restore_identical,
             report.growth_ok,
             report.quality_gate_held,
         );
